@@ -1,0 +1,112 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! - EVP sub-block (tile) size: setup and apply cost vs the paper's
+//!   stability-bounded sizes.
+//! - Reduced vs full stencil: the paper's §4.3 claim that dropping the small
+//!   N/S/E/W couplings halves the preconditioner cost.
+//! - EVP vs dense block-LU: the `O(n²)` vs `O(n⁴)` apply-cost separation
+//!   that justifies EVP in the first place.
+//! - Convergence-check cadence: the cost of checking every iteration vs
+//!   every 10 (the paper's production choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::precond::{BlockEvp, BlockLu, Preconditioner};
+use pop_core::solvers::{ChronGear, LinearSolver, SolverConfig};
+use pop_core::precond::Diagonal;
+use pop_grid::Grid;
+use pop_stencil::NinePoint;
+use std::hint::black_box;
+
+struct Fixture {
+    world: CommWorld,
+    op: NinePoint,
+    r: DistVec,
+    z: DistVec,
+}
+
+fn fixture() -> Fixture {
+    let g = Grid::gx01_scaled(7, 240, 160);
+    let layout = DistLayout::build(&g, 48, 40);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&g, &layout, &world, 800.0);
+    let mut r = DistVec::zeros(&layout);
+    r.fill_with(|i, j| ((i * 13 + j * 5) as f64 * 0.02).sin());
+    let z = DistVec::zeros(&layout);
+    Fixture { world, op, r, z }
+}
+
+fn bench_tile_size(c: &mut Criterion) {
+    let mut f = fixture();
+    let mut group = c.benchmark_group("evp_tile_size_apply");
+    for tile in [4usize, 6, 8, 10, 12] {
+        let pre = BlockEvp::new(&f.op, tile, true);
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
+            b.iter(|| pre.apply(&f.world, black_box(&f.r), &mut f.z))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("evp_tile_size_setup");
+    group.sample_size(10);
+    for tile in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
+            b.iter(|| black_box(BlockEvp::new(&f.op, tile, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduced_vs_full_vs_lu(c: &mut Criterion) {
+    let mut f = fixture();
+    let reduced = BlockEvp::new(&f.op, 8, true);
+    let full = BlockEvp::new(&f.op, 8, false);
+    let lu = BlockLu::new(&f.op, 8, true);
+    let mut group = c.benchmark_group("evp_variants_apply");
+    for (name, pre) in [
+        ("reduced", &reduced as &dyn Preconditioner),
+        ("full", &full),
+        ("block_lu", &lu),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| pre.apply(&f.world, black_box(&f.r), &mut f.z))
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_cadence(c: &mut Criterion) {
+    let f = fixture();
+    let diag = Diagonal::new(&f.op);
+    let mut x_true = DistVec::zeros(&f.r.layout);
+    x_true.fill_with(|i, j| ((i as f64) * 0.04).cos() * ((j as f64) * 0.06).sin());
+    f.world.halo_update(&mut x_true);
+    let mut rhs = DistVec::zeros(&f.r.layout);
+    f.op.apply(&f.world, &x_true, &mut rhs);
+
+    let mut group = c.benchmark_group("check_cadence_chrongear");
+    group.sample_size(10);
+    for every in [1usize, 10, 50] {
+        let cfg = SolverConfig {
+            tol: 1e-12,
+            max_iters: 50_000,
+            check_every: every,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(every), &every, |b, _| {
+            b.iter(|| {
+                let mut x = DistVec::zeros(&rhs.layout);
+                let st = ChronGear.solve(&f.op, &diag, &f.world, black_box(&rhs), &mut x, &cfg);
+                assert!(st.converged);
+                black_box(st.comm.allreduces)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tile_size, bench_reduced_vs_full_vs_lu, bench_check_cadence
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of complete barotropic solves, one per
+//! solver/preconditioner configuration — the single-node ground truth behind
+//! the figures (the distributed wall-time story lives in `pop-perfmodel`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_grid::Grid;
+use pop_ocean::{SolverChoice, SolverSetup};
+use pop_core::solvers::SolverConfig;
+use pop_stencil::NinePoint;
+use std::hint::black_box;
+
+fn bench_full_solves(c: &mut Criterion) {
+    let g = Grid::gx01_scaled(7, 300, 200);
+    let layout = DistLayout::build(&g, 60, 40);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&g, &layout, &world, 1036.8);
+    let mut x_true = DistVec::zeros(&layout);
+    x_true.fill_with(|i, j| ((i as f64) * 0.07).sin() * ((j as f64) * 0.05).cos());
+    world.halo_update(&mut x_true);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&world, &x_true, &mut rhs);
+    let cfg = SolverConfig {
+        tol: 1e-13,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+
+    let mut group = c.benchmark_group("full_solve_300x200");
+    group.sample_size(10);
+    for choice in SolverChoice::PAPER_SET {
+        // Setup (preconditioner + Lanczos) outside the timing loop, as in
+        // production where it is amortized over dt_count solves per day.
+        let setup = SolverSetup::new(choice, &op, &world);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(choice.label()),
+            &choice,
+            |b, _| {
+                b.iter(|| {
+                    let mut x = DistVec::zeros(&layout);
+                    let st = setup.solve(&op, &world, black_box(&rhs), &mut x, &cfg);
+                    assert!(st.converged);
+                    black_box(st.iterations)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_full_solves
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the kernels that make up one solver
+//! iteration: matrix–vector product, halo update, plain and fused dot
+//! products, and the preconditioner applications. These are the `θ`, `β`
+//! and `T_p` ingredients of the paper's cost model, measured for real.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Preconditioner};
+use pop_grid::Grid;
+use pop_stencil::NinePoint;
+use std::hint::black_box;
+
+struct Fixture {
+    world: CommWorld,
+    op: NinePoint,
+    x: DistVec,
+    y: DistVec,
+}
+
+fn fixture(nx: usize, ny: usize) -> Fixture {
+    let g = Grid::gx01_scaled(7, nx, ny);
+    let layout = DistLayout::build(&g, nx / 5, ny / 5);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&g, &layout, &world, 400.0);
+    let mut x = DistVec::zeros(&layout);
+    x.fill_with(|i, j| ((i * 7 + j * 3) as f64 * 0.01).sin());
+    world.halo_update(&mut x);
+    let y = DistVec::zeros(&layout);
+    Fixture { world, op, x, y }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut f = fixture(300, 200);
+    let mut group = c.benchmark_group("kernels_300x200");
+
+    group.bench_function("matvec", |b| {
+        let x = f.x.clone();
+        b.iter(|| {
+            f.op.apply(&f.world, black_box(&x), &mut f.y);
+        })
+    });
+    group.bench_function("halo_update", |b| {
+        b.iter(|| {
+            f.world.halo_update(black_box(&mut f.x));
+        })
+    });
+    group.bench_function("dot", |b| {
+        b.iter(|| black_box(f.world.dot(&f.x, &f.y)))
+    });
+    group.bench_function("fused_dot2", |b| {
+        // ChronGear's single-reduction pair (steps 7-9 of Algorithm 1).
+        b.iter(|| black_box(f.world.dot_many(&[(&f.x, &f.y), (&f.y, &f.y)])))
+    });
+    group.bench_function("axpy", |b| {
+        let x = f.x.clone();
+        b.iter(|| f.y.axpy(black_box(1.0e-9), &x))
+    });
+    group.finish();
+}
+
+fn bench_preconditioners(c: &mut Criterion) {
+    let mut f = fixture(300, 200);
+    let diag = Diagonal::new(&f.op);
+    let evp = BlockEvp::with_defaults(&f.op);
+    let evp_full = BlockEvp::new(&f.op, 8, false);
+    let lu = BlockLu::new(&f.op, 8, true);
+    let mut group = c.benchmark_group("precond_apply_300x200");
+    for (name, pre) in [
+        ("diagonal", &diag as &dyn Preconditioner),
+        ("evp_reduced", &evp),
+        ("evp_full", &evp_full),
+        ("block_lu", &lu),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| pre.apply(&f.world, black_box(&f.x), &mut f.y))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels, bench_preconditioners
+}
+criterion_main!(benches);

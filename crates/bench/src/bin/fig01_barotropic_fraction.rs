@@ -1,0 +1,52 @@
+//! Figure 1: percentage of 0.1° POP execution time spent in the barotropic
+//! solver (ChronGear + diagonal) as core counts grow — the motivating
+//! problem: ~5% at 470 cores, ~50% at 16,875.
+
+use pop_bench::*;
+use pop_ocean::SolverChoice;
+use pop_perfmodel::paper::yellowstone_01 as paper;
+use pop_perfmodel::{PopConfig, PopModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx01(&opts);
+    println!(
+        "Fig 1 reproduction: barotropic share of 0.1deg POP ({}x{} measurement grid)",
+        eg.grid.nx, eg.grid.ny
+    );
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    let measured = wl.measure(SolverChoice::ChronGearDiag, &cfg);
+    println!(
+        "measured ChronGear+diagonal: K = {} iterations at tol {:e}",
+        measured.stats.iterations, cfg.tol
+    );
+
+    let model = PopModel::new(PopConfig::gx01_yellowstone());
+    let profile = measured.profile(cfg.check_every);
+    let mut rows = Vec::new();
+    for &p in &paper::CORE_COUNTS {
+        let t = model.day(p, &profile, opts.seed);
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.1}", 100.0 * t.barotropic_fraction),
+            format!("{:.1}", 100.0 * t.baroclinic / t.total),
+            fmt_s(t.total),
+        ]);
+    }
+    print_table(
+        "barotropic share of total POP time (modelled at production scale)",
+        &["cores", "barotropic %", "baroclinic %", "total s/day"],
+        &rows,
+    );
+    println!(
+        "paper: ~{:.0}% at 470 cores, ~{:.0}% at 16,875 cores",
+        100.0 * paper::CG_FRACTION_470,
+        100.0 * paper::CG_FRACTION
+    );
+    write_csv(
+        "fig01_barotropic_fraction",
+        &["cores", "barotropic_pct", "baroclinic_pct", "total_s_per_day"],
+        &rows,
+    );
+}

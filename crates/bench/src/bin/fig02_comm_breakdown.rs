@@ -1,0 +1,63 @@
+//! Figure 2: global-reduction vs halo-update time of the ChronGear solver in
+//! 0.1° POP for one simulated day. The reduction component grows with core
+//! count and dominates beyond a couple thousand cores; halo time shrinks.
+
+use pop_bench::*;
+use pop_ocean::SolverChoice;
+use pop_perfmodel::cost::day_cost;
+use pop_perfmodel::paper::yellowstone_01 as paper;
+use pop_perfmodel::MachineModel;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx01(&opts);
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    let m = wl.measure(SolverChoice::ChronGearDiag, &cfg);
+    println!(
+        "Fig 2 reproduction: ChronGear comm components, K = {} (measured)",
+        m.stats.iterations
+    );
+    println!(
+        "measured comm events for one solve: {} reductions, {} halo updates, {:.1} MB halo traffic",
+        m.stats.comm.allreduces,
+        m.stats.comm.halo_updates,
+        m.stats.comm.halo_bytes as f64 / 1e6
+    );
+
+    let machine = MachineModel::yellowstone();
+    let profile = m.profile(cfg.check_every);
+    let n_global = 3600.0 * 2400.0;
+    let mut rows = Vec::new();
+    for &p in &paper::CORE_COUNTS {
+        let day = day_cost(&machine, &profile, n_global, p, paper::DT_COUNT, 1, 0);
+        rows.push(vec![
+            p.to_string(),
+            fmt_s(day.reduction),
+            fmt_s(day.halo),
+            fmt_s(day.compute),
+        ]);
+    }
+    print_table(
+        "ChronGear+diagonal component seconds per simulated day (modelled)",
+        &["cores", "global reduction", "halo update", "computation"],
+        &rows,
+    );
+    println!("paper shape: reduction grows and dominates past ~2,000 cores; halo shrinks.");
+    // Sanity statement for the reader:
+    let r_lo: f64 = rows[0][1].parse().expect("number");
+    let r_hi: f64 = rows.last().expect("rows")[1].parse().expect("number");
+    println!(
+        "reduction time {}s @ {} cores -> {}s @ {} cores ({}x)",
+        r_lo,
+        paper::CORE_COUNTS[0],
+        r_hi,
+        paper::CORE_COUNTS.last().expect("cores"),
+        fmt_s(r_hi / r_lo)
+    );
+    write_csv(
+        "fig02_comm_breakdown",
+        &["cores", "reduction_s", "halo_s", "compute_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 5: the EVP marching pattern. The equation centered at `(i,j)`
+//! determines the unknown at `(i+1,j+1)`, so one SW→NE sweep from the
+//! initial-guess line `e` (south row + west column) fills the domain and
+//! overshoots onto the Dirichlet ring `f` (north + east), whose mismatch
+//! drives the influence-matrix correction.
+
+use pop_bench::*;
+use pop_core::precond::{EvpScratch, EvpSubBlock};
+use pop_stencil::LocalStencil;
+
+fn main() {
+    let _opts = RunOptions::from_args();
+    let n = 7usize;
+    println!("Fig 5 reproduction: EVP marching on a {n}x{n} block\n");
+    println!("E = initial-guess point (value assumed), number = marching order,");
+    println!("F = overshoot onto the Dirichlet ring (drives the correction)\n");
+
+    // Marching order: the equation at (i, j) — lexicographic — produces
+    // (i+1, j+1).
+    let mut order = vec![None::<usize>; (n + 1) * (n + 1)];
+    let mut step = 0usize;
+    for j in 0..n {
+        for i in 0..n {
+            order[(j + 1) * (n + 1) + (i + 1)] = Some(step);
+            step += 1;
+        }
+    }
+    for j in (0..=n).rev() {
+        let mut line = String::new();
+        for i in 0..=n {
+            let cell = if i < n && j < n && (i == 0 || j == 0) {
+                " E ".to_string()
+            } else if i == n || j == n {
+                if order[j * (n + 1) + i].is_some() {
+                    " F ".to_string()
+                } else {
+                    " . ".to_string()
+                }
+            } else {
+                match order[j * (n + 1) + i] {
+                    Some(s) => format!("{s:2} "),
+                    None => " ? ".to_string(),
+                }
+            };
+            line.push_str(&format!("{cell:>4}"));
+        }
+        println!("{line}");
+    }
+
+    // And demonstrate the full algorithm end to end: exact solve of a block.
+    let raw = LocalStencil::reference(n, n, 200.0, 4.0);
+    let sub = EvpSubBlock::new(&raw, false);
+    assert!(sub.uses_marching());
+    let psi: Vec<f64> = (0..n * n).map(|k| ((k as f64) * 0.37).sin()).collect();
+    let mut x = vec![0.0; n * n];
+    sub.solve(&psi, &mut x, &mut EvpScratch::default());
+    let mut worst = 0.0f64;
+    for j in 0..n as isize {
+        for i in 0..n as isize {
+            let ax = raw.apply_at(i, j, |ii, jj| {
+                if ii >= 0 && jj >= 0 && (ii as usize) < n && (jj as usize) < n {
+                    x[jj as usize * n + ii as usize]
+                } else {
+                    0.0
+                }
+            });
+            worst = worst.max((ax - psi[(j as usize) * n + i as usize]).abs());
+        }
+    }
+    println!(
+        "\nEVP solve of the {n}x{n} block: max residual {worst:.2e} \
+         (two marching sweeps + one {k}x{k} correction, k = 2n-1)",
+        k = 2 * n - 1
+    );
+    println!(
+        "costs: solve O(22 n^2) vs dense LU O(n^4); setup O(26 n^3) done once (paper 4.2)"
+    );
+}

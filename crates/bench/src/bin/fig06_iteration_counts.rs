@@ -1,0 +1,78 @@
+//! Figure 6: average iteration counts of the four solver configurations at
+//! both resolutions. The paper's headline convergence claims:
+//! EVP cuts the count by ~2/3 for both solvers; P-CSI needs more iterations
+//! than ChronGear; 0.1° converges in fewer iterations than 1° (its aspect
+//! ratio is nearer 1).
+
+use pop_bench::*;
+use pop_perfmodel::paper::fig6 as paper;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let cfg = production_solver_config();
+
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    for (eg, paper_vals) in [
+        (
+            gx1(&opts),
+            [
+                paper::GX1_CG_DIAG,
+                paper::GX1_CG_EVP,
+                paper::GX1_PCSI_DIAG,
+                paper::GX1_PCSI_EVP,
+            ],
+        ),
+        (
+            gx01(&opts),
+            [
+                paper::GX01_CG_DIAG,
+                paper::GX01_CG_EVP,
+                paper::GX01_PCSI_DIAG,
+                paper::GX01_PCSI_EVP,
+            ],
+        ),
+    ] {
+        println!(
+            "measuring {} on {}x{} (tau = {}s)...",
+            eg.label, eg.grid.nx, eg.grid.ny, eg.tau
+        );
+        let wl = Workload::new(&eg);
+        let ms = wl.measure_paper_set(&cfg);
+        for (m, pv) in ms.iter().zip(paper_vals) {
+            rows.push(vec![
+                eg.label.to_string(),
+                m.choice.label().to_string(),
+                m.stats.iterations.to_string(),
+                format!("{pv:.0}"),
+                format!("{:.2}", m.stats.iterations as f64 / pv),
+            ]);
+        }
+        measured.push((eg.label, ms));
+    }
+
+    print_table(
+        "average solver iterations (Fig 6)",
+        &["grid", "config", "measured K", "paper K", "ratio"],
+        &rows,
+    );
+
+    // Shape checks the paper's text states.
+    for (label, ms) in &measured {
+        let k = |idx: usize| ms[idx].stats.iterations as f64;
+        // PAPER_SET order: cg+diag, cg+evp, pcsi+diag, pcsi+evp
+        println!(
+            "{label}: EVP/diag iteration ratio = {:.2} (ChronGear), {:.2} (P-CSI)  [paper ~0.33]",
+            k(1) / k(0),
+            k(3) / k(2)
+        );
+        assert!(k(1) < 0.7 * k(0), "EVP must cut ChronGear iterations");
+        assert!(k(3) < 0.7 * k(2), "EVP must cut P-CSI iterations");
+        assert!(k(2) > k(0), "P-CSI needs more iterations than ChronGear");
+    }
+    write_csv(
+        "fig06_iteration_counts",
+        &["grid", "config", "measured_K", "paper_K", "ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 7: execution time of the barotropic mode in 1° POP for one
+//! simulated day, 48–768 cores, all four solver configurations. P-CSI
+//! outperforms ChronGear at every core count; EVP helps both.
+
+use pop_bench::*;
+use pop_perfmodel::paper::yellowstone_1 as paper;
+use pop_perfmodel::{PopConfig, PopModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx1(&opts);
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    println!("Fig 7 reproduction: measuring the four configurations on the 1deg grid...");
+    let measured = wl.measure_paper_set(&cfg);
+    for m in &measured {
+        println!("  {}: K = {}", m.choice.label(), m.stats.iterations);
+    }
+
+    let model = PopModel::new(PopConfig::gx1_yellowstone());
+    let mut rows = Vec::new();
+    for &p in &paper::CORE_COUNTS {
+        let mut row = vec![p.to_string()];
+        for m in &measured {
+            let t = model.day(p, &m.profile(cfg.check_every), opts.seed);
+            row.push(fmt_s(t.barotropic.total()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "1deg barotropic seconds per simulated day (modelled)",
+        &["cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp"],
+        &rows,
+    );
+    println!(
+        "paper @768 cores: cg+diag {:.2}s, pcsi+diag {:.2}s (1.4x), pcsi+evp {:.2}s (1.6x)",
+        paper::CG_DIAG_DAY_S_768,
+        paper::PCSI_DIAG_DAY_S_768,
+        paper::PCSI_EVP_DAY_S_768
+    );
+    let last = rows.last().expect("rows");
+    let cg: f64 = last[1].parse().expect("num");
+    let pcsi_evp: f64 = last[4].parse().expect("num");
+    println!(
+        "ours  @768 cores: cg+diag {}s, pcsi+evp {}s ({:.1}x)",
+        last[1],
+        last[4],
+        cg / pcsi_evp
+    );
+    write_csv(
+        "fig07_lowres_scaling",
+        &["cores", "cg_diag_s", "cg_evp_s", "pcsi_diag_s", "pcsi_evp_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 8: 0.1° POP on Yellowstone — barotropic seconds per simulated day
+//! (left) and core simulation rate in simulated years per day (right),
+//! 470–16,875 cores. The paper's headline: P-CSI+EVP speeds the barotropic
+//! mode up 5.2× at 16,875 cores, lifting POP from 6.2 to 10.5 SYPD.
+
+use pop_bench::*;
+use pop_perfmodel::paper::yellowstone_01 as paper;
+use pop_perfmodel::{PopConfig, PopModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx01(&opts);
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    println!(
+        "Fig 8 reproduction: measuring the four configurations on {}x{}...",
+        eg.grid.nx, eg.grid.ny
+    );
+    let measured = wl.measure_paper_set(&cfg);
+    for m in &measured {
+        println!("  {}: K = {}", m.choice.label(), m.stats.iterations);
+    }
+
+    let model = PopModel::new(PopConfig::gx01_yellowstone());
+    let mut time_rows = Vec::new();
+    let mut rate_rows = Vec::new();
+    for &p in &paper::CORE_COUNTS {
+        let mut trow = vec![p.to_string()];
+        let mut rrow = vec![p.to_string()];
+        for m in &measured {
+            let t = model.day(p, &m.profile(cfg.check_every), opts.seed);
+            trow.push(fmt_s(t.barotropic.total()));
+            rrow.push(format!("{:.1}", t.sypd));
+        }
+        time_rows.push(trow);
+        rate_rows.push(rrow);
+    }
+    print_table(
+        "0.1deg barotropic seconds per simulated day (modelled, Yellowstone)",
+        &["cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp"],
+        &time_rows,
+    );
+    print_table(
+        "0.1deg core simulation rate, simulated years per day",
+        &["cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp"],
+        &rate_rows,
+    );
+
+    let last = time_rows.last().expect("rows");
+    let cg: f64 = last[1].parse().expect("num");
+    let pcsi_diag: f64 = last[3].parse().expect("num");
+    let pcsi_evp: f64 = last[4].parse().expect("num");
+    let rates = rate_rows.last().expect("rows");
+    println!("\nheadline comparison at 16,875 cores:");
+    println!(
+        "  barotropic: ours cg {}s -> pcsi+diag {}s ({:.1}x) -> pcsi+evp {}s ({:.1}x)",
+        last[1],
+        last[3],
+        cg / pcsi_diag,
+        last[4],
+        cg / pcsi_evp
+    );
+    println!(
+        "  paper:      cg {}s -> pcsi+diag {}s (4.3x) -> pcsi+evp ({}x)",
+        paper::CG_DIAG_DAY_S,
+        paper::PCSI_DIAG_DAY_S,
+        paper::PCSI_EVP_SPEEDUP
+    );
+    println!(
+        "  SYPD: ours {} -> {} | paper {} -> {}",
+        rates[1],
+        rates[4],
+        paper::CG_SYPD,
+        paper::PCSI_EVP_SYPD
+    );
+    write_csv(
+        "fig08_highres_yellowstone_time",
+        &["cores", "cg_diag_s", "cg_evp_s", "pcsi_diag_s", "pcsi_evp_s"],
+        &time_rows,
+    );
+    write_csv(
+        "fig08_highres_yellowstone_sypd",
+        &["cores", "cg_diag", "cg_evp", "pcsi_diag", "pcsi_evp"],
+        &rate_rows,
+    );
+}

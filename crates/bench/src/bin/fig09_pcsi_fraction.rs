@@ -1,0 +1,47 @@
+//! Figure 9: with the EVP-preconditioned P-CSI solver, the barotropic mode
+//! falls from ~50% of 0.1° POP time (Fig 1) to ~16% at 16,875 cores.
+
+use pop_bench::*;
+use pop_ocean::SolverChoice;
+use pop_perfmodel::paper::yellowstone_01 as paper;
+use pop_perfmodel::{PopConfig, PopModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx01(&opts);
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    let measured = wl.measure(SolverChoice::PcsiEvp, &cfg);
+    println!(
+        "Fig 9 reproduction: P-CSI+EVP, K = {} (measured)",
+        measured.stats.iterations
+    );
+
+    let model = PopModel::new(PopConfig::gx01_yellowstone());
+    let profile = measured.profile(cfg.check_every);
+    let mut rows = Vec::new();
+    for &p in &paper::CORE_COUNTS {
+        let t = model.day(p, &profile, opts.seed);
+        rows.push(vec![
+            p.to_string(),
+            format!("{:.1}", 100.0 * t.barotropic_fraction),
+            format!("{:.1}", 100.0 * t.baroclinic / t.total),
+            fmt_s(t.total),
+        ]);
+    }
+    print_table(
+        "barotropic share with P-CSI + EVP (modelled)",
+        &["cores", "barotropic %", "baroclinic %", "total s/day"],
+        &rows,
+    );
+    println!(
+        "paper: ~{:.0}% at 16,875 cores (vs ~{:.0}% for ChronGear+diagonal)",
+        100.0 * paper::PCSI_EVP_FRACTION,
+        100.0 * paper::CG_FRACTION
+    );
+    write_csv(
+        "fig09_pcsi_fraction",
+        &["cores", "barotropic_pct", "baroclinic_pct", "total_s_per_day"],
+        &rows,
+    );
+}

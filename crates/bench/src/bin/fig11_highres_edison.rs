@@ -1,0 +1,92 @@
+//! Figure 11: the 0.1° experiment repeated on Edison. Same shape as
+//! Yellowstone, but reductions are slower and *noisy* (Dragonfly network
+//! contention), so ChronGear times vary run to run; like the paper we run
+//! several trials and average the best three. Paper: P-CSI+diag 3.7×,
+//! P-CSI+EVP 5.6× at 16,875 cores.
+
+use pop_bench::*;
+use pop_perfmodel::paper::{edison_01 as paper, yellowstone_01};
+use pop_perfmodel::{PopConfig, PopModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx01(&opts);
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    println!("Fig 11 reproduction (Edison): measuring the four configurations...");
+    let measured = wl.measure_paper_set(&cfg);
+
+    let model = PopModel::new(PopConfig::gx01_edison());
+    let mut time_rows = Vec::new();
+    let mut rate_rows = Vec::new();
+    for &p in &yellowstone_01::CORE_COUNTS {
+        let mut trow = vec![p.to_string()];
+        let mut rrow = vec![p.to_string()];
+        for m in &measured {
+            let t = model.day(p, &m.profile(cfg.check_every), opts.seed.wrapping_add(p as u64));
+            trow.push(fmt_s(t.barotropic.total()));
+            rrow.push(format!("{:.1}", t.sypd));
+        }
+        time_rows.push(trow);
+        rate_rows.push(rrow);
+    }
+    print_table(
+        "0.1deg barotropic seconds per simulated day (modelled, Edison, best 3 of 5 trials)",
+        &["cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp"],
+        &time_rows,
+    );
+    print_table(
+        "0.1deg core simulation rate on Edison",
+        &["cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp"],
+        &rate_rows,
+    );
+
+    let last = time_rows.last().expect("rows");
+    let cg: f64 = last[1].parse().expect("num");
+    let pcsi_diag: f64 = last[3].parse().expect("num");
+    let pcsi_evp: f64 = last[4].parse().expect("num");
+    println!("\nheadline comparison at 16,875 cores:");
+    println!(
+        "  ours:  cg {}s -> pcsi+diag {}s ({:.1}x) -> pcsi+evp {}s ({:.1}x)",
+        last[1],
+        last[3],
+        cg / pcsi_diag,
+        last[4],
+        cg / pcsi_evp
+    );
+    println!(
+        "  paper: cg {}s -> pcsi+diag {}s (3.7x) -> pcsi+evp ({}x)",
+        paper::CG_DIAG_DAY_S,
+        paper::PCSI_DIAG_DAY_S,
+        paper::PCSI_EVP_SPEEDUP
+    );
+
+    // Variability: sample several independent trials of each config at the
+    // top core count and report the spread (the paper's reported ChronGear
+    // noisiness vs P-CSI's steadiness).
+    let p = 16875;
+    for (label, idx) in [("cg+diag", 0usize), ("pcsi+diag", 2)] {
+        let ts: Vec<f64> = (0..12u64)
+            .map(|s| {
+                let mut one_trial = PopConfig::gx01_edison();
+                one_trial.trials = 1;
+                PopModel::new(one_trial)
+                    .day(p, &measured[idx].profile(cfg.check_every), s * 977 + 13)
+                    .barotropic
+                    .total()
+            })
+            .collect();
+        let mean = ts.iter().sum::<f64>() / ts.len() as f64;
+        let max = ts.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = ts.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        println!(
+            "  {label} single-trial spread at {p} cores: {:.1}..{:.1}s around {:.1}s",
+            min, max, mean
+        );
+    }
+    write_csv(
+        "fig11_highres_edison_time",
+        &["cores", "cg_diag_s", "cg_evp_s", "pcsi_diag_s", "pcsi_evp_s"],
+        &time_rows,
+    );
+}

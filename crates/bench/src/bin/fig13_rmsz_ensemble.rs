@@ -1,0 +1,131 @@
+//! Figure 13: the ensemble-based RMSZ test succeeds where RMSE fails.
+//! A perturbation ensemble (paper: 40 members, 1e-14 initial temperature
+//! perturbation) defines the envelope of natural variability; candidates
+//! with loose solver tolerances (1e-10, 1e-11) score RMSZ values orders of
+//! magnitude outside the member envelope, while the default and stricter
+//! tolerances — and the new P-CSI+EVP solver — fall inside.
+
+use pop_bench::*;
+use pop_comm::CommWorld;
+use pop_grid::Grid;
+use pop_ocean::{MiniPopConfig, SolverChoice};
+use pop_perfmodel::paper::verification as paper;
+use pop_verif::consistency::{evaluate, DEFAULT_ALLOWED_FAILURES, DEFAULT_MARGIN};
+use pop_verif::{EnsembleConfig, VerificationLab, Verdict};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let quick = !opts.full;
+    let grid = Grid::idealized_basin(64, 48, 500.0, 2.0e4);
+    let mut base = MiniPopConfig::eddying_for(&grid);
+    base.nlev = 3;
+    base.solver = SolverChoice::ChronGearDiag;
+    base.tolerance = paper::DEFAULT_TOLERANCE;
+
+    let cfg = if quick {
+        EnsembleConfig {
+            members: 16,
+            perturbation: paper::PERTURBATION,
+            months: 8,
+            steps_per_month: 600,
+            spinup_steps: 2500,
+        }
+    } else {
+        EnsembleConfig {
+            members: paper::ENSEMBLE_SIZE,
+            perturbation: paper::PERTURBATION,
+            // Long enough that the chaotic divergence saturates — the regime
+            // the paper's 12–24-month ensembles operate in, and what makes
+            // a solver *change* at tight tolerance indistinguishable from
+            // the ensemble's own variability.
+            months: 12,
+            steps_per_month: 2500,
+            spinup_steps: 4000,
+        }
+    };
+    println!(
+        "Fig 13 reproduction: {}-member ensemble, {} months x {} steps{}",
+        cfg.members,
+        cfg.months,
+        cfg.steps_per_month,
+        if quick { " (QUICK; pass --full for the 40-member setup)" } else { "" }
+    );
+
+    let world = CommWorld::serial();
+    let lab = VerificationLab::new(grid, base, cfg.clone(), &world);
+    println!("building the ensemble ({} members)...", cfg.members);
+    let ensemble = lab.build_ensemble(&world);
+
+    // The member envelope (the paper's yellow band).
+    let mut band_rows = Vec::new();
+    for (t, (lo, hi)) in ensemble.member_rmsz_range.iter().enumerate() {
+        band_rows.push(vec![
+            format!("m{}", t + 1),
+            format!("{lo:.2}"),
+            format!("{hi:.2}"),
+        ]);
+    }
+    print_table(
+        "ensemble member leave-one-out RMSZ envelope",
+        &["month", "min", "max"],
+        &band_rows,
+    );
+
+    // Candidates: the tolerance sweep with the reference solver, plus the
+    // paper's new solver at the default tolerance.
+    let tolerances: Vec<f64> = if quick {
+        vec![1e-10, 1e-11, 1e-13, 1e-16]
+    } else {
+        paper::TOLERANCES.to_vec()
+    };
+    let mut rows = Vec::new();
+    let mut verdicts = Vec::new();
+    let mut run_candidate = |label: String, solver: SolverChoice, tol: f64| {
+        println!("candidate: {label}...");
+        let months = lab.run_trajectory(&world, None, solver, tol);
+        let report = evaluate(&ensemble, &months, DEFAULT_MARGIN, DEFAULT_ALLOWED_FAILURES);
+        let mut row = vec![label.clone()];
+        row.extend(report.rmsz.iter().map(|z| format!("{z:.2}")));
+        row.push(format!("{:?}", report.verdict));
+        rows.push(row);
+        verdicts.push((label, tol, report.verdict));
+    };
+    for &tol in &tolerances {
+        run_candidate(
+            format!("chrongear tol={tol:.0e}"),
+            SolverChoice::ChronGearDiag,
+            tol,
+        );
+    }
+    run_candidate(
+        format!("P-CSI+EVP tol={:.0e}", paper::DEFAULT_TOLERANCE),
+        SolverChoice::PcsiEvp,
+        paper::DEFAULT_TOLERANCE,
+    );
+
+    let mut headers: Vec<String> = vec!["candidate".to_string()];
+    headers.extend((1..=ensemble.months()).map(|m| format!("m{m}")));
+    headers.push("verdict".to_string());
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("candidate RMSZ per month", &hdr_refs, &rows);
+
+    println!("\npaper finding: tolerances 1e-10 and 1e-11 are 'noticeably removed from the");
+    println!("ensemble distribution'; the default (1e-13), stricter tolerances, and the new");
+    println!("P-CSI solver are consistent — enabling its inclusion in the CESM release.");
+    for (label, tol, v) in &verdicts {
+        let expect_flag = *tol >= 1e-11 && label.starts_with("chrongear");
+        let marker = match (expect_flag, v) {
+            (true, Verdict::Inconsistent) | (false, Verdict::Consistent) => "as in the paper",
+            _ => "DIFFERS from the paper",
+        };
+        println!("  {label}: {v:?} ({marker})");
+    }
+    println!(
+        "\nnote: with an unsaturated ensemble (finite horizon on the reduced-physics\n\
+         model) the test is stricter than the paper's — any non-bit-similar candidate\n\
+         sits above the band even when its RMSZ is orders of magnitude below the\n\
+         flagged tolerances'. The discrimination ORDER is the reproducible claim;\n\
+         see EXPERIMENTS.md, Fig 13, for the analysis."
+    );
+    write_csv("fig13_rmsz_ensemble", &hdr_refs, &rows);
+}

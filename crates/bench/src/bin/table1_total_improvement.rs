@@ -1,0 +1,62 @@
+//! Table 1: percent improvement of the *total* 1° POP execution time for
+//! each new solver configuration relative to ChronGear + diagonal.
+
+use pop_bench::*;
+use pop_ocean::SolverChoice;
+use pop_perfmodel::paper::yellowstone_1 as paper;
+use pop_perfmodel::{PopConfig, PopModel};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let eg = gx1(&opts);
+    let cfg = production_solver_config();
+    let wl = Workload::new(&eg);
+    println!("Table 1 reproduction: measuring on the 1deg grid...");
+    let measured = wl.measure_paper_set(&cfg);
+    let model = PopModel::new(PopConfig::gx1_yellowstone());
+
+    let idx_of = |c: SolverChoice| {
+        measured
+            .iter()
+            .position(|m| m.choice == c)
+            .expect("measured")
+    };
+    let baseline = idx_of(SolverChoice::ChronGearDiag);
+
+    let variants = [
+        ("ChronGear+EVP", SolverChoice::ChronGearEvp, paper::TABLE1_CG_EVP),
+        ("P-CSI+Diagonal", SolverChoice::PcsiDiag, paper::TABLE1_PCSI_DIAG),
+        ("P-CSI+EVP", SolverChoice::PcsiEvp, paper::TABLE1_PCSI_EVP),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, choice, paper_vals) in variants {
+        let mi = idx_of(choice);
+        let mut ours = vec![format!("{name} (ours)")];
+        let mut theirs = vec![format!("{name} (paper)")];
+        for (k, &p) in paper::CORE_COUNTS.iter().enumerate() {
+            let base = model
+                .day(p, &measured[baseline].profile(cfg.check_every), opts.seed)
+                .total;
+            let new = model
+                .day(p, &measured[mi].profile(cfg.check_every), opts.seed)
+                .total;
+            ours.push(format!("{:+.1}", 100.0 * (base - new) / base));
+            theirs.push(format!("{:+.1}", paper_vals[k]));
+        }
+        rows.push(ours);
+        rows.push(theirs);
+    }
+
+    print_table(
+        "percent improvement of total 1deg POP time vs ChronGear+diagonal",
+        &["config", "48", "96", "192", "384", "768"],
+        &rows,
+    );
+    println!("paper headline: P-CSI+EVP reaches 16.7% at 768 cores.");
+    write_csv(
+        "table1_total_improvement",
+        &["config", "p48", "p96", "p192", "p384", "p768"],
+        &rows,
+    );
+}

@@ -1,0 +1,228 @@
+//! A halo-padded field tile for one decomposition block.
+
+/// One block's worth of a distributed field, stored with a halo ring of
+/// configurable width around the interior. POP keeps a halo of width 2 so a
+/// matrix–vector product *and* a non-diagonal preconditioner can run between
+/// boundary updates; we follow that default.
+///
+/// Storage is row-major with stride `nx + 2*halo`; interior indices run
+/// `0..nx` × `0..ny`, and halo cells are addressed with negative or
+/// past-the-end indices through [`BlockVec::at`] / [`BlockVec::at_mut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockVec {
+    /// Interior zonal extent.
+    pub nx: usize,
+    /// Interior meridional extent.
+    pub ny: usize,
+    /// Halo width on each side.
+    pub halo: usize,
+    data: Vec<f64>,
+}
+
+impl BlockVec {
+    /// A zero-filled tile.
+    pub fn zeros(nx: usize, ny: usize, halo: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "empty block");
+        let stride = nx + 2 * halo;
+        let rows = ny + 2 * halo;
+        BlockVec {
+            nx,
+            ny,
+            halo,
+            data: vec![0.0; stride * rows],
+        }
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.nx + 2 * self.halo
+    }
+
+    /// Linear index of logical position `(i, j)`; accepts halo coordinates
+    /// `-halo..nx+halo` × `-halo..ny+halo`.
+    #[inline]
+    pub fn offset(&self, i: isize, j: isize) -> usize {
+        let h = self.halo as isize;
+        debug_assert!(i >= -h && i < self.nx as isize + h, "i={i} out of range");
+        debug_assert!(j >= -h && j < self.ny as isize + h, "j={j} out of range");
+        ((j + h) as usize) * self.stride() + (i + h) as usize
+    }
+
+    /// Read the value at `(i, j)` (halo coordinates allowed).
+    #[inline]
+    pub fn at(&self, i: isize, j: isize) -> f64 {
+        self.data[self.offset(i, j)]
+    }
+
+    /// Mutable access at `(i, j)` (halo coordinates allowed).
+    #[inline]
+    pub fn at_mut(&mut self, i: isize, j: isize) -> &mut f64 {
+        let k = self.offset(i, j);
+        &mut self.data[k]
+    }
+
+    /// Interior read with `usize` coordinates (the hot-loop form).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[(j + self.halo) * self.stride() + i + self.halo]
+    }
+
+    /// Interior write with `usize` coordinates.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nx && j < self.ny);
+        let s = self.stride();
+        self.data[(j + self.halo) * s + i + self.halo] = v;
+    }
+
+    /// The raw padded storage (including halo), row-major.
+    #[inline]
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw padded storage.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One interior row as a slice (excludes halo columns).
+    #[inline]
+    pub fn interior_row(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ny);
+        let s = self.stride();
+        let start = (j + self.halo) * s + self.halo;
+        &self.data[start..start + self.nx]
+    }
+
+    /// Mutable interior row.
+    #[inline]
+    pub fn interior_row_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ny);
+        let s = self.stride();
+        let start = (j + self.halo) * s + self.halo;
+        &mut self.data[start..start + self.nx]
+    }
+
+    /// Set every cell (interior and halo) to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Zero only the halo ring, leaving the interior untouched.
+    pub fn zero_halo(&mut self) {
+        let h = self.halo as isize;
+        if h == 0 {
+            return;
+        }
+        let (nx, ny) = (self.nx as isize, self.ny as isize);
+        for j in -h..ny + h {
+            for i in -h..nx + h {
+                if i < 0 || i >= nx || j < 0 || j >= ny {
+                    let k = self.offset(i, j);
+                    self.data[k] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Copy a rectangular region of `src` (interior coordinates, origin
+    /// `(si, sj)`, extent `w × h`) into this tile at logical origin
+    /// `(di, dj)` (halo coordinates allowed). Used by the halo exchange.
+    pub fn copy_region(
+        &mut self,
+        di: isize,
+        dj: isize,
+        src: &[f64],
+        w: usize,
+        h: usize,
+    ) {
+        debug_assert_eq!(src.len(), w * h, "region buffer size mismatch");
+        for r in 0..h {
+            for c in 0..w {
+                let k = self.offset(di + c as isize, dj + r as isize);
+                self.data[k] = src[r * w + c];
+            }
+        }
+    }
+
+    /// Extract a rectangular region of the interior (origin `(si, sj)`,
+    /// extent `w × h`) into `out`. Used by the halo exchange gather phase.
+    pub fn extract_region(&self, si: usize, sj: usize, w: usize, h: usize, out: &mut Vec<f64>) {
+        debug_assert!(si + w <= self.nx && sj + h <= self.ny, "region out of interior");
+        out.clear();
+        out.reserve(w * h);
+        for r in 0..h {
+            let row = self.interior_row(sj + r);
+            out.extend_from_slice(&row[si..si + w]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut b = BlockVec::zeros(4, 3, 2);
+        b.set(2, 1, 7.5);
+        assert_eq!(b.get(2, 1), 7.5);
+        assert_eq!(b.at(2, 1), 7.5);
+        *b.at_mut(-2, -2) = 1.0;
+        assert_eq!(b.at(-2, -2), 1.0);
+        *b.at_mut(5, 4) = 2.0;
+        assert_eq!(b.at(5, 4), 2.0);
+    }
+
+    #[test]
+    fn zero_halo_preserves_interior() {
+        let mut b = BlockVec::zeros(3, 3, 1);
+        b.fill(9.0);
+        b.zero_halo();
+        for j in 0..3 {
+            for i in 0..3 {
+                assert_eq!(b.get(i, j), 9.0);
+            }
+        }
+        assert_eq!(b.at(-1, 0), 0.0);
+        assert_eq!(b.at(3, 3), 0.0);
+        assert_eq!(b.at(1, -1), 0.0);
+    }
+
+    #[test]
+    fn interior_rows_have_right_len() {
+        let b = BlockVec::zeros(5, 4, 2);
+        for j in 0..4 {
+            assert_eq!(b.interior_row(j).len(), 5);
+        }
+    }
+
+    #[test]
+    fn extract_then_copy_region_roundtrips() {
+        let mut src = BlockVec::zeros(6, 5, 2);
+        for j in 0..5 {
+            for i in 0..6 {
+                src.set(i, j, (10 * j + i) as f64);
+            }
+        }
+        let mut buf = Vec::new();
+        src.extract_region(1, 2, 3, 2, &mut buf);
+        assert_eq!(buf, vec![21.0, 22.0, 23.0, 31.0, 32.0, 33.0]);
+
+        let mut dst = BlockVec::zeros(6, 5, 2);
+        dst.copy_region(-2, -2, &buf, 3, 2);
+        assert_eq!(dst.at(-2, -2), 21.0);
+        assert_eq!(dst.at(0, -1), 33.0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)] // bounds checks are debug_assert!s
+    fn out_of_range_debug_panics() {
+        let b = BlockVec::zeros(3, 3, 1);
+        let _ = b.at(5, 0);
+    }
+}

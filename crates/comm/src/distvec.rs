@@ -1,0 +1,294 @@
+//! Distributed block vectors: the field type the solvers operate on.
+
+use crate::blockvec::BlockVec;
+use crate::layout::DistLayout;
+use std::sync::Arc;
+
+/// A field distributed over the active blocks of a [`DistLayout`], one
+/// halo-padded [`BlockVec`] per block.
+///
+/// Purely local element-wise operations live here as plain methods; anything
+/// involving communication (halo updates, reductions) goes through
+/// [`crate::CommWorld`] so the event is counted and can be parallelized.
+#[derive(Debug, Clone)]
+pub struct DistVec {
+    pub layout: Arc<DistLayout>,
+    pub blocks: Vec<BlockVec>,
+}
+
+impl DistVec {
+    /// A zero vector on `layout`.
+    pub fn zeros(layout: &Arc<DistLayout>) -> Self {
+        let blocks = layout
+            .decomp
+            .blocks
+            .iter()
+            .map(|b| BlockVec::zeros(b.nx, b.ny, layout.halo))
+            .collect();
+        DistVec {
+            layout: Arc::clone(layout),
+            blocks,
+        }
+    }
+
+    /// Scatter a global row-major `nx × ny` field into a distributed vector.
+    /// Land points are zeroed regardless of the input value.
+    pub fn from_global(layout: &Arc<DistLayout>, global: &[f64]) -> Self {
+        let nx = layout.decomp.grid_nx;
+        assert_eq!(
+            global.len(),
+            nx * layout.decomp.grid_ny,
+            "global field size mismatch"
+        );
+        let mut v = Self::zeros(layout);
+        for (b, info) in layout.decomp.blocks.iter().enumerate() {
+            for j in 0..info.ny {
+                for i in 0..info.nx {
+                    if layout.masks[b][j * info.nx + i] != 0 {
+                        v.blocks[b].set(i, j, global[(info.j0 + j) * nx + info.i0 + i]);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Gather into a global row-major field; positions not covered by any
+    /// active block (land blocks) are 0.
+    pub fn to_global(&self) -> Vec<f64> {
+        let nx = self.layout.decomp.grid_nx;
+        let ny = self.layout.decomp.grid_ny;
+        let mut out = vec![0.0; nx * ny];
+        for (b, info) in self.layout.decomp.blocks.iter().enumerate() {
+            for j in 0..info.ny {
+                let row = self.blocks[b].interior_row(j);
+                out[(info.j0 + j) * nx + info.i0..(info.j0 + j) * nx + info.i0 + info.nx]
+                    .copy_from_slice(row);
+            }
+        }
+        out
+    }
+
+    /// Fill the interior with a function of the *global* coordinates,
+    /// zeroing land. Useful for manufactured solutions and forcing fields.
+    pub fn fill_with(&mut self, f: impl Fn(usize, usize) -> f64) {
+        for (b, info) in self.layout.decomp.blocks.clone().iter().enumerate() {
+            for j in 0..info.ny {
+                for i in 0..info.nx {
+                    let v = if self.layout.masks[b][j * info.nx + i] != 0 {
+                        f(info.i0 + i, info.j0 + j)
+                    } else {
+                        0.0
+                    };
+                    self.blocks[b].set(i, j, v);
+                }
+            }
+        }
+    }
+
+    /// Set everything (interior and halo) to zero.
+    pub fn set_zero(&mut self) {
+        for b in &mut self.blocks {
+            b.fill(0.0);
+        }
+    }
+
+    /// Copy interior values from `src` (same layout).
+    pub fn copy_from(&mut self, src: &DistVec) {
+        self.check_same_layout(src);
+        for (d, s) in self.blocks.iter_mut().zip(&src.blocks) {
+            d.raw_mut().copy_from_slice(s.raw());
+        }
+    }
+
+    /// `self += a * x` over interiors.
+    pub fn axpy(&mut self, a: f64, x: &DistVec) {
+        self.check_same_layout(x);
+        for (d, s) in self.blocks.iter_mut().zip(&x.blocks) {
+            for j in 0..d.ny {
+                let dst = d.interior_row_mut(j);
+                let src = s.interior_row(j);
+                for (dv, sv) in dst.iter_mut().zip(src) {
+                    *dv += a * sv;
+                }
+            }
+        }
+    }
+
+    /// `self = x + a * self` over interiors (the CG search-direction update).
+    pub fn xpay(&mut self, x: &DistVec, a: f64) {
+        self.check_same_layout(x);
+        for (d, s) in self.blocks.iter_mut().zip(&x.blocks) {
+            for j in 0..d.ny {
+                let dst = d.interior_row_mut(j);
+                let src = s.interior_row(j);
+                for (dv, sv) in dst.iter_mut().zip(src) {
+                    *dv = sv + a * *dv;
+                }
+            }
+        }
+    }
+
+    /// `self *= a` over interiors.
+    pub fn scale(&mut self, a: f64) {
+        for d in &mut self.blocks {
+            for j in 0..d.ny {
+                for v in d.interior_row_mut(j) {
+                    *v *= a;
+                }
+            }
+        }
+    }
+
+    /// Zero every land point of the interior (halo untouched). Solvers call
+    /// this after operations that could smear values onto land.
+    pub fn zero_land(&mut self) {
+        for (b, d) in self.blocks.iter_mut().enumerate() {
+            let info = &self.layout.decomp.blocks[b];
+            let mask = &self.layout.masks[b];
+            for j in 0..info.ny {
+                let row = d.interior_row_mut(j);
+                for i in 0..info.nx {
+                    if mask[j * info.nx + i] == 0 {
+                        row[i] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Land-masked partial dot product of one block: Σ self·other over ocean
+    /// points of block `b`.
+    pub fn block_dot(&self, other: &DistVec, b: usize) -> f64 {
+        let info = &self.layout.decomp.blocks[b];
+        let mask = &self.layout.masks[b];
+        let mut acc = 0.0;
+        for j in 0..info.ny {
+            let ra = self.blocks[b].interior_row(j);
+            let rb = other.blocks[b].interior_row(j);
+            let mrow = &mask[j * info.nx..(j + 1) * info.nx];
+            for i in 0..info.nx {
+                if mrow[i] != 0 {
+                    acc += ra[i] * rb[i];
+                }
+            }
+        }
+        acc
+    }
+
+    /// Land-masked max |value| of one block.
+    pub fn block_max_abs(&self, b: usize) -> f64 {
+        let info = &self.layout.decomp.blocks[b];
+        let mask = &self.layout.masks[b];
+        let mut acc = 0.0f64;
+        for j in 0..info.ny {
+            let ra = self.blocks[b].interior_row(j);
+            let mrow = &mask[j * info.nx..(j + 1) * info.nx];
+            for i in 0..info.nx {
+                if mrow[i] != 0 {
+                    acc = acc.max(ra[i].abs());
+                }
+            }
+        }
+        acc
+    }
+
+    fn check_same_layout(&self, other: &DistVec) {
+        assert!(
+            Arc::ptr_eq(&self.layout, &other.layout),
+            "vectors from different layouts"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_grid::Grid;
+
+    fn layout() -> Arc<DistLayout> {
+        let g = Grid::gx1_scaled(3, 48, 40);
+        DistLayout::build(&g, 12, 10)
+    }
+
+    #[test]
+    fn global_roundtrip_preserves_ocean_values() {
+        let g = Grid::gx1_scaled(3, 48, 40);
+        let layout = DistLayout::build(&g, 12, 10);
+        let global: Vec<f64> = (0..g.nx * g.ny).map(|k| k as f64 + 0.5).collect();
+        let v = DistVec::from_global(&layout, &global);
+        let back = v.to_global();
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                let k = j * g.nx + i;
+                if g.is_ocean(i, j) {
+                    assert_eq!(back[k], global[k]);
+                } else {
+                    assert_eq!(back[k], 0.0, "land must be zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let l = layout();
+        let mut a = DistVec::zeros(&l);
+        let mut b = DistVec::zeros(&l);
+        a.fill_with(|i, j| (i + j) as f64);
+        b.fill_with(|i, _| i as f64);
+        a.axpy(2.0, &b);
+        a.scale(0.5);
+        // a = ((i+j) + 2i)/2 = (3i + j)/2 on ocean
+        let g = a.to_global();
+        let nx = l.decomp.grid_nx;
+        for (bidx, info) in l.decomp.blocks.iter().enumerate() {
+            for j in 0..info.ny {
+                for i in 0..info.nx {
+                    if l.masks[bidx][j * info.nx + i] != 0 {
+                        let gi = info.i0 + i;
+                        let gj = info.j0 + j;
+                        let expect = (3 * gi + gj) as f64 / 2.0;
+                        assert!((g[gj * nx + gi] - expect).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xpay_matches_definition() {
+        let l = layout();
+        let mut s = DistVec::zeros(&l);
+        let mut x = DistVec::zeros(&l);
+        s.fill_with(|i, _| i as f64);
+        x.fill_with(|_, j| j as f64);
+        let mut expect = DistVec::zeros(&l);
+        expect.fill_with(|i, j| j as f64 + 3.0 * i as f64);
+        s.xpay(&x, 3.0);
+        assert_eq!(s.to_global(), expect.to_global());
+    }
+
+    #[test]
+    fn block_dot_masks_land() {
+        let l = layout();
+        let mut a = DistVec::zeros(&l);
+        a.fill_with(|_, _| 1.0);
+        let total: f64 = (0..l.n_blocks()).map(|b| a.block_dot(&a, b)).sum();
+        assert_eq!(total, l.ocean_points() as f64);
+    }
+
+    #[test]
+    fn zero_land_idempotent() {
+        let l = layout();
+        let mut a = DistVec::zeros(&l);
+        // Write garbage everywhere, including land.
+        for blk in &mut a.blocks {
+            blk.fill(3.0);
+        }
+        a.zero_land();
+        let g = a.to_global();
+        let ocean = g.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(ocean, l.ocean_points());
+    }
+}

@@ -1,0 +1,184 @@
+//! Halo-exchange region geometry.
+//!
+//! For each (block, direction) pair this module computes which rectangle of
+//! the *neighbour's interior* must be copied into which rectangle of the
+//! block's *halo ring*. Blocks at the grid edge can be narrower than the
+//! nominal block size — even narrower than the halo — so extents are clamped
+//! to what the neighbour actually owns; the remainder of the halo ring stays
+//! zero (the Dirichlet land/boundary value).
+
+use pop_grid::{BlockInfo, Direction};
+
+/// One copy operation of the halo exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyRegion {
+    /// Origin in the source block's interior coordinates.
+    pub src_i: usize,
+    pub src_j: usize,
+    /// Extent of the copied rectangle.
+    pub w: usize,
+    pub h: usize,
+    /// Destination origin in the receiving block's halo coordinates.
+    pub dst_i: isize,
+    pub dst_j: isize,
+}
+
+/// The region that block `me` receives from neighbour `nb` lying in
+/// direction `dir`, with halo width `halo`. Returns `None` when the
+/// neighbour is too small to contribute anything.
+pub fn recv_region(me: &BlockInfo, nb: &BlockInfo, dir: Direction, halo: usize) -> Option<CopyRegion> {
+    let h = halo;
+    // E/W neighbours share bj hence ny; N/S share bi hence nx. Diagonals
+    // share neither; clamp both extents.
+    let r = match dir {
+        Direction::East => CopyRegion {
+            src_i: 0,
+            src_j: 0,
+            w: h.min(nb.nx),
+            h: me.ny,
+            dst_i: me.nx as isize,
+            dst_j: 0,
+        },
+        Direction::West => {
+            let w = h.min(nb.nx);
+            CopyRegion {
+                src_i: nb.nx - w,
+                src_j: 0,
+                w,
+                h: me.ny,
+                dst_i: -(w as isize),
+                dst_j: 0,
+            }
+        }
+        Direction::North => CopyRegion {
+            src_i: 0,
+            src_j: 0,
+            w: me.nx,
+            h: h.min(nb.ny),
+            dst_i: 0,
+            dst_j: me.ny as isize,
+        },
+        Direction::South => {
+            let hh = h.min(nb.ny);
+            CopyRegion {
+                src_i: 0,
+                src_j: nb.ny - hh,
+                w: me.nx,
+                h: hh,
+                dst_i: 0,
+                dst_j: -(hh as isize),
+            }
+        }
+        Direction::NorthEast => CopyRegion {
+            src_i: 0,
+            src_j: 0,
+            w: h.min(nb.nx),
+            h: h.min(nb.ny),
+            dst_i: me.nx as isize,
+            dst_j: me.ny as isize,
+        },
+        Direction::NorthWest => {
+            let w = h.min(nb.nx);
+            CopyRegion {
+                src_i: nb.nx - w,
+                src_j: 0,
+                w,
+                h: h.min(nb.ny),
+                dst_i: -(w as isize),
+                dst_j: me.ny as isize,
+            }
+        }
+        Direction::SouthEast => {
+            let hh = h.min(nb.ny);
+            CopyRegion {
+                src_i: 0,
+                src_j: nb.ny - hh,
+                w: h.min(nb.nx),
+                h: hh,
+                dst_i: me.nx as isize,
+                dst_j: -(hh as isize),
+            }
+        }
+        Direction::SouthWest => {
+            let w = h.min(nb.nx);
+            let hh = h.min(nb.ny);
+            CopyRegion {
+                src_i: nb.nx - w,
+                src_j: nb.ny - hh,
+                w,
+                h: hh,
+                dst_i: -(w as isize),
+                dst_j: -(hh as isize),
+            }
+        }
+    };
+    if r.w == 0 || r.h == 0 {
+        None
+    } else {
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(nx: usize, ny: usize) -> BlockInfo {
+        BlockInfo {
+            active_id: 0,
+            bi: 0,
+            bj: 0,
+            i0: 0,
+            j0: 0,
+            nx,
+            ny,
+            ocean_points: nx * ny,
+        }
+    }
+
+    #[test]
+    fn east_region_shape() {
+        let me = block(8, 6);
+        let nb = block(8, 6);
+        let r = recv_region(&me, &nb, Direction::East, 2).expect("region");
+        assert_eq!((r.src_i, r.src_j, r.w, r.h), (0, 0, 2, 6));
+        assert_eq!((r.dst_i, r.dst_j), (8, 0));
+    }
+
+    #[test]
+    fn west_region_takes_neighbors_east_columns() {
+        let me = block(8, 6);
+        let nb = block(5, 6);
+        let r = recv_region(&me, &nb, Direction::West, 2).expect("region");
+        assert_eq!((r.src_i, r.src_j, r.w, r.h), (3, 0, 2, 6));
+        assert_eq!((r.dst_i, r.dst_j), (-2, 0));
+    }
+
+    #[test]
+    fn narrow_neighbor_clamps() {
+        let me = block(8, 6);
+        let nb = block(1, 6); // narrower than the halo
+        let r = recv_region(&me, &nb, Direction::East, 2).expect("region");
+        assert_eq!(r.w, 1);
+        assert_eq!(r.dst_i, 8);
+    }
+
+    #[test]
+    fn corner_regions_are_halo_sized() {
+        let me = block(8, 6);
+        let nb = block(8, 6);
+        let r = recv_region(&me, &nb, Direction::SouthWest, 2).expect("region");
+        assert_eq!((r.w, r.h), (2, 2));
+        assert_eq!((r.src_i, r.src_j), (6, 4));
+        assert_eq!((r.dst_i, r.dst_j), (-2, -2));
+    }
+
+    #[test]
+    fn all_directions_produce_regions_for_regular_blocks() {
+        let me = block(8, 6);
+        let nb = block(8, 6);
+        for d in Direction::ALL {
+            assert!(recv_region(&me, &nb, d, 2).is_some(), "{d:?}");
+        }
+    }
+}

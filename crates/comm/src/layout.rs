@@ -1,0 +1,106 @@
+//! The distributed layout: decomposition + halo width + per-block masks.
+
+use pop_grid::{Decomposition, Grid};
+use std::sync::Arc;
+
+/// Everything a [`crate::DistVec`] needs to know about how the global field
+/// is split into blocks, shared by `Arc` between all vectors of a solve.
+///
+/// The per-block ocean masks are carried here (copied out of the [`Grid`])
+/// because POP's `global_sum` masks land points; every masked reduction in
+/// the solver consults them.
+#[derive(Debug)]
+pub struct DistLayout {
+    pub decomp: Decomposition,
+    /// Halo width; POP uses 2 (one matvec plus one stencil-preconditioner
+    /// application per boundary update).
+    pub halo: usize,
+    /// Per active block: interior ocean mask (1 = ocean), row-major
+    /// `nx × ny` of the block.
+    pub masks: Vec<Vec<u8>>,
+    /// Per active block: number of ocean points (cached from the mask).
+    pub ocean_per_block: Vec<usize>,
+}
+
+impl DistLayout {
+    /// Build a layout for `grid` under `decomp` with halo width `halo`.
+    pub fn new(grid: &Grid, decomp: Decomposition, halo: usize) -> Arc<Self> {
+        assert_eq!(decomp.grid_nx, grid.nx, "decomposition/grid mismatch");
+        assert_eq!(decomp.grid_ny, grid.ny, "decomposition/grid mismatch");
+        assert!(halo >= 1, "stencil needs at least one halo layer");
+        let mut masks = Vec::with_capacity(decomp.blocks.len());
+        let mut ocean = Vec::with_capacity(decomp.blocks.len());
+        for b in &decomp.blocks {
+            let mut m = Vec::with_capacity(b.nx * b.ny);
+            for j in b.j0..b.j0 + b.ny {
+                for i in b.i0..b.i0 + b.nx {
+                    m.push(u8::from(grid.mask[j * grid.nx + i]));
+                }
+            }
+            ocean.push(m.iter().map(|&v| v as usize).sum());
+            masks.push(m);
+        }
+        Arc::new(DistLayout {
+            decomp,
+            halo,
+            masks,
+            ocean_per_block: ocean,
+        })
+    }
+
+    /// Number of active blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.decomp.blocks.len()
+    }
+
+    /// Global ocean point count.
+    pub fn ocean_points(&self) -> usize {
+        self.ocean_per_block.iter().sum()
+    }
+
+    /// Is interior point `(i, j)` of block `b` ocean?
+    #[inline]
+    pub fn is_ocean(&self, b: usize, i: usize, j: usize) -> bool {
+        let info = &self.decomp.blocks[b];
+        debug_assert!(i < info.nx && j < info.ny);
+        self.masks[b][j * info.nx + i] != 0
+    }
+
+    /// Convenience constructor: decompose `grid` into blocks of the given
+    /// nominal size with POP's default halo of 2.
+    pub fn build(grid: &Grid, block_nx: usize, block_ny: usize) -> Arc<Self> {
+        let d = Decomposition::new(grid, block_nx, block_ny);
+        Self::new(grid, d, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_match_grid() {
+        let g = Grid::gx1_scaled(5, 64, 48);
+        let layout = DistLayout::build(&g, 16, 12);
+        assert_eq!(layout.ocean_points(), g.ocean_points());
+        for (b, info) in layout.decomp.blocks.iter().enumerate() {
+            for j in 0..info.ny {
+                for i in 0..info.nx {
+                    assert_eq!(
+                        layout.is_ocean(b, i, j),
+                        g.is_ocean(info.i0 + i, info.j0 + j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one halo")]
+    fn zero_halo_rejected() {
+        let g = Grid::idealized_basin(8, 8, 10.0, 1.0);
+        let d = Decomposition::new(&g, 4, 4);
+        let _ = DistLayout::new(&g, d, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated message-passing runtime for the POP-like barotropic solver.
+//!
+//! The paper's solvers run under MPI on up to 16,875 cores. This crate stands
+//! in for MPI (substitution **S1** in `DESIGN.md`): it provides the exact
+//! communication *semantics* the solvers need — halo updates around each
+//! decomposition block and fused global reductions — executed either serially
+//! (deterministic, for numerics) or over a thread pool (rayon), while
+//! counting every communication event so the machine model in
+//! `pop-perfmodel` can translate counts into large-core-count wall time.
+//!
+//! The programming model is bulk-synchronous SPMD over *blocks*: a
+//! [`DistVec`] owns one halo-padded tile per active decomposition block, and
+//! collective operations ([`CommWorld::halo_update`],
+//! [`CommWorld::dot_many`], …) act on all blocks at once. Because partial
+//! reductions are always combined in block order, results are bit-for-bit
+//! identical between the serial and threaded backends — a property the
+//! integration tests pin down, and the same property POP relies on for
+//! reproducible decompositions.
+//!
+//! What is *not* simulated here: wire time. Latency/bandwidth costs live in
+//! `pop-perfmodel`, parameterized by the event counts recorded in
+//! [`CommStats`].
+
+pub mod blockvec;
+pub mod distvec;
+pub mod halo;
+pub mod layout;
+pub mod world;
+
+pub use blockvec::BlockVec;
+pub use distvec::DistVec;
+pub use layout::DistLayout;
+pub use world::{CommStats, CommWorld, ExecPolicy, StatsSnapshot};

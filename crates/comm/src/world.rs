@@ -1,0 +1,425 @@
+//! The communication world: executes collectives and counts them.
+
+use crate::distvec::DistVec;
+use crate::halo::recv_region;
+use pop_grid::Direction;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How block-level work is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// One thread, blocks processed in order. Deterministic reference.
+    Serial,
+    /// Blocks processed on the rayon pool. Reductions still combine partials
+    /// in block order, so results are bit-identical to [`ExecPolicy::Serial`].
+    Threaded,
+}
+
+/// Counters for every communication event issued through a [`CommWorld`].
+///
+/// These are the quantities the paper's cost model consumes: the number of
+/// global reductions (ChronGear: one fused allreduce per iteration; P-CSI:
+/// only the periodic convergence check), the number of halo updates, and the
+/// halo byte volume.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    pub halo_updates: AtomicU64,
+    pub halo_messages: AtomicU64,
+    pub halo_bytes: AtomicU64,
+    pub allreduces: AtomicU64,
+    pub allreduce_scalars: AtomicU64,
+    pub barriers: AtomicU64,
+}
+
+/// A plain-data copy of [`CommStats`] at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub halo_updates: u64,
+    pub halo_messages: u64,
+    pub halo_bytes: u64,
+    pub allreduces: u64,
+    pub allreduce_scalars: u64,
+    pub barriers: u64,
+}
+
+impl StatsSnapshot {
+    /// Event-count difference `self - earlier` (used to attribute counts to
+    /// a single solve).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            halo_updates: self.halo_updates - earlier.halo_updates,
+            halo_messages: self.halo_messages - earlier.halo_messages,
+            halo_bytes: self.halo_bytes - earlier.halo_bytes,
+            allreduces: self.allreduces - earlier.allreduces,
+            allreduce_scalars: self.allreduce_scalars - earlier.allreduce_scalars,
+            barriers: self.barriers - earlier.barriers,
+        }
+    }
+}
+
+type HaloBufs = Vec<[Vec<f64>; 8]>;
+
+/// Executes collectives over the blocks of [`DistVec`]s and records
+/// communication statistics.
+#[derive(Debug)]
+pub struct CommWorld {
+    pub policy: ExecPolicy,
+    stats: CommStats,
+    scratch: Mutex<HaloBufs>,
+}
+
+impl CommWorld {
+    pub fn new(policy: ExecPolicy) -> Self {
+        CommWorld {
+            policy,
+            stats: CommStats::default(),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Serial deterministic world.
+    pub fn serial() -> Self {
+        Self::new(ExecPolicy::Serial)
+    }
+
+    /// Thread-pool world.
+    pub fn threaded() -> Self {
+        Self::new(ExecPolicy::Threaded)
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            halo_updates: self.stats.halo_updates.load(Ordering::Relaxed),
+            halo_messages: self.stats.halo_messages.load(Ordering::Relaxed),
+            halo_bytes: self.stats.halo_bytes.load(Ordering::Relaxed),
+            allreduces: self.stats.allreduces.load(Ordering::Relaxed),
+            allreduce_scalars: self.stats.allreduce_scalars.load(Ordering::Relaxed),
+            barriers: self.stats.barriers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset_stats(&self) {
+        self.stats.halo_updates.store(0, Ordering::Relaxed);
+        self.stats.halo_messages.store(0, Ordering::Relaxed);
+        self.stats.halo_bytes.store(0, Ordering::Relaxed);
+        self.stats.allreduces.store(0, Ordering::Relaxed);
+        self.stats.allreduce_scalars.store(0, Ordering::Relaxed);
+        self.stats.barriers.store(0, Ordering::Relaxed);
+    }
+
+    /// Run `f` over an indexed mutable slice, serially or on the pool.
+    pub fn for_each_block<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        match self.policy {
+            ExecPolicy::Serial => {
+                for (k, it) in items.iter_mut().enumerate() {
+                    f(k, it);
+                }
+            }
+            ExecPolicy::Threaded => {
+                items.par_iter_mut().enumerate().for_each(|(k, it)| f(k, it));
+            }
+        }
+    }
+
+    /// Map each block index to a value, preserving block order in the output
+    /// (so downstream folds are deterministic under both policies).
+    pub fn map_blocks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync + Send,
+    {
+        match self.policy {
+            ExecPolicy::Serial => (0..n).map(f).collect(),
+            ExecPolicy::Threaded => (0..n).into_par_iter().map(f).collect(),
+        }
+    }
+
+    /// Update the halo ring of every block of `v` from its neighbours'
+    /// interiors, zero-filling halo cells with no owner (land neighbours and
+    /// domain boundaries). One call corresponds to one `update_halo` in the
+    /// paper's pseudocode (a message to each of up to 8 neighbours).
+    pub fn halo_update(&self, v: &mut DistVec) {
+        let layout = std::sync::Arc::clone(&v.layout);
+        let decomp = &layout.decomp;
+        let halo = layout.halo;
+        let n = decomp.blocks.len();
+
+        let mut scratch = self.scratch.lock().expect("halo scratch poisoned");
+        if scratch.len() != n {
+            *scratch = (0..n).map(|_| std::array::from_fn(|_| Vec::new())).collect();
+        }
+
+        let mut messages = 0u64;
+        let mut elems = 0u64;
+
+        // Phase 1: gather every outgoing region into per-(block, direction)
+        // buffers. Reads are shared; each buffer row is written by one task.
+        {
+            let v_ref = &*v;
+            let gather = |b: usize, bufs: &mut [Vec<f64>; 8]| {
+                let me = &decomp.blocks[b];
+                for d in Direction::ALL {
+                    let buf = &mut bufs[d.index()];
+                    buf.clear();
+                    if let Some(nb) = decomp.neighbors[b][d.index()] {
+                        if let Some(r) = recv_region(me, &decomp.blocks[nb], d, halo) {
+                            v_ref.blocks[nb].extract_region(r.src_i, r.src_j, r.w, r.h, buf);
+                        }
+                    }
+                }
+            };
+            match self.policy {
+                ExecPolicy::Serial => {
+                    for (b, bufs) in scratch.iter_mut().enumerate() {
+                        gather(b, bufs);
+                    }
+                }
+                ExecPolicy::Threaded => {
+                    scratch
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(b, bufs)| gather(b, bufs));
+                }
+            }
+        }
+
+        for bufs in scratch.iter() {
+            for buf in bufs {
+                if !buf.is_empty() {
+                    messages += 1;
+                    elems += buf.len() as u64;
+                }
+            }
+        }
+
+        // Phase 2: scatter buffers into each block's halo ring.
+        {
+            let scratch_ref = &*scratch;
+            let scatter = |b: usize, blk: &mut crate::BlockVec| {
+                blk.zero_halo();
+                let me = &decomp.blocks[b];
+                for d in Direction::ALL {
+                    if let Some(nb) = decomp.neighbors[b][d.index()] {
+                        if let Some(r) = recv_region(me, &decomp.blocks[nb], d, halo) {
+                            let buf = &scratch_ref[b][d.index()];
+                            blk.copy_region(r.dst_i, r.dst_j, buf, r.w, r.h);
+                        }
+                    }
+                }
+            };
+            self.for_each_block(&mut v.blocks, scatter);
+        }
+
+        self.stats.halo_updates.fetch_add(1, Ordering::Relaxed);
+        self.stats.halo_messages.fetch_add(messages, Ordering::Relaxed);
+        self.stats
+            .halo_bytes
+            .fetch_add(elems * std::mem::size_of::<f64>() as u64, Ordering::Relaxed);
+    }
+
+    /// Masked global dot products of several vector pairs, fused into a
+    /// *single* recorded allreduce. ChronGear's step 9 fuses exactly two
+    /// (`ρ̃`, `δ̃`); the convergence check uses one.
+    pub fn dot_many(&self, pairs: &[(&DistVec, &DistVec)]) -> Vec<f64> {
+        assert!(!pairs.is_empty(), "no dot products requested");
+        let n = pairs[0].0.layout.n_blocks();
+        let partials: Vec<Vec<f64>> = self.map_blocks(n, |b| {
+            pairs.iter().map(|(x, y)| x.block_dot(y, b)).collect()
+        });
+        // Combine in block order: deterministic under both policies.
+        let mut out = vec![0.0; pairs.len()];
+        for p in &partials {
+            for (o, v) in out.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .allreduce_scalars
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Masked global dot product (one allreduce).
+    pub fn dot(&self, x: &DistVec, y: &DistVec) -> f64 {
+        self.dot_many(&[(x, y)])[0]
+    }
+
+    /// Masked global squared 2-norm (one allreduce).
+    pub fn norm2_sq(&self, x: &DistVec) -> f64 {
+        self.dot(x, x)
+    }
+
+    /// Masked global max |value| (one allreduce).
+    pub fn max_abs(&self, x: &DistVec) -> f64 {
+        let n = x.layout.n_blocks();
+        let partials = self.map_blocks(n, |b| x.block_max_abs(b));
+        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
+        self.stats.allreduce_scalars.fetch_add(1, Ordering::Relaxed);
+        partials.into_iter().fold(0.0, f64::max)
+    }
+
+    /// A global barrier (semantically a no-op here; counted for the model).
+    pub fn barrier(&self) {
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DistLayout;
+    use pop_grid::Grid;
+
+    #[test]
+    fn halo_update_matches_global_neighbors() {
+        let g = Grid::gx1_scaled(21, 48, 40);
+        let layout = DistLayout::build(&g, 12, 10);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        let val = |i: usize, j: usize| (1 + i * 7 + j * 131) as f64;
+        v.fill_with(val);
+        world.halo_update(&mut v);
+
+        let nx = g.nx as isize;
+        let ny = g.ny as isize;
+        // Every halo cell must equal the global field value at the wrapped
+        // global coordinate (0 for land / off-domain).
+        for (b, info) in layout.decomp.blocks.iter().enumerate() {
+            let h = layout.halo as isize;
+            for j in -h..info.ny as isize + h {
+                for i in -h..info.nx as isize + h {
+                    let gi = info.i0 as isize + i;
+                    let gj = info.j0 as isize + j;
+                    let expect = if gj < 0 || gj >= ny {
+                        0.0
+                    } else {
+                        let gi = gi.rem_euclid(nx) as usize;
+                        let gj = gj as usize;
+                        if g.is_ocean(gi, gj) {
+                            val(gi, gj)
+                        } else {
+                            0.0
+                        }
+                    };
+                    let got = v.blocks[b].at(i, j);
+                    // A halo cell owned by a *land block* is zero even if the
+                    // underlying grid point is ocean-adjacent... but land
+                    // blocks have no ocean points by construction, so expect
+                    // only differs when the neighbour block was eliminated.
+                    if got != expect {
+                        let neighbor_eliminated = {
+                            let bi2 = gi.rem_euclid(nx) as usize / layout.decomp.block_nx;
+                            let bj2 = gj.max(0) as usize / layout.decomp.block_ny;
+                            layout.decomp.block_at[bj2 * layout.decomp.mx + bi2].is_none()
+                        };
+                        assert!(
+                            neighbor_eliminated && got == 0.0,
+                            "block {b} halo ({i},{j}): got {got}, expect {expect}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_threaded_identical() {
+        let g = Grid::gx1_scaled(5, 64, 48);
+        let layout = DistLayout::build(&g, 16, 12);
+        let mk = |world: &CommWorld| {
+            let mut v = DistVec::zeros(&layout);
+            v.fill_with(|i, j| ((i * 31 + j * 17) as f64).sin());
+            world.halo_update(&mut v);
+            let d = world.dot(&v, &v);
+            (v.to_global(), d)
+        };
+        let (gs, ds) = mk(&CommWorld::serial());
+        let (gt, dt) = mk(&CommWorld::threaded());
+        assert_eq!(gs, gt, "fields must be bit-identical");
+        assert_eq!(ds.to_bits(), dt.to_bits(), "reductions must be bit-identical");
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let g = Grid::idealized_basin(16, 16, 100.0, 1.0);
+        let layout = DistLayout::build(&g, 8, 8);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|_, _| 1.0);
+        world.halo_update(&mut v);
+        world.dot_many(&[(&v, &v), (&v, &v)]);
+        world.dot(&v, &v);
+        let s = world.stats();
+        assert_eq!(s.halo_updates, 1);
+        assert!(s.halo_messages > 0);
+        assert!(s.halo_bytes > 0);
+        assert_eq!(s.allreduces, 2, "fused pair counts once");
+        assert_eq!(s.allreduce_scalars, 3);
+        world.reset_stats();
+        assert_eq!(world.stats(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn dot_counts_only_ocean() {
+        let g = Grid::gx1_scaled(2, 48, 40);
+        let layout = DistLayout::build(&g, 16, 10);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|_, _| 2.0);
+        let d = world.dot(&v, &v);
+        assert_eq!(d, 4.0 * layout.ocean_points() as f64);
+    }
+
+    #[test]
+    fn periodic_seam_halo_wraps() {
+        // Periodic strip: east halo of the easternmost block must contain the
+        // westernmost block's values.
+        let g = Grid::gx1_scaled(33, 64, 32);
+        let layout = DistLayout::build(&g, 16, 16);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| (i * 1000 + j) as f64);
+        world.halo_update(&mut v);
+        // Find an active block on the east edge with an active west-edge
+        // neighbour through the seam.
+        let mx = layout.decomp.mx;
+        for info in &layout.decomp.blocks {
+            if info.bi == mx - 1 && info.i0 + info.nx == g.nx {
+                if let Some(_e) = layout.decomp.neighbors[info.active_id]
+                    [pop_grid::Direction::East.index()]
+                {
+                    let b = info.active_id;
+                    for j in 0..info.ny as isize {
+                        let gj = info.j0 + j as usize;
+                        let expect = if g.is_ocean(0, gj) {
+                            gj as f64 // i = 0 at the wrapped west edge
+                        } else {
+                            0.0
+                        };
+                        assert_eq!(v.blocks[b].at(info.nx as isize, j), expect);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_reduction() {
+        let g = Grid::idealized_basin(10, 10, 50.0, 1.0);
+        let layout = DistLayout::build(&g, 5, 5);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| if (i, j) == (4, 5) { -42.0 } else { 1.0 });
+        assert_eq!(world.max_abs(&v), 42.0);
+    }
+}

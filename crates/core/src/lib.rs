@@ -1,0 +1,49 @@
+//! Barotropic solvers for the POP-like ocean model — the primary
+//! contribution of the reproduced paper.
+//!
+//! Three iterative solvers for the elliptic sea-surface-height system
+//! `A η = ψ` share one interface:
+//!
+//! - [`solvers::ClassicPcg`] — textbook preconditioned conjugate gradients,
+//!   **two** global reductions per iteration (the historical baseline).
+//! - [`solvers::ChronGear`] — the Chronopoulos–Gear PCG variant POP ships
+//!   (paper Algorithm 1): the two inner products are fused into **one**
+//!   global reduction per iteration.
+//! - [`solvers::PipelinedCg`] — the related-work alternative (the paper's
+//!   ref [16]): one fused reduction that *overlaps* with the matvec and
+//!   preconditioner, hiding latency until reductions outgrow an iteration's
+//!   local work.
+//! - [`solvers::Pcsi`] — the paper's Preconditioned Classical Stiefel
+//!   Iteration (Algorithm 2), a Chebyshev-type method with **zero** global
+//!   reductions in the loop body; only the periodic convergence check
+//!   reduces. It needs bounds `[ν, μ]` on the spectrum of `M⁻¹A`, supplied
+//!   by [`lanczos::estimate_bounds`].
+//!
+//! Three preconditioners, also behind one trait:
+//!
+//! - [`precond::Diagonal`] — POP's production default.
+//! - [`precond::BlockEvp`] — the paper's new block preconditioner: each
+//!   process block is tiled into small sub-blocks, each solved *exactly* by
+//!   Roache's Error Vector Propagation marching method (Algorithm 3) at
+//!   `O(n²)` per application after an `O(n³)` one-time setup. A `reduced`
+//!   mode drops the small N/S/E/W couplings, halving the marching cost, as
+//!   §4.3 of the paper describes.
+//! - [`precond::BlockLu`] — the same block-Jacobi structure with a dense LU
+//!   solve per sub-block; the `O(n⁴)`-setup reference EVP is compared
+//!   against.
+//!
+//! All solvers run over `pop-comm`'s counted communication layer, so a solve
+//! reports exactly how many reductions, halo updates, and bytes it needed —
+//! the inputs the paper's cost model (in `pop-perfmodel`) converts into
+//! large-core-count wall time.
+
+pub mod lanczos;
+pub mod precond;
+pub mod solvers;
+pub mod tridiag;
+
+pub use lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
+pub use precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+pub use solvers::{
+    ChronGear, ClassicPcg, LinearSolver, Pcsi, PipelinedCg, SolveStats, SolverConfig,
+};

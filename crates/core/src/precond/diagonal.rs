@@ -1,0 +1,121 @@
+//! The trivial preconditioners: identity and POP's production diagonal.
+
+use super::Preconditioner;
+use pop_comm::{CommWorld, DistVec};
+use pop_stencil::NinePoint;
+
+/// No preconditioning (`M = I`); the baseline for convergence comparisons.
+#[derive(Debug, Clone, Default)]
+pub struct Identity;
+
+impl Preconditioner for Identity {
+    fn apply(&self, _world: &CommWorld, r: &DistVec, z: &mut DistVec) {
+        z.copy_from(r);
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn flops_per_point(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Diagonal (Jacobi) preconditioning `M = Λ(A)`: the default in CESM-POP,
+/// and the baseline every figure of the paper compares against.
+#[derive(Debug, Clone)]
+pub struct Diagonal {
+    inv_diag: DistVec,
+}
+
+impl Diagonal {
+    /// Precompute `1/A0` on ocean points.
+    pub fn new(op: &NinePoint) -> Self {
+        let mut inv = DistVec::zeros(&op.layout);
+        for (b, info) in op.layout.decomp.blocks.iter().enumerate() {
+            for j in 0..info.ny {
+                for i in 0..info.nx {
+                    let d = op.a0.blocks[b].get(i, j);
+                    if d > 0.0 {
+                        inv.blocks[b].set(i, j, 1.0 / d);
+                    }
+                }
+            }
+        }
+        Diagonal { inv_diag: inv }
+    }
+}
+
+impl Preconditioner for Diagonal {
+    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
+        let inv = &self.inv_diag;
+        let r_ref = r;
+        world.for_each_block(&mut z.blocks, |b, zb| {
+            for j in 0..zb.ny {
+                let zi = zb.interior_row_mut(j);
+                let ri = r_ref.blocks[b].interior_row(j);
+                let di = inv.blocks[b].interior_row(j);
+                for ((z, r), d) in zi.iter_mut().zip(ri).zip(di) {
+                    *z = r * d;
+                }
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "diagonal"
+    }
+
+    fn flops_per_point(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_comm::DistLayout;
+    use pop_grid::Grid;
+
+    #[test]
+    fn diagonal_inverts_diagonal() {
+        let g = Grid::gx1_scaled(4, 48, 40);
+        let layout = DistLayout::build(&g, 12, 10);
+        let world = CommWorld::serial();
+        let op = NinePoint::assemble(&g, &layout, &world, 1800.0);
+        let m = Diagonal::new(&op);
+
+        let mut r = DistVec::zeros(&layout);
+        r.fill_with(|i, j| (i + 2 * j) as f64 + 1.0);
+        let mut z = DistVec::zeros(&layout);
+        m.apply(&world, &r, &mut z);
+
+        // z * A0 must give back r on ocean.
+        for (b, info) in layout.decomp.blocks.iter().enumerate() {
+            for j in 0..info.ny {
+                for i in 0..info.nx {
+                    if layout.is_ocean(b, i, j) {
+                        let back = z.blocks[b].get(i, j) * op.a0.blocks[b].get(i, j);
+                        let want = r.blocks[b].get(i, j);
+                        assert!((back - want).abs() < 1e-12 * want.abs().max(1.0));
+                    } else {
+                        assert_eq!(z.blocks[b].get(i, j), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_copies() {
+        let g = Grid::idealized_basin(10, 10, 100.0, 1.0e4);
+        let layout = DistLayout::build(&g, 5, 5);
+        let world = CommWorld::serial();
+        let mut r = DistVec::zeros(&layout);
+        r.fill_with(|i, j| (i * j) as f64);
+        let mut z = DistVec::zeros(&layout);
+        Identity.apply(&world, &r, &mut z);
+        assert_eq!(z.to_global(), r.to_global());
+    }
+}

@@ -1,0 +1,35 @@
+//! Preconditioners for the barotropic solvers.
+//!
+//! All preconditioners are *local*: applying them needs no halo update and no
+//! global reduction, which is what makes them compatible with the paper's
+//! communication accounting (one boundary update and — for ChronGear — one
+//! fused reduction per iteration, nothing extra for preconditioning).
+
+mod blocklu;
+mod diagonal;
+mod evp;
+mod regularize;
+mod tiling;
+
+pub use blocklu::BlockLu;
+pub use diagonal::{Diagonal, Identity};
+pub use evp::{BlockEvp, EvpScratch, EvpSubBlock};
+pub use regularize::regularize;
+pub use tiling::{tile_block, Tile};
+
+use pop_comm::{CommWorld, DistVec};
+
+/// A symmetric positive definite operator `M ≈ A` applied as `z = M⁻¹ r`.
+pub trait Preconditioner: Send + Sync {
+    /// `z = M⁻¹ r`. Must leave land points of `z` zero and must not require
+    /// `r`'s halo to be current.
+    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec);
+
+    /// Short label used in experiment output ("diagonal", "evp", ...).
+    fn name(&self) -> &'static str;
+
+    /// Approximate floating-point operations per application per ocean
+    /// point, for the cost model (paper §4.3: diagonal = 1, EVP ≈ 27,
+    /// reduced EVP ≈ 14).
+    fn flops_per_point(&self) -> f64;
+}

@@ -1,0 +1,183 @@
+//! Land regularization for block sub-domain solvers (DESIGN.md S5).
+//!
+//! EVP marching divides by the corner coefficient `ANE(i,j)` at every
+//! sub-domain point, but corners that touch land have `ANE = 0`. We restore
+//! solvability *and* symmetry-positive-definiteness by reconstructing a full
+//! energy assembly: wherever a corner is dead, we add the energy of an
+//! isotropic template corner (diagonal coupling `−4w` plus `+4w` on each of
+//! its cells' diagonals), and land cells additionally receive a positive
+//! `φ`-like diagonal shift. The result is
+//!
+//! ```text
+//! B̃ = (principal submatrix of the real SPD operator)
+//!     + Σ dead-corner template energies   (each PSD)
+//!     + positive diagonal on land rows,
+//! ```
+//!
+//! which is SPD by construction. The preconditioner solves `B̃ x = y` and
+//! zeros land outputs; on the ocean subspace that composite stays SPD.
+
+use pop_stencil::LocalStencil;
+
+/// Relative threshold below which a corner coefficient counts as dead.
+const DEAD_CORNER_REL: f64 = 1e-10;
+
+/// Produce the regularized, always-marchable version of a sub-domain
+/// stencil. Returns the stencil along with the ocean mask implied by the
+/// *original* diagonal (used to zero land outputs after a solve).
+pub fn regularize(ls: &LocalStencil) -> (LocalStencil, Vec<u8>) {
+    let (nx, ny) = (ls.nx, ls.ny);
+    let mut out = ls.clone();
+
+    // --- scales for the template corner ---
+    let mut ane_sum = 0.0f64;
+    let mut ane_n = 0usize;
+    let mut ane_max = 0.0f64;
+    let mut a0_sum = 0.0f64;
+    let mut a0_n = 0usize;
+    for j in -1..ny as isize {
+        for i in -1..nx as isize {
+            let c = ls.ane(i, j).abs();
+            if c > 0.0 {
+                ane_sum += c;
+                ane_n += 1;
+                ane_max = ane_max.max(c);
+            }
+            if i >= 0 && j >= 0 && ls.a0(i, j) > 0.0 {
+                a0_sum += ls.a0(i, j);
+                a0_n += 1;
+            }
+        }
+    }
+    let mean_a0 = if a0_n > 0 { a0_sum / a0_n as f64 } else { 1.0 };
+    // Template corner weight w: match the mean live corner if any, otherwise
+    // derive from the mean diagonal (a0 ≈ 16w for a full assembly).
+    let w = if ane_n > 0 {
+        ane_sum / ane_n as f64 / 4.0
+    } else {
+        (mean_a0 / 16.0).max(1e-12)
+    };
+    let phi_t = (0.05 * mean_a0).max(1e-12);
+    let dead_floor = DEAD_CORNER_REL * ane_max.max(4.0 * w);
+
+    // --- reconstruct dead corners with template energy ---
+    for j in -1..ny as isize {
+        for i in -1..nx as isize {
+            if ls.ane(i, j).abs() > dead_floor {
+                continue;
+            }
+            out.set_ane(i, j, -4.0 * w);
+            for (ci, cj) in [(i, j), (i + 1, j), (i, j + 1), (i + 1, j + 1)] {
+                if ci >= 0 && cj >= 0 && ci < nx as isize && cj < ny as isize {
+                    out.add_a0(ci, cj, 4.0 * w);
+                }
+            }
+        }
+    }
+
+    // --- positive diagonal on land rows ---
+    let mut mask = vec![0u8; nx * ny];
+    for j in 0..ny as isize {
+        for i in 0..nx as isize {
+            if ls.a0(i, j) > 0.0 {
+                mask[j as usize * nx + i as usize] = 1;
+            } else {
+                out.add_a0(i, j, phi_t);
+            }
+        }
+    }
+
+    (out, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stencil with a land hole in the middle: the four corners around the
+    /// hole are dead in the raw assembly.
+    fn holed() -> LocalStencil {
+        let mut ls = LocalStencil::reference(6, 6, 80.0, 2.0);
+        // Kill point (3, 3): zero its diagonal and the four corners touching
+        // it (as a real assembly would).
+        ls.set(3, 3, 0.0, 0.0, 0.0, 0.0);
+        for (i, j) in [(2, 2), (3, 2), (2, 3)] {
+            ls.set_ane(i, j, 0.0);
+        }
+        ls
+    }
+
+    #[test]
+    fn all_interior_corners_alive_after_regularization() {
+        let (reg, _) = regularize(&holed());
+        for j in 0..6 {
+            for i in 0..6 {
+                assert!(
+                    reg.ane(i, j).abs() > 0.0,
+                    "corner ({i},{j}) still dead"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_reflects_original_land() {
+        let (_, mask) = regularize(&holed());
+        assert_eq!(mask[3 * 6 + 3], 0);
+        assert_eq!(mask.iter().filter(|&&m| m == 1).count(), 35);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn regularized_matrix_is_spd() {
+        let (reg, _) = regularize(&holed());
+        let m = reg.to_dense();
+        assert!(m.is_symmetric(1e-12), "must stay symmetric");
+        let n = 36;
+        // Quadratic form on a basket of vectors including the constant.
+        let mut vectors: Vec<Vec<f64>> = vec![vec![1.0; n]];
+        for s in 1..6u64 {
+            vectors.push(
+                (0..n)
+                    .map(|k| ((k as u64 * 2654435761 + s * 40503) % 1009) as f64 / 504.5 - 1.0)
+                    .collect(),
+            );
+        }
+        for x in &vectors {
+            let mut q = 0.0;
+            for r in 0..n {
+                let mut acc = 0.0;
+                for c in 0..n {
+                    acc += m.get(r, c) * x[c];
+                }
+                q += x[r] * acc;
+            }
+            assert!(q > 0.0, "x'B̃x = {q}");
+        }
+    }
+
+    #[test]
+    fn live_coefficients_untouched() {
+        let ls = holed();
+        let (reg, _) = regularize(&ls);
+        // A corner far from the hole keeps its exact value.
+        assert_eq!(reg.ane(0, 0), ls.ane(0, 0));
+        assert_eq!(reg.an(1, 1), ls.an(1, 1));
+        assert_eq!(reg.ae(1, 1), ls.ae(1, 1));
+    }
+
+    #[test]
+    fn all_land_block_regularizes_to_template() {
+        let ls = LocalStencil::zeros(4, 4);
+        let (reg, mask) = regularize(&ls);
+        assert!(mask.iter().all(|&m| m == 0));
+        for j in 0..4 {
+            for i in 0..4 {
+                assert!(reg.a0(i, j) > 0.0);
+                assert!(reg.ane(i, j) < 0.0);
+            }
+        }
+        // And it must be solvable.
+        assert!(reg.to_dense().lu().is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! Tiling of a process block into preconditioner sub-blocks.
+//!
+//! EVP marching is numerically stable only on small domains (the paper cites
+//! ~12×12), so the block preconditioner tiles each process block into
+//! sub-blocks of bounded extent and solves them independently
+//! (block-Jacobi). At high core counts the process blocks themselves shrink
+//! to the stable size and the tiling degenerates to one tile per block,
+//! which is the regime the paper runs in.
+
+/// One rectangular tile of a block interior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    pub i0: usize,
+    pub j0: usize,
+    pub nx: usize,
+    pub ny: usize,
+}
+
+/// Split an `nx × ny` block into tiles with extents at most `max_size`,
+/// keeping tile sizes within each axis as even as possible (no slivers).
+pub fn tile_block(nx: usize, ny: usize, max_size: usize) -> Vec<Tile> {
+    assert!(nx > 0 && ny > 0 && max_size > 0);
+    let splits = |n: usize| -> Vec<(usize, usize)> {
+        let parts = n.div_ceil(max_size);
+        let base = n / parts;
+        let extra = n % parts; // first `extra` parts get one more
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            out.push((start, len));
+            start += len;
+        }
+        out
+    };
+    let xs = splits(nx);
+    let ys = splits(ny);
+    let mut tiles = Vec::with_capacity(xs.len() * ys.len());
+    for &(j0, tny) in &ys {
+        for &(i0, tnx) in &xs {
+            tiles.push(Tile {
+                i0,
+                j0,
+                nx: tnx,
+                ny: tny,
+            });
+        }
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_when_small() {
+        let t = tile_block(8, 6, 12);
+        assert_eq!(t, vec![Tile { i0: 0, j0: 0, nx: 8, ny: 6 }]);
+    }
+
+    #[test]
+    fn tiles_partition_exactly() {
+        for (nx, ny, max) in [(25, 17, 8), (12, 12, 12), (13, 12, 12), (100, 3, 7)] {
+            let tiles = tile_block(nx, ny, max);
+            let mut covered = vec![0u32; nx * ny];
+            for t in &tiles {
+                assert!(t.nx <= max && t.ny <= max, "tile too big: {t:?}");
+                assert!(t.nx > 0 && t.ny > 0);
+                for j in t.j0..t.j0 + t.ny {
+                    for i in t.i0..t.i0 + t.nx {
+                        covered[j * nx + i] += 1;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "({nx},{ny},{max}) not a partition");
+        }
+    }
+
+    #[test]
+    fn balanced_sizes() {
+        // 13 split at max 12 must give 7+6, not 12+1.
+        let tiles = tile_block(13, 1, 12);
+        let widths: Vec<usize> = tiles.iter().map(|t| t.nx).collect();
+        assert_eq!(widths, vec![7, 6]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The three barotropic solvers behind one interface.
+
+mod chrongear;
+mod csi;
+mod pcg;
+mod pipecg;
+
+pub use chrongear::ChronGear;
+pub use csi::Pcsi;
+pub use pcg::ClassicPcg;
+pub use pipecg::PipelinedCg;
+
+use crate::precond::Preconditioner;
+use pop_comm::{CommWorld, DistVec, StatsSnapshot};
+use pop_stencil::NinePoint;
+
+/// Stopping rule and bookkeeping shared by every solver.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Convergence when `‖r‖₂ < tol · ‖b‖₂`. POP's production default for
+    /// the barotropic mode is 1e-13 (the paper's §6 sweeps 1e-10…1e-16).
+    pub tol: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Convergence is tested every `check_every` iterations (the paper
+    /// checks every 10 in the 0.1° runs; each test costs one reduction).
+    pub check_every: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            tol: 1e-13,
+            max_iters: 10_000,
+            check_every: 10,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Production-like config with an explicit tolerance.
+    pub fn with_tol(tol: f64) -> Self {
+        SolverConfig {
+            tol,
+            ..Default::default()
+        }
+    }
+}
+
+/// What one solve did: iteration counts, convergence, and the exact
+/// communication events it generated (the cost-model inputs).
+#[derive(Debug, Clone)]
+pub struct SolveStats {
+    pub solver: &'static str,
+    pub preconditioner: &'static str,
+    pub iterations: usize,
+    pub converged: bool,
+    /// Final `‖r‖₂ / ‖b‖₂`.
+    pub final_relative_residual: f64,
+    pub matvecs: usize,
+    pub precond_applies: usize,
+    /// Communication events attributable to this solve.
+    pub comm: StatsSnapshot,
+    /// `(iteration, ‖r‖/‖b‖)` at every convergence check — the convergence
+    /// history, recorded for free since the checks compute these values
+    /// anyway. Useful for plotting and for comparing solver convergence
+    /// behaviour (e.g. CG's superlinear phases vs Chebyshev's steady rate).
+    pub residual_history: Vec<(usize, f64)>,
+}
+
+/// A linear solver for the barotropic system `A x = b`.
+///
+/// `x` carries the initial guess in and the solution out; POP warm-starts
+/// each time step from the previous surface height, and the experiments do
+/// the same.
+pub trait LinearSolver {
+    fn name(&self) -> &'static str;
+
+    fn solve(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+    ) -> SolveStats;
+}
+
+/// `‖b‖₂` with a floor so a zero right-hand side converges immediately
+/// instead of dividing by zero.
+pub(crate) fn rhs_norm(world: &CommWorld, b: &DistVec) -> f64 {
+    world.norm2_sq(b).sqrt().max(1e-300)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use pop_comm::DistLayout;
+    use pop_grid::Grid;
+    use std::sync::Arc;
+
+    pub struct Fixture {
+        pub layout: Arc<DistLayout>,
+        pub world: CommWorld,
+        pub op: NinePoint,
+        pub b: DistVec,
+        pub x_true: DistVec,
+    }
+
+    /// A solvable system with a known solution: pick x*, set b = A x*.
+    pub fn fixture(grid: &Grid, bx: usize, by: usize, tau: f64) -> Fixture {
+        let layout = DistLayout::build(grid, bx, by);
+        let world = CommWorld::serial();
+        let op = NinePoint::assemble(grid, &layout, &world, tau);
+        let mut x_true = DistVec::zeros(&layout);
+        x_true.fill_with(|i, j| ((i as f64) * 0.21).sin() + ((j as f64) * 0.13).cos());
+        world.halo_update(&mut x_true);
+        let mut b = DistVec::zeros(&layout);
+        op.apply(&world, &x_true, &mut b);
+        Fixture {
+            layout,
+            world,
+            op,
+            b,
+            x_true,
+        }
+    }
+
+    /// Relative L2 error against the fixture's true solution.
+    pub fn rel_error(f: &Fixture, x: &DistVec) -> f64 {
+        let mut diff = x.clone();
+        diff.axpy(-1.0, &f.x_true);
+        (f.world.norm2_sq(&diff) / f.world.norm2_sq(&f.x_true)).sqrt()
+    }
+}

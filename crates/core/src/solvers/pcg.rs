@@ -1,0 +1,153 @@
+//! Textbook preconditioned conjugate gradients, with its *two* separate
+//! global reductions per iteration.
+//!
+//! Kept as the historical baseline: ChronGear's contribution was fusing
+//! these two reductions into one, and the solver-kernel ablation bench
+//! measures exactly that difference.
+
+use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig};
+use crate::precond::Preconditioner;
+use pop_comm::{CommWorld, DistVec};
+use pop_stencil::NinePoint;
+
+/// Classic PCG (Hestenes–Stiefel with preconditioning).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassicPcg;
+
+impl LinearSolver for ClassicPcg {
+    fn name(&self) -> &'static str {
+        "pcg"
+    }
+
+    fn solve(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+    ) -> SolveStats {
+        let start = world.stats();
+        let layout = std::sync::Arc::clone(&x.layout);
+        let bnorm = rhs_norm(world, b);
+
+        let mut r = DistVec::zeros(&layout);
+        op.residual(world, x, b, &mut r);
+        let mut z = DistVec::zeros(&layout);
+        pre.apply(world, &r, &mut z);
+        let mut p = z.clone();
+        let mut ap = DistVec::zeros(&layout);
+        let mut rz = world.dot(&r, &z); // reduction #0 (setup)
+
+        let mut matvecs = 1usize;
+        let mut precond_applies = 1usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut final_rel = f64::INFINITY;
+        let mut history: Vec<(usize, f64)> = Vec::new();
+
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            world.halo_update(&mut p);
+            op.apply(world, &p, &mut ap);
+            matvecs += 1;
+
+            // Reduction #1 of the iteration.
+            let pap = world.dot(&p, &ap);
+            let alpha = rz / pap;
+            x.axpy(alpha, &p);
+            r.axpy(-alpha, &ap);
+
+            pre.apply(world, &r, &mut z);
+            precond_applies += 1;
+
+            // Reduction #2 of the iteration.
+            let rz_new = world.dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            p.xpay(&z, beta);
+
+            if iterations % cfg.check_every == 0 {
+                let rnorm = world.norm2_sq(&r).sqrt();
+                final_rel = rnorm / bnorm;
+                history.push((iterations, final_rel));
+                if final_rel < cfg.tol {
+                    converged = true;
+                    break;
+                }
+                if !final_rel.is_finite() {
+                    break;
+                }
+            }
+        }
+
+        if final_rel.is_infinite() {
+            final_rel = world.norm2_sq(&r).sqrt() / bnorm;
+            converged = final_rel < cfg.tol;
+            history.push((iterations, final_rel));
+        }
+
+        SolveStats {
+            solver: self.name(),
+            preconditioner: pre.name(),
+            iterations,
+            converged,
+            final_relative_residual: final_rel,
+            matvecs,
+            precond_applies,
+            comm: world.stats().since(&start),
+            residual_history: history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{fixture, rel_error};
+    use super::super::ChronGear;
+    use super::*;
+    use crate::precond::Diagonal;
+    use pop_grid::Grid;
+
+    #[test]
+    fn converges_and_matches_chrongear_solution() {
+        let g = Grid::gx1_scaled(31, 56, 48);
+        let f = fixture(&g, 14, 12, 1800.0);
+        let pre = Diagonal::new(&f.op);
+        let cfg = SolverConfig {
+            tol: 1e-12,
+            max_iters: 5000,
+            check_every: 1,
+        };
+        let mut x_pcg = DistVec::zeros(&f.layout);
+        let st_pcg = ClassicPcg.solve(&f.op, &pre, &f.world, &f.b, &mut x_pcg, &cfg);
+        let mut x_cg = DistVec::zeros(&f.layout);
+        let st_cg = ChronGear.solve(&f.op, &pre, &f.world, &f.b, &mut x_cg, &cfg);
+        assert!(st_pcg.converged && st_cg.converged);
+        assert!(rel_error(&f, &x_pcg) < 1e-8);
+        assert!(rel_error(&f, &x_cg) < 1e-8);
+        // Same Krylov method: iteration counts agree to a few steps.
+        let diff = st_pcg.iterations.abs_diff(st_cg.iterations);
+        assert!(diff <= 3, "pcg {} vs chrongear {}", st_pcg.iterations, st_cg.iterations);
+    }
+
+    #[test]
+    fn two_reductions_per_iteration() {
+        let g = Grid::idealized_basin(16, 16, 300.0, 5.0e4);
+        let f = fixture(&g, 8, 8, 3600.0);
+        let pre = Diagonal::new(&f.op);
+        let mut x = DistVec::zeros(&f.layout);
+        let cfg = SolverConfig {
+            tol: 1e-11,
+            max_iters: 1000,
+            check_every: 10,
+        };
+        let st = ClassicPcg.solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
+        assert!(st.converged);
+        let checks = st.iterations / cfg.check_every;
+        // 2 per iteration + 2 at setup (‖b‖ and r'z) + 1 per check.
+        assert_eq!(st.comm.allreduces as usize, 2 * st.iterations + 2 + checks);
+    }
+}

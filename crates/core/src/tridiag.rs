@@ -1,0 +1,135 @@
+//! Extreme eigenvalues of symmetric tridiagonal matrices.
+//!
+//! The Lanczos process reduces the preconditioned operator `M⁻¹A` to a small
+//! symmetric tridiagonal matrix whose extreme eigenvalues converge to those
+//! of `M⁻¹A`. This module computes those extremes by bisection on the Sturm
+//! sequence — robust, allocation-free in the inner loop, and exact to
+//! bisection tolerance, which is all the Chebyshev iteration needs.
+
+/// Number of eigenvalues of the symmetric tridiagonal matrix
+/// (diag `d`, off-diag `e`, with `e[i]` connecting `i` and `i+1`)
+/// that are strictly less than `x` (Sturm count).
+pub fn sturm_count(d: &[f64], e: &[f64], x: f64) -> usize {
+    debug_assert!(e.len() + 1 == d.len() || d.len() <= 1);
+    let mut count = 0usize;
+    let mut q = 1.0f64;
+    for i in 0..d.len() {
+        let e2 = if i == 0 { 0.0 } else { e[i - 1] * e[i - 1] };
+        // LDLᵀ-style recurrence for the leading-minor pivots of (T − xI).
+        q = d[i] - x - if q != 0.0 { e2 / q } else { e2 / 1e-300 };
+        if q < 0.0 {
+            count += 1;
+        }
+        if q == 0.0 {
+            // Nudge off exact singularity.
+            q = -1e-300;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// `(λ_min, λ_max)` of the symmetric tridiagonal matrix to relative
+/// tolerance `rel_tol` (bisection inside Gershgorin bounds).
+pub fn extreme_eigenvalues(d: &[f64], e: &[f64], rel_tol: f64) -> (f64, f64) {
+    assert!(!d.is_empty(), "empty matrix");
+    assert!(e.len() + 1 == d.len(), "off-diagonal length mismatch");
+    if d.len() == 1 {
+        return (d[0], d[0]);
+    }
+    // Gershgorin interval.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..d.len() {
+        let r = (if i > 0 { e[i - 1].abs() } else { 0.0 })
+            + (if i < e.len() { e[i].abs() } else { 0.0 });
+        lo = lo.min(d[i] - r);
+        hi = hi.max(d[i] + r);
+    }
+    let span = (hi - lo).max(1e-300);
+    let tol = rel_tol * span.max(lo.abs()).max(hi.abs());
+
+    // λ_min: smallest x with sturm_count(x) >= 1.
+    let lambda_min = bisect(d, e, lo, hi, 1, tol);
+    // λ_max: smallest x with sturm_count(x) >= n, i.e. all eigenvalues < x.
+    let lambda_max = bisect(d, e, lo, hi, d.len(), tol);
+    (lambda_min, lambda_max)
+}
+
+/// Smallest `x` in `[lo, hi]` with at least `k` eigenvalues below `x`,
+/// found to absolute tolerance `tol`. With `k = 1` this converges to
+/// `λ_min`; with `k = n`, to `λ_max` (counts use strict inequality, so the
+/// boundary lands on the eigenvalue itself).
+fn bisect(d: &[f64], e: &[f64], mut lo: f64, mut hi: f64, k: usize, tol: f64) -> f64 {
+    // Invariant: count(lo) < k <= count(hi + ε). Widen hi a hair so the top
+    // eigenvalue is strictly inside.
+    hi += tol.max(1e-12 * hi.abs());
+    for _ in 0..200 {
+        if hi - lo <= tol {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if sturm_count(d, e, mid) >= k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_entry() {
+        assert_eq!(extreme_eigenvalues(&[3.5], &[], 1e-12), (3.5, 3.5));
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        // [[2, 1], [1, 2]] → eigenvalues 1 and 3.
+        let (lo, hi) = extreme_eigenvalues(&[2.0, 2.0], &[1.0], 1e-10);
+        assert!((lo - 1.0).abs() < 1e-8, "λmin = {lo}");
+        assert!((hi - 3.0).abs() < 1e-8, "λmax = {hi}");
+    }
+
+    #[test]
+    fn discrete_laplacian_spectrum() {
+        // Tridiag(-1, 2, -1) of size n has eigenvalues 2 − 2cos(kπ/(n+1)).
+        let n = 50;
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        let (lo, hi) = extreme_eigenvalues(&d, &e, 1e-10);
+        let pi = std::f64::consts::PI;
+        let expect_lo = 2.0 - 2.0 * (pi / (n as f64 + 1.0)).cos();
+        let expect_hi = 2.0 - 2.0 * (n as f64 * pi / (n as f64 + 1.0)).cos();
+        assert!((lo - expect_lo).abs() < 1e-6, "{lo} vs {expect_lo}");
+        assert!((hi - expect_hi).abs() < 1e-6, "{hi} vs {expect_hi}");
+    }
+
+    #[test]
+    fn sturm_count_monotone() {
+        let d = vec![1.0, 4.0, 2.0, 8.0, 5.0];
+        let e = vec![0.5, -0.3, 0.9, 0.1];
+        let mut prev = 0;
+        for step in 0..100 {
+            let x = -2.0 + step as f64 * 0.15;
+            let c = sturm_count(&d, &e, x);
+            assert!(c >= prev, "count must be nondecreasing in x");
+            prev = c;
+        }
+        assert_eq!(sturm_count(&d, &e, 1e9), d.len());
+        assert_eq!(sturm_count(&d, &e, -1e9), 0);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let d = vec![5.0, -1.0, 3.0, 7.0];
+        let e = vec![0.0, 0.0, 0.0];
+        let (lo, hi) = extreme_eigenvalues(&d, &e, 1e-12);
+        assert!((lo + 1.0).abs() < 1e-9);
+        assert!((hi - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Grid persistence: a small versioned binary format.
+//!
+//! Grid generation is deterministic given a seed, but the 0.1° grid takes
+//! noticeable time to generate and downstream tools (plotters, external
+//! analyses) want the exact fields an experiment ran on. The format is
+//! deliberately simple — magic, version, dimensions, then the metric and
+//! depth arrays as little-endian `f64` — and self-validating on load.
+
+use crate::grid::{Grid, GridKind};
+use crate::metrics::Metrics;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"POPGRID\0";
+const VERSION: u32 = 1;
+
+/// Errors from reading a grid file.
+#[derive(Debug)]
+pub enum GridIoError {
+    Io(io::Error),
+    /// Not a grid file, or an unsupported version.
+    Format(String),
+}
+
+impl From<io::Error> for GridIoError {
+    fn from(e: io::Error) -> Self {
+        GridIoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for GridIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridIoError::Io(e) => write!(f, "grid i/o: {e}"),
+            GridIoError::Format(m) => write!(f, "grid format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GridIoError {}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64s(w: &mut impl Write, vs: &[f64]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(vs.len() * 8);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, GridIoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64s(r: &mut impl Read, n: usize) -> Result<Vec<f64>, GridIoError> {
+    let mut buf = vec![0u8; n * 8];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+impl Grid {
+    /// Serialize the grid into a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        write_u32(w, self.nx as u32)?;
+        write_u32(w, self.ny as u32)?;
+        write_u32(w, u32::from(self.periodic_x))?;
+        write_u32(
+            w,
+            match self.kind {
+                GridKind::Gx1 => 1,
+                GridKind::Gx01 => 2,
+                GridKind::Custom => 0,
+            },
+        )?;
+        write_f64s(w, &self.metrics.dxt)?;
+        write_f64s(w, &self.metrics.dyt)?;
+        write_f64s(w, &self.metrics.dxu)?;
+        write_f64s(w, &self.metrics.dyu)?;
+        write_f64s(w, &self.metrics.lat_t)?;
+        write_f64s(w, &self.ht)?;
+        Ok(())
+    }
+
+    /// Deserialize a grid from a reader; `hu` and the mask are rebuilt from
+    /// the depth field (they are derived data).
+    pub fn read_from(r: &mut impl Read) -> Result<Grid, GridIoError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(GridIoError::Format("bad magic".into()));
+        }
+        let version = read_u32(r)?;
+        if version != VERSION {
+            return Err(GridIoError::Format(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let nx = read_u32(r)? as usize;
+        let ny = read_u32(r)? as usize;
+        if nx == 0 || ny == 0 || nx.saturating_mul(ny) > (1 << 28) {
+            return Err(GridIoError::Format(format!("implausible dims {nx}x{ny}")));
+        }
+        let periodic_x = read_u32(r)? != 0;
+        let kind = match read_u32(r)? {
+            1 => GridKind::Gx1,
+            2 => GridKind::Gx01,
+            _ => GridKind::Custom,
+        };
+        let n = nx * ny;
+        let metrics = Metrics {
+            nx,
+            ny,
+            dxt: read_f64s(r, n)?,
+            dyt: read_f64s(r, n)?,
+            dxu: read_f64s(r, n)?,
+            dyu: read_f64s(r, n)?,
+            lat_t: read_f64s(r, ny)?,
+        };
+        if metrics
+            .dxt
+            .iter()
+            .chain(&metrics.dyt)
+            .any(|&d| !(d.is_finite() && d > 0.0))
+        {
+            return Err(GridIoError::Format("nonpositive spacing".into()));
+        }
+        let depth = read_f64s(r, n)?;
+        if depth.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(GridIoError::Format("invalid depth".into()));
+        }
+        let bathy = crate::bathymetry::Bathymetry {
+            nx,
+            ny,
+            depth,
+        };
+        Ok(Grid::from_parts(kind, metrics, &bathy, periodic_x))
+    }
+
+    /// Save to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Load from a file path.
+    pub fn load(path: impl AsRef<Path>) -> Result<Grid, GridIoError> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Grid::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = Grid::gx1_scaled(123, 48, 40);
+        let mut buf = Vec::new();
+        g.write_to(&mut buf).expect("write");
+        let back = Grid::read_from(&mut buf.as_slice()).expect("read");
+        assert_eq!(back.nx, g.nx);
+        assert_eq!(back.ny, g.ny);
+        assert_eq!(back.periodic_x, g.periodic_x);
+        assert_eq!(back.kind, g.kind);
+        assert_eq!(back.ht, g.ht);
+        assert_eq!(back.hu, g.hu, "hu must be rebuilt identically");
+        assert_eq!(back.mask, g.mask);
+        assert_eq!(back.metrics.dxt, g.metrics.dxt);
+        assert_eq!(back.metrics.lat_t, g.metrics.lat_t);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let junk = b"NOTAGRID-----------------";
+        assert!(matches!(
+            Grid::read_from(&mut junk.as_slice()),
+            Err(GridIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = Grid::idealized_basin(12, 10, 100.0, 1.0e4);
+        let mut buf = Vec::new();
+        g.write_to(&mut buf).expect("write");
+        buf.truncate(buf.len() / 2);
+        assert!(Grid::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let g = Grid::idealized_basin(8, 8, 100.0, 1.0e4);
+        let mut buf = Vec::new();
+        g.write_to(&mut buf).expect("write");
+        buf[8] = 99; // version byte
+        assert!(matches!(
+            Grid::read_from(&mut buf.as_slice()),
+            Err(GridIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = Grid::gx01_scaled(7, 36, 24);
+        let dir = std::env::temp_dir().join("pop_grid_io_test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("grid.popgrid");
+        g.save(&path).expect("save");
+        let back = Grid::load(&path).expect("load");
+        assert_eq!(back.ht, g.ht);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,62 @@
+//! Surface forcing and Coriolis profiles for the mini ocean model.
+
+/// Double-gyre zonal wind stress (N/m²): the classic profile that drives a
+/// subtropical/subpolar gyre pair,
+/// `τx(y) = −τ0 · cos(2π · y_frac)`, with `y_frac ∈ [0, 1]` from the
+/// southern to the northern boundary.
+pub fn double_gyre_wind(tau0: f64, y_frac: f64) -> f64 {
+    -tau0 * (2.0 * std::f64::consts::PI * y_frac).cos()
+}
+
+/// Coriolis parameter `f = 2Ω sin(φ)` (1/s).
+pub fn coriolis(lat_rad: f64) -> f64 {
+    2.0 * 7.292e-5 * lat_rad.sin()
+}
+
+/// A meridional reference temperature profile (°C) decreasing poleward and
+/// with depth: `T(y_frac, level) = 28·cos(π(y_frac − 0.5)) · exp(−z_frac)`,
+/// plus a 2 °C abyssal floor.
+pub fn reference_temperature(y_frac: f64, level_frac: f64) -> f64 {
+    let surface = 28.0 * (std::f64::consts::PI * (y_frac - 0.5)).cos();
+    2.0 + (surface - 2.0).max(0.0) * (-2.5 * level_frac).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wind_is_a_double_gyre() {
+        let t0 = 0.1;
+        // Westward at both boundaries and mid-basin eastward... actually the
+        // cosine profile: −τ0 at y=0, +τ0 at y=0.5, −τ0 at y=1.
+        assert!((double_gyre_wind(t0, 0.0) + t0).abs() < 1e-12);
+        assert!((double_gyre_wind(t0, 0.5) - t0).abs() < 1e-12);
+        assert!((double_gyre_wind(t0, 1.0) + t0).abs() < 1e-12);
+        // Curl changes sign at mid-basin: two gyres.
+    }
+
+    #[test]
+    fn coriolis_signs() {
+        assert!(coriolis(0.5) > 0.0, "northern hemisphere");
+        assert!(coriolis(-0.5) < 0.0, "southern hemisphere");
+        assert_eq!(coriolis(0.0), 0.0);
+    }
+
+    #[test]
+    fn reference_temperature_plausible() {
+        // Warmest at the surface equator-side, cold at depth and poles.
+        let warm = reference_temperature(0.5, 0.0);
+        let polar = reference_temperature(0.0, 0.0);
+        let deep = reference_temperature(0.5, 1.0);
+        assert!(warm > 25.0);
+        assert!(polar < warm);
+        assert!(deep < 7.0);
+        for y in [0.0, 0.3, 0.7, 1.0] {
+            for z in [0.0, 0.5, 1.0] {
+                let t = reference_temperature(y, z);
+                assert!((0.0..35.0).contains(&t));
+            }
+        }
+    }
+}

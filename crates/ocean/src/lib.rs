@@ -1,0 +1,29 @@
+//! A reduced-physics POP-like ocean model (DESIGN.md substitution S3).
+//!
+//! Full POP is ~100k lines of Fortran; what the paper's verification
+//! experiments (§6) actually require of the model is much smaller:
+//!
+//! 1. the **real elliptic solve in the time loop** — the implicit
+//!    free-surface barotropic mode, `[φ − ∇·H∇] ηⁿ⁺¹ = ψ(ηⁿ, u*, τ)`,
+//!    solved by the `pop-core` solvers under test;
+//! 2. a **prognostic three-dimensional temperature field**, the diagnostic
+//!    the paper found most revealing; and
+//! 3. **chaotic sensitivity**, so an `O(10⁻¹⁴)` initial perturbation grows
+//!    into genuinely distinct-but-statistically-equivalent realizations —
+//!    the foundation of the ensemble-based RMSZ test.
+//!
+//! [`MiniPop`] provides exactly that: a wind-driven double-gyre ocean with
+//! nonlinear momentum advection (the chaos source), an implicit free surface
+//! (the solver in the loop), and temperature carried in several layers with
+//! depth-attenuated advection. [`BarotropicMode`] is the reusable
+//! solver-in-the-loop piece, also used on the production-shaped grids by the
+//! experiment harness.
+
+pub mod barotropic;
+pub mod forcing;
+pub mod model;
+pub mod setup;
+
+pub use barotropic::BarotropicMode;
+pub use model::{MiniPop, MiniPopConfig, ModelState};
+pub use setup::{SolverChoice, SolverSetup};

@@ -1,0 +1,30 @@
+//! Performance models for the barotropic solvers at production scale.
+//!
+//! This crate is substitution **S2** of `DESIGN.md`: we cannot put 16,875
+//! cores under the solvers, so the scaling figures are produced by the
+//! paper's *own* cost model — Equations (2), (3), (5) and (6) — driven by
+//! the real, measured iteration counts and communication events from
+//! `pop-core` solves, with per-machine parameters calibrated against the
+//! absolute numbers the paper reports for Yellowstone and Edison.
+//!
+//! The model decomposes one solver iteration into the same three terms the
+//! paper uses:
+//!
+//! ```text
+//! T_c = f · (N²/p) · θ              computation (f from Eqs. 2/3/5/6)
+//! T_b = 4α + (8N/√p) · β            boundary (halo) update
+//! T_g = 2(N²/p)θ + log₂(p)·α_r      fused global reduction (+ noise)
+//! ```
+//!
+//! ChronGear pays `T_g` every iteration; P-CSI only at convergence checks.
+//! Everything else (how many iterations, how many checks) comes from the
+//! measured [`SolverProfile`].
+
+pub mod cost;
+pub mod machine;
+pub mod paper;
+pub mod popmodel;
+
+pub use cost::{CostBreakdown, PrecondKind, SolverKind, SolverProfile};
+pub use machine::{MachineModel, NoiseModel};
+pub use popmodel::{PopConfig, PopModel, PopTimings};

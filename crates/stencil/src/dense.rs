@@ -1,0 +1,270 @@
+//! A small dense-matrix workhorse: storage, LU with partial pivoting, solves
+//! and inverses.
+//!
+//! Index-style loops are deliberate here (triangular ranges, pivoted
+//! permutations); the iterator forms obscure the linear algebra.
+//!
+//! Used in two places: as the reference solver the block preconditioners are
+//! validated against (block-LU preconditioning, paper §4.1), and to invert
+//! the EVP influence-coefficient matrix `W` (paper Algorithm 3, step 8).
+//! Sizes stay small — sub-domain blocks of at most a few hundred unknowns —
+//! so a straightforward O(n³) factorization is the right tool.
+
+#![allow(clippy::needless_range_loop)]
+
+/// Row-major dense square matrix.
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// An LU factorization (PA = LU) ready to solve.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Build from an entry function.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.data[r * n + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// `y = M x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for r in 0..self.n {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Symmetry check to absolute tolerance `tol` (relative to the largest
+    /// entry).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        let scale = self
+            .data
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-300);
+        for r in 0..self.n {
+            for c in r + 1..self.n {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol * scale {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// LU factorization with partial pivoting. Fails on (numerically)
+    /// singular matrices.
+    pub fn lu(&self) -> Result<LuFactors, SingularMatrix> {
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for r in k + 1..n {
+                let v = lu[r * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = r;
+                }
+            }
+            if pmax < 1e-300 {
+                return Err(SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, p * n + c);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for r in k + 1..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                for c in k + 1..n {
+                    lu[r * n + c] -= factor * lu[k * n + c];
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, piv })
+    }
+
+    /// Explicit inverse via LU (used for the EVP influence matrix `R = W⁻¹`).
+    pub fn inverse(&self) -> Result<DenseMatrix, SingularMatrix> {
+        let f = self.lu()?;
+        let n = self.n;
+        let mut inv = DenseMatrix::zeros(n);
+        let mut e = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        for c in 0..n {
+            e.fill(0.0);
+            e[c] = 1.0;
+            f.solve_into(&e, &mut x);
+            for r in 0..n {
+                inv.set(r, c, x[r]);
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Error: zero pivot at the given elimination step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix {
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "singular matrix (zero pivot at step {})", self.pivot)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl LuFactors {
+    /// Solve `A x = b` into `x`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        // Apply permutation.
+        for r in 0..n {
+            x[r] = b[self.piv[r]];
+        }
+        // Forward substitution (unit lower).
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = acc;
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in r + 1..n {
+                acc -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = acc / self.lu[r * n + r];
+        }
+    }
+
+    /// Solve, allocating the result.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11]
+        let a = DenseMatrix::from_fn(2, |r, c| [[4.0, 1.0], [1.0, 3.0]][r][c]);
+        let f = a.lu().expect("nonsingular");
+        let x = f.solve(&[1.0, 2.0]);
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-14);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_fn(2, |r, c| [[0.0, 1.0], [1.0, 0.0]][r][c]);
+        let f = a.lu().expect("nonsingular with pivoting");
+        let x = f.solve(&[5.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_fn(3, |r, c| ((r + 1) * (c + 1)) as f64); // rank 1
+        assert!(a.lu().is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let n = 12;
+        // Diagonally dominant random-ish symmetric matrix.
+        let a = DenseMatrix::from_fn(n, |r, c| {
+            if r == c {
+                20.0 + r as f64
+            } else {
+                (((r * 31 + c * 17) % 13) as f64 - 6.0) / 13.0
+            }
+        });
+        let inv = a.inverse().expect("invertible");
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += inv.get(r, k) * a.get(k, c);
+                }
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-10, "({r},{c}): {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_matvec_roundtrip() {
+        let n = 20;
+        let a = DenseMatrix::from_fn(n, |r, c| {
+            if r == c {
+                10.0
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            }
+        });
+        let x_true: Vec<f64> = (0..n).map(|k| (k as f64 * 0.7).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.matvec(&x_true, &mut b);
+        let x = a.lu().expect("ok").solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-11);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The pass/fail consistency decision (paper §6, Fig. 13).
+
+use crate::ensemble::EnsembleStats;
+
+/// Outcome of the consistency test for one candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The candidate's RMSZ stays within (a small margin of) the envelope
+    /// the ensemble members themselves produce: statistically the same
+    /// climate.
+    Consistent,
+    /// The candidate is noticeably removed from the ensemble distribution —
+    /// what the paper observes for tolerances 1e-10 and 1e-11.
+    Inconsistent,
+}
+
+/// Full result of evaluating one candidate against an ensemble.
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    /// Candidate RMSZ per month.
+    pub rmsz: Vec<f64>,
+    /// Ensemble members' leave-one-out RMSZ (min, max) per month.
+    pub member_range: Vec<(f64, f64)>,
+    /// Months on which the candidate exceeded the acceptance threshold.
+    pub failing_months: Vec<usize>,
+    pub verdict: Verdict,
+    /// The margin that was applied to the member envelope.
+    pub margin: f64,
+}
+
+/// Evaluate a candidate's monthly fields against the ensemble.
+///
+/// The candidate passes a month if its RMSZ is at most `margin` times the
+/// largest member leave-one-out RMSZ for that month; it is judged
+/// [`Verdict::Consistent`] when at most `allowed_failures` months fail.
+/// The paper's flagged cases exceed the envelope by orders of magnitude, so
+/// the outcome is insensitive to the exact margin; the default of 2 with one
+/// allowed excursion absorbs sampling noise of a finite ensemble.
+pub fn evaluate(
+    ensemble: &EnsembleStats,
+    candidate_months: &[Vec<f64>],
+    margin: f64,
+    allowed_failures: usize,
+) -> ConsistencyReport {
+    let rmsz = ensemble.rmsz_series(candidate_months);
+    let mut failing = Vec::new();
+    for (t, z) in rmsz.iter().enumerate() {
+        let (_, hi) = ensemble.member_rmsz_range[t];
+        if *z > margin * hi {
+            failing.push(t);
+        }
+    }
+    let verdict = if failing.len() <= allowed_failures {
+        Verdict::Consistent
+    } else {
+        Verdict::Inconsistent
+    };
+    ConsistencyReport {
+        rmsz,
+        member_range: ensemble.member_rmsz_range.clone(),
+        failing_months: failing,
+        verdict,
+        margin,
+    }
+}
+
+/// The default acceptance margin.
+pub const DEFAULT_MARGIN: f64 = 2.0;
+
+/// The default number of tolerated excursions.
+pub const DEFAULT_ALLOWED_FAILURES: usize = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::EnsembleStats;
+
+    /// A synthetic ensemble: three members around a sine field.
+    fn synthetic() -> EnsembleStats {
+        let n = 64;
+        let field = |phase: f64| -> Vec<f64> {
+            (0..n).map(|k| (k as f64 * 0.2 + phase).sin()).collect()
+        };
+        let member_months: Vec<Vec<Vec<f64>>> = (0..6)
+            .map(|m| {
+                (0..3)
+                    .map(|t| field(0.001 * m as f64 + 0.01 * t as f64))
+                    .collect()
+            })
+            .collect();
+        EnsembleStats::from_member_months(member_months)
+    }
+
+    #[test]
+    fn member_like_candidate_is_consistent() {
+        let e = synthetic();
+        // A candidate that *is* one of the members (month fields cloned).
+        let cand: Vec<Vec<f64>> = e.member_months[2].clone();
+        let report = evaluate(&e, &cand, DEFAULT_MARGIN, DEFAULT_ALLOWED_FAILURES);
+        assert_eq!(report.verdict, Verdict::Consistent, "{report:?}");
+    }
+
+    #[test]
+    fn wild_candidate_is_flagged() {
+        let e = synthetic();
+        let months = e.months();
+        let n = e.moments[0].mean.len();
+        let cand: Vec<Vec<f64>> = (0..months)
+            .map(|_| vec![17.0; n]) // far outside the ensemble
+            .collect();
+        let report = evaluate(&e, &cand, DEFAULT_MARGIN, DEFAULT_ALLOWED_FAILURES);
+        assert_eq!(report.verdict, Verdict::Inconsistent);
+        assert_eq!(report.failing_months.len(), months);
+        assert!(report.rmsz.iter().all(|&z| z > 10.0));
+    }
+
+    #[test]
+    fn single_excursion_tolerated() {
+        let e = synthetic();
+        let mut cand: Vec<Vec<f64>> = e.member_months[0].clone();
+        // Corrupt exactly one month badly.
+        for v in &mut cand[1] {
+            *v += 100.0;
+        }
+        let report = evaluate(&e, &cand, DEFAULT_MARGIN, 1);
+        assert_eq!(report.failing_months, vec![1]);
+        assert_eq!(report.verdict, Verdict::Consistent);
+        let strict = evaluate(&e, &cand, DEFAULT_MARGIN, 0);
+        assert_eq!(strict.verdict, Verdict::Inconsistent);
+    }
+}

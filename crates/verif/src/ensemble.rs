@@ -1,0 +1,225 @@
+//! Running perturbation ensembles and candidate simulations.
+
+use crate::stats::EnsembleMoments;
+use pop_comm::CommWorld;
+use pop_grid::Grid;
+use pop_ocean::model::ModelState;
+use pop_ocean::{MiniPop, MiniPopConfig, SolverChoice};
+
+/// Setup of a §6 verification campaign.
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Ensemble size (paper: 40).
+    pub members: usize,
+    /// Initial temperature perturbation magnitude (paper: 1e-14).
+    pub perturbation: f64,
+    /// Number of "months" recorded (paper: 12–24).
+    pub months: usize,
+    /// Model steps per month.
+    pub steps_per_month: usize,
+    /// Spin-up steps before the ensemble branches (so variability is about
+    /// the developed, eddying state, not the spin-up transient).
+    pub spinup_steps: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            members: 40,
+            perturbation: 1e-14,
+            months: 12,
+            steps_per_month: 400,
+            spinup_steps: 3000,
+        }
+    }
+}
+
+/// A shared spun-up baseline from which ensemble members and candidate runs
+/// branch. Holds the grid, the base model configuration, and the snapshot.
+pub struct VerificationLab {
+    pub grid: Grid,
+    pub base: MiniPopConfig,
+    pub config: EnsembleConfig,
+    spinup: ModelState,
+}
+
+impl VerificationLab {
+    /// Spin the base model up once and capture the branching state.
+    pub fn new(grid: Grid, base: MiniPopConfig, config: EnsembleConfig, world: &CommWorld) -> Self {
+        let mut model = MiniPop::new(grid.clone(), base.clone(), world);
+        model.run(world, config.spinup_steps);
+        assert!(model.is_healthy(), "spin-up produced an unhealthy state");
+        let spinup = model.snapshot();
+        VerificationLab {
+            grid,
+            base,
+            config,
+            spinup,
+        }
+    }
+
+    /// Run one trajectory from the spun-up state, with an optional initial
+    /// temperature perturbation, under the given solver and tolerance.
+    /// Returns the temperature field at the end of each month.
+    pub fn run_trajectory(
+        &self,
+        world: &CommWorld,
+        perturb_seed: Option<u64>,
+        solver: SolverChoice,
+        tolerance: f64,
+    ) -> Vec<Vec<f64>> {
+        let mut cfg = self.base.clone();
+        cfg.solver = solver;
+        cfg.tolerance = tolerance;
+        let mut model = MiniPop::new(self.grid.clone(), cfg, world);
+        model.restore(&self.spinup);
+        if let Some(seed) = perturb_seed {
+            model.perturb_temperature(self.config.perturbation, seed);
+        }
+        let mut months = Vec::with_capacity(self.config.months);
+        for _ in 0..self.config.months {
+            model.run(world, self.config.steps_per_month);
+            months.push(model.temperature_vector());
+        }
+        assert!(model.is_healthy(), "trajectory went unhealthy");
+        months
+    }
+
+    /// Run the full perturbation ensemble with the *default* solver setup
+    /// (the reference configuration, as in the paper).
+    pub fn build_ensemble(&self, world: &CommWorld) -> EnsembleStats {
+        let mut member_months = Vec::with_capacity(self.config.members);
+        for m in 0..self.config.members {
+            let months = self.run_trajectory(
+                world,
+                Some(m as u64 + 1),
+                self.base.solver,
+                self.base.tolerance,
+            );
+            member_months.push(months);
+        }
+        EnsembleStats::from_member_months(member_months)
+    }
+}
+
+/// Monthly ensemble statistics plus the per-member RMSZ envelope
+/// (the yellow band of the paper's Fig. 13).
+pub struct EnsembleStats {
+    /// `member_months[m][t]` = member m's field at month t.
+    pub member_months: Vec<Vec<Vec<f64>>>,
+    /// Pointwise moments per month (over all members).
+    pub moments: Vec<EnsembleMoments>,
+    /// Per month: (min, max) leave-one-out RMSZ across members.
+    pub member_rmsz_range: Vec<(f64, f64)>,
+}
+
+impl EnsembleStats {
+    pub fn from_member_months(member_months: Vec<Vec<Vec<f64>>>) -> Self {
+        assert!(member_months.len() >= 3, "ensemble too small");
+        let months = member_months[0].len();
+        assert!(
+            member_months.iter().all(|m| m.len() == months),
+            "ragged ensemble"
+        );
+        let mut moments = Vec::with_capacity(months);
+        let mut ranges = Vec::with_capacity(months);
+        for t in 0..months {
+            let fields: Vec<&[f64]> = member_months.iter().map(|m| m[t].as_slice()).collect();
+            moments.push(EnsembleMoments::from_members(&fields));
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for skip in 0..fields.len() {
+                let loo = EnsembleMoments::leave_one_out(&fields, skip);
+                let z = crate::stats::rmsz(fields[skip], &loo, crate::stats::SIGMA_FLOOR);
+                lo = lo.min(z);
+                hi = hi.max(z);
+            }
+            ranges.push((lo, hi));
+        }
+        EnsembleStats {
+            member_months,
+            moments,
+            member_rmsz_range: ranges,
+        }
+    }
+
+    pub fn months(&self) -> usize {
+        self.moments.len()
+    }
+
+    pub fn members(&self) -> usize {
+        self.member_months.len()
+    }
+
+    /// RMSZ of a candidate's monthly fields against this ensemble.
+    pub fn rmsz_series(&self, candidate_months: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(candidate_months.len(), self.months(), "month count mismatch");
+        candidate_months
+            .iter()
+            .zip(&self.moments)
+            .map(|(field, m)| crate::stats::rmsz(field, m, crate::stats::SIGMA_FLOOR))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_ocean::SolverChoice;
+
+    fn tiny_lab() -> (CommWorld, VerificationLab) {
+        let grid = Grid::idealized_basin(32, 24, 500.0, 2.0e4);
+        let world = CommWorld::serial();
+        let mut base = MiniPopConfig::eddying_for(&grid);
+        base.nlev = 2;
+        let cfg = EnsembleConfig {
+            members: 4,
+            perturbation: 1e-14,
+            months: 2,
+            steps_per_month: 30,
+            spinup_steps: 60,
+        };
+        let lab = VerificationLab::new(grid, base, cfg, &world);
+        (world, lab)
+    }
+
+    #[test]
+    fn trajectories_are_deterministic_and_branch_from_spinup() {
+        let (world, lab) = tiny_lab();
+        let a = lab.run_trajectory(&world, Some(1), SolverChoice::ChronGearDiag, 1e-13);
+        let b = lab.run_trajectory(&world, Some(1), SolverChoice::ChronGearDiag, 1e-13);
+        assert_eq!(a, b, "same seed ⇒ identical trajectory");
+        let c = lab.run_trajectory(&world, Some(2), SolverChoice::ChronGearDiag, 1e-13);
+        assert_ne!(a, c, "different seeds ⇒ different trajectories");
+    }
+
+    #[test]
+    fn ensemble_stats_shape() {
+        let (world, lab) = tiny_lab();
+        let e = lab.build_ensemble(&world);
+        assert_eq!(e.members(), 4);
+        assert_eq!(e.months(), 2);
+        assert_eq!(e.member_rmsz_range.len(), 2);
+        for &(lo, hi) in &e.member_rmsz_range {
+            assert!(lo <= hi);
+            assert!(lo.is_finite() && hi.is_finite());
+        }
+    }
+
+    #[test]
+    fn unperturbed_candidate_with_same_solver_scores_low() {
+        // The candidate *is* the ensemble's parent trajectory; its deviation
+        // from the ensemble mean is comparable to the members' own spread.
+        let (world, lab) = tiny_lab();
+        let e = lab.build_ensemble(&world);
+        let cand = lab.run_trajectory(&world, None, SolverChoice::ChronGearDiag, 1e-13);
+        let series = e.rmsz_series(&cand);
+        for (t, z) in series.iter().enumerate() {
+            let (_, hi) = e.member_rmsz_range[t];
+            assert!(
+                *z <= 10.0 * hi.max(1.0),
+                "month {t}: candidate RMSZ {z} vs member max {hi}"
+            );
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The metric math: RMSE, pointwise ensemble moments, and RMSZ.
+
+/// Root-mean-square error between two equally long fields.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "field length mismatch");
+    assert!(!a.is_empty(), "empty fields");
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Pointwise mean and standard deviation over ensemble members.
+#[derive(Debug, Clone)]
+pub struct EnsembleMoments {
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+impl EnsembleMoments {
+    /// Compute moments from member fields (each of equal length). Uses the
+    /// sample (n−1) standard deviation, as the ensemble is a sample of the
+    /// model's variability.
+    pub fn from_members(members: &[&[f64]]) -> Self {
+        assert!(members.len() >= 2, "need at least two members");
+        let n = members[0].len();
+        assert!(members.iter().all(|m| m.len() == n), "member length mismatch");
+        let mut mean = vec![0.0; n];
+        for m in members {
+            for (acc, v) in mean.iter_mut().zip(*m) {
+                *acc += v;
+            }
+        }
+        let inv = 1.0 / members.len() as f64;
+        for v in &mut mean {
+            *v *= inv;
+        }
+        let mut var = vec![0.0; n];
+        for m in members {
+            for ((acc, v), mu) in var.iter_mut().zip(*m).zip(&mean) {
+                let d = v - mu;
+                *acc += d * d;
+            }
+        }
+        let invn1 = 1.0 / (members.len() - 1) as f64;
+        let std = var.into_iter().map(|v| (v * invn1).sqrt()).collect();
+        EnsembleMoments { mean, std }
+    }
+
+    /// Leave-one-out moments: the ensemble with member `skip` removed.
+    pub fn leave_one_out(members: &[&[f64]], skip: usize) -> Self {
+        let subset: Vec<&[f64]> = members
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != skip)
+            .map(|(_, m)| *m)
+            .collect();
+        Self::from_members(&subset)
+    }
+}
+
+/// Root-mean-square Z-score of field `x` against ensemble moments
+/// (paper §6):
+///
+/// ```text
+/// RMSZ(x, E) = sqrt( 1/n Σ_j ((x(j) − μ(j)) / δ(j))² )
+/// ```
+///
+/// Points where the ensemble spread is numerically zero (below
+/// `sigma_floor` relative to the largest spread) carry no information about
+/// variability and are excluded from the sum; with a real perturbation
+/// ensemble there are essentially none.
+pub fn rmsz(x: &[f64], moments: &EnsembleMoments, sigma_floor: f64) -> f64 {
+    assert_eq!(x.len(), moments.mean.len(), "field length mismatch");
+    let max_sigma = moments.std.iter().copied().fold(0.0f64, f64::max);
+    let floor = sigma_floor * max_sigma.max(1e-300);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for ((xv, mu), sd) in x.iter().zip(&moments.mean).zip(&moments.std) {
+        if *sd > floor {
+            let z = (xv - mu) / sd;
+            sum += z * z;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return 0.0;
+    }
+    (sum / count as f64).sqrt()
+}
+
+/// Default relative σ floor used by the experiments.
+pub const SIGMA_FLOOR: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_length_checked() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn moments_of_simple_ensemble() {
+        let a = [1.0, 10.0];
+        let b = [3.0, 10.0];
+        let m = EnsembleMoments::from_members(&[&a, &b]);
+        assert_eq!(m.mean, vec![2.0, 10.0]);
+        // Sample std of {1, 3} = sqrt(2); of {10, 10} = 0.
+        assert!((m.std[0] - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(m.std[1], 0.0);
+    }
+
+    #[test]
+    fn rmsz_of_member_near_one() {
+        // For a large Gaussian-ish ensemble, a member's own RMSZ ≈ 1.
+        let n = 2000;
+        let members: Vec<Vec<f64>> = (0..30u64)
+            .map(|s| {
+                (0..n)
+                    .map(|k| {
+                        let mut h = (k as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s.wrapping_mul(0xD1B54A32D192ED03));
+                        h ^= h >> 31;
+                        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+                        h ^= h >> 33;
+                        // Sum of 4 uniforms ≈ Gaussian (CLT), mean 2, var 1/3.
+                        let mut acc = 0.0;
+                        let mut hh = h;
+                        for _ in 0..4 {
+                            hh = hh.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                            acc += (hh >> 11) as f64 / (1u64 << 53) as f64;
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = members.iter().map(|m| m.as_slice()).collect();
+        for skip in [0usize, 7, 29] {
+            let loo = EnsembleMoments::leave_one_out(&refs, skip);
+            let z = rmsz(&members[skip], &loo, SIGMA_FLOOR);
+            assert!((0.6..1.6).contains(&z), "member {skip}: RMSZ {z}");
+        }
+    }
+
+    #[test]
+    fn rmsz_scales_with_injected_error() {
+        // A candidate that deviates by c·σ from the mean has RMSZ ≈ c: the
+        // property that lets the test flag loose solver tolerances by the
+        // order of the error they introduce (paper: "RMSZ scores on the same
+        // order as the error they introduced").
+        let n = 500;
+        let members: Vec<Vec<f64>> = (0..20u64)
+            .map(|s| (0..n).map(|k| ((k as f64) * 0.1).sin() + (s as f64 - 9.5) * 0.01).collect())
+            .collect();
+        let refs: Vec<&[f64]> = members.iter().map(|m| m.as_slice()).collect();
+        let m = EnsembleMoments::from_members(&refs);
+        for c in [1.0, 10.0, 100.0] {
+            let candidate: Vec<f64> = m
+                .mean
+                .iter()
+                .zip(&m.std)
+                .map(|(mu, sd)| mu + c * sd)
+                .collect();
+            let z = rmsz(&candidate, &m, SIGMA_FLOOR);
+            assert!((z - c).abs() < 0.02 * c, "c = {c}, RMSZ = {z}");
+        }
+    }
+
+    #[test]
+    fn zero_spread_points_excluded() {
+        let a = [1.0, 5.0];
+        let b = [3.0, 5.0];
+        let m = EnsembleMoments::from_members(&[&a, &b]);
+        // Second point has σ = 0; a wild value there must not blow up RMSZ.
+        let z = rmsz(&[2.0, 999.0], &m, SIGMA_FLOOR);
+        assert_eq!(z, 0.0, "deviation at σ=0 points is not scored");
+    }
+
+    #[test]
+    fn leave_one_out_excludes_the_member() {
+        let a = [0.0];
+        let b = [2.0];
+        let c = [4.0];
+        let loo = EnsembleMoments::leave_one_out(&[&a, &b, &c], 1);
+        assert_eq!(loo.mean, vec![2.0]); // mean of {0, 4}
+        assert!((loo.std[0] - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! Run the mini-POP ocean model — a wind-driven double gyre with the real
+//! barotropic solver in the loop — and print circulation diagnostics as it
+//! spins up into the chaotic eddying regime.
+//!
+//! Run with: `cargo run --release --example gyre_simulation`
+
+use pop_baro::prelude::*;
+
+fn main() {
+    let grid = Grid::idealized_basin(64, 48, 500.0, 2.0e4);
+    let world = CommWorld::serial();
+    let mut cfg = MiniPopConfig::eddying_for(&grid);
+    cfg.solver = SolverChoice::PcsiEvp; // the paper's solver drives the ocean
+    cfg.nlev = 3;
+    println!(
+        "1.5-layer reduced-gravity double gyre: {}x{} at {:.0} km, dt = {:.0}s, solver = {}",
+        grid.nx,
+        grid.ny,
+        grid.metrics.dx(0, 0) / 1e3,
+        cfg.tau,
+        cfg.solver.label()
+    );
+
+    let mut model = MiniPop::new(grid, cfg, &world);
+    println!(
+        "\n{:>6} {:>12} {:>10} {:>10} {:>12} {:>8}",
+        "step", "KE (m2/s2)", "max|eta|", "mean eta", "T range", "K/solve"
+    );
+    for chunk in 1..=10 {
+        model.run(&world, 400);
+        let tv = model.temperature_vector();
+        let tmin = tv.iter().copied().fold(f64::INFINITY, f64::min);
+        let tmax = tv.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:>6} {:>12.3e} {:>9.2}m {:>9.2e} {:>5.1}..{:<5.1} {:>8.1}",
+            chunk * 400,
+            model.kinetic_energy(),
+            model.max_eta(),
+            model.mean_eta(),
+            tmin,
+            tmax,
+            model.barotropic.mean_iterations()
+        );
+        assert!(model.is_healthy(), "model went unstable");
+    }
+    println!(
+        "\nvolume conservation: mean surface height {:.2e} m after {} steps \
+         (exact up to round-off by the adjoint-pair discretization)",
+        model.mean_eta(),
+        model.steps
+    );
+    println!(
+        "barotropic solver: {} solves, {:.1} iterations on average",
+        model.barotropic.solves,
+        model.barotropic.mean_iterations()
+    );
+}

@@ -1,0 +1,68 @@
+//! Domain decomposition the way POP does it at scale: block the grid,
+//! eliminate all-land blocks, and assign the survivors to ranks along a
+//! Hilbert space-filling curve, comparing load balance and communication
+//! locality against naive row-major assignment.
+//!
+//! Run with: `cargo run --release --example partitioning`
+
+use pop_baro::grid::sfc::CurveKind;
+use pop_baro::prelude::*;
+
+fn main() {
+    let grid = Grid::gx01_scaled(2015, 360, 240);
+    println!(
+        "grid {}x{}, {:.0}% ocean",
+        grid.nx,
+        grid.ny,
+        100.0 * grid.ocean_fraction()
+    );
+
+    for p in [64usize, 256, 1024] {
+        let d = Decomposition::for_core_count(&grid, p, (3, 2));
+        println!(
+            "\ntarget {} cores: blocks {}x{} -> {} active blocks, {} land blocks eliminated ({:.0}%)",
+            p,
+            d.block_nx,
+            d.block_ny,
+            d.blocks.len(),
+            d.eliminated_blocks,
+            100.0 * d.land_block_fraction()
+        );
+        for kind in [CurveKind::Hilbert, CurveKind::Morton, CurveKind::RowMajor] {
+            let ra = d.assign_ranks(p, kind);
+            // Load balance: ocean points per rank.
+            let loads: Vec<usize> = ra
+                .blocks_of_rank
+                .iter()
+                .map(|bs| bs.iter().map(|&b| d.blocks[b].ocean_points).sum())
+                .collect();
+            let max = *loads.iter().max().expect("ranks");
+            let mean = loads.iter().sum::<usize>() as f64 / p as f64;
+            // Locality: how many distinct remote ranks each rank talks to.
+            let mut partners = 0usize;
+            for (rank, bs) in ra.blocks_of_rank.iter().enumerate() {
+                let mut remote: Vec<usize> = bs
+                    .iter()
+                    .flat_map(|&b| d.neighbors[b].iter().flatten().copied())
+                    .map(|nb| ra.rank_of_block[nb])
+                    .filter(|&r| r != rank)
+                    .collect();
+                remote.sort_unstable();
+                remote.dedup();
+                partners += remote.len();
+            }
+            println!(
+                "  {:>9}: load imbalance {:>5.2}x, avg communication partners/rank {:>5.2}, idle ranks {}",
+                format!("{kind:?}"),
+                max as f64 / mean,
+                partners as f64 / p as f64,
+                ra.idle_ranks()
+            );
+        }
+    }
+    println!(
+        "\nthe Hilbert curve keeps each rank's blocks spatially compact: fewer\n\
+         communication partners at the same load balance (Dennis, IPDPS'07 —\n\
+         the partitioning POP uses in production and the paper's runs rely on)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: assemble a barotropic system on a global-ocean grid and solve
+//! it with each of the paper's four solver/preconditioner configurations,
+//! comparing iteration counts and communication volumes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pop_baro::prelude::*;
+
+fn main() {
+    // A 1°-like global ocean at reduced size: periodic in longitude,
+    // synthetic continents and islands, anisotropic metrics.
+    let grid = Grid::gx1_scaled(2015, 160, 128);
+    println!(
+        "grid: {}x{}, {:.0}% ocean, aspect ratio up to {:.1}",
+        grid.nx,
+        grid.ny,
+        100.0 * grid.ocean_fraction(),
+        grid.metrics.max_aspect_ratio()
+    );
+
+    // Decompose into blocks (land blocks are eliminated) and assemble the
+    // implicit free-surface operator for a 20-minute time step.
+    let layout = DistLayout::build(&grid, 20, 16);
+    println!(
+        "decomposition: {} active blocks ({} all-land blocks eliminated)",
+        layout.decomp.blocks.len(),
+        layout.decomp.eliminated_blocks
+    );
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 1200.0);
+
+    // Manufactured problem: pick the true surface height, compute its RHS.
+    let mut truth = DistVec::zeros(&layout);
+    truth.fill_with(|i, j| ((i as f64) * 0.07).sin() * ((j as f64) * 0.11).cos());
+    world.halo_update(&mut truth);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&world, &truth, &mut rhs);
+
+    let cfg = SolverConfig {
+        tol: 1e-13,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    println!("\n{:<18} {:>6} {:>11} {:>12} {:>10}", "config", "iters", "reductions", "halo updates", "error");
+    for choice in SolverChoice::PAPER_SET {
+        let setup = SolverSetup::new(choice, &op, &world);
+        let mut x = DistVec::zeros(&layout);
+        let stats = setup.solve(&op, &world, &rhs, &mut x, &cfg);
+        assert!(stats.converged, "{} did not converge", choice.label());
+        let mut err = x.clone();
+        err.axpy(-1.0, &truth);
+        let rel = (world.norm2_sq(&err) / world.norm2_sq(&truth)).sqrt();
+        println!(
+            "{:<18} {:>6} {:>11} {:>12} {:>10.2e}",
+            choice.label(),
+            stats.iterations,
+            stats.comm.allreduces,
+            stats.comm.halo_updates,
+            rel
+        );
+    }
+    println!(
+        "\nNote the paper's two effects: EVP cuts iteration counts roughly 2-3x, and\n\
+         P-CSI's reduction count is tiny (convergence checks only) while ChronGear\n\
+         reduces once per iteration - the term that dominates at tens of thousands\n\
+         of cores."
+    );
+}

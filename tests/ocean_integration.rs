@@ -1,0 +1,146 @@
+//! Integration tests of the ocean model + verification pipeline through the
+//! public API: conservation, determinism, restart, solver interchangeability
+//! inside the time loop, and the end-to-end RMSZ discrimination mechanism.
+
+use pop_baro::prelude::*;
+use pop_baro::verif::consistency::{evaluate, Verdict};
+
+fn eddying(nx: usize, ny: usize) -> (CommWorld, MiniPop) {
+    let grid = Grid::idealized_basin(nx, ny, 500.0, 2.0e4);
+    let world = CommWorld::serial();
+    let mut cfg = MiniPopConfig::eddying_for(&grid);
+    cfg.nlev = 2;
+    let m = MiniPop::new(grid, cfg, &world);
+    (world, m)
+}
+
+#[test]
+fn model_conserves_volume_through_the_solver() {
+    let (world, mut m) = eddying(40, 32);
+    m.run(&world, 300);
+    assert!(m.is_healthy());
+    assert!(
+        m.mean_eta().abs() < 1e-9,
+        "volume drift: {}",
+        m.mean_eta()
+    );
+}
+
+#[test]
+fn restart_reproduces_the_trajectory_exactly() {
+    let (world, mut m) = eddying(36, 28);
+    m.run(&world, 60);
+    let snap = m.snapshot();
+    m.run(&world, 40);
+    let a = m.temperature_vector();
+    m.restore(&snap);
+    m.run(&world, 40);
+    let b = m.temperature_vector();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn swapping_the_solver_midrun_keeps_the_short_term_state() {
+    // Run the same ocean with ChronGear+diag and P-CSI+EVP at tight
+    // tolerance: over a short horizon the states must agree to solver
+    // precision (the non-BFB-but-equivalent property §6 is about).
+    let grid = Grid::idealized_basin(36, 28, 500.0, 2.0e4);
+    let world = CommWorld::serial();
+    let mut cfg = MiniPopConfig::eddying_for(&grid);
+    cfg.nlev = 2;
+    let mut a = MiniPop::new(grid.clone(), cfg.clone(), &world);
+    cfg.solver = SolverChoice::PcsiEvp;
+    let mut b = MiniPop::new(grid, cfg, &world);
+    a.run(&world, 40);
+    b.run(&world, 40);
+    let ta = a.temperature_vector();
+    let tb = b.temperature_vector();
+    let mut worst = 0.0f64;
+    for (x, y) in ta.iter().zip(&tb) {
+        worst = worst.max((x - y).abs());
+    }
+    assert!(worst > 0.0, "different solvers cannot be bit-identical");
+    assert!(worst < 1e-7, "they must agree to solver precision: {worst}");
+}
+
+#[test]
+fn rmsz_pipeline_flags_a_loose_solver_end_to_end() {
+    // A miniature Fig-13: small ensemble, one sloppy candidate, one faithful
+    // candidate. The sloppy one must be flagged by orders of magnitude.
+    let grid = Grid::idealized_basin(36, 28, 500.0, 2.0e4);
+    let world = CommWorld::serial();
+    let mut base = MiniPopConfig::eddying_for(&grid);
+    base.nlev = 2;
+    base.tolerance = 1e-13;
+    let cfg = EnsembleConfig {
+        members: 6,
+        perturbation: 1e-14,
+        months: 4,
+        steps_per_month: 150,
+        spinup_steps: 800,
+    };
+    let lab = VerificationLab::new(grid, base, cfg, &world);
+    let ensemble = lab.build_ensemble(&world);
+
+    let sloppy = lab.run_trajectory(&world, None, SolverChoice::ChronGearDiag, 1e-9);
+    let sloppy_report = evaluate(&ensemble, &sloppy, 2.0, 1);
+    assert_eq!(
+        sloppy_report.verdict,
+        Verdict::Inconsistent,
+        "RMSZ: {:?}",
+        sloppy_report.rmsz
+    );
+    // The sloppy candidate is removed by orders of magnitude, not marginally.
+    assert!(sloppy_report.rmsz.iter().any(|&z| z > 100.0));
+
+    let faithful = lab.run_trajectory(&world, None, SolverChoice::ChronGearDiag, 1e-13);
+    let faithful_report = evaluate(&ensemble, &faithful, 2.0, 1);
+    assert_eq!(
+        faithful_report.verdict,
+        Verdict::Consistent,
+        "RMSZ: {:?}",
+        faithful_report.rmsz
+    );
+}
+
+#[test]
+fn barotropic_mode_matches_standalone_solver() {
+    // One BarotropicMode step must equal solving the same system directly.
+    let grid = Grid::idealized_basin(32, 32, 1000.0, 5.0e4);
+    let world = CommWorld::serial();
+    let solver_cfg = SolverConfig {
+        tol: 1e-13,
+        max_iters: 20_000,
+        check_every: 10,
+    };
+    let mut mode = BarotropicMode::new(
+        &grid,
+        &world,
+        16,
+        16,
+        2000.0,
+        SolverChoice::ChronGearDiag,
+        solver_cfg.clone(),
+    );
+    let mut forecast = DistVec::zeros(&mode.layout);
+    forecast.fill_with(|i, j| ((i as f64) * 0.2).sin() + ((j as f64) * 0.1).cos());
+    mode.step(&world, &forecast);
+    let from_mode = mode.eta.to_global();
+
+    // Direct solve of A η = φ·area·f.
+    let op = &mode.op;
+    let mut rhs = DistVec::zeros(&mode.layout);
+    let phi = op.phi;
+    let metrics = grid.metrics.clone();
+    let fc = forecast.to_global();
+    rhs.fill_with(|i, j| phi * metrics.area(i, j) * fc[j * grid.nx + i]);
+    let setup = SolverSetup::new(SolverChoice::ChronGearDiag, op, &world);
+    let mut eta = DistVec::zeros(&mode.layout);
+    let st = setup.solve(op, &world, &rhs, &mut eta, &solver_cfg);
+    assert!(st.converged);
+    let direct = eta.to_global();
+    let scale = direct.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    for (a, b) in from_mode.iter().zip(&direct) {
+        assert!((a - b).abs() < 1e-9 * scale.max(1e-30), "{a} vs {b}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: solvers × preconditioners × grids ×
+//! decompositions, exercised through the public `pop-baro` API exactly as a
+//! downstream user would.
+
+use pop_baro::prelude::*;
+
+/// A manufactured problem on any grid.
+struct Problem {
+    layout: std::sync::Arc<pop_baro::comm::DistLayout>,
+    world: CommWorld,
+    op: NinePoint,
+    rhs: DistVec,
+    truth: DistVec,
+}
+
+fn problem(grid: &Grid, bx: usize, by: usize, tau: f64) -> Problem {
+    let layout = DistLayout::build(grid, bx, by);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(grid, &layout, &world, tau);
+    let mut truth = DistVec::zeros(&layout);
+    truth.fill_with(|i, j| ((i as f64) * 0.13).sin() * ((j as f64) * 0.09).cos() + 0.2);
+    world.halo_update(&mut truth);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&world, &truth, &mut rhs);
+    Problem {
+        layout,
+        world,
+        op,
+        rhs,
+        truth,
+    }
+}
+
+fn rel_err(p: &Problem, x: &DistVec) -> f64 {
+    let mut e = x.clone();
+    e.axpy(-1.0, &p.truth);
+    (p.world.norm2_sq(&e) / p.world.norm2_sq(&p.truth)).sqrt()
+}
+
+#[test]
+fn every_config_solves_every_grid_family() {
+    let grids = [
+        Grid::idealized_basin(40, 40, 1200.0, 5.0e4),
+        Grid::gx1_scaled(11, 64, 56),
+        Grid::gx01_scaled(11, 90, 60),
+    ];
+    let cfg = SolverConfig {
+        tol: 1e-12,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    for grid in &grids {
+        let p = problem(grid, 16, 14, 9000.0);
+        for choice in SolverChoice::PAPER_SET {
+            let setup = SolverSetup::new(choice, &p.op, &p.world);
+            let mut x = DistVec::zeros(&p.layout);
+            let st = setup.solve(&p.op, &p.world, &p.rhs, &mut x, &cfg);
+            assert!(
+                st.converged,
+                "{} on {}x{}: {st:?}",
+                choice.label(),
+                grid.nx,
+                grid.ny
+            );
+            let e = rel_err(&p, &x);
+            assert!(e < 1e-7, "{}: error {e}", choice.label());
+        }
+    }
+}
+
+#[test]
+fn solution_independent_of_decomposition() {
+    // The distributed solve must produce the same answer no matter how the
+    // domain is blocked — the property POP calls reproducibility.
+    let grid = Grid::gx1_scaled(13, 60, 48);
+    let cfg = SolverConfig {
+        tol: 1e-13,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    let mut solutions = Vec::new();
+    for (bx, by) in [(60, 48), (15, 12), (12, 16), (9, 7)] {
+        let p = problem(&grid, bx, by, 9000.0);
+        let setup = SolverSetup::new(SolverChoice::ChronGearDiag, &p.op, &p.world);
+        let mut x = DistVec::zeros(&p.layout);
+        let st = setup.solve(&p.op, &p.world, &p.rhs, &mut x, &cfg);
+        assert!(st.converged);
+        solutions.push(x.to_global());
+    }
+    let scale = solutions[0]
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b.abs()));
+    for s in &solutions[1..] {
+        for (a, b) in solutions[0].iter().zip(s) {
+            assert!(
+                (a - b).abs() < 1e-9 * scale,
+                "decomposition changed the solution: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_threaded_backends_bit_identical() {
+    // Same solve under the rayon backend: identical iterations AND bits.
+    let grid = Grid::gx1_scaled(17, 56, 48);
+    let cfg = SolverConfig {
+        tol: 1e-12,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    let run = |world: CommWorld| {
+        let layout = DistLayout::build(&grid, 14, 12);
+        let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
+        let mut truth = DistVec::zeros(&layout);
+        truth.fill_with(|i, j| ((i * 3 + j * 7) as f64 * 0.05).sin());
+        world.halo_update(&mut truth);
+        let mut rhs = DistVec::zeros(&layout);
+        op.apply(&world, &truth, &mut rhs);
+        let setup = SolverSetup::new(SolverChoice::PcsiEvp, &op, &world);
+        let mut x = DistVec::zeros(&layout);
+        let st = setup.solve(&op, &world, &rhs, &mut x, &cfg);
+        assert!(st.converged);
+        (st.iterations, x.to_global())
+    };
+    let (it_s, sol_s) = run(CommWorld::serial());
+    let (it_t, sol_t) = run(CommWorld::threaded());
+    assert_eq!(it_s, it_t, "iteration counts must match across backends");
+    for (a, b) in sol_s.iter().zip(&sol_t) {
+        assert_eq!(a.to_bits(), b.to_bits(), "backends must agree bit-for-bit");
+    }
+}
+
+#[test]
+fn solvers_agree_with_each_other() {
+    let grid = Grid::gx01_scaled(19, 80, 56);
+    let p = problem(&grid, 20, 14, 4000.0);
+    let cfg = SolverConfig {
+        tol: 1e-13,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    let mut sols = Vec::new();
+    for choice in [
+        SolverChoice::ClassicPcgDiag,
+        SolverChoice::ChronGearDiag,
+        SolverChoice::ChronGearBlockLu,
+        SolverChoice::PcsiDiag,
+        SolverChoice::PcsiEvp,
+    ] {
+        let setup = SolverSetup::new(choice, &p.op, &p.world);
+        let mut x = DistVec::zeros(&p.layout);
+        let st = setup.solve(&p.op, &p.world, &p.rhs, &mut x, &cfg);
+        assert!(st.converged, "{}", choice.label());
+        sols.push((choice.label(), x));
+    }
+    let scale = p.world.norm2_sq(&p.truth).sqrt();
+    for (label, x) in &sols[1..] {
+        let mut d = x.clone();
+        d.axpy(-1.0, &sols[0].1);
+        let diff = p.world.norm2_sq(&d).sqrt() / scale;
+        assert!(diff < 1e-9, "{label} disagrees with pcg: {diff}");
+    }
+}
+
+#[test]
+fn communication_counts_follow_the_papers_accounting() {
+    // Equations (2) and (3) count: ChronGear one fused reduction + one halo
+    // per iteration; P-CSI halo-only with reductions at checks.
+    let grid = Grid::gx1_scaled(29, 48, 40);
+    let p = problem(&grid, 12, 10, 9000.0);
+    let cfg = SolverConfig {
+        tol: 1e-11,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    let cg = SolverSetup::new(SolverChoice::ChronGearDiag, &p.op, &p.world);
+    let mut x = DistVec::zeros(&p.layout);
+    let st = cg.solve(&p.op, &p.world, &p.rhs, &mut x, &cfg);
+    let k = st.iterations as u64;
+    assert_eq!(st.comm.allreduces, k + k / 10 + 1);
+    assert_eq!(st.comm.halo_updates, k + 1);
+
+    let csi = SolverSetup::new(SolverChoice::PcsiDiag, &p.op, &p.world);
+    let mut x = DistVec::zeros(&p.layout);
+    // Count only the solve itself (setup runs Lanczos).
+    let st = csi.solve(&p.op, &p.world, &p.rhs, &mut x, &cfg);
+    let k = st.iterations as u64;
+    assert_eq!(st.comm.allreduces, k / 10 + 1);
+    assert!(st.comm.halo_updates >= k);
+}
+
+#[test]
+fn tighter_tolerance_costs_more_iterations() {
+    let grid = Grid::gx1_scaled(31, 56, 44);
+    let p = problem(&grid, 14, 11, 9000.0);
+    let mut last = 0usize;
+    for tol in [1e-6, 1e-9, 1e-12] {
+        let cfg = SolverConfig {
+            tol,
+            max_iters: 50_000,
+            check_every: 1,
+        };
+        let setup = SolverSetup::new(SolverChoice::ChronGearDiag, &p.op, &p.world);
+        let mut x = DistVec::zeros(&p.layout);
+        let st = setup.solve(&p.op, &p.world, &p.rhs, &mut x, &cfg);
+        assert!(st.converged);
+        assert!(st.iterations > last, "tol {tol}: {} iters", st.iterations);
+        last = st.iterations;
+    }
+}
