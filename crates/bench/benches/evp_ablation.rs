@@ -9,11 +9,11 @@
 //! - Convergence-check cadence: the cost of checking every iteration vs
 //!   every 10 (the paper's production choice).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pop_bench::timing::{quick_requested, BenchGroup};
 use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::precond::Diagonal;
 use pop_core::precond::{BlockEvp, BlockLu, Preconditioner};
 use pop_core::solvers::{ChronGear, LinearSolver, SolverConfig};
-use pop_core::precond::Diagonal;
 use pop_grid::Grid;
 use pop_stencil::NinePoint;
 use std::hint::black_box;
@@ -25,9 +25,14 @@ struct Fixture {
     z: DistVec,
 }
 
-fn fixture() -> Fixture {
-    let g = Grid::gx01_scaled(7, 240, 160);
-    let layout = DistLayout::build(&g, 48, 40);
+fn fixture(quick: bool) -> Fixture {
+    let (nx, ny, bx, by) = if quick {
+        (120usize, 80usize, 24usize, 20usize)
+    } else {
+        (240, 160, 48, 40)
+    };
+    let g = Grid::gx01_scaled(7, nx, ny);
+    let layout = DistLayout::build(&g, bx, by);
     let world = CommWorld::serial();
     let op = NinePoint::assemble(&g, &layout, &world, 800.0);
     let mut r = DistVec::zeros(&layout);
@@ -36,47 +41,46 @@ fn fixture() -> Fixture {
     Fixture { world, op, r, z }
 }
 
-fn bench_tile_size(c: &mut Criterion) {
-    let mut f = fixture();
-    let mut group = c.benchmark_group("evp_tile_size_apply");
+fn bench_tile_size(quick: bool, samples: usize) {
+    let mut f = fixture(quick);
+    let mut group = BenchGroup::new("evp_tile_size_apply").sample_size(samples);
     for tile in [4usize, 6, 8, 10, 12] {
         let pre = BlockEvp::new(&f.op, tile, true);
-        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
-            b.iter(|| pre.apply(&f.world, black_box(&f.r), &mut f.z))
+        group.bench(&tile.to_string(), || {
+            pre.apply(&f.world, black_box(&f.r), &mut f.z)
         });
     }
     group.finish();
 
-    let mut group = c.benchmark_group("evp_tile_size_setup");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("evp_tile_size_setup")
+        .sample_size(samples.min(5))
+        .target_sample_ms(40.0);
     for tile in [4usize, 8, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
-            b.iter(|| black_box(BlockEvp::new(&f.op, tile, true)))
+        group.bench(&tile.to_string(), || {
+            black_box(BlockEvp::new(&f.op, tile, true));
         });
     }
     group.finish();
 }
 
-fn bench_reduced_vs_full_vs_lu(c: &mut Criterion) {
-    let mut f = fixture();
+fn bench_reduced_vs_full_vs_lu(quick: bool, samples: usize) {
+    let mut f = fixture(quick);
     let reduced = BlockEvp::new(&f.op, 8, true);
     let full = BlockEvp::new(&f.op, 8, false);
     let lu = BlockLu::new(&f.op, 8, true);
-    let mut group = c.benchmark_group("evp_variants_apply");
+    let mut group = BenchGroup::new("evp_variants_apply").sample_size(samples);
     for (name, pre) in [
         ("reduced", &reduced as &dyn Preconditioner),
         ("full", &full),
         ("block_lu", &lu),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| pre.apply(&f.world, black_box(&f.r), &mut f.z))
-        });
+        group.bench(name, || pre.apply(&f.world, black_box(&f.r), &mut f.z));
     }
     group.finish();
 }
 
-fn bench_check_cadence(c: &mut Criterion) {
-    let f = fixture();
+fn bench_check_cadence(quick: bool, samples: usize) {
+    let f = fixture(quick);
     let diag = Diagonal::new(&f.op);
     let mut x_true = DistVec::zeros(&f.r.layout);
     x_true.fill_with(|i, j| ((i as f64) * 0.04).cos() * ((j as f64) * 0.06).sin());
@@ -84,29 +88,29 @@ fn bench_check_cadence(c: &mut Criterion) {
     let mut rhs = DistVec::zeros(&f.r.layout);
     f.op.apply(&f.world, &x_true, &mut rhs);
 
-    let mut group = c.benchmark_group("check_cadence_chrongear");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("check_cadence_chrongear")
+        .sample_size(samples.min(5))
+        .target_sample_ms(60.0);
     for every in [1usize, 10, 50] {
         let cfg = SolverConfig {
             tol: 1e-12,
             max_iters: 50_000,
             check_every: every,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(every), &every, |b, _| {
-            b.iter(|| {
-                let mut x = DistVec::zeros(&rhs.layout);
-                let st = ChronGear.solve(&f.op, &diag, &f.world, black_box(&rhs), &mut x, &cfg);
-                assert!(st.converged);
-                black_box(st.comm.allreduces)
-            })
+        group.bench(&every.to_string(), || {
+            let mut x = DistVec::zeros(&rhs.layout);
+            let st = ChronGear.solve(&f.op, &diag, &f.world, black_box(&rhs), &mut x, &cfg);
+            assert!(st.converged);
+            black_box(st.comm.allreduces);
         });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tile_size, bench_reduced_vs_full_vs_lu, bench_check_cadence
+fn main() {
+    let quick = quick_requested();
+    let samples = if quick { 3 } else { 7 };
+    bench_tile_size(quick, samples);
+    bench_reduced_vs_full_vs_lu(quick, samples);
+    bench_check_cadence(quick, samples);
 }
-criterion_main!(benches);

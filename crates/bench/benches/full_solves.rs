@@ -1,18 +1,24 @@
-//! Criterion benchmarks of complete barotropic solves, one per
-//! solver/preconditioner configuration — the single-node ground truth behind
-//! the figures (the distributed wall-time story lives in `pop-perfmodel`).
+//! Benchmarks of complete barotropic solves, one per solver/preconditioner
+//! configuration — the single-node ground truth behind the figures (the
+//! distributed wall-time story lives in `pop-perfmodel`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pop_bench::timing::{quick_requested, BenchGroup};
 use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::solvers::SolverConfig;
 use pop_grid::Grid;
 use pop_ocean::{SolverChoice, SolverSetup};
-use pop_core::solvers::SolverConfig;
 use pop_stencil::NinePoint;
 use std::hint::black_box;
 
-fn bench_full_solves(c: &mut Criterion) {
-    let g = Grid::gx01_scaled(7, 300, 200);
-    let layout = DistLayout::build(&g, 60, 40);
+fn main() {
+    let quick = quick_requested();
+    let (nx, ny, bx, by) = if quick {
+        (150usize, 100usize, 30usize, 20usize)
+    } else {
+        (300, 200, 60, 40)
+    };
+    let g = Grid::gx01_scaled(7, nx, ny);
+    let layout = DistLayout::build(&g, bx, by);
     let world = CommWorld::serial();
     let op = NinePoint::assemble(&g, &layout, &world, 1036.8);
     let mut x_true = DistVec::zeros(&layout);
@@ -26,31 +32,19 @@ fn bench_full_solves(c: &mut Criterion) {
         check_every: 10,
     };
 
-    let mut group = c.benchmark_group("full_solve_300x200");
-    group.sample_size(10);
+    let mut group = BenchGroup::new(&format!("full_solve_{nx}x{ny}"))
+        .sample_size(if quick { 3 } else { 7 })
+        .target_sample_ms(if quick { 30.0 } else { 120.0 });
     for choice in SolverChoice::PAPER_SET {
         // Setup (preconditioner + Lanczos) outside the timing loop, as in
         // production where it is amortized over dt_count solves per day.
         let setup = SolverSetup::new(choice, &op, &world);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(choice.label()),
-            &choice,
-            |b, _| {
-                b.iter(|| {
-                    let mut x = DistVec::zeros(&layout);
-                    let st = setup.solve(&op, &world, black_box(&rhs), &mut x, &cfg);
-                    assert!(st.converged);
-                    black_box(st.iterations)
-                })
-            },
-        );
+        group.bench(choice.label(), || {
+            let mut x = DistVec::zeros(&layout);
+            let st = setup.solve(&op, &world, black_box(&rhs), &mut x, &cfg);
+            assert!(st.converged);
+            black_box(st.iterations);
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_full_solves
-}
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks of the kernels that make up one solver
-//! iteration: matrix–vector product, halo update, plain and fused dot
-//! products, and the preconditioner applications. These are the `θ`, `β`
+//! Micro-benchmarks of the kernels that make up one solver iteration:
+//! matrix–vector product, halo update, plain and fused dot products, fused
+//! block sweeps, and the preconditioner applications. These are the `θ`, `β`
 //! and `T_p` ingredients of the paper's cost model, measured for real.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_bench::timing::{quick_requested, BenchGroup};
+use pop_comm::{CommWorld, DistLayout, DistVec, MAX_SWEEP_PARTIALS};
 use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Preconditioner};
 use pop_grid::Grid;
 use pop_stencil::NinePoint;
@@ -29,58 +29,90 @@ fn fixture(nx: usize, ny: usize) -> Fixture {
     Fixture { world, op, x, y }
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut f = fixture(300, 200);
-    let mut group = c.benchmark_group("kernels_300x200");
+fn bench_kernels(nx: usize, ny: usize, samples: usize) {
+    let mut f = fixture(nx, ny);
+    let mut group = BenchGroup::new(&format!("kernels_{nx}x{ny}")).sample_size(samples);
 
-    group.bench_function("matvec", |b| {
+    {
         let x = f.x.clone();
-        b.iter(|| {
-            f.op.apply(&f.world, black_box(&x), &mut f.y);
-        })
+        let (op, world, y) = (&f.op, &f.world, &mut f.y);
+        group.bench("matvec", || {
+            op.apply(world, black_box(&x), y);
+        });
+        group.bench("matvec_reference", || {
+            op.apply_reference(world, black_box(&x), y);
+        });
+    }
+    group.bench("halo_update", || {
+        f.world.halo_update(black_box(&mut f.x));
     });
-    group.bench_function("halo_update", |b| {
-        b.iter(|| {
-            f.world.halo_update(black_box(&mut f.x));
-        })
+    group.bench("dot", || {
+        black_box(f.world.dot(&f.x, &f.y));
     });
-    group.bench_function("dot", |b| {
-        b.iter(|| black_box(f.world.dot(&f.x, &f.y)))
-    });
-    group.bench_function("fused_dot2", |b| {
+    group.bench("fused_dot2", || {
         // ChronGear's single-reduction pair (steps 7-9 of Algorithm 1).
-        b.iter(|| black_box(f.world.dot_many(&[(&f.x, &f.y), (&f.y, &f.y)])))
+        black_box(f.world.dot_many(&[(&f.x, &f.y), (&f.y, &f.y)]));
     });
-    group.bench_function("axpy", |b| {
+    group.bench("axpy", || {
+        let x = &f.x;
+        f.y.axpy(black_box(1.0e-9), x);
+    });
+    {
+        // One fused sweep doing matvec + dot partial in a single pass over
+        // each block — the primitive the fused solver loops are built on.
         let x = f.x.clone();
-        b.iter(|| f.y.axpy(black_box(1.0e-9), &x))
-    });
+        let layout = std::sync::Arc::clone(&x.layout);
+        let (op, world, y) = (&f.op, &f.world, &mut f.y);
+        group.bench("fused_matvec_dot", || {
+            let d = world.for_each_block_fused([&mut *y], |bk, [yb]| {
+                let mask = &layout.masks[bk];
+                op.apply_block_into(bk, &x.blocks[bk], yb, mask);
+                let nx = yb.nx;
+                let mut acc = 0.0;
+                for j in 0..yb.ny {
+                    let xr = x.blocks[bk].interior_row(j);
+                    let yr = yb.interior_row(j);
+                    let mrow = &mask[j * nx..(j + 1) * nx];
+                    for i in 0..nx {
+                        if mrow[i] != 0 {
+                            acc += xr[i] * yr[i];
+                        }
+                    }
+                }
+                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                pt[0] = acc;
+                pt
+            });
+            black_box(d[0]);
+        });
+    }
     group.finish();
 }
 
-fn bench_preconditioners(c: &mut Criterion) {
-    let mut f = fixture(300, 200);
+fn bench_preconditioners(nx: usize, ny: usize, samples: usize) {
+    let mut f = fixture(nx, ny);
     let diag = Diagonal::new(&f.op);
     let evp = BlockEvp::with_defaults(&f.op);
     let evp_full = BlockEvp::new(&f.op, 8, false);
     let lu = BlockLu::new(&f.op, 8, true);
-    let mut group = c.benchmark_group("precond_apply_300x200");
+    let mut group = BenchGroup::new(&format!("precond_apply_{nx}x{ny}")).sample_size(samples);
     for (name, pre) in [
         ("diagonal", &diag as &dyn Preconditioner),
         ("evp_reduced", &evp),
         ("evp_full", &evp_full),
         ("block_lu", &lu),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            b.iter(|| pre.apply(&f.world, black_box(&f.x), &mut f.y))
-        });
+        group.bench(name, || pre.apply(&f.world, black_box(&f.x), &mut f.y));
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_kernels, bench_preconditioners
+fn main() {
+    let (nx, ny, samples) = if quick_requested() {
+        (150, 100, 3)
+    } else {
+        (300, 200, 7)
+    };
+    bench_kernels(nx, ny, samples);
+    bench_preconditioners(nx, ny, samples);
 }
-criterion_main!(benches);

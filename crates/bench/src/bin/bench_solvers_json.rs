@@ -1,0 +1,295 @@
+//! Per-iteration solver timings, fused vs unfused, as machine-readable JSON.
+//!
+//! Times the ChronGear and P-CSI inner loops (diagonal and block-EVP
+//! preconditioning, serial and threaded backends) over a fixed iteration
+//! count, for both the fused block-sweep path (`LinearSolver::solve_ws`)
+//! and the pre-fusion whole-vector baseline (`solve_unfused`). Writes
+//! `BENCH_solvers.json` in the working directory — run from the repo root —
+//! so perf trajectories can be tracked across commits.
+//!
+//! `--quick` shrinks the grid and sample counts for CI smoke runs.
+
+use pop_bench::timing::quick_requested;
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::lanczos::{estimate_bounds, LanczosConfig};
+use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
+use pop_core::solvers::{ChronGear, LinearSolver, Pcsi, SolveStats, SolverConfig, SolverWorkspace};
+use pop_grid::Grid;
+use pop_stencil::NinePoint;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+enum Solver {
+    Pcsi(Pcsi),
+    ChronGear(ChronGear),
+}
+
+impl Solver {
+    #[allow(clippy::too_many_arguments)]
+    fn solve_fused(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        match self {
+            Solver::Pcsi(s) => s.solve_ws(op, pre, world, b, x, cfg, ws),
+            Solver::ChronGear(s) => s.solve_ws(op, pre, world, b, x, cfg, ws),
+        }
+    }
+
+    fn solve_unfused(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+    ) -> SolveStats {
+        match self {
+            Solver::Pcsi(s) => s.solve_unfused(op, pre, world, b, x, cfg),
+            Solver::ChronGear(s) => s.solve_unfused(op, pre, world, b, x, cfg),
+        }
+    }
+}
+
+struct Row {
+    solver: &'static str,
+    precond: &'static str,
+    backend: &'static str,
+    path: &'static str,
+    per_iter_us_median: f64,
+    per_iter_us_min: f64,
+    samples_us: Vec<f64>,
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = quick_requested();
+    let (nx, ny, bx, by, iters, samples) = if quick {
+        (180usize, 120usize, 36usize, 24usize, 30usize, 3usize)
+    } else {
+        (360, 240, 36, 24, 60, 9)
+    };
+
+    let g = Grid::gx01_scaled(7, nx, ny);
+    let layout = DistLayout::build(&g, bx, by);
+    let serial = CommWorld::serial();
+    let op = NinePoint::assemble(&g, &layout, &serial, 345.6);
+    let mut x_true = DistVec::zeros(&layout);
+    x_true.fill_with(|i, j| {
+        let xf = i as f64 / nx as f64 * std::f64::consts::TAU;
+        let yf = j as f64 / ny as f64 * std::f64::consts::PI;
+        (2.0 * xf).sin() * yf.sin() + 0.3 * (5.0 * xf).cos() * (3.0 * yf).sin()
+    });
+    serial.halo_update(&mut x_true);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&serial, &x_true, &mut rhs);
+
+    // Fixed-iteration timing: tol = 0 never converges, so every solve runs
+    // exactly `iters` iterations and per-iteration time is elapsed / iters.
+    let cfg = SolverConfig {
+        tol: 0.0,
+        max_iters: iters,
+        check_every: 10,
+    };
+    let lanczos = LanczosConfig {
+        tol: 0.01,
+        max_steps: 300,
+        ..Default::default()
+    };
+
+    let diag = Diagonal::new(&op);
+    let evp = BlockEvp::with_defaults(&op);
+    let preconds: [(&'static str, &dyn Preconditioner); 2] = [("diag", &diag), ("evp", &evp)];
+    let threaded = CommWorld::threaded();
+    let backends: [(&'static str, &CommWorld); 2] = [("serial", &serial), ("threaded", &threaded)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (pname, pre) in preconds {
+        let (bounds, _) = estimate_bounds(&op, pre, &serial, &lanczos);
+        let solvers: [(&'static str, Solver); 2] = [
+            ("chrongear", Solver::ChronGear(ChronGear)),
+            ("pcsi", Solver::Pcsi(Pcsi::new(bounds))),
+        ];
+        for (sname, solver) in &solvers {
+            for (bname, world) in backends {
+                let mut ws = SolverWorkspace::new();
+                // Warm-up solves: populate the workspace (fused) and fault
+                // in every page before timing starts.
+                for path in ["fused", "unfused"] {
+                    let mut x = DistVec::zeros(&layout);
+                    let st = if path == "fused" {
+                        solver.solve_fused(&op, pre, world, &rhs, &mut x, &cfg, &mut ws)
+                    } else {
+                        solver.solve_unfused(&op, pre, world, &rhs, &mut x, &cfg)
+                    };
+                    assert_eq!(st.iterations, iters, "{sname}+{pname} ran short");
+                    assert!(st.final_relative_residual.is_finite());
+                }
+
+                // Interleave fused/unfused samples pairwise, so slow system
+                // drift on a shared machine hits both paths equally.
+                let mut fused_us = Vec::with_capacity(samples);
+                let mut unfused_us = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    for path in ["fused", "unfused"] {
+                        let mut x = DistVec::zeros(&layout);
+                        let t = Instant::now();
+                        let st = if path == "fused" {
+                            solver.solve_fused(&op, pre, world, &rhs, &mut x, &cfg, &mut ws)
+                        } else {
+                            solver.solve_unfused(&op, pre, world, &rhs, &mut x, &cfg)
+                        };
+                        let el = t.elapsed().as_secs_f64();
+                        assert_eq!(st.iterations, iters);
+                        let us = el * 1e6 / iters as f64;
+                        if path == "fused" {
+                            fused_us.push(us);
+                        } else {
+                            unfused_us.push(us);
+                        }
+                    }
+                }
+                for (path, samples_us) in [("fused", fused_us), ("unfused", unfused_us)] {
+                    let mut sorted = samples_us.clone();
+                    sorted.sort_by(f64::total_cmp);
+                    rows.push(Row {
+                        solver: sname,
+                        precond: pname,
+                        backend: bname,
+                        path,
+                        per_iter_us_median: sorted[sorted.len() / 2],
+                        per_iter_us_min: sorted[0],
+                        samples_us,
+                    });
+                }
+            }
+        }
+    }
+
+    // Fused-over-unfused speedups per configuration. The headline statistic
+    // is the median of *paired* ratios: sample k of the fused path ran
+    // back-to-back with sample k of the unfused path, so slow machine drift
+    // cancels inside each ratio instead of skewing the two medians apart.
+    struct Speedup {
+        solver: &'static str,
+        precond: &'static str,
+        backend: &'static str,
+        paired_median: f64,
+        min: f64,
+    }
+    let mut speedups: Vec<Speedup> = Vec::new();
+    for r in rows.iter().filter(|r| r.path == "fused") {
+        if let Some(u) = rows.iter().find(|u| {
+            u.path == "unfused"
+                && u.solver == r.solver
+                && u.precond == r.precond
+                && u.backend == r.backend
+        }) {
+            let mut ratios: Vec<f64> = r
+                .samples_us
+                .iter()
+                .zip(&u.samples_us)
+                .map(|(&f, &uf)| uf / f)
+                .collect();
+            ratios.sort_by(f64::total_cmp);
+            speedups.push(Speedup {
+                solver: r.solver,
+                precond: r.precond,
+                backend: r.backend,
+                paired_median: ratios[ratios.len() / 2],
+                min: u.per_iter_us_min / r.per_iter_us_min,
+            });
+        }
+    }
+
+    println!(
+        "\n== per-iteration times, {nx}x{ny} grid, {} blocks, {iters} iters ==",
+        layout.n_blocks()
+    );
+    println!(
+        "{:>10} {:>7} {:>9} {:>8} {:>14} {:>14}",
+        "solver", "precond", "backend", "path", "median µs/it", "min µs/it"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>7} {:>9} {:>8} {:>14.2} {:>14.2}",
+            r.solver, r.precond, r.backend, r.path, r.per_iter_us_median, r.per_iter_us_min
+        );
+    }
+    println!("\n== fused-over-unfused speedups ==");
+    for s in &speedups {
+        println!(
+            "{:>10} {:>7} {:>9}  {:.2}x (paired median), {:.2}x (min)",
+            s.solver, s.precond, s.backend, s.paired_median, s.min
+        );
+    }
+
+    let threads = std::env::var("POP_BARO_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"bench_solvers_json\",");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(
+        j,
+        "  \"grid\": {{\"nx\": {nx}, \"ny\": {ny}, \"bx\": {bx}, \"by\": {by}, \"blocks\": {}}},",
+        layout.n_blocks()
+    );
+    let _ = writeln!(j, "  \"iterations_per_solve\": {iters},");
+    let _ = writeln!(j, "  \"samples\": {samples},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    j.push_str("  \"results\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let samp: Vec<String> = r.samples_us.iter().map(|&v| json_f(v)).collect();
+        let _ = write!(
+            j,
+            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"backend\": \"{}\", \"path\": \"{}\", \
+             \"per_iter_us_median\": {}, \"per_iter_us_min\": {}, \"samples_us\": [{}]}}",
+            r.solver,
+            r.precond,
+            r.backend,
+            r.path,
+            json_f(r.per_iter_us_median),
+            json_f(r.per_iter_us_min),
+            samp.join(", ")
+        );
+        j.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"speedups\": [\n");
+    for (k, s) in speedups.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"backend\": \"{}\", \
+             \"fused_over_unfused_paired_median\": {}, \"fused_over_unfused_min\": {}}}",
+            s.solver,
+            s.precond,
+            s.backend,
+            json_f(s.paired_median),
+            json_f(s.min)
+        );
+        j.push_str(if k + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+
+    let out = "BENCH_solvers.json";
+    std::fs::write(out, &j).expect("write BENCH_solvers.json");
+    println!("\n[wrote {out}]");
+}

@@ -46,7 +46,12 @@ fn main() {
     );
     write_csv(
         "fig01_barotropic_fraction",
-        &["cores", "barotropic_pct", "baroclinic_pct", "total_s_per_day"],
+        &[
+            "cores",
+            "barotropic_pct",
+            "baroclinic_pct",
+            "total_s_per_day",
+        ],
         &rows,
     );
 }

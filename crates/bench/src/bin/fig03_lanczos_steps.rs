@@ -41,8 +41,7 @@ fn main() {
     // The adaptive (paper-default ε = 0.15) row.
     let mut adaptive = vec!["eps=0.15".to_string()];
     for (_, pre) in &pres {
-        let (bounds, steps) =
-            estimate_bounds(&wl.op, *pre, &wl.world, &LanczosConfig::default());
+        let (bounds, steps) = estimate_bounds(&wl.op, *pre, &wl.world, &LanczosConfig::default());
         let mut x = DistVec::zeros(&wl.layout);
         let st = Pcsi::new(bounds).solve(&wl.op, *pre, &wl.world, &wl.rhs, &mut x, &cfg);
         adaptive.push(format!("{} ({} steps)", st.iterations, steps));

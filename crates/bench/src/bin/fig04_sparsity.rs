@@ -102,7 +102,9 @@ fn main() {
     assert!(max_offdiag_blocks <= 9);
     write_csv(
         "fig04_sparsity",
-        &["block", "c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8"],
+        &[
+            "block", "c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8",
+        ],
         &rows,
     );
 }

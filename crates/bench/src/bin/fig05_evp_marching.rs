@@ -72,7 +72,5 @@ fn main() {
          (two marching sweeps + one {k}x{k} correction, k = 2n-1)",
         k = 2 * n - 1
     );
-    println!(
-        "costs: solve O(22 n^2) vs dense LU O(n^4); setup O(26 n^3) done once (paper 4.2)"
-    );
+    println!("costs: solve O(22 n^2) vs dense LU O(n^4); setup O(26 n^3) done once (paper 4.2)");
 }

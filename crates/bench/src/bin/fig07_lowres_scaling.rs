@@ -49,7 +49,13 @@ fn main() {
     );
     write_csv(
         "fig07_lowres_scaling",
-        &["cores", "cg_diag_s", "cg_evp_s", "pcsi_diag_s", "pcsi_evp_s"],
+        &[
+            "cores",
+            "cg_diag_s",
+            "cg_evp_s",
+            "pcsi_diag_s",
+            "pcsi_evp_s",
+        ],
         &rows,
     );
 }

@@ -75,7 +75,13 @@ fn main() {
     );
     write_csv(
         "fig08_highres_yellowstone_time",
-        &["cores", "cg_diag_s", "cg_evp_s", "pcsi_diag_s", "pcsi_evp_s"],
+        &[
+            "cores",
+            "cg_diag_s",
+            "cg_evp_s",
+            "pcsi_diag_s",
+            "pcsi_evp_s",
+        ],
         &time_rows,
     );
     write_csv(

@@ -41,7 +41,12 @@ fn main() {
     );
     write_csv(
         "fig09_pcsi_fraction",
-        &["cores", "barotropic_pct", "baroclinic_pct", "total_s_per_day"],
+        &[
+            "cores",
+            "barotropic_pct",
+            "baroclinic_pct",
+            "total_s_per_day",
+        ],
         &rows,
     );
 }

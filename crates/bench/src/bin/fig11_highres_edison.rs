@@ -23,7 +23,11 @@ fn main() {
         let mut trow = vec![p.to_string()];
         let mut rrow = vec![p.to_string()];
         for m in &measured {
-            let t = model.day(p, &m.profile(cfg.check_every), opts.seed.wrapping_add(p as u64));
+            let t = model.day(
+                p,
+                &m.profile(cfg.check_every),
+                opts.seed.wrapping_add(p as u64),
+            );
             trow.push(fmt_s(t.barotropic.total()));
             rrow.push(format!("{:.1}", t.sypd));
         }
@@ -86,7 +90,13 @@ fn main() {
     }
     write_csv(
         "fig11_highres_edison_time",
-        &["cores", "cg_diag_s", "cg_evp_s", "pcsi_diag_s", "pcsi_evp_s"],
+        &[
+            "cores",
+            "cg_diag_s",
+            "cg_evp_s",
+            "pcsi_diag_s",
+            "pcsi_evp_s",
+        ],
         &time_rows,
     );
 }

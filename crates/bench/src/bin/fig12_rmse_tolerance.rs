@@ -27,8 +27,7 @@ fn main() {
     base.nlev = 3;
     base.solver = SolverChoice::ChronGearDiag;
 
-    let (months, steps_per_month, spinup, tolerances): (usize, usize, usize, Vec<f64>) = if quick
-    {
+    let (months, steps_per_month, spinup, tolerances): (usize, usize, usize, Vec<f64>) = if quick {
         (8, 600, 2000, vec![1e-10, 1e-11, 1e-13, 1e-16])
     } else {
         (12, 2500, 4000, paper::TOLERANCES.to_vec())
@@ -91,13 +90,14 @@ fn main() {
     // The paper's observation, quantified: in the final month, is the RMSE
     // ordering still the tolerance ordering? After saturation it is not.
     let last_month = months - 1;
-    let mut final_rmse: Vec<(f64, f64)> = table
-        .iter()
-        .map(|(tol, s)| (*tol, s[last_month]))
-        .collect();
+    let mut final_rmse: Vec<(f64, f64)> =
+        table.iter().map(|(tol, s)| (*tol, s[last_month])).collect();
     final_rmse.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
     let ordered_by_tol = final_rmse.windows(2).all(|w| w[0].1 <= w[1].1);
-    let spread = final_rmse.iter().map(|x| x.1).fold(f64::NEG_INFINITY, f64::max)
+    let spread = final_rmse
+        .iter()
+        .map(|x| x.1)
+        .fold(f64::NEG_INFINITY, f64::max)
         / final_rmse
             .iter()
             .map(|x| x.1)
@@ -109,16 +109,16 @@ fn main() {
     );
     println!(
         "final-month RMSE {} by tolerance{}",
-        if ordered_by_tol { "IS ordered" } else { "is NOT ordered" },
+        if ordered_by_tol {
+            "IS ordered"
+        } else {
+            "is NOT ordered"
+        },
         if quick {
             " — expected pre-saturation; run with --full"
         } else {
             " (paper: not ordered; even 1e-10 is sometimes smallest)"
         }
     );
-    write_csv(
-        "fig12_rmse_tolerance",
-        &hdr_refs,
-        &rows,
-    );
+    write_csv("fig12_rmse_tolerance", &hdr_refs, &rows);
 }

@@ -11,7 +11,7 @@ use pop_grid::Grid;
 use pop_ocean::{MiniPopConfig, SolverChoice};
 use pop_perfmodel::paper::verification as paper;
 use pop_verif::consistency::{evaluate, DEFAULT_ALLOWED_FAILURES, DEFAULT_MARGIN};
-use pop_verif::{EnsembleConfig, VerificationLab, Verdict};
+use pop_verif::{EnsembleConfig, Verdict, VerificationLab};
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -48,7 +48,11 @@ fn main() {
         cfg.members,
         cfg.months,
         cfg.steps_per_month,
-        if quick { " (QUICK; pass --full for the 40-member setup)" } else { "" }
+        if quick {
+            " (QUICK; pass --full for the 40-member setup)"
+        } else {
+            ""
+        }
     );
 
     let world = CommWorld::serial();

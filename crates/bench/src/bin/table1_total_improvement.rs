@@ -24,8 +24,16 @@ fn main() {
     let baseline = idx_of(SolverChoice::ChronGearDiag);
 
     let variants = [
-        ("ChronGear+EVP", SolverChoice::ChronGearEvp, paper::TABLE1_CG_EVP),
-        ("P-CSI+Diagonal", SolverChoice::PcsiDiag, paper::TABLE1_PCSI_DIAG),
+        (
+            "ChronGear+EVP",
+            SolverChoice::ChronGearEvp,
+            paper::TABLE1_CG_EVP,
+        ),
+        (
+            "P-CSI+Diagonal",
+            SolverChoice::PcsiDiag,
+            paper::TABLE1_PCSI_DIAG,
+        ),
         ("P-CSI+EVP", SolverChoice::PcsiEvp, paper::TABLE1_PCSI_EVP),
     ];
 

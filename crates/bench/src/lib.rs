@@ -13,6 +13,8 @@
 //! 4. print the series next to the paper's reported values and append a CSV
 //!    under `results/`.
 
+pub mod timing;
+
 use pop_comm::{CommWorld, DistLayout, DistVec};
 use pop_core::solvers::{SolveStats, SolverConfig};
 use pop_grid::Grid;

@@ -1,0 +1,155 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The micro-benchmarks ran on criterion before the workspace went
+//! dependency-free; this module keeps the same shape — named groups of
+//! closures, auto-calibrated inner iteration counts, robust statistics —
+//! with nothing but `std::time::Instant`. Medians over a fixed number of
+//! samples are reported, so one preempted sample cannot skew a result.
+
+use std::time::Instant;
+
+/// Robust summary of one benchmark: per-call times in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub mean_ns: f64,
+    /// Inner calls per sample chosen by calibration.
+    pub calls_per_sample: usize,
+    pub samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// Human scale: ns → µs → ms → s.
+    pub fn pretty(ns: f64) -> String {
+        if ns < 1e3 {
+            format!("{ns:.0} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.3} ms", ns / 1e6)
+        } else {
+            format!("{:.3} s", ns / 1e9)
+        }
+    }
+}
+
+/// Measure `f`, calibrating the inner loop so one sample lasts roughly
+/// `target_sample_ms`, then timing `samples` such batches.
+pub fn measure<F: FnMut()>(
+    name: &str,
+    samples: usize,
+    target_sample_ms: f64,
+    mut f: F,
+) -> Measurement {
+    // Warm-up + calibration: run once, scale up until the probe batch takes
+    // at least a few milliseconds, then size the real batches from it.
+    let mut calls = 1usize;
+    let per_call_est;
+    loop {
+        let t = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        let el = t.elapsed().as_secs_f64();
+        if el > 2e-3 || calls >= 1 << 20 {
+            per_call_est = el / calls as f64;
+            break;
+        }
+        calls *= 4;
+    }
+    let calls_per_sample = ((target_sample_ms / 1e3 / per_call_est.max(1e-12)) as usize).max(1);
+
+    let mut per_call: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..calls_per_sample {
+            f();
+        }
+        per_call.push(t.elapsed().as_secs_f64() * 1e9 / calls_per_sample as f64);
+    }
+    let mut sorted = per_call.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median_ns = sorted[sorted.len() / 2];
+    let min_ns = sorted[0];
+    let mean_ns = per_call.iter().sum::<f64>() / per_call.len() as f64;
+    Measurement {
+        name: name.to_string(),
+        median_ns,
+        min_ns,
+        mean_ns,
+        calls_per_sample,
+        samples: per_call,
+    }
+}
+
+/// A named group of benchmarks printed as one aligned table — the criterion
+/// `benchmark_group` shape the benches were written against.
+pub struct BenchGroup {
+    title: String,
+    samples: usize,
+    target_sample_ms: f64,
+    rows: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    pub fn new(title: &str) -> Self {
+        BenchGroup {
+            title: title.to_string(),
+            samples: 7,
+            target_sample_ms: 20.0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Fewer/cheaper samples (quick mode or expensive benches).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    pub fn target_sample_ms(mut self, ms: f64) -> Self {
+        self.target_sample_ms = ms;
+        self
+    }
+
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) -> &Measurement {
+        let m = measure(name, self.samples, self.target_sample_ms, f);
+        self.rows.push(m);
+        self.rows.last().expect("just pushed")
+    }
+
+    /// Print the group table and hand back the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("\n== {} ==", self.title);
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!(
+            "{:>w$}  {:>12}  {:>12}  {:>12}",
+            "name", "median", "min", "mean"
+        );
+        for r in &self.rows {
+            println!(
+                "{:>w$}  {:>12}  {:>12}  {:>12}",
+                r.name,
+                Measurement::pretty(r.median_ns),
+                Measurement::pretty(r.min_ns),
+                Measurement::pretty(r.mean_ns),
+            );
+        }
+        self.rows
+    }
+}
+
+/// `--quick` (or `POP_BENCH_QUICK=1`): smaller grids, fewer samples, for CI
+/// smoke runs.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("POP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}

@@ -33,8 +33,10 @@ impl BlockVec {
         }
     }
 
+    /// Row stride of the padded storage (`nx + 2*halo`). Exposed for flat
+    /// kernels that index [`BlockVec::raw`] directly.
     #[inline]
-    fn stride(&self) -> usize {
+    pub fn stride(&self) -> usize {
         self.nx + 2 * self.halo
     }
 
@@ -131,14 +133,7 @@ impl BlockVec {
     /// Copy a rectangular region of `src` (interior coordinates, origin
     /// `(si, sj)`, extent `w × h`) into this tile at logical origin
     /// `(di, dj)` (halo coordinates allowed). Used by the halo exchange.
-    pub fn copy_region(
-        &mut self,
-        di: isize,
-        dj: isize,
-        src: &[f64],
-        w: usize,
-        h: usize,
-    ) {
+    pub fn copy_region(&mut self, di: isize, dj: isize, src: &[f64], w: usize, h: usize) {
         debug_assert_eq!(src.len(), w * h, "region buffer size mismatch");
         for r in 0..h {
             for c in 0..w {
@@ -151,7 +146,10 @@ impl BlockVec {
     /// Extract a rectangular region of the interior (origin `(si, sj)`,
     /// extent `w × h`) into `out`. Used by the halo exchange gather phase.
     pub fn extract_region(&self, si: usize, sj: usize, w: usize, h: usize, out: &mut Vec<f64>) {
-        debug_assert!(si + w <= self.nx && sj + h <= self.ny, "region out of interior");
+        debug_assert!(
+            si + w <= self.nx && sj + h <= self.ny,
+            "region out of interior"
+        );
         out.clear();
         out.reserve(w * h);
         for r in 0..h {

@@ -26,7 +26,12 @@ pub struct CopyRegion {
 /// The region that block `me` receives from neighbour `nb` lying in
 /// direction `dir`, with halo width `halo`. Returns `None` when the
 /// neighbour is too small to contribute anything.
-pub fn recv_region(me: &BlockInfo, nb: &BlockInfo, dir: Direction, halo: usize) -> Option<CopyRegion> {
+pub fn recv_region(
+    me: &BlockInfo,
+    nb: &BlockInfo,
+    dir: Direction,
+    halo: usize,
+) -> Option<CopyRegion> {
     let h = halo;
     // E/W neighbours share bj hence ny; N/S share bi hence nx. Diagonals
     // share neither; clamp both extents.

@@ -3,10 +3,11 @@
 //! The paper's solvers run under MPI on up to 16,875 cores. This crate stands
 //! in for MPI (substitution **S1** in `DESIGN.md`): it provides the exact
 //! communication *semantics* the solvers need — halo updates around each
-//! decomposition block and fused global reductions — executed either serially
-//! (deterministic, for numerics) or over a thread pool (rayon), while
-//! counting every communication event so the machine model in
-//! `pop-perfmodel` can translate counts into large-core-count wall time.
+//! decomposition block, fused global reductions, and fused block sweeps —
+//! executed either serially (deterministic, for numerics) or over a
+//! persistent in-crate worker pool ([`pool`]), while counting every
+//! communication event so the machine model in `pop-perfmodel` can translate
+//! counts into large-core-count wall time.
 //!
 //! The programming model is bulk-synchronous SPMD over *blocks*: a
 //! [`DistVec`] owns one halo-padded tile per active decomposition block, and
@@ -25,9 +26,12 @@ pub mod blockvec;
 pub mod distvec;
 pub mod halo;
 pub mod layout;
+pub mod pool;
 pub mod world;
 
 pub use blockvec::BlockVec;
 pub use distvec::DistVec;
 pub use layout::DistLayout;
-pub use world::{CommStats, CommWorld, ExecPolicy, StatsSnapshot};
+pub use world::{
+    CommStats, CommWorld, ExecPolicy, StatsSnapshot, SweepPartials, MAX_SWEEP_PARTIALS,
+};

@@ -1,20 +1,49 @@
 //! The communication world: executes collectives and counts them.
 
+use crate::blockvec::BlockVec;
 use crate::distvec::DistVec;
 use crate::halo::recv_region;
+use crate::pool;
 use pop_grid::Direction;
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How block-level work is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecPolicy {
     /// One thread, blocks processed in order. Deterministic reference.
     Serial,
-    /// Blocks processed on the rayon pool. Reductions still combine partials
-    /// in block order, so results are bit-identical to [`ExecPolicy::Serial`].
+    /// Blocks processed on the crate's persistent worker pool
+    /// ([`crate::pool`]). Reductions still combine partials in block order,
+    /// so results are bit-identical to [`ExecPolicy::Serial`].
     Threaded,
+}
+
+/// Width of the per-block partial-reduction slot of a fused sweep. Wide
+/// enough for the hungriest solver (pipelined CG fuses three dot products);
+/// unused lanes stay `0.0` and add nothing.
+pub const MAX_SWEEP_PARTIALS: usize = 4;
+
+/// Per-block (and combined) partial reductions of a fused sweep.
+pub type SweepPartials = [f64; MAX_SWEEP_PARTIALS];
+
+/// A raw pointer that may cross threads. Every use in this module hands each
+/// worker a *disjoint* element (one per claimed block index), so no two
+/// threads ever alias the same referent.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 /// Counters for every communication event issued through a [`CommWorld`].
@@ -68,6 +97,9 @@ pub struct CommWorld {
     pub policy: ExecPolicy,
     stats: CommStats,
     scratch: Mutex<HaloBufs>,
+    /// Reusable per-block partial-reduction slots for fused sweeps, so
+    /// steady-state solver iterations allocate nothing.
+    sweep_scratch: Mutex<Vec<SweepPartials>>,
 }
 
 impl CommWorld {
@@ -76,6 +108,7 @@ impl CommWorld {
             policy,
             stats: CommStats::default(),
             scratch: Mutex::new(Vec::new()),
+            sweep_scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -111,6 +144,14 @@ impl CommWorld {
         self.stats.barriers.store(0, Ordering::Relaxed);
     }
 
+    /// Total parallelism behind this world (1 under [`ExecPolicy::Serial`]).
+    pub fn threads(&self) -> usize {
+        match self.policy {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Threaded => pool::global().n_threads(),
+        }
+    }
+
     /// Run `f` over an indexed mutable slice, serially or on the pool.
     pub fn for_each_block<T, F>(&self, items: &mut [T], f: F)
     where
@@ -124,7 +165,13 @@ impl CommWorld {
                 }
             }
             ExecPolicy::Threaded => {
-                items.par_iter_mut().enumerate().for_each(|(k, it)| f(k, it));
+                let base = SendPtr(items.as_mut_ptr());
+                pool::global().run_indexed(items.len(), &|k| {
+                    // SAFETY: the pool claims each index exactly once, so
+                    // every task gets a disjoint element.
+                    let it = unsafe { &mut *base.get().add(k) };
+                    f(k, it);
+                });
             }
         }
     }
@@ -138,8 +185,126 @@ impl CommWorld {
     {
         match self.policy {
             ExecPolicy::Serial => (0..n).map(f).collect(),
-            ExecPolicy::Threaded => (0..n).into_par_iter().map(f).collect(),
+            ExecPolicy::Threaded => {
+                let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+                let base = SendPtr(out.as_mut_ptr());
+                pool::global().run_indexed(n, &|k| {
+                    // SAFETY: disjoint element per claimed index.
+                    unsafe { *base.get().add(k) = Some(f(k)) };
+                });
+                out.into_iter()
+                    .map(|o| o.expect("pool visits every index"))
+                    .collect()
+            }
         }
+    }
+
+    /// Run a per-block partial-reduction kernel over `0..n`, writing each
+    /// block's partials into the reusable scratch row for that block, then
+    /// combine the rows **in block order**. This fixed combine order is what
+    /// keeps fused reductions bit-identical between the serial and threaded
+    /// backends. Allocation-free once the scratch has grown to `n` rows.
+    fn sweep_reduce<F>(&self, n: usize, f: F) -> SweepPartials
+    where
+        F: Fn(usize) -> SweepPartials + Sync,
+    {
+        let mut partials = self.sweep_scratch.lock().expect("sweep scratch poisoned");
+        if partials.len() != n {
+            partials.clear();
+            partials.resize(n, [0.0; MAX_SWEEP_PARTIALS]);
+        }
+        let base = SendPtr(partials.as_mut_ptr());
+        let run = |b: usize| {
+            // SAFETY: disjoint row per claimed index.
+            unsafe { *base.get().add(b) = f(b) };
+        };
+        match self.policy {
+            ExecPolicy::Serial => (0..n).for_each(run),
+            ExecPolicy::Threaded => pool::global().run_indexed(n, &run),
+        }
+        let mut acc = [0.0; MAX_SWEEP_PARTIALS];
+        for row in partials.iter() {
+            for (a, v) in acc.iter_mut().zip(row) {
+                *a += *v;
+            }
+        }
+        acc
+    }
+
+    /// The fused execution primitive: walk all blocks **once**, handing the
+    /// kernel block `b`'s tiles of every mutable operand back-to-back while
+    /// the block is cache-hot, and accumulate up to [`MAX_SWEEP_PARTIALS`]
+    /// partial reductions per block.
+    ///
+    /// The returned partials are combined in block order (deterministic under
+    /// both policies). Nothing is recorded in [`CommStats`]: a fused sweep is
+    /// local work. When the caller *consumes* the combined partials as a
+    /// global value (a dot product, a norm), it must account for the implied
+    /// communication with [`CommWorld::record_allreduce`].
+    ///
+    /// All operands must share a layout; read-only operands are captured by
+    /// the kernel closure directly.
+    pub fn for_each_block_fused<const M: usize, F>(
+        &self,
+        muts: [&mut DistVec; M],
+        kernel: F,
+    ) -> SweepPartials
+    where
+        F: Fn(usize, &mut [&mut BlockVec; M]) -> SweepPartials + Sync,
+    {
+        assert!(M > 0, "fused sweep needs a mutable operand");
+        let n = muts[0].layout.n_blocks();
+        for v in muts.iter().skip(1) {
+            assert!(
+                Arc::ptr_eq(&muts[0].layout, &v.layout),
+                "fused sweep operands must share a layout"
+            );
+        }
+        // Distinct `&mut DistVec` arguments are guaranteed disjoint by the
+        // borrow checker, so per-block tiles never alias across operands.
+        let bases: [SendPtr<BlockVec>; M] = muts.map(|v| SendPtr(v.blocks.as_mut_ptr()));
+        let kernel = &kernel;
+        self.sweep_reduce(n, move |b| {
+            // SAFETY: disjoint block index per task; disjoint vectors per
+            // the borrow argument above.
+            let mut tiles: [&mut BlockVec; M] =
+                std::array::from_fn(|m| unsafe { &mut *bases[m].get().add(b) });
+            kernel(b, &mut tiles)
+        })
+    }
+
+    /// Read-only fused sweep over `0..n` blocks: per-block partials combined
+    /// in block order. Same accounting rules as
+    /// [`CommWorld::for_each_block_fused`].
+    pub fn reduce_blocks_fused<F>(&self, n: usize, f: F) -> SweepPartials
+    where
+        F: Fn(usize) -> SweepPartials + Sync,
+    {
+        self.sweep_reduce(n, f)
+    }
+
+    /// Record one allreduce of `scalars` values whose arithmetic was carried
+    /// by a fused sweep's partials. Keeps the fused solver paths'
+    /// communication accounting identical to the unfused ones.
+    pub fn record_allreduce(&self, scalars: u64) {
+        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .allreduce_scalars
+            .fetch_add(scalars, Ordering::Relaxed);
+    }
+
+    /// Masked global dot product via a fused sweep: bit-identical to
+    /// [`CommWorld::dot`], allocation-free in steady state, one recorded
+    /// allreduce.
+    pub fn dot_fused(&self, x: &DistVec, y: &DistVec) -> f64 {
+        let n = x.layout.n_blocks();
+        let acc = self.reduce_blocks_fused(n, |b| {
+            let mut p = [0.0; MAX_SWEEP_PARTIALS];
+            p[0] = x.block_dot(y, b);
+            p
+        });
+        self.record_allreduce(1);
+        acc[0]
     }
 
     /// Update the halo ring of every block of `v` from its neighbours'
@@ -154,7 +319,9 @@ impl CommWorld {
 
         let mut scratch = self.scratch.lock().expect("halo scratch poisoned");
         if scratch.len() != n {
-            *scratch = (0..n).map(|_| std::array::from_fn(|_| Vec::new())).collect();
+            *scratch = (0..n)
+                .map(|_| std::array::from_fn(|_| Vec::new()))
+                .collect();
         }
 
         let mut messages = 0u64;
@@ -176,19 +343,7 @@ impl CommWorld {
                     }
                 }
             };
-            match self.policy {
-                ExecPolicy::Serial => {
-                    for (b, bufs) in scratch.iter_mut().enumerate() {
-                        gather(b, bufs);
-                    }
-                }
-                ExecPolicy::Threaded => {
-                    scratch
-                        .par_iter_mut()
-                        .enumerate()
-                        .for_each(|(b, bufs)| gather(b, bufs));
-                }
-            }
+            self.for_each_block(&mut scratch[..], gather);
         }
 
         for bufs in scratch.iter() {
@@ -219,7 +374,9 @@ impl CommWorld {
         }
 
         self.stats.halo_updates.fetch_add(1, Ordering::Relaxed);
-        self.stats.halo_messages.fetch_add(messages, Ordering::Relaxed);
+        self.stats
+            .halo_messages
+            .fetch_add(messages, Ordering::Relaxed);
         self.stats
             .halo_bytes
             .fetch_add(elems * std::mem::size_of::<f64>() as u64, Ordering::Relaxed);
@@ -241,10 +398,7 @@ impl CommWorld {
                 *o += v;
             }
         }
-        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .allreduce_scalars
-            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        self.record_allreduce(pairs.len() as u64);
         out
     }
 
@@ -262,8 +416,7 @@ impl CommWorld {
     pub fn max_abs(&self, x: &DistVec) -> f64 {
         let n = x.layout.n_blocks();
         let partials = self.map_blocks(n, |b| x.block_max_abs(b));
-        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
-        self.stats.allreduce_scalars.fetch_add(1, Ordering::Relaxed);
+        self.record_allreduce(1);
         partials.into_iter().fold(0.0, f64::max)
     }
 
@@ -345,7 +498,11 @@ mod tests {
         let (gs, ds) = mk(&CommWorld::serial());
         let (gt, dt) = mk(&CommWorld::threaded());
         assert_eq!(gs, gt, "fields must be bit-identical");
-        assert_eq!(ds.to_bits(), dt.to_bits(), "reductions must be bit-identical");
+        assert_eq!(
+            ds.to_bits(),
+            dt.to_bits(),
+            "reductions must be bit-identical"
+        );
     }
 
     #[test]
@@ -394,8 +551,8 @@ mod tests {
         let mx = layout.decomp.mx;
         for info in &layout.decomp.blocks {
             if info.bi == mx - 1 && info.i0 + info.nx == g.nx {
-                if let Some(_e) = layout.decomp.neighbors[info.active_id]
-                    [pop_grid::Direction::East.index()]
+                if let Some(_e) =
+                    layout.decomp.neighbors[info.active_id][pop_grid::Direction::East.index()]
                 {
                     let b = info.active_id;
                     for j in 0..info.ny as isize {
@@ -411,6 +568,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_sweep_matches_unfused_ops_bitwise() {
+        let g = Grid::gx1_scaled(9, 64, 48);
+        let layout = DistLayout::build(&g, 16, 12);
+        let run = |world: &CommWorld| {
+            let mut x = DistVec::zeros(&layout);
+            let mut y = DistVec::zeros(&layout);
+            x.fill_with(|i, j| ((i * 13 + j * 7) as f64 * 0.01).sin());
+            y.fill_with(|i, j| ((i + 3 * j) as f64 * 0.02).cos());
+            // Unfused: two separate passes plus a separate dot.
+            let mut xu = x.clone();
+            let mut yu = y.clone();
+            yu.axpy(0.25, &xu);
+            xu.scale(1.5);
+            let du = world.dot(&xu, &yu);
+            // Fused: one sweep doing both updates and the dot partial.
+            let masks = &layout.masks;
+            let acc = world.for_each_block_fused([&mut x, &mut y], |b, tiles| {
+                let (nx, ny) = (tiles[0].nx, tiles[0].ny);
+                let mask = &masks[b];
+                let mut dot = 0.0;
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let xv = tiles[0].get(i, j);
+                        let yv = tiles[1].get(i, j) + 0.25 * xv;
+                        let xv = xv * 1.5;
+                        tiles[1].set(i, j, yv);
+                        tiles[0].set(i, j, xv);
+                        if mask[j * nx + i] != 0 {
+                            dot += xv * yv;
+                        }
+                    }
+                }
+                [dot, 0.0, 0.0, 0.0]
+            });
+            world.record_allreduce(1);
+            assert_eq!(x.to_global(), xu.to_global(), "fused x update differs");
+            assert_eq!(y.to_global(), yu.to_global(), "fused y update differs");
+            assert_eq!(acc[0].to_bits(), du.to_bits(), "fused dot differs");
+            acc[0]
+        };
+        let ds = run(&CommWorld::serial());
+        let dt = run(&CommWorld::threaded());
+        assert_eq!(ds.to_bits(), dt.to_bits(), "policies must agree bitwise");
+    }
+
+    #[test]
+    fn dot_fused_matches_dot_and_counts_once() {
+        let g = Grid::gx1_scaled(4, 48, 40);
+        let layout = DistLayout::build(&g, 12, 10);
+        let world = CommWorld::threaded();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| ((i * 7 + j) as f64).sin());
+        let a = world.dot(&v, &v);
+        let before = world.stats();
+        let b = world.dot_fused(&v, &v);
+        let after = world.stats();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(after.allreduces - before.allreduces, 1);
+        assert_eq!(after.allreduce_scalars - before.allreduce_scalars, 1);
+    }
+
+    #[test]
+    fn reduce_blocks_fused_combines_in_block_order() {
+        let world = CommWorld::threaded();
+        let n = 37;
+        // Partials that are order-sensitive in floating point: combining in
+        // any order other than 0..n would (with high probability) change the
+        // bits. Compare against the explicit serial left-fold.
+        let vals: Vec<f64> = (0..n)
+            .map(|b| ((b * b) as f64 * 0.3).sin() * 1e10)
+            .collect();
+        let acc = world.reduce_blocks_fused(n, |b| [vals[b], 2.0 * vals[b], 0.0, 0.0]);
+        let mut expect = [0.0; MAX_SWEEP_PARTIALS];
+        for v in &vals {
+            expect[0] += *v;
+            expect[1] += 2.0 * *v;
+        }
+        assert_eq!(acc[0].to_bits(), expect[0].to_bits());
+        assert_eq!(acc[1].to_bits(), expect[1].to_bits());
     }
 
     #[test]

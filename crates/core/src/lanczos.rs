@@ -149,7 +149,12 @@ fn run(
 
         // Tridiagonal entries (CG ↔ Lanczos correspondence).
         let j = alphas.len(); // 0-based step index
-        let d = 1.0 / alpha + if j == 0 { 0.0 } else { betas[j - 1] / alphas[j - 1] };
+        let d = 1.0 / alpha
+            + if j == 0 {
+                0.0
+            } else {
+                betas[j - 1] / alphas[j - 1]
+            };
         diag.push(d);
         if beta > 0.0 {
             off.push(beta.sqrt() / alpha);
@@ -224,11 +229,8 @@ mod tests {
             .filter(|&(i, j)| g.is_ocean(i, j))
             .collect();
         let n = ocean.len();
-        let index: std::collections::HashMap<(usize, usize), usize> = ocean
-            .iter()
-            .enumerate()
-            .map(|(k, &p)| (p, k))
-            .collect();
+        let index: std::collections::HashMap<(usize, usize), usize> =
+            ocean.iter().enumerate().map(|(k, &p)| (p, k)).collect();
         let blk = &op;
         let b = 0usize;
         let mut m = DenseMatrix::zeros(n);
@@ -244,8 +246,8 @@ mod tests {
                     return;
                 }
                 if let Some(&col) = index.get(&(ii, jj as usize)) {
-                    let scaled = v / (d(ocean[row].0, ocean[row].1).sqrt()
-                        * d(ii, jj as usize).sqrt());
+                    let scaled =
+                        v / (d(ocean[row].0, ocean[row].1).sqrt() * d(ii, jj as usize).sqrt());
                     let old = m.get(row, col);
                     m.set(row, col, old + scaled);
                 }
@@ -264,7 +266,9 @@ mod tests {
         // Power iteration for λmax; inverse-free λmin via power iteration on
         // (λmax·I − M).
         let power = |mat: &DenseMatrix, shift: f64, sign: f64| -> f64 {
-            let mut v: Vec<f64> = (0..n).map(|k| ((k * 37 + 11) % 101) as f64 / 50.0 - 1.0).collect();
+            let mut v: Vec<f64> = (0..n)
+                .map(|k| ((k * 37 + 11) % 101) as f64 / 50.0 - 1.0)
+                .collect();
             let mut lam = 0.0;
             let mut w = vec![0.0; n];
             for _ in 0..3000 {
@@ -292,11 +296,16 @@ mod tests {
         let world = CommWorld::serial();
         let op = NinePoint::assemble(&g, &layout, &world, 1800.0);
         let pre = Diagonal::new(&op);
-        let (bounds, steps) = estimate_bounds(&op, &pre, &world, &LanczosConfig {
-            tol: 0.01,
-            max_steps: 200,
-            ..Default::default()
-        });
+        let (bounds, steps) = estimate_bounds(
+            &op,
+            &pre,
+            &world,
+            &LanczosConfig {
+                tol: 0.01,
+                max_steps: 200,
+                ..Default::default()
+            },
+        );
         let (lmin, lmax) = dense_extremes(&g, 1800.0);
         assert!(steps >= 3);
         assert!(

@@ -7,9 +7,10 @@
 //! Kept as the reference the EVP solver is validated against and as the
 //! ablation baseline for the cost comparison.
 
+use super::evp::TILE_SCRATCH;
 use super::tiling::{tile_block, Tile};
 use super::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::BlockVec;
 use pop_stencil::dense::LuFactors;
 use pop_stencil::NinePoint;
 
@@ -75,36 +76,34 @@ impl BlockLu {
 }
 
 impl Preconditioner for BlockLu {
-    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
-        let subs = &self.subs;
-        let r_ref = r;
-        world.for_each_block(&mut z.blocks, |b, zb| {
-            let mut psi = Vec::new();
-            let mut out = Vec::new();
-            for lt in &subs[b] {
+    fn apply_block(&self, b: usize, r: &BlockVec, z: &mut BlockVec) {
+        TILE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (psi, out) = (&mut scratch.psi, &mut scratch.out);
+            for lt in &self.subs[b] {
                 let t = lt.tile;
                 match &lt.lu {
                     None => {
                         for j in t.j0..t.j0 + t.ny {
                             for i in t.i0..t.i0 + t.nx {
-                                zb.set(i, j, 0.0);
+                                z.set(i, j, 0.0);
                             }
                         }
                     }
                     Some(lu) => {
                         psi.clear();
                         for j in t.j0..t.j0 + t.ny {
-                            let row = r_ref.blocks[b].interior_row(j);
+                            let row = r.interior_row(j);
                             psi.extend_from_slice(&row[t.i0..t.i0 + t.nx]);
                         }
                         out.clear();
                         out.resize(t.nx * t.ny, 0.0);
-                        lu.solve_into(&psi, &mut out);
+                        lu.solve_into(psi, out);
                         for j in 0..t.ny {
                             for i in 0..t.nx {
                                 let k = j * t.nx + i;
                                 let v = if lt.mask[k] != 0 { out[k] } else { 0.0 };
-                                zb.set(t.i0 + i, t.j0 + j, v);
+                                z.set(t.i0 + i, t.j0 + j, v);
                             }
                         }
                     }
@@ -138,7 +137,7 @@ impl BlockLu {
 mod tests {
     use super::*;
     use crate::precond::BlockEvp;
-    use pop_comm::DistLayout;
+    use pop_comm::{CommWorld, DistLayout, DistVec};
     use pop_grid::Grid;
 
     #[test]

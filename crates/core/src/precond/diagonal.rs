@@ -1,7 +1,7 @@
 //! The trivial preconditioners: identity and POP's production diagonal.
 
 use super::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::{BlockVec, DistVec};
 use pop_stencil::NinePoint;
 
 /// No preconditioning (`M = I`); the baseline for convergence comparisons.
@@ -9,8 +9,10 @@ use pop_stencil::NinePoint;
 pub struct Identity;
 
 impl Preconditioner for Identity {
-    fn apply(&self, _world: &CommWorld, r: &DistVec, z: &mut DistVec) {
-        z.copy_from(r);
+    fn apply_block(&self, _b: usize, r: &BlockVec, z: &mut BlockVec) {
+        for j in 0..z.ny {
+            z.interior_row_mut(j).copy_from_slice(r.interior_row(j));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -48,19 +50,16 @@ impl Diagonal {
 }
 
 impl Preconditioner for Diagonal {
-    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
-        let inv = &self.inv_diag;
-        let r_ref = r;
-        world.for_each_block(&mut z.blocks, |b, zb| {
-            for j in 0..zb.ny {
-                let zi = zb.interior_row_mut(j);
-                let ri = r_ref.blocks[b].interior_row(j);
-                let di = inv.blocks[b].interior_row(j);
-                for ((z, r), d) in zi.iter_mut().zip(ri).zip(di) {
-                    *z = r * d;
-                }
+    fn apply_block(&self, b: usize, r: &BlockVec, z: &mut BlockVec) {
+        let inv = &self.inv_diag.blocks[b];
+        for j in 0..z.ny {
+            let zi = z.interior_row_mut(j);
+            let ri = r.interior_row(j);
+            let di = inv.interior_row(j);
+            for ((zv, rv), dv) in zi.iter_mut().zip(ri).zip(di) {
+                *zv = rv * dv;
             }
-        });
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -75,7 +74,7 @@ impl Preconditioner for Diagonal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pop_comm::DistLayout;
+    use pop_comm::{CommWorld, DistLayout};
     use pop_grid::Grid;
 
     #[test]

@@ -24,9 +24,9 @@
 
 use super::tiling::{tile_block, Tile};
 use super::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
-use pop_stencil::{DenseMatrix, LocalStencil, NinePoint};
+use pop_comm::{BlockVec, CommWorld, DistVec};
 use pop_stencil::dense::LuFactors;
+use pop_stencil::{DenseMatrix, LocalStencil, NinePoint};
 
 /// How a sub-block is solved.
 #[derive(Debug, Clone)]
@@ -47,6 +47,21 @@ pub struct EvpSubBlock {
     mask: Vec<u8>,
     solver: SubSolver,
     reduced: bool,
+    /// Pad indices of the guess line `e` and overshoot ring `f`, precomputed
+    /// at setup so `solve` never allocates (it runs per tile per iteration).
+    e_idx: Vec<usize>,
+    f_idx: Vec<usize>,
+}
+
+/// Pad-index forms of [`e_points`] / [`f_points`] for an `nx × ny` tile.
+fn line_indices(nx: usize, ny: usize) -> (Vec<usize>, Vec<usize>) {
+    let stride = nx + 2;
+    let to_idx = |pts: Vec<(usize, usize)>| {
+        pts.into_iter()
+            .map(|(i, j)| pad_idx(stride, i as isize, j as isize))
+            .collect()
+    };
+    (to_idx(e_points(nx, ny)), to_idx(f_points(nx, ny)))
 }
 
 /// Reusable scratch for [`EvpSubBlock::solve`].
@@ -55,6 +70,9 @@ pub struct EvpScratch {
     xpad: Vec<f64>,
     fvals: Vec<f64>,
     corr: Vec<f64>,
+    /// Contiguous-tile staging for the dense-LU fallback under strided calls.
+    psi_t: Vec<f64>,
+    x_t: Vec<f64>,
 }
 
 impl EvpSubBlock {
@@ -88,9 +106,7 @@ impl EvpSubBlock {
         }
         let floor = 1e-12 * ane_max;
         let marchable = ane_max > 0.0
-            && (0..ny as isize).all(|j| {
-                (0..nx as isize).all(|i| stencil.ane(i, j).abs() > floor)
-            });
+            && (0..ny as isize).all(|j| (0..nx as isize).all(|i| stencil.ane(i, j).abs() > floor));
 
         let solver = if marchable {
             Self::try_marching_setup(&stencil, reduced)
@@ -99,6 +115,7 @@ impl EvpSubBlock {
             SubSolver::DenseLu(lu_of(&stencil))
         };
 
+        let (e_idx, f_idx) = line_indices(nx, ny);
         EvpSubBlock {
             nx,
             ny,
@@ -106,6 +123,8 @@ impl EvpSubBlock {
             mask,
             solver,
             reduced,
+            e_idx,
+            f_idx,
         }
     }
 
@@ -142,6 +161,7 @@ impl EvpSubBlock {
         }
 
         // Accuracy probe: solve for a pseudo-random ψ and check the residual.
+        let (e_idx, f_idx) = line_indices(nx, ny);
         let probe = EvpSubBlock {
             nx,
             ny,
@@ -149,6 +169,8 @@ impl EvpSubBlock {
             mask: vec![1; nx * ny],
             solver: SubSolver::Evp { r_inv },
             reduced,
+            e_idx,
+            f_idx,
         };
         let psi: Vec<f64> = (0..nx * ny)
             .map(|q| ((q.wrapping_mul(2654435761)) % 1000) as f64 / 500.0 - 1.0)
@@ -191,6 +213,22 @@ impl EvpSubBlock {
         let (nx, ny) = (self.nx, self.ny);
         assert_eq!(psi.len(), nx * ny);
         assert_eq!(x.len(), nx * ny);
+        self.solve_strided(psi, nx, x, nx, scratch);
+    }
+
+    /// [`EvpSubBlock::solve`] reading `ψ` and writing `x` in place with
+    /// arbitrary row strides — the tile is operated on directly inside its
+    /// parent [`pop_comm::BlockVec`] storage, so the fused preconditioner
+    /// sweep does no gather/scatter copies. Same arithmetic, same values.
+    pub fn solve_strided(
+        &self,
+        psi: &[f64],
+        psi_stride: usize,
+        x: &mut [f64],
+        x_stride: usize,
+        scratch: &mut EvpScratch,
+    ) {
+        let (nx, ny) = (self.nx, self.ny);
         match &self.solver {
             SubSolver::Evp { r_inv } => {
                 let stride = nx + 2;
@@ -199,14 +237,12 @@ impl EvpSubBlock {
                 let xpad = &mut scratch.xpad;
 
                 // First sweep with zero guess.
-                march(&self.stencil, xpad, Some(psi), self.reduced);
+                march(&self.stencil, xpad, Some((psi, psi_stride)), self.reduced);
 
-                // Mismatch on the Dirichlet ring.
-                let f_list = f_points(nx, ny);
+                // Mismatch on the Dirichlet ring (precomputed pad indices —
+                // this path must not allocate).
                 scratch.fvals.clear();
-                scratch
-                    .fvals
-                    .extend(f_list.iter().map(|&(i, j)| xpad[pad_idx(stride, i as isize, j as isize)]));
+                scratch.fvals.extend(self.f_idx.iter().map(|&k| xpad[k]));
 
                 // Corrected guess e = −R·F, then the definitive sweep.
                 let k = scratch.fvals.len();
@@ -214,26 +250,48 @@ impl EvpSubBlock {
                 scratch.corr.resize(k, 0.0);
                 r_inv.matvec(&scratch.fvals, &mut scratch.corr);
                 xpad.fill(0.0);
-                for (c, &(ei, ej)) in e_points(nx, ny).iter().enumerate() {
-                    xpad[pad_idx(stride, ei as isize, ej as isize)] = -scratch.corr[c];
+                for (c, &k) in self.e_idx.iter().enumerate() {
+                    xpad[k] = -scratch.corr[c];
                 }
-                march(&self.stencil, xpad, Some(psi), self.reduced);
+                march(&self.stencil, xpad, Some((psi, psi_stride)), self.reduced);
 
                 for j in 0..ny {
+                    let src = &xpad[(j + 1) * stride + 1..(j + 1) * stride + 1 + nx];
+                    let dst = &mut x[j * x_stride..j * x_stride + nx];
+                    let mrow = &self.mask[j * nx..(j + 1) * nx];
                     for i in 0..nx {
-                        x[j * nx + i] = if self.mask[j * nx + i] != 0 {
-                            xpad[pad_idx(stride, i as isize, j as isize)]
-                        } else {
-                            0.0
-                        };
+                        dst[i] = if mrow[i] != 0 { src[i] } else { 0.0 };
                     }
                 }
             }
             SubSolver::DenseLu(lu) => {
-                lu.solve_into(psi, x);
-                for (v, &m) in x.iter_mut().zip(&self.mask) {
-                    if m == 0 {
-                        *v = 0.0;
+                // The dense fallback wants contiguous tiles; gather/scatter
+                // through scratch when the caller's tiles are strided.
+                if psi_stride == nx && x_stride == nx {
+                    lu.solve_into(&psi[..nx * ny], &mut x[..nx * ny]);
+                    for (v, &m) in x[..nx * ny].iter_mut().zip(&self.mask) {
+                        if m == 0 {
+                            *v = 0.0;
+                        }
+                    }
+                } else {
+                    scratch.psi_t.clear();
+                    for j in 0..ny {
+                        scratch
+                            .psi_t
+                            .extend_from_slice(&psi[j * psi_stride..j * psi_stride + nx]);
+                    }
+                    scratch.x_t.clear();
+                    scratch.x_t.resize(nx * ny, 0.0);
+                    lu.solve_into(&scratch.psi_t, &mut scratch.x_t);
+                    for (v, &m) in scratch.x_t.iter_mut().zip(&self.mask) {
+                        if m == 0 {
+                            *v = 0.0;
+                        }
+                    }
+                    for j in 0..ny {
+                        x[j * x_stride..j * x_stride + nx]
+                            .copy_from_slice(&scratch.x_t[j * nx..(j + 1) * nx]);
                     }
                 }
             }
@@ -267,30 +325,40 @@ fn f_points(nx: usize, ny: usize) -> Vec<(usize, usize)> {
 /// One southwest→northeast marching sweep (paper Eq. 4): solve the equation
 /// centered at `(i, j)` for `x(i+1, j+1)`, for all centers in lexicographic
 /// order. `psi = None` means a zero right-hand side (the preprocessing
-/// sweeps). Values on `e` and the south/west ring must be preset; everything
-/// with `i ≥ 1 ∧ j ≥ 1` — including the north/east ring — is produced.
-fn march(st: &LocalStencil, xpad: &mut [f64], psi: Option<&[f64]>, reduced: bool) {
+/// sweeps); `Some((slice, row_stride))` reads the right-hand side in place —
+/// possibly a strided tile of a larger block. Values on `e` and the
+/// south/west ring must be preset; everything with `i ≥ 1 ∧ j ≥ 1` —
+/// including the north/east ring — is produced.
+fn march(st: &LocalStencil, xpad: &mut [f64], psi: Option<(&[f64], usize)>, reduced: bool) {
     let (nx, ny) = (st.nx, st.ny);
-    let stride = nx + 2;
-    debug_assert_eq!(xpad.len(), stride * (ny + 2));
-    for j in 0..ny as isize {
-        for i in 0..nx as isize {
+    let xs = nx + 2;
+    debug_assert_eq!(xpad.len(), xs * (ny + 2));
+    // Flat recurrence over the raw coefficient slices: `ck` indexes the
+    // coefficient pad (stride `cs`), `xk` the solution pad (stride `xs`),
+    // both at logical `(i, j)`. The floating-point term order matches the
+    // coordinate form exactly, so results are bitwise unchanged.
+    let (cs, a0, an, ae, ane) = st.raw_parts();
+    for j in 0..ny {
+        let crow = (j + 1) * cs + 1;
+        let xrow = (j + 1) * xs + 1;
+        for i in 0..nx {
+            let ck = crow + i;
+            let xk = xrow + i;
             let rhs = match psi {
-                Some(p) => p[j as usize * nx + i as usize],
+                Some((p, ps)) => p[j * ps + i],
                 None => 0.0,
             };
-            let x = |ii: isize, jj: isize| xpad[pad_idx(stride, ii, jj)];
-            let mut s = st.a0(i, j) * x(i, j)
-                + st.ane(i, j - 1) * x(i + 1, j - 1)
-                + st.ane(i - 1, j) * x(i - 1, j + 1)
-                + st.ane(i - 1, j - 1) * x(i - 1, j - 1);
+            let mut s = a0[ck] * xpad[xk]
+                + ane[ck - cs] * xpad[xk - xs + 1]
+                + ane[ck - 1] * xpad[xk + xs - 1]
+                + ane[ck - cs - 1] * xpad[xk - xs - 1];
             if !reduced {
-                s += st.an(i, j) * x(i, j + 1)
-                    + st.an(i, j - 1) * x(i, j - 1)
-                    + st.ae(i, j) * x(i + 1, j)
-                    + st.ae(i - 1, j) * x(i - 1, j);
+                s += an[ck] * xpad[xk + xs]
+                    + an[ck - cs] * xpad[xk - xs]
+                    + ae[ck] * xpad[xk + 1]
+                    + ae[ck - 1] * xpad[xk - 1];
             }
-            xpad[pad_idx(stride, i + 1, j + 1)] = (rhs - s) / st.ane(i, j);
+            xpad[xk + xs + 1] = (rhs - s) / ane[ck];
         }
     }
 }
@@ -380,8 +448,62 @@ impl BlockEvp {
     }
 }
 
+/// Per-thread reusable tile buffers for [`BlockEvp::apply_block`] /
+/// [`BlockLu`](super::BlockLu): gathered right-hand side, tile solution, and
+/// the EVP marching pads. Thread-local so steady-state preconditioner
+/// applications allocate nothing, even when blocks run on pool workers.
+#[derive(Default)]
+pub(super) struct TileScratch {
+    pub psi: Vec<f64>,
+    pub out: Vec<f64>,
+    pub evp: EvpScratch,
+}
+
+thread_local! {
+    pub(super) static TILE_SCRATCH: std::cell::RefCell<TileScratch> =
+        std::cell::RefCell::new(TileScratch::default());
+}
+
 impl Preconditioner for BlockEvp {
-    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
+    fn apply_block(&self, b: usize, r: &BlockVec, z: &mut BlockVec) {
+        TILE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (stride, h) = (r.stride(), r.halo);
+            debug_assert_eq!(z.stride(), stride);
+            debug_assert_eq!(z.halo, h);
+            let rraw = r.raw();
+            let zraw = z.raw_mut();
+            for (t, sub) in &self.subs[b] {
+                match sub {
+                    None => {
+                        for j in t.j0..t.j0 + t.ny {
+                            let off = (j + h) * stride + h + t.i0;
+                            zraw[off..off + t.nx].fill(0.0);
+                        }
+                    }
+                    Some(s) => {
+                        // Solve the tile in place inside the block arrays —
+                        // no gather/scatter copies on the fused path.
+                        let off = (t.j0 + h) * stride + h + t.i0;
+                        s.solve_strided(
+                            &rraw[off..],
+                            stride,
+                            &mut zraw[off..],
+                            stride,
+                            &mut scratch.evp,
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    /// The seed implementation, verbatim: per-call scratch vectors, growth
+    /// from empty on every block, per-point setters. `solve_unfused` runs on
+    /// this so the fused-vs-unfused benches measure what the fused execution
+    /// model actually removed. Values are bit-identical to
+    /// [`BlockEvp::apply_block`].
+    fn apply_baseline(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
         let subs = &self.subs;
         let r_ref = r;
         world.for_each_block(&mut z.blocks, |b, zb| {
@@ -439,7 +561,7 @@ impl Preconditioner for BlockEvp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pop_comm::DistLayout;
+    use pop_comm::{CommWorld, DistLayout, DistVec};
     use pop_grid::Grid;
 
     fn dense_reference_solve(st: &LocalStencil, psi: &[f64]) -> Vec<f64> {
@@ -447,7 +569,9 @@ mod tests {
     }
 
     fn rhs(n: usize) -> Vec<f64> {
-        (0..n).map(|k| ((k * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect()
+        (0..n)
+            .map(|k| ((k * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+            .collect()
     }
 
     #[test]
@@ -503,7 +627,11 @@ mod tests {
             }
         }
         let scale = psi.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        assert!(max_rel / scale < 1e-6, "relative residual {}", max_rel / scale);
+        assert!(
+            max_rel / scale < 1e-6,
+            "relative residual {}",
+            max_rel / scale
+        );
     }
 
     #[test]

@@ -17,13 +17,35 @@ pub use evp::{BlockEvp, EvpScratch, EvpSubBlock};
 pub use regularize::regularize;
 pub use tiling::{tile_block, Tile};
 
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::{BlockVec, CommWorld, DistVec};
 
 /// A symmetric positive definite operator `M ≈ A` applied as `z = M⁻¹ r`.
 pub trait Preconditioner: Send + Sync {
-    /// `z = M⁻¹ r`. Must leave land points of `z` zero and must not require
-    /// `r`'s halo to be current.
-    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec);
+    /// Apply to one block's interior: `z_b = M⁻¹ r_b`. Must write every
+    /// interior point of `z_b` (land points zero) and must not read `r_b`'s
+    /// halo. This is the per-block primitive the fused solver sweeps call so
+    /// preconditioning happens inside the same block pass as the vector
+    /// updates; it must be allocation-free in steady state (keep reusable
+    /// buffers in thread-local scratch).
+    fn apply_block(&self, b: usize, r: &BlockVec, z: &mut BlockVec);
+
+    /// `z = M⁻¹ r` over all blocks: one block sweep of
+    /// [`Preconditioner::apply_block`].
+    fn apply(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
+        let r_ref = r;
+        world.for_each_block(&mut z.blocks, |b, zb| {
+            self.apply_block(b, &r_ref.blocks[b], zb);
+        });
+    }
+
+    /// The pre-fusion whole-vector application — what `solve_unfused` runs,
+    /// so fused-vs-unfused benches compare against the true baseline.
+    /// Implementations whose seed version allocated per call (block-EVP)
+    /// override this with that original code; values are always bit-identical
+    /// to [`Preconditioner::apply`].
+    fn apply_baseline(&self, world: &CommWorld, r: &DistVec, z: &mut DistVec) {
+        self.apply(world, r, z);
+    }
 
     /// Short label used in experiment output ("diagonal", "evp", ...).
     fn name(&self) -> &'static str;

@@ -112,10 +112,7 @@ mod tests {
         let (reg, _) = regularize(&holed());
         for j in 0..6 {
             for i in 0..6 {
-                assert!(
-                    reg.ane(i, j).abs() > 0.0,
-                    "corner ({i},{j}) still dead"
-                );
+                assert!(reg.ane(i, j).abs() > 0.0, "corner ({i},{j}) still dead");
             }
         }
     }

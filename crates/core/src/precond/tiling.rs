@@ -56,7 +56,15 @@ mod tests {
     #[test]
     fn single_tile_when_small() {
         let t = tile_block(8, 6, 12);
-        assert_eq!(t, vec![Tile { i0: 0, j0: 0, nx: 8, ny: 6 }]);
+        assert_eq!(
+            t,
+            vec![Tile {
+                i0: 0,
+                j0: 0,
+                nx: 8,
+                ny: 6
+            }]
+        );
     }
 
     #[test]
@@ -73,7 +81,10 @@ mod tests {
                     }
                 }
             }
-            assert!(covered.iter().all(|&c| c == 1), "({nx},{ny},{max}) not a partition");
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "({nx},{ny},{max}) not a partition"
+            );
         }
     }
 

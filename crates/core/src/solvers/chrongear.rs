@@ -7,21 +7,21 @@
 //! term that dominates the solver's cost at large core counts — the paper's
 //! Figure 2 — and what P-CSI removes.
 
-use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig};
+use super::{masked_block_dot, rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Chronopoulos–Gear preconditioned conjugate gradients.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ChronGear;
 
-impl LinearSolver for ChronGear {
-    fn name(&self) -> &'static str {
-        "chrongear"
-    }
-
-    fn solve(
+impl ChronGear {
+    /// The pre-fusion loop: one whole-field pass per vector operation,
+    /// reference stencil kernels, fresh temporaries every solve. Kept as the
+    /// baseline the fused path is pinned bit-identical to and benchmarked
+    /// against.
+    pub fn solve_unfused(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
@@ -36,7 +36,7 @@ impl LinearSolver for ChronGear {
 
         // r₀ = b − A x₀ ; s₀ = 0 ; p₀ = 0 ; ρ₀ = 1 ; σ₀ = 0.
         let mut r = DistVec::zeros(&layout);
-        op.residual(world, x, b, &mut r);
+        op.residual_reference(world, x, b, &mut r);
         let mut z = DistVec::zeros(&layout); // r'_k in the paper
         let mut az = DistVec::zeros(&layout); // z_k = B r'_k in the paper
         let mut s = DistVec::zeros(&layout);
@@ -55,13 +55,13 @@ impl LinearSolver for ChronGear {
             iterations += 1;
 
             // Step 4: preconditioning r' = M⁻¹ r.
-            pre.apply(world, &r, &mut z);
+            pre.apply_baseline(world, &r, &mut z);
             precond_applies += 1;
 
             // Steps 5–6: z = B r' with its boundary update (the single halo
             // exchange of the iteration).
             world.halo_update(&mut z);
-            op.apply(world, &z, &mut az);
+            op.apply_reference(world, &z, &mut az);
             matvecs += 1;
 
             // Steps 7–9: ρ̃ = rᵀr', δ̃ = (Br')ᵀr', fused into ONE reduction.
@@ -97,6 +97,157 @@ impl LinearSolver for ChronGear {
 
         if final_rel.is_infinite() {
             final_rel = world.norm2_sq(&r).sqrt() / bnorm;
+            converged = final_rel < cfg.tol;
+            history.push((iterations, final_rel));
+        }
+
+        SolveStats {
+            solver: self.name(),
+            preconditioner: pre.name(),
+            iterations,
+            converged,
+            final_relative_residual: final_rel,
+            matvecs,
+            precond_applies,
+            comm: world.stats().since(&start),
+            residual_history: history,
+        }
+    }
+}
+
+impl LinearSolver for ChronGear {
+    fn name(&self) -> &'static str {
+        "chrongear"
+    }
+
+    /// The fused loop: three block sweeps per iteration — preconditioning,
+    /// matvec + both inner-product partials, then all four vector
+    /// recurrences with the residual norm riding along. One recorded
+    /// allreduce per iteration (the fused ρ̃/δ̃ pair), exactly as the
+    /// unfused path. Bit-identical to [`ChronGear::solve_unfused`].
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        let start = world.stats();
+        let layout = std::sync::Arc::clone(&x.layout);
+        let bnorm = rhs_norm(world, b);
+
+        // r₀ = b − A x₀ ; s₀ = 0 ; p₀ = 0 ; ρ₀ = 1 ; σ₀ = 0.
+        let [r, z, az, s, p] = ws.take(&layout);
+        world.halo_update(x);
+        let mut rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+            pt[0] = op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            pt
+        })[0];
+        let mut rho_old = 1.0f64;
+        let mut sigma = 0.0f64;
+
+        let mut matvecs = 1usize; // the initial residual
+        let mut precond_applies = 0usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut final_rel = f64::INFINITY;
+        let mut history: Vec<(usize, f64)> =
+            Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
+
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            // Step 4: preconditioning r' = M⁻¹ r (its own sweep: r' needs a
+            // boundary update before the matvec can run).
+            world.for_each_block_fused([&mut *z], |bk, [zb]| {
+                pre.apply_block(bk, &r.blocks[bk], zb);
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
+            precond_applies += 1;
+
+            // Steps 5–6: the single halo exchange of the iteration, then one
+            // sweep computing z = B r' AND both inner-product partials
+            // ρ̃ = rᵀr', δ̃ = (Br')ᵀr' while the block is cache-hot.
+            world.halo_update(z);
+            let d = world.for_each_block_fused([&mut *az], |bk, [azb]| {
+                let mask = &layout.masks[bk];
+                op.apply_block_into(bk, &z.blocks[bk], azb, mask);
+                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                pt[0] = masked_block_dot(&r.blocks[bk], &z.blocks[bk], mask);
+                pt[1] = masked_block_dot(azb, &z.blocks[bk], mask);
+                pt
+            });
+            matvecs += 1;
+
+            // Steps 7–9: consuming the pair is the iteration's ONE reduction.
+            world.record_allreduce(2);
+            let (rho, delta) = (d[0], d[1]);
+
+            // Steps 10–12: recurrence scalars.
+            let beta = rho / rho_old;
+            sigma = delta - beta * beta * sigma;
+            let alpha = rho / sigma;
+            let nalpha = -alpha;
+
+            // Steps 13–16: all four updates in one sweep, with ‖r‖² as a
+            // free per-block partial for the periodic check.
+            rr = world.for_each_block_fused(
+                [&mut *s, &mut *p, &mut *x, &mut *r],
+                |bk, [sb, pb, xb, rb]| {
+                    let mask = &layout.masks[bk];
+                    let nx = sb.nx;
+                    let mut acc = 0.0f64;
+                    for j in 0..sb.ny {
+                        let zr = z.blocks[bk].interior_row(j);
+                        let azr = az.blocks[bk].interior_row(j);
+                        let sr = sb.interior_row_mut(j);
+                        let pr = pb.interior_row_mut(j);
+                        let xr = xb.interior_row_mut(j);
+                        let rrow = rb.interior_row_mut(j);
+                        let mrow = &mask[j * nx..(j + 1) * nx];
+                        for i in 0..nx {
+                            let sv = zr[i] + beta * sr[i]; // s = r' + β s
+                            let pv = azr[i] + beta * pr[i]; // p = Br' + β p
+                            sr[i] = sv;
+                            pr[i] = pv;
+                            xr[i] += alpha * sv;
+                            let rv = rrow[i] + nalpha * pv;
+                            rrow[i] = rv;
+                            if mrow[i] != 0 {
+                                acc += rv * rv;
+                            }
+                        }
+                    }
+                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                    pt[0] = acc;
+                    pt
+                },
+            )[0];
+            rho_old = rho;
+
+            // Step 17: periodic convergence check (one extra reduction —
+            // consuming the combined partial).
+            if iterations % cfg.check_every == 0 {
+                world.record_allreduce(1);
+                final_rel = rr.sqrt() / bnorm;
+                history.push((iterations, final_rel));
+                if final_rel < cfg.tol {
+                    converged = true;
+                    break;
+                }
+                if !final_rel.is_finite() {
+                    break; // diverged; report as not converged
+                }
+            }
+        }
+
+        if final_rel.is_infinite() {
+            world.record_allreduce(1);
+            final_rel = rr.sqrt() / bnorm;
             converged = final_rel < cfg.tol;
             history.push((iterations, final_rel));
         }

@@ -12,10 +12,10 @@
 //! tolerance, which is why P-CSI only wins at scale — exactly the crossover
 //! the paper measures and the reproduction tracks.
 
-use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig};
+use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
 use crate::lanczos::EigenBounds;
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Preconditioned Classical Stiefel Iteration.
@@ -35,12 +35,12 @@ impl Pcsi {
     }
 }
 
-impl LinearSolver for Pcsi {
-    fn name(&self) -> &'static str {
-        "pcsi"
-    }
-
-    fn solve(
+impl Pcsi {
+    /// The pre-fusion loop: one whole-field pass per vector operation,
+    /// reference (per-point accessor) stencil kernels, and fresh temporaries
+    /// every solve. Kept as the baseline the fused path is pinned
+    /// bit-identical to and benchmarked against.
+    pub fn solve_unfused(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
@@ -62,13 +62,13 @@ impl LinearSolver for Pcsi {
 
         // r₀ = b − A x₀ ; Δx₀ = γ⁻¹ M⁻¹ r₀ ; x₁ = x₀ + Δx₀ ; r₁ = b − A x₁.
         let mut r = DistVec::zeros(&layout);
-        op.residual(world, x, b, &mut r);
+        op.residual_reference(world, x, b, &mut r);
         let mut z = DistVec::zeros(&layout);
-        pre.apply(world, &r, &mut z);
+        pre.apply_baseline(world, &r, &mut z);
         let mut dx = z.clone();
         dx.scale(1.0 / gamma);
         x.axpy(1.0, &dx);
-        op.residual(world, x, b, &mut r);
+        op.residual_reference(world, x, b, &mut r);
 
         let mut matvecs = 2usize;
         let mut precond_applies = 1usize;
@@ -84,7 +84,7 @@ impl LinearSolver for Pcsi {
             omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
 
             // Step 6: preconditioning.
-            pre.apply(world, &r, &mut z);
+            pre.apply_baseline(world, &r, &mut z);
             precond_applies += 1;
 
             // Step 7: Δx_k = ω_k r' + (γ ω_k − 1) Δx_{k−1}. No reductions.
@@ -94,7 +94,7 @@ impl LinearSolver for Pcsi {
             // Steps 8–10: advance the state; one halo update inside the
             // residual's matvec — the iteration's only communication.
             x.axpy(1.0, &dx);
-            op.residual(world, x, b, &mut r);
+            op.residual_reference(world, x, b, &mut r);
             matvecs += 1;
 
             // Step 11: periodic convergence check — P-CSI's only reduction.
@@ -114,6 +114,155 @@ impl LinearSolver for Pcsi {
 
         if final_rel.is_infinite() {
             final_rel = world.norm2_sq(&r).sqrt() / bnorm;
+            converged = final_rel < cfg.tol;
+            history.push((iterations, final_rel));
+        }
+
+        SolveStats {
+            solver: self.name(),
+            preconditioner: pre.name(),
+            iterations,
+            converged,
+            final_relative_residual: final_rel,
+            matvecs,
+            precond_applies,
+            comm: world.stats().since(&start),
+            residual_history: history,
+        }
+    }
+}
+
+impl LinearSolver for Pcsi {
+    fn name(&self) -> &'static str {
+        "pcsi"
+    }
+
+    /// The fused loop: each iteration is **two** block sweeps — sweep A runs
+    /// the preconditioner and both vector recurrences per block while it is
+    /// cache-hot, sweep B recomputes the residual and carries its norm as a
+    /// per-block partial, consumed (as the iteration's only reduction) at
+    /// the periodic convergence checks. Bit-identical to
+    /// [`Pcsi::solve_unfused`] on both backends.
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        let start = world.stats();
+        let layout = std::sync::Arc::clone(&x.layout);
+        let bnorm = rhs_norm(world, b);
+
+        // Chebyshev scalars (Algorithm 2, step 1).
+        let (nu, mu) = (self.bounds.nu, self.bounds.mu);
+        let alpha = 2.0 / (mu - nu);
+        let beta = (mu + nu) / (mu - nu);
+        let gamma = beta / alpha; // = (μ + ν)/2
+        let mut omega = 2.0 / gamma; // ω₀
+
+        let [r, z, dx] = ws.take(&layout);
+
+        // r₀ = b − A x₀.
+        world.halo_update(x);
+        world.for_each_block_fused([&mut *r], |bk, [rb]| {
+            op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            [0.0; MAX_SWEEP_PARTIALS]
+        });
+
+        // Δx₀ = γ⁻¹ M⁻¹ r₀ ; x₁ = x₀ + Δx₀, fused into one sweep.
+        let inv_gamma = 1.0 / gamma;
+        world.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
+            pre.apply_block(bk, &r.blocks[bk], zb);
+            for j in 0..dxb.ny {
+                let zr = zb.interior_row(j);
+                let dxr = dxb.interior_row_mut(j);
+                let xr = xb.interior_row_mut(j);
+                for i in 0..dxr.len() {
+                    let d = zr[i] * inv_gamma;
+                    dxr[i] = d;
+                    xr[i] += d;
+                }
+            }
+            [0.0; MAX_SWEEP_PARTIALS]
+        });
+
+        // r₁ = b − A x₁, with ‖r‖² riding along as a per-block partial.
+        world.halo_update(x);
+        let mut rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut p = [0.0; MAX_SWEEP_PARTIALS];
+            p[0] = op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            p
+        })[0];
+
+        let mut matvecs = 2usize;
+        let mut precond_applies = 1usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut final_rel = f64::INFINITY;
+        let mut history: Vec<(usize, f64)> =
+            Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
+
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            // Step 5: the iterated weight ω_k = 1/(γ − ω_{k−1}/(4α²)).
+            omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+            let c = gamma * omega - 1.0;
+
+            // Steps 6–8 as ONE sweep per block: r' = M⁻¹ r, then
+            // Δx = ω r' + c Δx and x += Δx while the tiles are cache-hot.
+            // No reductions.
+            world.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
+                pre.apply_block(bk, &r.blocks[bk], zb);
+                for j in 0..dxb.ny {
+                    let zr = zb.interior_row(j);
+                    let dxr = dxb.interior_row_mut(j);
+                    let xr = xb.interior_row_mut(j);
+                    for i in 0..dxr.len() {
+                        let d = dxr[i] * c + omega * zr[i];
+                        dxr[i] = d;
+                        xr[i] += d;
+                    }
+                }
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
+            precond_applies += 1;
+
+            // Steps 9–10: one halo update, then the residual sweep; the
+            // squared norm is accumulated per block for free.
+            world.halo_update(x);
+            rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+                let mut p = [0.0; MAX_SWEEP_PARTIALS];
+                p[0] =
+                    op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+                p
+            })[0];
+            matvecs += 1;
+
+            // Step 11: periodic convergence check — P-CSI's only reduction
+            // (the partials are combined locally; consuming them as a global
+            // norm is the allreduce).
+            if iterations % cfg.check_every == 0 {
+                world.record_allreduce(1);
+                final_rel = rr.sqrt() / bnorm;
+                history.push((iterations, final_rel));
+                if final_rel < cfg.tol {
+                    converged = true;
+                    break;
+                }
+                if !final_rel.is_finite() {
+                    break;
+                }
+            }
+        }
+
+        if final_rel.is_infinite() {
+            world.record_allreduce(1);
+            final_rel = rr.sqrt() / bnorm;
             converged = final_rel < cfg.tol;
             history.push((iterations, final_rel));
         }

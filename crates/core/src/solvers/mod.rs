@@ -11,8 +11,9 @@ pub use pcg::ClassicPcg;
 pub use pipecg::PipelinedCg;
 
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec, StatsSnapshot};
+use pop_comm::{BlockVec, CommWorld, DistLayout, DistVec, StatsSnapshot};
 use pop_stencil::NinePoint;
+use std::sync::Arc;
 
 /// Stopping rule and bookkeeping shared by every solver.
 #[derive(Debug, Clone)]
@@ -68,14 +69,96 @@ pub struct SolveStats {
     pub residual_history: Vec<(usize, f64)>,
 }
 
+/// Reusable vector arena for the fused solver loops.
+///
+/// [`SolverWorkspace::take`] hands out `N` zeroed [`DistVec`]s bound to a
+/// layout, allocating only on first use or when the layout changes. POP
+/// calls the barotropic solver every time step on the same decomposition, so
+/// steady-state solves reuse these buffers and the iteration loops do zero
+/// heap allocation (DESIGN.md, "Fused execution model").
+#[derive(Default)]
+pub struct SolverWorkspace {
+    layout: Option<Arc<DistLayout>>,
+    vecs: Vec<DistVec>,
+}
+
+impl SolverWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow `N` distributed vectors on `layout`, zeroed exactly as fresh
+    /// `DistVec::zeros` allocations would be (interior *and* halo), so a
+    /// warm-started solve is bit-identical to a cold one.
+    pub fn take<const N: usize>(&mut self, layout: &Arc<DistLayout>) -> [&mut DistVec; N] {
+        let same = self.layout.as_ref().is_some_and(|l| Arc::ptr_eq(l, layout));
+        if !same {
+            self.vecs.clear();
+            self.layout = Some(Arc::clone(layout));
+        }
+        while self.vecs.len() < N {
+            self.vecs.push(DistVec::zeros(layout));
+        }
+        let mut iter = self.vecs[..N].iter_mut();
+        std::array::from_fn(|_| {
+            let v = iter.next().expect("reserved above");
+            for blk in &mut v.blocks {
+                blk.fill(0.0);
+            }
+            v
+        })
+    }
+}
+
+/// Masked partial dot product over one block's interior, in the exact
+/// row-major ocean-point order of [`DistVec::block_dot`] — the accumulation
+/// the fused sweeps inline so their partials stay bit-identical to the
+/// unfused whole-vector dots.
+#[inline]
+pub(crate) fn masked_block_dot(a: &BlockVec, b: &BlockVec, mask: &[u8]) -> f64 {
+    let nx = a.nx;
+    let mut acc = 0.0;
+    for j in 0..a.ny {
+        let ra = a.interior_row(j);
+        let rb = b.interior_row(j);
+        let mrow = &mask[j * nx..(j + 1) * nx];
+        for i in 0..nx {
+            if mrow[i] != 0 {
+                acc += ra[i] * rb[i];
+            }
+        }
+    }
+    acc
+}
+
 /// A linear solver for the barotropic system `A x = b`.
 ///
 /// `x` carries the initial guess in and the solution out; POP warm-starts
 /// each time step from the previous surface height, and the experiments do
 /// the same.
+///
+/// [`LinearSolver::solve_ws`] is the production entry point: the fused
+/// block-sweep loop running out of a caller-owned [`SolverWorkspace`].
+/// [`LinearSolver::solve`] wraps it with a throwaway workspace for one-shot
+/// callers; results are identical either way.
 pub trait LinearSolver {
     fn name(&self) -> &'static str;
 
+    /// Solve using `ws` for every temporary vector (zero steady-state
+    /// allocation when `ws` is reused across solves on one layout).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats;
+
+    /// Convenience wrapper: solve with a fresh workspace.
     fn solve(
         &self,
         op: &NinePoint,
@@ -84,13 +167,18 @@ pub trait LinearSolver {
         b: &DistVec,
         x: &mut DistVec,
         cfg: &SolverConfig,
-    ) -> SolveStats;
+    ) -> SolveStats {
+        let mut ws = SolverWorkspace::default();
+        self.solve_ws(op, pre, world, b, x, cfg, &mut ws)
+    }
 }
 
 /// `‖b‖₂` with a floor so a zero right-hand side converges immediately
-/// instead of dividing by zero.
+/// instead of dividing by zero. Computed through the fused sweep so the
+/// solver setup path stays allocation-free; bit-identical to
+/// `world.norm2_sq(b).sqrt()`.
 pub(crate) fn rhs_norm(world: &CommWorld, b: &DistVec) -> f64 {
-    world.norm2_sq(b).sqrt().max(1e-300)
+    world.dot_fused(b, b).sqrt().max(1e-300)
 }
 
 #[cfg(test)]

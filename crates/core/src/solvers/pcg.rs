@@ -5,21 +5,19 @@
 //! these two reductions into one, and the solver-kernel ablation bench
 //! measures exactly that difference.
 
-use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig};
+use super::{masked_block_dot, rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Classic PCG (Hestenes–Stiefel with preconditioning).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ClassicPcg;
 
-impl LinearSolver for ClassicPcg {
-    fn name(&self) -> &'static str {
-        "pcg"
-    }
-
-    fn solve(
+impl ClassicPcg {
+    /// The pre-fusion loop, kept as the bit-identical baseline of the fused
+    /// path (see [`ChronGear::solve_unfused`](super::ChronGear)).
+    pub fn solve_unfused(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
@@ -33,9 +31,9 @@ impl LinearSolver for ClassicPcg {
         let bnorm = rhs_norm(world, b);
 
         let mut r = DistVec::zeros(&layout);
-        op.residual(world, x, b, &mut r);
+        op.residual_reference(world, x, b, &mut r);
         let mut z = DistVec::zeros(&layout);
-        pre.apply(world, &r, &mut z);
+        pre.apply_baseline(world, &r, &mut z);
         let mut p = z.clone();
         let mut ap = DistVec::zeros(&layout);
         let mut rz = world.dot(&r, &z); // reduction #0 (setup)
@@ -51,7 +49,7 @@ impl LinearSolver for ClassicPcg {
             iterations += 1;
 
             world.halo_update(&mut p);
-            op.apply(world, &p, &mut ap);
+            op.apply_reference(world, &p, &mut ap);
             matvecs += 1;
 
             // Reduction #1 of the iteration.
@@ -60,7 +58,7 @@ impl LinearSolver for ClassicPcg {
             x.axpy(alpha, &p);
             r.axpy(-alpha, &ap);
 
-            pre.apply(world, &r, &mut z);
+            pre.apply_baseline(world, &r, &mut z);
             precond_applies += 1;
 
             // Reduction #2 of the iteration.
@@ -85,6 +83,153 @@ impl LinearSolver for ClassicPcg {
 
         if final_rel.is_infinite() {
             final_rel = world.norm2_sq(&r).sqrt() / bnorm;
+            converged = final_rel < cfg.tol;
+            history.push((iterations, final_rel));
+        }
+
+        SolveStats {
+            solver: self.name(),
+            preconditioner: pre.name(),
+            iterations,
+            converged,
+            final_relative_residual: final_rel,
+            matvecs,
+            precond_applies,
+            comm: world.stats().since(&start),
+            residual_history: history,
+        }
+    }
+}
+
+impl LinearSolver for ClassicPcg {
+    fn name(&self) -> &'static str {
+        "pcg"
+    }
+
+    /// The fused loop: matvec + pᵀAp partial in one sweep; then x/r updates,
+    /// preconditioning, and the rᵀz / ‖r‖² partials in a second sweep; then
+    /// the direction update. Still two reductions per iteration — classic
+    /// PCG's defining cost — but each one now rides on a fused sweep.
+    /// Bit-identical to [`ClassicPcg::solve_unfused`].
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        let start = world.stats();
+        let layout = std::sync::Arc::clone(&x.layout);
+        let bnorm = rhs_norm(world, b);
+
+        let [r, z, p, ap] = ws.take(&layout);
+        world.halo_update(x);
+        let mut rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+            pt[0] = op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            pt
+        })[0];
+        // z₀ = M⁻¹ r₀ and p₀ = z₀ in one sweep, with the setup rᵀz partial.
+        let mut rz = world.for_each_block_fused([&mut *z, &mut *p], |bk, [zb, pb]| {
+            pre.apply_block(bk, &r.blocks[bk], zb);
+            for j in 0..pb.ny {
+                pb.interior_row_mut(j).copy_from_slice(zb.interior_row(j));
+            }
+            let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+            pt[0] = masked_block_dot(&r.blocks[bk], zb, &layout.masks[bk]);
+            pt
+        })[0];
+        world.record_allreduce(1); // reduction #0 (setup)
+
+        let mut matvecs = 1usize;
+        let mut precond_applies = 1usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut final_rel = f64::INFINITY;
+        let mut history: Vec<(usize, f64)> =
+            Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
+
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            // Sweep 1: Ap and its pᵀAp partial together.
+            world.halo_update(p);
+            let pap = world.for_each_block_fused([&mut *ap], |bk, [apb]| {
+                let mask = &layout.masks[bk];
+                op.apply_block_into(bk, &p.blocks[bk], apb, mask);
+                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                pt[0] = masked_block_dot(&p.blocks[bk], apb, mask);
+                pt
+            })[0];
+            matvecs += 1;
+
+            // Reduction #1 of the iteration.
+            world.record_allreduce(1);
+            let alpha = rz / pap;
+            let nalpha = -alpha;
+
+            // Sweep 2: x += αp, r −= αAp, z = M⁻¹r, and the rᵀz / ‖r‖²
+            // partials, all while the block is cache-hot.
+            let d = world.for_each_block_fused([&mut *x, &mut *r, &mut *z], |bk, [xb, rb, zb]| {
+                let mask = &layout.masks[bk];
+                let nx = xb.nx;
+                for j in 0..xb.ny {
+                    let prow = p.blocks[bk].interior_row(j);
+                    let aprow = ap.blocks[bk].interior_row(j);
+                    let xr = xb.interior_row_mut(j);
+                    let rrow = rb.interior_row_mut(j);
+                    for i in 0..nx {
+                        xr[i] += alpha * prow[i];
+                        rrow[i] += nalpha * aprow[i];
+                    }
+                }
+                pre.apply_block(bk, rb, zb);
+                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                pt[0] = masked_block_dot(rb, zb, mask);
+                pt[1] = masked_block_dot(rb, rb, mask);
+                pt
+            });
+            precond_applies += 1;
+
+            // Reduction #2 of the iteration.
+            world.record_allreduce(1);
+            let rz_new = d[0];
+            rr = d[1];
+            let beta = rz_new / rz;
+            rz = rz_new;
+
+            // Sweep 3: the direction update p = z + β p.
+            world.for_each_block_fused([&mut *p], |bk, [pb]| {
+                for j in 0..pb.ny {
+                    let zr = z.blocks[bk].interior_row(j);
+                    let prow = pb.interior_row_mut(j);
+                    for i in 0..prow.len() {
+                        prow[i] = zr[i] + beta * prow[i];
+                    }
+                }
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
+
+            if iterations % cfg.check_every == 0 {
+                world.record_allreduce(1);
+                final_rel = rr.sqrt() / bnorm;
+                history.push((iterations, final_rel));
+                if final_rel < cfg.tol {
+                    converged = true;
+                    break;
+                }
+                if !final_rel.is_finite() {
+                    break;
+                }
+            }
+        }
+
+        if final_rel.is_infinite() {
+            world.record_allreduce(1);
+            final_rel = rr.sqrt() / bnorm;
             converged = final_rel < cfg.tol;
             history.push((iterations, final_rel));
         }
@@ -130,7 +275,12 @@ mod tests {
         assert!(rel_error(&f, &x_cg) < 1e-8);
         // Same Krylov method: iteration counts agree to a few steps.
         let diff = st_pcg.iterations.abs_diff(st_cg.iterations);
-        assert!(diff <= 3, "pcg {} vs chrongear {}", st_pcg.iterations, st_cg.iterations);
+        assert!(
+            diff <= 3,
+            "pcg {} vs chrongear {}",
+            st_pcg.iterations,
+            st_cg.iterations
+        );
     }
 
     #[test]

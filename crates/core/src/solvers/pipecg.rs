@@ -18,21 +18,19 @@
 //! ChronGear) and slightly worse round-off behaviour — both visible in the
 //! kernel benches and the convergence histories.
 
-use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig};
+use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec};
+use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Pipelined PCG.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PipelinedCg;
 
-impl LinearSolver for PipelinedCg {
-    fn name(&self) -> &'static str {
-        "pipecg"
-    }
-
-    fn solve(
+impl PipelinedCg {
+    /// The pre-fusion loop, kept as the bit-identical baseline of the fused
+    /// path (see [`ChronGear::solve_unfused`](super::ChronGear)).
+    pub fn solve_unfused(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
@@ -47,12 +45,12 @@ impl LinearSolver for PipelinedCg {
 
         // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀.
         let mut r = DistVec::zeros(&layout);
-        op.residual(world, x, b, &mut r);
+        op.residual_reference(world, x, b, &mut r);
         let mut u = DistVec::zeros(&layout);
-        pre.apply(world, &r, &mut u);
+        pre.apply_baseline(world, &r, &mut u);
         world.halo_update(&mut u);
         let mut w = DistVec::zeros(&layout);
-        op.apply(world, &u, &mut w);
+        op.apply_reference(world, &u, &mut w);
 
         let mut m = DistVec::zeros(&layout);
         let mut n = DistVec::zeros(&layout);
@@ -83,10 +81,10 @@ impl LinearSolver for PipelinedCg {
             let (gamma, delta, rr) = (d[0], d[1], d[2]);
 
             // Overlapped local work: m = M⁻¹w ; n = A m.
-            pre.apply(world, &w, &mut m);
+            pre.apply_baseline(world, &w, &mut m);
             precond_applies += 1;
             world.halo_update(&mut m);
-            op.apply(world, &m, &mut n);
+            op.apply_reference(world, &m, &mut n);
             matvecs += 1;
 
             let (alpha, beta) = if iterations == 1 {
@@ -106,6 +104,187 @@ impl LinearSolver for PipelinedCg {
             r.axpy(-alpha, &s);
             u.axpy(-alpha, &q);
             w.axpy(-alpha, &z);
+
+            gamma_old = gamma;
+            alpha_old = alpha;
+
+            final_rel = rr.sqrt() / bnorm;
+            if iterations % cfg.check_every == 0 {
+                history.push((iterations, final_rel));
+            }
+            if final_rel < cfg.tol {
+                converged = true;
+                if iterations % cfg.check_every != 0 {
+                    history.push((iterations, final_rel));
+                }
+                break;
+            }
+            if !final_rel.is_finite() {
+                break;
+            }
+        }
+
+        SolveStats {
+            solver: self.name(),
+            preconditioner: pre.name(),
+            iterations,
+            converged,
+            final_relative_residual: final_rel,
+            matvecs,
+            precond_applies,
+            comm: world.stats().since(&start),
+            residual_history: history,
+        }
+    }
+}
+
+impl LinearSolver for PipelinedCg {
+    fn name(&self) -> &'static str {
+        "pipecg"
+    }
+
+    /// The fused loop: the three dot partials (γ, δ, ‖r‖²) and the
+    /// preconditioner ride one sweep, the matvec a second, and all *eight*
+    /// pipelined recurrences collapse into a single third sweep — the fusion
+    /// win is largest here because the pipelined formulation is the most
+    /// vector-heavy. Bit-identical to [`PipelinedCg::solve_unfused`].
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        let start = world.stats();
+        let layout = std::sync::Arc::clone(&x.layout);
+        let bnorm = rhs_norm(world, b);
+
+        let [r, u, w, m, n, z, q, s, p] = ws.take(&layout);
+
+        // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀.
+        world.halo_update(x);
+        world.for_each_block_fused([&mut *r], |bk, [rb]| {
+            op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            [0.0; MAX_SWEEP_PARTIALS]
+        });
+        world.for_each_block_fused([&mut *u], |bk, [ub]| {
+            pre.apply_block(bk, &r.blocks[bk], ub);
+            [0.0; MAX_SWEEP_PARTIALS]
+        });
+        world.halo_update(u);
+        world.for_each_block_fused([&mut *w], |bk, [wb]| {
+            op.apply_block_into(bk, &u.blocks[bk], wb, &layout.masks[bk]);
+            [0.0; MAX_SWEEP_PARTIALS]
+        });
+
+        let mut gamma_old = 1.0f64;
+        let mut alpha_old = 1.0f64;
+        let mut matvecs = 2usize;
+        let mut precond_applies = 1usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let mut final_rel = f64::INFINITY;
+        let mut history: Vec<(usize, f64)> =
+            Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
+
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            // Sweep 1: the fused reduction's three partials — γ = (r,u),
+            // δ = (w,u), ‖r‖² — plus the preconditioner application
+            // m = M⁻¹w, all in one pass over the block. On a real machine
+            // the allreduce is posted asynchronously and progresses WHILE
+            // the preconditioner and matvec run — which is why it is
+            // flagged overlappable for the cost model.
+            let d = world.for_each_block_fused([&mut *m], |bk, [mb]| {
+                let mask = &layout.masks[bk];
+                let (rb, ub, wb) = (&r.blocks[bk], &u.blocks[bk], &w.blocks[bk]);
+                let nx = rb.nx;
+                let (mut g, mut dl, mut rs) = (0.0, 0.0, 0.0);
+                for j in 0..rb.ny {
+                    let rrow = rb.interior_row(j);
+                    let urow = ub.interior_row(j);
+                    let wrow = wb.interior_row(j);
+                    let mrow = &mask[j * nx..(j + 1) * nx];
+                    for i in 0..nx {
+                        if mrow[i] != 0 {
+                            g += rrow[i] * urow[i];
+                            dl += wrow[i] * urow[i];
+                            rs += rrow[i] * rrow[i];
+                        }
+                    }
+                }
+                pre.apply_block(bk, wb, mb);
+                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                pt[0] = g;
+                pt[1] = dl;
+                pt[2] = rs;
+                pt
+            });
+            world.record_allreduce(3);
+            let (gamma, delta, rr) = (d[0], d[1], d[2]);
+            precond_applies += 1;
+
+            // Sweep 2: n = A m.
+            world.halo_update(m);
+            world.for_each_block_fused([&mut *n], |bk, [nb]| {
+                op.apply_block_into(bk, &m.blocks[bk], nb, &layout.masks[bk]);
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
+            matvecs += 1;
+
+            let (alpha, beta) = if iterations == 1 {
+                (gamma / delta, 0.0)
+            } else {
+                let beta = gamma / gamma_old;
+                let alpha = gamma / (delta - beta * gamma / alpha_old);
+                (alpha, beta)
+            };
+            let nalpha = -alpha;
+
+            // Sweep 3: all eight pipelined recurrences fused per point. The
+            // direction updates read the *old* w and u of the same point
+            // (written only afterwards), exactly as the separate whole-vector
+            // passes did.
+            world.for_each_block_fused(
+                [
+                    &mut *z, &mut *q, &mut *s, &mut *p, &mut *x, &mut *r, &mut *u, &mut *w,
+                ],
+                |bk, [zb, qb, sb, pb, xb, rb, ub, wb]| {
+                    let (nb, mb) = (&n.blocks[bk], &m.blocks[bk]);
+                    let nx = zb.nx;
+                    for j in 0..zb.ny {
+                        let nr = nb.interior_row(j);
+                        let mr = mb.interior_row(j);
+                        let zr = zb.interior_row_mut(j);
+                        let qr = qb.interior_row_mut(j);
+                        let sr = sb.interior_row_mut(j);
+                        let pr = pb.interior_row_mut(j);
+                        let xr = xb.interior_row_mut(j);
+                        let rrow = rb.interior_row_mut(j);
+                        let ur = ub.interior_row_mut(j);
+                        let wr = wb.interior_row_mut(j);
+                        for i in 0..nx {
+                            let zv = nr[i] + beta * zr[i];
+                            let qv = mr[i] + beta * qr[i];
+                            let sv = wr[i] + beta * sr[i];
+                            let pv = ur[i] + beta * pr[i];
+                            zr[i] = zv;
+                            qr[i] = qv;
+                            sr[i] = sv;
+                            pr[i] = pv;
+                            xr[i] += alpha * pv;
+                            rrow[i] += nalpha * sv;
+                            ur[i] += nalpha * qv;
+                            wr[i] += nalpha * zv;
+                        }
+                    }
+                    [0.0; MAX_SWEEP_PARTIALS]
+                },
+            );
 
             gamma_old = gamma;
             alpha_old = alpha;

@@ -10,8 +10,7 @@
 //!
 //! Generation is deterministic for a given seed.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pop_rng::SmallRng;
 
 /// A depth field on an `nx × ny` T grid. `depth[j*nx+i] == 0.0` means land;
 /// positive values are ocean depth in meters.
@@ -112,7 +111,10 @@ impl BathymetryBuilder {
 
     /// Generate the bathymetry.
     pub fn build(&self, nx: usize, ny: usize) -> Bathymetry {
-        assert!(nx >= 4 && ny >= 4, "grid too small for bathymetry generation");
+        assert!(
+            nx >= 4 && ny >= 4,
+            "grid too small for bathymetry generation"
+        );
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
         // --- multi-octave value noise field in [0, 1] ---
@@ -159,7 +161,8 @@ impl BathymetryBuilder {
                     // shallow shelves.
                     let rel = ((threshold - v) / threshold.max(1e-9)).clamp(0.0, 1.0);
                     let prof = rel.sqrt(); // fast drop-off then flat abyss
-                    depth[j * nx + i] = (100.0 + (self.max_depth - 100.0) * prof).min(self.max_depth);
+                    depth[j * nx + i] =
+                        (100.0 + (self.max_depth - 100.0) * prof).min(self.max_depth);
                 }
             }
         }
@@ -266,7 +269,9 @@ fn remove_isolated_seas(b: &mut Bathymetry, periodic_x: bool) {
     if sizes.len() <= 2 {
         return; // zero or one component: nothing to remove
     }
-    let keep = (1..sizes.len()).max_by_key(|&l| sizes[l]).expect("nonempty") as u32;
+    let keep = (1..sizes.len())
+        .max_by_key(|&l| sizes[l])
+        .expect("nonempty") as u32;
     for k in 0..nx * ny {
         if label[k] != 0 && label[k] != keep {
             b.depth[k] = 0.0;
@@ -384,7 +389,9 @@ mod tests {
         // Re-run the labelling: exactly one ocean component must remain.
         let (nx, ny) = (b.nx, b.ny);
         let mut seen = vec![false; nx * ny];
-        let start = (0..nx * ny).find(|&k| b.depth[k] > 0.0).expect("some ocean");
+        let start = (0..nx * ny)
+            .find(|&k| b.depth[k] > 0.0)
+            .expect("some ocean");
         let mut stack = vec![start];
         seen[start] = true;
         let mut count = 0usize;
@@ -412,7 +419,10 @@ mod tests {
 
     #[test]
     fn straits_leave_open_water_rows() {
-        let b = BathymetryBuilder::new(9).land_fraction(0.6).straits(2).build(96, 64);
+        let b = BathymetryBuilder::new(9)
+            .land_fraction(0.6)
+            .straits(2)
+            .build(96, 64);
         assert!(b.ocean_fraction() > 0.2);
     }
 }

@@ -357,7 +357,11 @@ mod tests {
         let d = Decomposition::new(&g, 5, 4);
         assert_eq!(d.mx, 3);
         assert_eq!(d.my, 3);
-        let east = d.blocks.iter().find(|b| b.bi == 2 && b.bj == 1).expect("edge block");
+        let east = d
+            .blocks
+            .iter()
+            .find(|b| b.bi == 2 && b.bj == 1)
+            .expect("edge block");
         assert_eq!(east.nx, 3);
         assert_eq!(east.ny, 4);
     }

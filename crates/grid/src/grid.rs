@@ -87,7 +87,11 @@ impl Grid {
             .islands(8 * nx / 320 + 1)
             .straits(2)
             .build(nx, ny);
-        let kind = if (nx, ny) == (320, 384) { GridKind::Gx1 } else { GridKind::Custom };
+        let kind = if (nx, ny) == (320, 384) {
+            GridKind::Gx1
+        } else {
+            GridKind::Custom
+        };
         Grid::from_parts(kind, metrics, &bathy, true)
     }
 
@@ -106,7 +110,11 @@ impl Grid {
             .islands(30 * nx / 3600 + 2)
             .straits(3)
             .build(nx, ny);
-        let kind = if (nx, ny) == (3600, 2400) { GridKind::Gx01 } else { GridKind::Custom };
+        let kind = if (nx, ny) == (3600, 2400) {
+            GridKind::Gx01
+        } else {
+            GridKind::Custom
+        };
         Grid::from_parts(kind, metrics, &bathy, true)
     }
 
@@ -216,7 +224,11 @@ mod tests {
         }
         let b = Bathymetry { nx, ny, depth };
         let g = Grid::from_parts(GridKind::Custom, metrics, &b, true);
-        assert_eq!(g.hu[g.idx(nx - 1, 2)], 1000.0, "seam corner sees wrapped column");
+        assert_eq!(
+            g.hu[g.idx(nx - 1, 2)],
+            1000.0,
+            "seam corner sees wrapped column"
+        );
     }
 
     #[test]
@@ -224,7 +236,10 @@ mod tests {
         let g = Grid::gx1_scaled(42, 80, 96);
         assert!(g.periodic_x);
         assert!(g.ocean_fraction() > 0.4 && g.ocean_fraction() < 0.95);
-        assert!(g.metrics.max_aspect_ratio() > 1.5, "1°-like grid is anisotropic");
+        assert!(
+            g.metrics.max_aspect_ratio() > 1.5,
+            "1°-like grid is anisotropic"
+        );
     }
 
     #[test]

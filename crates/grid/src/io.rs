@@ -138,11 +138,7 @@ impl Grid {
         if depth.iter().any(|d| !d.is_finite() || *d < 0.0) {
             return Err(GridIoError::Format("invalid depth".into()));
         }
-        let bathy = crate::bathymetry::Bathymetry {
-            nx,
-            ny,
-            depth,
-        };
+        let bathy = crate::bathymetry::Bathymetry { nx, ny, depth };
         Ok(Grid::from_parts(kind, metrics, &bathy, periodic_x))
     }
 

@@ -82,7 +82,9 @@ impl Metrics {
             dyt: vec![d; n],
             dxu: vec![d; n],
             dyu: vec![d; n],
-            lat_t: (0..ny).map(|j| (j as f64 / ny as f64 - 0.5) * 0.5).collect(),
+            lat_t: (0..ny)
+                .map(|j| (j as f64 / ny as f64 - 0.5) * 0.5)
+                .collect(),
         }
     }
 
@@ -138,8 +140,7 @@ impl Metrics {
         let inv_merc = |y: f64| 2.0 * (y.exp().atan() - std::f64::consts::FRAC_PI_4);
         // dy in Mercator ordinate equals dlon: that is what makes dx == dy.
         let dyy = dlon;
-        let y_center = 0.5
-            * (merc(lat_min_deg.to_radians()) + merc(lat_max_deg.to_radians()));
+        let y_center = 0.5 * (merc(lat_min_deg.to_radians()) + merc(lat_max_deg.to_radians()));
         let y0 = y_center - 0.5 * ny as f64 * dyy;
 
         let mut m = Metrics {
@@ -177,7 +178,10 @@ impl Metrics {
     /// (e.g. `0.15`), mimicking the metric irregularity of a displaced-pole
     /// dipole grid. Keeps all spacings strictly positive for `amp < 1`.
     pub fn with_dipole_distortion(mut self, amp: f64) -> Self {
-        assert!((0.0..1.0).contains(&amp), "distortion amplitude must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&amp),
+            "distortion amplitude must be in [0,1)"
+        );
         let (nx, ny) = (self.nx, self.ny);
         for j in 0..ny {
             // Distortion grows towards the "displaced pole" (northern rows).

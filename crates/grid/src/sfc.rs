@@ -84,7 +84,12 @@ pub enum CurveKind {
 /// Order the block coordinates `(bi, bj)` on an `mx × my` block grid by the
 /// chosen curve. Returns a permutation of `0..coords.len()` (indices into
 /// `coords`) in visit order.
-pub fn order_blocks(coords: &[(usize, usize)], mx: usize, my: usize, kind: CurveKind) -> Vec<usize> {
+pub fn order_blocks(
+    coords: &[(usize, usize)],
+    mx: usize,
+    my: usize,
+    kind: CurveKind,
+) -> Vec<usize> {
     let mut keyed: Vec<(u64, usize)> = match kind {
         CurveKind::Hilbert => {
             let side = mx.max(my).next_power_of_two().max(1);
@@ -165,9 +170,8 @@ mod tests {
 
     #[test]
     fn order_blocks_is_permutation() {
-        let coords: Vec<(usize, usize)> = (0..7)
-            .flat_map(|j| (0..5).map(move |i| (i, j)))
-            .collect();
+        let coords: Vec<(usize, usize)> =
+            (0..7).flat_map(|j| (0..5).map(move |i| (i, j))).collect();
         for kind in [CurveKind::Hilbert, CurveKind::Morton, CurveKind::RowMajor] {
             let ord = order_blocks(&coords, 5, 7, kind);
             let mut sorted = ord.clone();
@@ -182,9 +186,8 @@ mod tests {
         // Hilbert order should be substantially more local on a square-ish
         // block grid than row-major.
         let (mx, my) = (16, 16);
-        let coords: Vec<(usize, usize)> = (0..my)
-            .flat_map(|j| (0..mx).map(move |i| (i, j)))
-            .collect();
+        let coords: Vec<(usize, usize)> =
+            (0..my).flat_map(|j| (0..mx).map(move |i| (i, j))).collect();
         let jump_sum = |ord: &[usize]| -> i64 {
             ord.windows(2)
                 .map(|w| {

@@ -202,10 +202,7 @@ mod tests {
             .max(1e-30);
         for r in &results[1..] {
             for (a, b) in results[0].iter().zip(r) {
-                assert!(
-                    (a - b).abs() < 1e-8 * scale,
-                    "solvers disagree: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-8 * scale, "solvers disagree: {a} vs {b}");
             }
         }
     }

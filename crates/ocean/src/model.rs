@@ -315,10 +315,8 @@ impl MiniPop {
                 let adv_v = uc * (v_e - v_w) / (2.0 * dx) + vc * (v_n - v_s) / (2.0 * dy);
                 // Lateral friction: constant background plus Smagorinsky
                 // deformation-dependent eddy viscosity.
-                let lap_u =
-                    (u_e - 2.0 * uc + u_w) / (dx * dx) + (u_n - 2.0 * uc + u_s) / (dy * dy);
-                let lap_v =
-                    (v_e - 2.0 * vc + v_w) / (dx * dx) + (v_n - 2.0 * vc + v_s) / (dy * dy);
+                let lap_u = (u_e - 2.0 * uc + u_w) / (dx * dx) + (u_n - 2.0 * uc + u_s) / (dy * dy);
+                let lap_v = (v_e - 2.0 * vc + v_w) / (dx * dx) + (v_n - 2.0 * vc + v_s) / (dy * dy);
                 let d_t = (u_e - u_w) / (2.0 * dx) - (v_n - v_s) / (2.0 * dy);
                 let d_s = (v_e - v_w) / (2.0 * dx) + (u_n - u_s) / (2.0 * dy);
                 let nu_eff = self.config.viscosity
@@ -332,11 +330,9 @@ impl MiniPop {
                 let buoy_u = self.config.buoyancy * depth * gtx;
                 let buoy_v = self.config.buoyancy * depth * gty;
 
-                let du = uc
-                    + tau
-                        * (-adv_u - self.config.drag * uc + nu_eff * lap_u + wind_u + buoy_u);
-                let dv = vc
-                    + tau * (-adv_v - self.config.drag * vc + nu_eff * lap_v + buoy_v);
+                let du =
+                    uc + tau * (-adv_u - self.config.drag * uc + nu_eff * lap_u + wind_u + buoy_u);
+                let dv = vc + tau * (-adv_v - self.config.drag * vc + nu_eff * lap_v + buoy_v);
                 // Exact inertial rotation (neutrally stable Coriolis).
                 self.u_star[k] = cos_f * du + sin_f * dv;
                 self.v_star[k] = -sin_f * du + cos_f * dv;
@@ -424,8 +420,7 @@ impl MiniPop {
                         let mut uk = 0.0;
                         let mut vk = 0.0;
                         let mut cnt = 0.0;
-                        for (ci, cj) in [(ii, jj), (ii - 1, jj), (ii, jj - 1), (ii - 1, jj - 1)]
-                        {
+                        for (ci, cj) in [(ii, jj), (ii - 1, jj), (ii, jj - 1), (ii - 1, jj - 1)] {
                             if let Some(ck) = self.nb(ci, cj) {
                                 if self.corner_active(ck) {
                                     uk += self.u[ck];
@@ -459,8 +454,8 @@ impl MiniPop {
                         } else {
                             vk * (t_n - tc) / dy
                         };
-                        let lap = (t_e - 2.0 * tc + t_w) / (dx * dx)
-                            + (t_n - 2.0 * tc + t_s) / (dy * dy);
+                        let lap =
+                            (t_e - 2.0 * tc + t_w) / (dx * dx) + (t_n - 2.0 * tc + t_s) / (dy * dy);
                         self.scratch[k] = tc
                             + tau
                                 * (-adv
@@ -663,12 +658,11 @@ mod tests {
         a.run(&world, 50);
         b.run(&world_b, 50);
         assert!(a.is_healthy() && b.is_healthy());
-        let du: f64 = a
-            .u
-            .iter()
-            .zip(&b.u)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max);
+        let du: f64 =
+            a.u.iter()
+                .zip(&b.u)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
         assert!(du > 0.0, "perturbation must reach the velocities");
         assert!(du < 1e-8, "...but stay tiny over a short run");
     }

@@ -11,8 +11,10 @@ use pop_core::lanczos::{estimate_bounds, LanczosConfig};
 use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
 use pop_core::solvers::{
     ChronGear, ClassicPcg, LinearSolver, Pcsi, PipelinedCg, SolveStats, SolverConfig,
+    SolverWorkspace,
 };
 use pop_stencil::NinePoint;
+use std::sync::Mutex;
 
 /// The solver/preconditioner combinations of the paper's experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,9 @@ pub struct SolverSetup {
     solver: SolverImpl,
     /// Lanczos steps spent at setup (0 for CG-type solvers).
     pub lanczos_steps: usize,
+    /// Reusable vector arena: after the first solve on a layout, repeated
+    /// solves (one per model time step) allocate nothing.
+    workspace: Mutex<SolverWorkspace>,
 }
 
 impl SolverSetup {
@@ -134,6 +139,7 @@ impl SolverSetup {
             pre,
             solver,
             lanczos_steps: steps,
+            workspace: Mutex::new(SolverWorkspace::new()),
         }
     }
 
@@ -155,11 +161,12 @@ impl SolverSetup {
         x: &mut DistVec,
         cfg: &SolverConfig,
     ) -> SolveStats {
+        let ws = &mut *self.workspace.lock().unwrap_or_else(|e| e.into_inner());
         match &self.solver {
-            SolverImpl::ChronGear(s) => s.solve(op, self.pre.as_ref(), world, b, x, cfg),
-            SolverImpl::Pcsi(s) => s.solve(op, self.pre.as_ref(), world, b, x, cfg),
-            SolverImpl::Pcg(s) => s.solve(op, self.pre.as_ref(), world, b, x, cfg),
-            SolverImpl::PipeCg(s) => s.solve(op, self.pre.as_ref(), world, b, x, cfg),
+            SolverImpl::ChronGear(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
+            SolverImpl::Pcsi(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
+            SolverImpl::Pcg(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
+            SolverImpl::PipeCg(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
         }
     }
 }

@@ -2,19 +2,27 @@ use pop_perfmodel::cost::{PrecondKind, SolverKind, SolverProfile};
 use pop_perfmodel::popmodel::{PopConfig, PopModel};
 
 fn prof(s: SolverKind, pr: PrecondKind, k: f64) -> SolverProfile {
-    SolverProfile { solver: s, precond: pr, iterations: k, check_every: 10 }
+    SolverProfile {
+        solver: s,
+        precond: pr,
+        iterations: k,
+        check_every: 10,
+    }
 }
 
 fn main() {
-    use SolverKind::*; use PrecondKind::*;
+    use PrecondKind::*;
+    use SolverKind::*;
     let m = PopModel::new(PopConfig::gx01_yellowstone());
     let cg = prof(ChronGear, Diagonal, 150.0);
     let csi = prof(Pcsi, Diagonal, 215.0);
     let cge = prof(ChronGear, Evp, 50.0);
     let csie = prof(Pcsi, Evp, 72.0);
     for p in [470usize, 1350, 2700, 5400, 16875] {
-        let a = m.day(p, &cg, 0); let b = m.day(p, &csi, 0);
-        let c = m.day(p, &cge, 0); let d = m.day(p, &csie, 0);
+        let a = m.day(p, &cg, 0);
+        let b = m.day(p, &csi, 0);
+        let c = m.day(p, &cge, 0);
+        let d = m.day(p, &csie, 0);
         println!("p={p:>6}: cg={:6.2} (c{:.2}/h{:.2}/r{:.2}) csi={:6.2} cge={:6.2} csie={:6.2} | frac_cg={:.2} sypd_cg={:.1} sypd_csie={:.1}",
           a.barotropic.total(), a.barotropic.compute, a.barotropic.halo, a.barotropic.reduction,
           b.barotropic.total(), c.barotropic.total(), d.barotropic.total(),
@@ -25,16 +33,26 @@ fn main() {
     let t_cg = e.day(16875, &cg, 3).barotropic.total();
     let t_csi = e.day(16875, &csi, 3).barotropic.total();
     let t_csie = e.day(16875, &csie, 3).barotropic.total();
-    println!("edison: cg={t_cg:.1} (26.2) csi={t_csi:.1} (7.0) speedup={:.1} (5.6)", t_cg/t_csie);
+    println!(
+        "edison: cg={t_cg:.1} (26.2) csi={t_csi:.1} (7.0) speedup={:.1} (5.6)",
+        t_cg / t_csie
+    );
     let m1 = PopModel::new(PopConfig::gx1_yellowstone());
     let cg1 = prof(ChronGear, Diagonal, 180.0);
     let csi1 = prof(Pcsi, Diagonal, 260.0);
     let csie1 = prof(Pcsi, Evp, 87.0);
     for p in [48usize, 192, 768] {
-        let a = m1.day(p, &cg1, 0); let b = m1.day(p, &csi1, 0); let d = m1.day(p, &csie1, 0);
-        println!("gx1 p={p:>4}: cg={:.3} csi={:.3} csie={:.3} total_cg={:.2} improv_csie={:.1}%",
-          a.barotropic.total(), b.barotropic.total(), d.barotropic.total(), a.total,
-          100.0*(a.total-d.total)/a.total);
+        let a = m1.day(p, &cg1, 0);
+        let b = m1.day(p, &csi1, 0);
+        let d = m1.day(p, &csie1, 0);
+        println!(
+            "gx1 p={p:>4}: cg={:.3} csi={:.3} csie={:.3} total_cg={:.2} improv_csie={:.1}%",
+            a.barotropic.total(),
+            b.barotropic.total(),
+            d.barotropic.total(),
+            a.total,
+            100.0 * (a.total - d.total) / a.total
+        );
     }
     println!("gx1 targets @768: cg=0.58 csi=0.41 csie=0.37, improv 16.7%");
 }

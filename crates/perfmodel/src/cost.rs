@@ -1,8 +1,7 @@
 //! The per-iteration and per-day cost equations (paper Eqs. 2, 3, 5, 6).
 
 use crate::machine::MachineModel;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use pop_rng::SmallRng;
 
 /// Which solver's communication pattern is being modelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -349,6 +348,9 @@ mod tests {
         // Extreme scale: the reduction is exposed again and P-CSI wins.
         let e = iteration_cost(&m, &pipe, n, 65536, 1.0);
         assert!(e.reduction > 0.0, "exposed at 64k cores");
-        assert!(at(65536, &csi) < at(65536, &pipe), "P-CSI wins at extreme scale");
+        assert!(
+            at(65536, &csi) < at(65536, &pipe),
+            "P-CSI wins at extreme scale"
+        );
     }
 }

@@ -1,7 +1,6 @@
 //! Machine parameter sets: Yellowstone and Edison.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use pop_rng::SmallRng;
 
 /// Run-to-run variability of the global reduction.
 ///
@@ -101,7 +100,6 @@ impl MachineModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn noise_none_is_one() {

@@ -164,8 +164,16 @@ mod tests {
     fn yellowstone_01_calibration_anchors() {
         use paper::{fig6, yellowstone_01 as y};
         let m = PopModel::new(PopConfig::gx01_yellowstone());
-        let cg = profile(SolverKind::ChronGear, PrecondKind::Diagonal, fig6::GX01_CG_DIAG);
-        let csi = profile(SolverKind::Pcsi, PrecondKind::Diagonal, fig6::GX01_PCSI_DIAG);
+        let cg = profile(
+            SolverKind::ChronGear,
+            PrecondKind::Diagonal,
+            fig6::GX01_CG_DIAG,
+        );
+        let csi = profile(
+            SolverKind::Pcsi,
+            PrecondKind::Diagonal,
+            fig6::GX01_PCSI_DIAG,
+        );
         let cg_evp = profile(SolverKind::ChronGear, PrecondKind::Evp, fig6::GX01_CG_EVP);
         let csi_evp = profile(SolverKind::Pcsi, PrecondKind::Evp, fig6::GX01_PCSI_EVP);
 
@@ -233,8 +241,16 @@ mod tests {
     fn chrongear_degrades_pcsi_flattens() {
         use paper::fig6;
         let m = PopModel::new(PopConfig::gx01_yellowstone());
-        let cg = profile(SolverKind::ChronGear, PrecondKind::Diagonal, fig6::GX01_CG_DIAG);
-        let csi = profile(SolverKind::Pcsi, PrecondKind::Diagonal, fig6::GX01_PCSI_DIAG);
+        let cg = profile(
+            SolverKind::ChronGear,
+            PrecondKind::Diagonal,
+            fig6::GX01_CG_DIAG,
+        );
+        let csi = profile(
+            SolverKind::Pcsi,
+            PrecondKind::Diagonal,
+            fig6::GX01_PCSI_DIAG,
+        );
         let t = |p: usize, prof: &SolverProfile| m.day(p, prof, 0).barotropic.total();
         // ChronGear at 16,875 is worse than at ~2,700 (Fig 8 left).
         assert!(t(16875, &cg) > t(2700, &cg));
@@ -246,8 +262,16 @@ mod tests {
     fn edison_anchors() {
         use paper::{edison_01 as e, fig6};
         let m = PopModel::new(PopConfig::gx01_edison());
-        let cg = profile(SolverKind::ChronGear, PrecondKind::Diagonal, fig6::GX01_CG_DIAG);
-        let csi = profile(SolverKind::Pcsi, PrecondKind::Diagonal, fig6::GX01_PCSI_DIAG);
+        let cg = profile(
+            SolverKind::ChronGear,
+            PrecondKind::Diagonal,
+            fig6::GX01_CG_DIAG,
+        );
+        let csi = profile(
+            SolverKind::Pcsi,
+            PrecondKind::Diagonal,
+            fig6::GX01_PCSI_DIAG,
+        );
         let csie = profile(SolverKind::Pcsi, PrecondKind::Evp, fig6::GX01_PCSI_EVP);
         let p = 16875;
         let t_cg = m.day(p, &cg, 3).barotropic.total();
@@ -255,7 +279,10 @@ mod tests {
         let t_csie = m.day(p, &csie, 3).barotropic.total();
         let rel = |got: f64, want: f64| (got - want).abs() / want;
         assert!(rel(t_cg, e::CG_DIAG_DAY_S) < 0.35, "Edison CG {t_cg}");
-        assert!(rel(t_csi, e::PCSI_DIAG_DAY_S) < 0.45, "Edison P-CSI {t_csi}");
+        assert!(
+            rel(t_csi, e::PCSI_DIAG_DAY_S) < 0.45,
+            "Edison P-CSI {t_csi}"
+        );
         let speedup = t_cg / t_csie;
         assert!(
             (e::PCSI_EVP_SPEEDUP * 0.6..e::PCSI_EVP_SPEEDUP * 1.5).contains(&speedup),
@@ -267,7 +294,11 @@ mod tests {
     fn gx1_768_core_anchors() {
         use paper::{fig6, yellowstone_1 as y};
         let m = PopModel::new(PopConfig::gx1_yellowstone());
-        let cg = profile(SolverKind::ChronGear, PrecondKind::Diagonal, fig6::GX1_CG_DIAG);
+        let cg = profile(
+            SolverKind::ChronGear,
+            PrecondKind::Diagonal,
+            fig6::GX1_CG_DIAG,
+        );
         let csi = profile(SolverKind::Pcsi, PrecondKind::Diagonal, fig6::GX1_PCSI_DIAG);
         let csie = profile(SolverKind::Pcsi, PrecondKind::Evp, fig6::GX1_PCSI_EVP);
         let rel = |got: f64, want: f64| (got - want).abs() / want;
@@ -275,7 +306,10 @@ mod tests {
         let t_csi = m.day(768, &csi, 0).barotropic.total();
         let t_csie = m.day(768, &csie, 0).barotropic.total();
         assert!(rel(t_cg, y::CG_DIAG_DAY_S_768) < 0.4, "1° CG {t_cg}");
-        assert!(t_csi < t_cg, "P-CSI must win at 768 cores (paper: all counts)");
+        assert!(
+            t_csi < t_cg,
+            "P-CSI must win at 768 cores (paper: all counts)"
+        );
         assert!(t_csie < t_csi, "EVP must further help");
         // Table-1-style total improvement at 768 cores: ~17%.
         let total_cg = m.day(768, &cg, 0).total;

@@ -115,7 +115,6 @@ impl NinePoint {
             axis_to_corner: max_axis / max_corner.max(1e-300),
         }
     }
-
 }
 
 #[cfg(test)]

@@ -67,6 +67,14 @@ impl LocalStencil {
         self.ane[self.k(i, j)]
     }
 
+    /// Raw coefficient storage for flat kernels: `(stride, a0, an, ae, ane)`,
+    /// where padded position `(i, j)` (`-1 ≤ i < nx`, `-1 ≤ j < ny`) lives at
+    /// linear index `(j + 1) * stride + (i + 1)`.
+    #[inline]
+    pub fn raw_parts(&self) -> (usize, &[f64], &[f64], &[f64], &[f64]) {
+        (self.nx + 1, &self.a0, &self.an, &self.ae, &self.ane)
+    }
+
     /// Add to the diagonal coefficient at `(i, j)`.
     pub fn add_a0(&mut self, i: isize, j: isize, v: f64) {
         let k = self.k(i, j);
@@ -128,7 +136,11 @@ impl LocalStencil {
                     continue;
                 }
                 let mut add = |ii: isize, jj: isize, v: f64| {
-                    if v != 0.0 && ii >= 0 && jj >= 0 && ii < self.nx as isize && jj < self.ny as isize
+                    if v != 0.0
+                        && ii >= 0
+                        && jj >= 0
+                        && ii < self.nx as isize
+                        && jj < self.ny as isize
                     {
                         let col = idx(ii, jj);
                         let old = m.get(row, col);
@@ -162,7 +174,11 @@ impl LocalStencil {
         let w = h / 8.0;
         for j in -1..ny as isize {
             for i in -1..nx as isize {
-                let a0 = if i >= 0 && j >= 0 { 16.0 * w + phi } else { 0.0 };
+                let a0 = if i >= 0 && j >= 0 {
+                    16.0 * w + phi
+                } else {
+                    0.0
+                };
                 ls.set(i, j, a0, 0.0, 0.0, -2.0 * (2.0 * w));
             }
         }

@@ -1,6 +1,6 @@
 //! Assembly and matrix-free application of the distributed operator.
 
-use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_comm::{BlockVec, CommWorld, DistLayout, DistVec};
 use pop_grid::{Grid, GRAVITY};
 use std::sync::Arc;
 
@@ -79,10 +79,10 @@ impl NinePoint {
                 let ie = if i + 1 < nx { i + 1 } else { 0 }; // hu>0 implies wrap is legal
                 let jn = j + 1; // hu>0 implies j+1 < ny
                 let cells = [
-                    j * nx + i,    // SW
-                    j * nx + ie,   // SE
-                    jn * nx + i,   // NW
-                    jn * nx + ie,  // NE
+                    j * nx + i,   // SW
+                    j * nx + ie,  // SE
+                    jn * nx + i,  // NW
+                    jn * nx + ie, // NE
                 ];
                 for &c in &cells {
                     a0g[c] += 2.0 * (wx + wy);
@@ -90,10 +90,10 @@ impl NinePoint {
                 // E-W couplings: stored at the western cell of each pair.
                 aeg[j * nx + i] += 2.0 * (wy - wx); // SW-SE, stored at (i, j)
                 aeg[jn * nx + i] += 2.0 * (wy - wx); // NW-NE, stored at (i, j+1)
-                // N-S couplings: stored at the southern cell of each pair.
+                                                     // N-S couplings: stored at the southern cell of each pair.
                 ang[j * nx + i] += 2.0 * (wx - wy); // SW-NW
                 ang[j * nx + ie] += 2.0 * (wx - wy); // SE-NE
-                // Both diagonal couplings of this corner share one number.
+                                                     // Both diagonal couplings of this corner share one number.
                 aneg[j * nx + i] += -2.0 * (wx + wy);
             }
         }
@@ -138,7 +138,22 @@ impl NinePoint {
     /// `y = A x` over ocean points. The caller must have refreshed `x`'s halo
     /// (one [`CommWorld::halo_update`]) since `x` last changed; this matches
     /// the paper's accounting of one boundary update per solver iteration.
+    ///
+    /// Dispatches the flat per-block kernel [`NinePoint::apply_block_into`];
+    /// bit-identical to [`NinePoint::apply_reference`].
     pub fn apply(&self, world: &CommWorld, x: &DistVec, y: &mut DistVec) {
+        let layout = Arc::clone(&self.layout);
+        let x_ref = x;
+        world.for_each_block(&mut y.blocks, |b, yb| {
+            self.apply_block_into(b, &x_ref.blocks[b], yb, &layout.masks[b]);
+        });
+    }
+
+    /// The pre-fusion `y = A x`: per-point halo-coordinate accessors instead
+    /// of the flat row-slice kernel. Kept as the reference implementation —
+    /// the unfused solver baseline uses it, and a unit test pins it
+    /// bit-identical to [`NinePoint::apply`].
+    pub fn apply_reference(&self, world: &CommWorld, x: &DistVec, y: &mut DistVec) {
         let layout = Arc::clone(&self.layout);
         let a0 = &self.a0;
         let an = &self.an;
@@ -149,7 +164,8 @@ impl NinePoint {
             let info = &layout.decomp.blocks[b];
             let mask = &layout.masks[b];
             let xb = &x_ref.blocks[b];
-            let (a0b, anb, aeb, aneb) = (&a0.blocks[b], &an.blocks[b], &ae.blocks[b], &ane.blocks[b]);
+            let (a0b, anb, aeb, aneb) =
+                (&a0.blocks[b], &an.blocks[b], &ae.blocks[b], &ane.blocks[b]);
             for j in 0..info.ny as isize {
                 for i in 0..info.nx as isize {
                     if mask[j as usize * info.nx + i as usize] == 0 {
@@ -171,10 +187,141 @@ impl NinePoint {
         });
     }
 
+    /// Flat, branch-light per-block kernel: `y_b = A x_b` over the interior
+    /// of block `b`. Indexes the padded stride layout through exact-length
+    /// row windows so the inner loop carries no per-point coordinate
+    /// arithmetic and bounds checks hoist; the nine products are summed in
+    /// the same order as [`NinePoint::apply_reference`], keeping the two
+    /// paths bit-identical.
+    ///
+    /// `x`'s halo must be current (the caller's one halo update per
+    /// iteration).
+    pub fn apply_block_into(&self, b: usize, x: &BlockVec, y: &mut BlockVec, mask: &[u8]) {
+        let (nx, ny, h, s) = (y.nx, y.ny, y.halo, y.stride());
+        debug_assert_eq!(mask.len(), nx * ny);
+        debug_assert!(h >= 1, "stencil needs one halo layer");
+        let xr = x.raw();
+        let a0 = self.a0.blocks[b].raw();
+        let an = self.an.blocks[b].raw();
+        let ae = self.ae.blocks[b].raw();
+        let ane = self.ane.blocks[b].raw();
+        let yr = y.raw_mut();
+        for j in 0..ny {
+            let base = (j + h) * s + h;
+            // Coefficient rows: center row, plus the south row carrying the
+            // symmetric images stored at (·, j−1). The `w`-suffixed windows
+            // start one cell west, so index `i` reads column i−1 and `i+1`
+            // reads column i.
+            let a0r = &a0[base..base + nx];
+            let anr = &an[base..base + nx];
+            let ans = &an[base - s..base - s + nx];
+            let aew = &ae[base - 1..base + nx];
+            let anew = &ane[base - 1..base + nx];
+            let anesw = &ane[base - s - 1..base - s + nx];
+            // Solution rows, one cell wider on both sides: `xc[i + 1]` is
+            // x(i, j).
+            let xc = &xr[base - 1..base + nx + 1];
+            let xn = &xr[base + s - 1..base + s + nx + 1];
+            let xs = &xr[base - s - 1..base - s + nx + 1];
+            let yrow = &mut yr[base..base + nx];
+            let mrow = &mask[j * nx..j * nx + nx];
+            for i in 0..nx {
+                let v = a0r[i] * xc[i + 1]
+                    + anr[i] * xn[i + 1]
+                    + ans[i] * xs[i + 1]
+                    + aew[i + 1] * xc[i + 2]
+                    + aew[i] * xc[i]
+                    + anew[i + 1] * xn[i + 2]
+                    + anesw[i + 1] * xs[i + 2]
+                    + anew[i] * xn[i]
+                    + anesw[i] * xs[i];
+                yrow[i] = if mrow[i] != 0 { v } else { 0.0 };
+            }
+        }
+    }
+
+    /// Fused per-block residual: `r_b = rhs_b − (A x_b)` in one pass, plus
+    /// the block's masked `‖r‖²` partial. The partial accumulates in the same
+    /// row-major ocean-point order as `DistVec::block_dot`, so a convergence
+    /// check fed from these partials is bit-identical to the unfused
+    /// `norm2_sq`-of-residual; the subtraction `rhs − v` rounds identically
+    /// to the unfused negate-then-add (`(−v) + rhs`).
+    pub fn residual_block_into(
+        &self,
+        b: usize,
+        x: &BlockVec,
+        rhs: &BlockVec,
+        r: &mut BlockVec,
+        mask: &[u8],
+    ) -> f64 {
+        let (nx, ny, h, s) = (r.nx, r.ny, r.halo, r.stride());
+        debug_assert_eq!(mask.len(), nx * ny);
+        debug_assert!(h >= 1, "stencil needs one halo layer");
+        let xr = x.raw();
+        let bbr = rhs.raw();
+        let a0 = self.a0.blocks[b].raw();
+        let an = self.an.blocks[b].raw();
+        let ae = self.ae.blocks[b].raw();
+        let ane = self.ane.blocks[b].raw();
+        let rr = r.raw_mut();
+        let mut acc = 0.0f64;
+        for j in 0..ny {
+            let base = (j + h) * s + h;
+            let a0r = &a0[base..base + nx];
+            let anr = &an[base..base + nx];
+            let ans = &an[base - s..base - s + nx];
+            let aew = &ae[base - 1..base + nx];
+            let anew = &ane[base - 1..base + nx];
+            let anesw = &ane[base - s - 1..base - s + nx];
+            let xc = &xr[base - 1..base + nx + 1];
+            let xn = &xr[base + s - 1..base + s + nx + 1];
+            let xs = &xr[base - s - 1..base - s + nx + 1];
+            let brow = &bbr[base..base + nx];
+            let rrow = &mut rr[base..base + nx];
+            let mrow = &mask[j * nx..j * nx + nx];
+            for i in 0..nx {
+                let v = a0r[i] * xc[i + 1]
+                    + anr[i] * xn[i + 1]
+                    + ans[i] * xs[i + 1]
+                    + aew[i + 1] * xc[i + 2]
+                    + aew[i] * xc[i]
+                    + anew[i + 1] * xn[i + 2]
+                    + anesw[i + 1] * xs[i + 2]
+                    + anew[i] * xn[i]
+                    + anesw[i] * xs[i];
+                if mrow[i] != 0 {
+                    let rv = brow[i] - v;
+                    rrow[i] = rv;
+                    acc += rv * rv;
+                } else {
+                    rrow[i] = brow[i] - 0.0;
+                }
+            }
+        }
+        acc
+    }
+
     /// Convenience: refresh `x`'s halo, then `r = b − A x`.
     pub fn residual(&self, world: &CommWorld, x: &mut DistVec, rhs: &DistVec, r: &mut DistVec) {
         world.halo_update(x);
         self.apply(world, x, r);
+        r.scale(-1.0);
+        r.axpy(1.0, rhs);
+    }
+
+    /// The pre-fusion residual: separate apply, negate, and axpy passes over
+    /// the whole field (what every solver iteration paid before the fused
+    /// sweeps). Kept for the unfused baseline; bit-identical to the fused
+    /// [`NinePoint::residual_block_into`] path.
+    pub fn residual_reference(
+        &self,
+        world: &CommWorld,
+        x: &mut DistVec,
+        rhs: &DistVec,
+        r: &mut DistVec,
+    ) {
+        world.halo_update(x);
+        self.apply_reference(world, x, r);
         r.scale(-1.0);
         r.axpy(1.0, rhs);
     }
@@ -184,9 +331,19 @@ impl NinePoint {
     /// with a one-cell south/west pad, as needed by the EVP and block-LU
     /// preconditioners. Coefficients outside the block interior come from the
     /// halo (correct across block boundaries).
-    pub fn extract_local(&self, b: usize, i0: usize, j0: usize, nx: usize, ny: usize) -> LocalStencil {
+    pub fn extract_local(
+        &self,
+        b: usize,
+        i0: usize,
+        j0: usize,
+        nx: usize,
+        ny: usize,
+    ) -> LocalStencil {
         let info = &self.layout.decomp.blocks[b];
-        assert!(i0 + nx <= info.nx && j0 + ny <= info.ny, "sub-domain out of block");
+        assert!(
+            i0 + nx <= info.nx && j0 + ny <= info.ny,
+            "sub-domain out of block"
+        );
         let mut ls = LocalStencil::zeros(nx, ny);
         for j in -1..ny as isize {
             for i in -1..nx as isize {
@@ -212,7 +369,9 @@ impl NinePoint {
         let mut max_axis = 0.0f64;
         let mut max_diag = 0.0f64;
         for b in 0..self.layout.n_blocks() {
-            max_axis = max_axis.max(self.an.block_max_abs(b)).max(self.ae.block_max_abs(b));
+            max_axis = max_axis
+                .max(self.an.block_max_abs(b))
+                .max(self.ae.block_max_abs(b));
             max_diag = max_diag.max(self.ane.block_max_abs(b));
         }
         if max_diag == 0.0 {
@@ -229,7 +388,12 @@ mod tests {
     use pop_comm::{CommWorld, DistLayout};
     use pop_grid::Grid;
 
-    fn setup(grid: &Grid, bx: usize, by: usize, tau: f64) -> (Arc<DistLayout>, CommWorld, NinePoint) {
+    fn setup(
+        grid: &Grid,
+        bx: usize,
+        by: usize,
+        tau: f64,
+    ) -> (Arc<DistLayout>, CommWorld, NinePoint) {
         let layout = DistLayout::build(grid, bx, by);
         let world = CommWorld::serial();
         let op = NinePoint::assemble(grid, &layout, &world, tau);
@@ -362,6 +526,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn flat_apply_bitwise_matches_reference() {
+        let g = Grid::gx1_scaled(13, 72, 56);
+        let (layout, world, op) = setup(&g, 13, 11, 1500.0);
+        let mut x = test_field(&layout, 4);
+        world.halo_update(&mut x);
+        let mut y_flat = DistVec::zeros(&layout);
+        let mut y_ref = DistVec::zeros(&layout);
+        op.apply(&world, &x, &mut y_flat);
+        op.apply_reference(&world, &x, &mut y_ref);
+        let (gf, gr) = (y_flat.to_global(), y_ref.to_global());
+        for (a, b) in gf.iter().zip(&gr) {
+            assert_eq!(a.to_bits(), b.to_bits(), "flat kernel diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_residual_bitwise_matches_reference() {
+        let g = Grid::gx1_scaled(17, 64, 48);
+        let (layout, world, op) = setup(&g, 16, 12, 2400.0);
+        let mut x = test_field(&layout, 5);
+        let mut rhs = test_field(&layout, 6);
+        world.halo_update(&mut rhs);
+        let mut r_ref = DistVec::zeros(&layout);
+        op.residual_reference(&world, &mut x, &rhs, &mut r_ref);
+        let norm_ref = world.norm2_sq(&r_ref);
+
+        let mut r_fused = DistVec::zeros(&layout);
+        world.halo_update(&mut x);
+        let mut acc = 0.0;
+        for b in 0..layout.n_blocks() {
+            acc += op.residual_block_into(
+                b,
+                &x.blocks[b],
+                &rhs.blocks[b],
+                &mut r_fused.blocks[b],
+                &layout.masks[b],
+            );
+        }
+        let (gf, gr) = (r_fused.to_global(), r_ref.to_global());
+        for (a, b) in gf.iter().zip(&gr) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused residual diverged");
+        }
+        assert_eq!(acc.to_bits(), norm_ref.to_bits(), "norm partial diverged");
     }
 
     #[test]

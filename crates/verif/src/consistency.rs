@@ -78,9 +78,8 @@ mod tests {
     /// A synthetic ensemble: three members around a sine field.
     fn synthetic() -> EnsembleStats {
         let n = 64;
-        let field = |phase: f64| -> Vec<f64> {
-            (0..n).map(|k| (k as f64 * 0.2 + phase).sin()).collect()
-        };
+        let field =
+            |phase: f64| -> Vec<f64> { (0..n).map(|k| (k as f64 * 0.2 + phase).sin()).collect() };
         let member_months: Vec<Vec<Vec<f64>>> = (0..6)
             .map(|m| {
                 (0..3)

@@ -153,7 +153,11 @@ impl EnsembleStats {
 
     /// RMSZ of a candidate's monthly fields against this ensemble.
     pub fn rmsz_series(&self, candidate_months: &[Vec<f64>]) -> Vec<f64> {
-        assert_eq!(candidate_months.len(), self.months(), "month count mismatch");
+        assert_eq!(
+            candidate_months.len(),
+            self.months(),
+            "month count mismatch"
+        );
         candidate_months
             .iter()
             .zip(&self.moments)

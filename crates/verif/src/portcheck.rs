@@ -10,8 +10,8 @@
 //! divergence within days.
 
 use pop_comm::CommWorld;
-use pop_ocean::{MiniPop, MiniPopConfig, SolverChoice};
 use pop_grid::Grid;
+use pop_ocean::{MiniPop, MiniPopConfig, SolverChoice};
 
 use crate::stats::rmse;
 
@@ -116,7 +116,10 @@ mod tests {
             1e-6,
             &world,
         );
-        assert!(report.ssh_rmse > 0.0, "different solver is not bit-identical");
+        assert!(
+            report.ssh_rmse > 0.0,
+            "different solver is not bit-identical"
+        );
         assert!(report.passed, "rmse {}", report.ssh_rmse);
     }
 

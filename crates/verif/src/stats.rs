@@ -22,7 +22,10 @@ impl EnsembleMoments {
     pub fn from_members(members: &[&[f64]]) -> Self {
         assert!(members.len() >= 2, "need at least two members");
         let n = members[0].len();
-        assert!(members.iter().all(|m| m.len() == n), "member length mismatch");
+        assert!(
+            members.iter().all(|m| m.len() == n),
+            "member length mismatch"
+        );
         let mut mean = vec![0.0; n];
         for m in members {
             for (acc, v) in mean.iter_mut().zip(*m) {
@@ -125,7 +128,9 @@ mod tests {
             .map(|s| {
                 (0..n)
                     .map(|k| {
-                        let mut h = (k as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s.wrapping_mul(0xD1B54A32D192ED03));
+                        let mut h = (k as u64 + 1)
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(s.wrapping_mul(0xD1B54A32D192ED03));
                         h ^= h >> 31;
                         h = h.wrapping_mul(0xFF51AFD7ED558CCD);
                         h ^= h >> 33;
@@ -133,7 +138,9 @@ mod tests {
                         let mut acc = 0.0;
                         let mut hh = h;
                         for _ in 0..4 {
-                            hh = hh.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                            hh = hh
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
                             acc += (hh >> 11) as f64 / (1u64 << 53) as f64;
                         }
                         acc
@@ -157,7 +164,11 @@ mod tests {
         // order as the error they introduced").
         let n = 500;
         let members: Vec<Vec<f64>> = (0..20u64)
-            .map(|s| (0..n).map(|k| ((k as f64) * 0.1).sin() + (s as f64 - 9.5) * 0.01).collect())
+            .map(|s| {
+                (0..n)
+                    .map(|k| ((k as f64) * 0.1).sin() + (s as f64 - 9.5) * 0.01)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[f64]> = members.iter().map(|m| m.as_slice()).collect();
         let m = EnsembleMoments::from_members(&refs);

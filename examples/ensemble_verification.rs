@@ -39,7 +39,11 @@ fn main() {
     }
 
     for (label, solver, tol) in [
-        ("sloppy solver (tol 1e-10)", SolverChoice::ChronGearDiag, 1e-10),
+        (
+            "sloppy solver (tol 1e-10)",
+            SolverChoice::ChronGearDiag,
+            1e-10,
+        ),
         ("new P-CSI+EVP (tol 1e-13)", SolverChoice::PcsiEvp, 1e-13),
     ] {
         let months = lab.run_trajectory(&world, None, solver, tol);

@@ -22,7 +22,10 @@ fn main() {
     op.apply(&world, &truth, &mut rhs);
     let cfg = SolverConfig::default();
 
-    println!("measuring iteration counts on a {}x{} 0.1deg-like grid...", grid.nx, grid.ny);
+    println!(
+        "measuring iteration counts on a {}x{} 0.1deg-like grid...",
+        grid.nx, grid.ny
+    );
     let mut profiles = Vec::new();
     for choice in SolverChoice::PAPER_SET {
         let setup = SolverSetup::new(choice, &op, &world);
@@ -33,8 +36,16 @@ fn main() {
         profiles.push((
             choice,
             SolverProfile {
-                solver: if choice.is_pcsi() { SolverKind::Pcsi } else { SolverKind::ChronGear },
-                precond: if choice.uses_evp() { PrecondKind::Evp } else { PrecondKind::Diagonal },
+                solver: if choice.is_pcsi() {
+                    SolverKind::Pcsi
+                } else {
+                    SolverKind::ChronGear
+                },
+                precond: if choice.uses_evp() {
+                    PrecondKind::Evp
+                } else {
+                    PrecondKind::Diagonal
+                },
                 iterations: stats.iterations as f64,
                 check_every: cfg.check_every,
             },
@@ -42,7 +53,10 @@ fn main() {
     }
 
     let model = PopModel::new(PopConfig::gx01_yellowstone());
-    println!("\n{:<8} {:>10} {:>10} {:>10} {:>10}   {:>6}", "cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp", "SYPD*");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10} {:>10}   {:>6}",
+        "cores", "cg+diag", "cg+evp", "pcsi+diag", "pcsi+evp", "SYPD*"
+    );
     for p in [470usize, 1350, 2700, 5400, 10800, 16875] {
         let times: Vec<f64> = profiles
             .iter()

@@ -41,7 +41,10 @@ fn main() {
         max_iters: 50_000,
         check_every: 10,
     };
-    println!("\n{:<18} {:>6} {:>11} {:>12} {:>10}", "config", "iters", "reductions", "halo updates", "error");
+    println!(
+        "\n{:<18} {:>6} {:>11} {:>12} {:>10}",
+        "config", "iters", "reductions", "halo updates", "error"
+    );
     for choice in SolverChoice::PAPER_SET {
         let setup = SolverSetup::new(choice, &op, &world);
         let mut x = DistVec::zeros(&layout);

@@ -1,0 +1,219 @@
+//! Bitwise determinism of the fused solver paths.
+//!
+//! The fused block-sweep loops (`LinearSolver::solve_ws`) must produce
+//! solutions bit-identical to the pre-fusion whole-vector baselines
+//! (`solve_unfused`), and the threaded backend must be bit-identical to the
+//! serial one — per-block partials are combined in fixed block order, never
+//! in completion order. These tests pin all of that down on a masked,
+//! multi-block global grid where land/ocean boundaries cut through blocks.
+
+use pop_baro::core::solvers::PipelinedCg;
+use pop_baro::prelude::*;
+
+struct Problem {
+    layout: std::sync::Arc<pop_baro::comm::DistLayout>,
+    op: NinePoint,
+    rhs: DistVec,
+}
+
+/// A masked multi-block problem: 5×3 blocks over a scaled gx01-family
+/// global grid, so several blocks straddle coastlines and at least one is
+/// land-heavy.
+fn problem() -> Problem {
+    let grid = Grid::gx01_scaled(11, 90, 60);
+    let layout = DistLayout::build(&grid, 18, 20);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
+    let mut truth = DistVec::zeros(&layout);
+    truth.fill_with(|i, j| ((i as f64) * 0.13).sin() * ((j as f64) * 0.09).cos() + 0.2);
+    world.halo_update(&mut truth);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&world, &truth, &mut rhs);
+    Problem { layout, op, rhs }
+}
+
+fn assert_bitwise_eq(a: &DistVec, b: &DistVec, what: &str) {
+    let (ga, gb) = (a.to_global(), b.to_global());
+    assert_eq!(ga.len(), gb.len());
+    for (k, (x, y)) in ga.iter().zip(&gb).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: point {k} differs: {x:e} vs {y:e}"
+        );
+    }
+}
+
+/// Run one solver through every (path, backend) combination and demand
+/// identical iteration counts and bit-identical solutions.
+fn check_solver(name: &str, p: &Problem, pre: &dyn Preconditioner, solver: &dyn LinearSolver) {
+    let cfg = SolverConfig {
+        tol: 1e-11,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+    let serial = CommWorld::serial();
+    let threaded = CommWorld::threaded();
+
+    let mut x_fused_s = DistVec::zeros(&p.layout);
+    let st_fused_s = solver.solve(&p.op, pre, &serial, &p.rhs, &mut x_fused_s, &cfg);
+    assert!(st_fused_s.converged, "{name} fused/serial did not converge");
+
+    let mut x_fused_t = DistVec::zeros(&p.layout);
+    let st_fused_t = solver.solve(&p.op, pre, &threaded, &p.rhs, &mut x_fused_t, &cfg);
+
+    assert_eq!(
+        st_fused_s.iterations, st_fused_t.iterations,
+        "{name}: fused serial vs threaded iteration counts differ"
+    );
+    assert_eq!(
+        st_fused_s.final_relative_residual.to_bits(),
+        st_fused_t.final_relative_residual.to_bits(),
+        "{name}: fused serial vs threaded residuals differ"
+    );
+    assert_bitwise_eq(
+        &x_fused_s,
+        &x_fused_t,
+        &format!("{name} fused serial vs threaded"),
+    );
+}
+
+/// The unfused baseline for each concrete solver, compared bitwise against
+/// the fused path on both backends.
+macro_rules! check_fused_matches_unfused {
+    ($name:expr, $p:expr, $pre:expr, $solver:expr) => {{
+        let p = $p;
+        let pre = $pre;
+        let solver = $solver;
+        let cfg = SolverConfig {
+            tol: 1e-11,
+            max_iters: 50_000,
+            check_every: 10,
+        };
+        let serial = CommWorld::serial();
+        let threaded = CommWorld::threaded();
+
+        let mut x_unfused = DistVec::zeros(&p.layout);
+        let st_unfused = solver.solve_unfused(&p.op, pre, &serial, &p.rhs, &mut x_unfused, &cfg);
+        assert!(st_unfused.converged, "{} unfused did not converge", $name);
+
+        for (bname, world) in [("serial", &serial), ("threaded", &threaded)] {
+            let mut x_fused = DistVec::zeros(&p.layout);
+            let st_fused = solver.solve(&p.op, pre, world, &p.rhs, &mut x_fused, &cfg);
+            assert_eq!(
+                st_unfused.iterations, st_fused.iterations,
+                "{} fused/{bname} vs unfused iteration counts differ",
+                $name
+            );
+            assert_eq!(
+                st_unfused.final_relative_residual.to_bits(),
+                st_fused.final_relative_residual.to_bits(),
+                "{} fused/{bname} vs unfused residuals differ",
+                $name
+            );
+            assert_bitwise_eq(
+                &x_unfused,
+                &x_fused,
+                &format!("{} fused/{bname} vs unfused", $name),
+            );
+        }
+    }};
+}
+
+#[test]
+fn fused_serial_matches_threaded_all_solvers() {
+    let p = problem();
+    let world = CommWorld::serial();
+    for (pname, pre) in [
+        ("diag", &Diagonal::new(&p.op) as &dyn Preconditioner),
+        ("evp", &BlockEvp::with_defaults(&p.op)),
+    ] {
+        let (bounds, _) = estimate_bounds(&p.op, pre, &world, &LanczosConfig::default());
+        let solvers: [(&str, &dyn LinearSolver); 4] = [
+            ("pcsi", &Pcsi::new(bounds)),
+            ("chrongear", &ChronGear),
+            ("pcg", &ClassicPcg),
+            ("pipecg", &PipelinedCg),
+        ];
+        for (sname, solver) in solvers {
+            check_solver(&format!("{sname}+{pname}"), &p, pre, solver);
+        }
+    }
+}
+
+#[test]
+fn fused_matches_unfused_bitwise_pcsi_chrongear() {
+    let p = problem();
+    let world = CommWorld::serial();
+    for (pname, pre) in [
+        ("diag", &Diagonal::new(&p.op) as &dyn Preconditioner),
+        ("evp", &BlockEvp::with_defaults(&p.op)),
+    ] {
+        let (bounds, _) = estimate_bounds(&p.op, pre, &world, &LanczosConfig::default());
+        check_fused_matches_unfused!(format!("pcsi+{pname}"), &p, pre, &Pcsi::new(bounds));
+        check_fused_matches_unfused!(format!("chrongear+{pname}"), &p, pre, &ChronGear);
+    }
+}
+
+#[test]
+fn fused_matches_unfused_bitwise_pcg_pipecg() {
+    let p = problem();
+    let pre = Diagonal::new(&p.op);
+    check_fused_matches_unfused!("pcg+diag", &p, &pre, &ClassicPcg);
+    check_fused_matches_unfused!("pipecg+diag", &p, &pre, &PipelinedCg);
+
+    let evp = BlockEvp::with_defaults(&p.op);
+    check_fused_matches_unfused!("pcg+evp", &p, &evp, &ClassicPcg);
+    check_fused_matches_unfused!("pipecg+evp", &p, &evp, &PipelinedCg);
+}
+
+/// The comm accounting of the fused paths must match the paper's counts —
+/// fusion may not hide or double-count a reduction.
+#[test]
+fn fused_comm_counts_match_unfused() {
+    let p = problem();
+    let pre = Diagonal::new(&p.op);
+    let cfg = SolverConfig {
+        tol: 1e-11,
+        max_iters: 50_000,
+        check_every: 10,
+    };
+
+    macro_rules! counts {
+        ($solver:expr) => {{
+            let serial = CommWorld::serial();
+            let mut xf = DistVec::zeros(&p.layout);
+            let stf = $solver.solve(&p.op, &pre, &serial, &p.rhs, &mut xf, &cfg);
+            let serial2 = CommWorld::serial();
+            let mut xu = DistVec::zeros(&p.layout);
+            let stu = $solver.solve_unfused(&p.op, &pre, &serial2, &p.rhs, &mut xu, &cfg);
+            (stf, stu)
+        }};
+    }
+
+    let (bounds, _) = estimate_bounds(&p.op, &pre, &CommWorld::serial(), &LanczosConfig::default());
+    let (stf, stu) = counts!(Pcsi::new(bounds));
+    assert_eq!(stf.comm.allreduces, stu.comm.allreduces, "pcsi allreduces");
+    assert_eq!(stf.comm.halo_updates, stu.comm.halo_updates, "pcsi halos");
+
+    let (stf, stu) = counts!(ChronGear);
+    assert_eq!(
+        stf.comm.allreduces, stu.comm.allreduces,
+        "chrongear allreduces"
+    );
+    assert_eq!(
+        stf.comm.halo_updates, stu.comm.halo_updates,
+        "chrongear halos"
+    );
+
+    let (stf, stu) = counts!(ClassicPcg);
+    assert_eq!(stf.comm.allreduces, stu.comm.allreduces, "pcg allreduces");
+    assert_eq!(stf.comm.halo_updates, stu.comm.halo_updates, "pcg halos");
+
+    let (stf, stu) = counts!(PipelinedCg);
+    assert_eq!(
+        stf.comm.allreduces, stu.comm.allreduces,
+        "pipecg allreduces"
+    );
+    assert_eq!(stf.comm.halo_updates, stu.comm.halo_updates, "pipecg halos");
+}

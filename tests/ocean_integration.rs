@@ -19,11 +19,7 @@ fn model_conserves_volume_through_the_solver() {
     let (world, mut m) = eddying(40, 32);
     m.run(&world, 300);
     assert!(m.is_healthy());
-    assert!(
-        m.mean_eta().abs() < 1e-9,
-        "volume drift: {}",
-        m.mean_eta()
-    );
+    assert!(m.mean_eta().abs() < 1e-9, "volume drift: {}", m.mean_eta());
 }
 
 #[test]

@@ -87,9 +87,7 @@ fn solution_independent_of_decomposition() {
         assert!(st.converged);
         solutions.push(x.to_global());
     }
-    let scale = solutions[0]
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b.abs()));
+    let scale = solutions[0].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
     for s in &solutions[1..] {
         for (a, b) in solutions[0].iter().zip(s) {
             assert!(

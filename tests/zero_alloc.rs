@@ -1,0 +1,125 @@
+//! Steady-state allocation audit for the fused solver loops.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! solve has sized the [`SolverWorkspace`], the halo scratch pool, and the
+//! preconditioner's thread-local tile buffers, the *per-iteration* heap
+//! allocation count of `solve_ws` must be exactly zero. That is asserted
+//! differentially: a solve running 8× as many iterations must allocate
+//! exactly as much as a short one (the only per-solve allocation left is the
+//! fresh `SolveStats` residual history, identical for both).
+//!
+//! This file holds a single `#[test]` so no concurrent test pollutes the
+//! counters, and it uses the serial backend so every allocation is made on
+//! this thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::SeqCst)
+}
+
+use pop_baro::core::solvers::{PipelinedCg, SolverWorkspace};
+use pop_baro::prelude::*;
+
+#[test]
+fn fused_solve_iterations_allocate_nothing() {
+    let grid = Grid::gx01_scaled(11, 90, 60);
+    let layout = DistLayout::build(&grid, 18, 20);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
+    let mut truth = DistVec::zeros(&layout);
+    truth.fill_with(|i, j| ((i as f64) * 0.13).sin() * ((j as f64) * 0.09).cos() + 0.2);
+    world.halo_update(&mut truth);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&world, &truth, &mut rhs);
+
+    let diag = Diagonal::new(&op);
+    let evp = BlockEvp::with_defaults(&op);
+    let (bounds, _) = estimate_bounds(&op, &evp, &world, &LanczosConfig::default());
+
+    let preconds: [(&str, &dyn Preconditioner); 2] = [("diag", &diag), ("evp", &evp)];
+    let pcsi = Pcsi::new(bounds);
+    let solvers: [(&str, &dyn LinearSolver); 4] = [
+        ("pcsi", &pcsi),
+        ("chrongear", &ChronGear),
+        ("pcg", &ClassicPcg),
+        ("pipecg", &PipelinedCg),
+    ];
+
+    // Fixed iteration counts (tol = 0 never converges) with a single
+    // convergence check each, so the two runs differ only in how many inner
+    // iterations they execute.
+    let short = 64usize;
+    let long = 512usize;
+    let cfg_of = |iters: usize| SolverConfig {
+        tol: 0.0,
+        max_iters: iters,
+        check_every: iters,
+    };
+
+    let mut x = DistVec::zeros(&layout);
+    for (pname, pre) in preconds {
+        for (sname, solver) in solvers {
+            let mut ws = SolverWorkspace::new();
+            // Warm-up at the long length: sizes the workspace, the halo
+            // scratch pool, and thread-local preconditioner buffers.
+            x.set_zero();
+            let st = solver.solve_ws(&op, pre, &world, &rhs, &mut x, &cfg_of(long), &mut ws);
+            assert_eq!(st.iterations, long);
+
+            x.set_zero();
+            let before_short = allocs();
+            let st = solver.solve_ws(&op, pre, &world, &rhs, &mut x, &cfg_of(short), &mut ws);
+            let during_short = allocs() - before_short;
+            assert_eq!(st.iterations, short);
+
+            x.set_zero();
+            let before_long = allocs();
+            let st = solver.solve_ws(&op, pre, &world, &rhs, &mut x, &cfg_of(long), &mut ws);
+            let during_long = allocs() - before_long;
+            assert_eq!(st.iterations, long);
+
+            assert_eq!(
+                during_long,
+                during_short,
+                "{sname}+{pname}: {} extra allocations across {} extra iterations \
+                 (short solve: {during_short} allocs, long solve: {during_long})",
+                during_long as i64 - during_short as i64,
+                long - short
+            );
+            // The per-solve residue is the SolveStats history and nothing
+            // else — a handful of calls, not one per iteration or per block.
+            assert!(
+                during_long <= 8,
+                "{sname}+{pname}: fused solve made {during_long} allocations after warm-up"
+            );
+        }
+    }
+}
