@@ -9,6 +9,7 @@
 //!
 //! `--quick` shrinks the grid and sample counts for CI smoke runs.
 
+use pop_bench::provenance::Provenance;
 use pop_bench::timing::quick_requested;
 use pop_comm::{CommWorld, DistLayout, DistVec};
 use pop_core::lanczos::{estimate_bounds, LanczosConfig};
@@ -238,14 +239,13 @@ fn main() {
         );
     }
 
-    let threads = std::env::var("POP_BARO_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
+    let prov = Provenance::collect();
+    let threads = prov.threads;
 
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"bench\": \"bench_solvers_json\",");
+    let _ = writeln!(j, "  \"provenance\": {},", prov.json());
     let _ = writeln!(j, "  \"quick\": {quick},");
     let _ = writeln!(
         j,

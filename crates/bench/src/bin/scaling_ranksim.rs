@@ -1,0 +1,308 @@
+//! Rank-count scaling of the barotropic solvers on the message-passing
+//! runtime — the paper's Fig. 7/8 story, *executed*.
+//!
+//! Sweeps 4 → 256 simulated MPI ranks over a gx1v6-like 1° grid for
+//! {ChronGear, P-CSI} × {diagonal, block-EVP}, running every solve through
+//! `pop-ranksim`: each rank is an OS thread with private blocks, halos move
+//! as point-to-point messages, and reductions climb a binomial tree whose
+//! hops are charged at Yellowstone's calibrated `α_reduce`. The per-rank
+//! simulated clocks then decompose into compute / halo / allreduce time on
+//! the critical rank:
+//!
+//! - **ChronGear** pays one tree allreduce per iteration, so its reduction
+//!   share grows as `log₂ p` while compute shrinks as `1/p` — the scaling
+//!   wall of paper Fig. 2/7.
+//! - **P-CSI** reduces only at the periodic convergence check, so its
+//!   allreduce count is independent of rank count and its reduction time
+//!   stays a sliver of ChronGear's — Fig. 7/8's crossover.
+//!
+//! Writes `BENCH_ranksim.json` (with provenance) plus a Chrome trace of one
+//! mid-size configuration. `--quick` runs a 4-point sweep on a smaller grid
+//! for CI smoke.
+
+use pop_bench::provenance::Provenance;
+use pop_bench::timing::quick_requested;
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::lanczos::{estimate_bounds, LanczosConfig};
+use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
+use pop_core::solvers::SolverConfig;
+use pop_grid::Grid;
+use pop_perfmodel::machine::MachineModel;
+use pop_ranksim::{
+    solve_on_ranks, write_chrome_trace, LatencyBandwidth, NetworkModel, RankSimConfig, RankWorld,
+    SolverKind, SpanKind,
+};
+use pop_stencil::NinePoint;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+struct Row {
+    solver: &'static str,
+    precond: &'static str,
+    ranks: usize,
+    iterations: usize,
+    max_blocks_per_rank: usize,
+    sim_time_s: f64,
+    compute_s: f64,
+    halo_s: f64,
+    allreduce_s: f64,
+    allreduces_per_rank: u64,
+    halo_bytes_total: u64,
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = quick_requested();
+    let (nx, ny, bx, by, iters, rank_counts): (_, _, _, _, _, &[usize]) = if quick {
+        (
+            160usize,
+            120usize,
+            16usize,
+            12usize,
+            20usize,
+            &[4, 8, 16, 32],
+        )
+    } else {
+        (320, 240, 10, 8, 50, &[4, 8, 16, 32, 64, 128, 256])
+    };
+
+    let g = Grid::gx1_scaled(11, nx, ny);
+    let layout = DistLayout::build(&g, bx, by);
+    assert!(
+        layout.n_blocks() >= *rank_counts.last().expect("rank sweep"),
+        "grid has {} active blocks; need at least {} so no rank idles",
+        layout.n_blocks(),
+        rank_counts.last().unwrap()
+    );
+    let serial = CommWorld::serial();
+    let op = NinePoint::assemble(&g, &layout, &serial, 2700.0);
+
+    let mut x_true = DistVec::zeros(&layout);
+    x_true.fill_with(|i, j| {
+        let xf = i as f64 / nx as f64 * std::f64::consts::TAU;
+        let yf = j as f64 / ny as f64 * std::f64::consts::PI;
+        (3.0 * xf).sin() * yf.sin() + 0.4 * (2.0 * xf).cos() * (4.0 * yf).sin()
+    });
+    serial.halo_update(&mut x_true);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&serial, &x_true, &mut rhs);
+    let x0 = DistVec::zeros(&layout);
+
+    // Fixed-iteration runs (tol = 0 never converges): the sweep compares
+    // communication structure, so every configuration must do identical
+    // iteration counts at every rank count.
+    let cfg = SolverConfig {
+        tol: 0.0,
+        max_iters: iters,
+        check_every: 10,
+    };
+    let lanczos = LanczosConfig {
+        tol: 0.01,
+        max_steps: 300,
+        ..Default::default()
+    };
+
+    let machine = MachineModel::yellowstone();
+    let net = Arc::new(LatencyBandwidth::from_machine(&machine));
+    let sim_cfg = RankSimConfig {
+        record_trace: true,
+        ..RankSimConfig::modeled(&machine)
+    };
+
+    let diag = Diagonal::new(&op);
+    let evp = BlockEvp::with_defaults(&op);
+    let preconds: [(&'static str, &dyn Preconditioner); 2] = [("diag", &diag), ("evp", &evp)];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut traced = false;
+    for (pname, pre) in preconds {
+        let (bounds, _) = estimate_bounds(&op, pre, &serial, &lanczos);
+        let solvers: [(&'static str, SolverKind); 2] = [
+            ("chrongear", SolverKind::ChronGear),
+            ("pcsi", SolverKind::Pcsi(bounds)),
+        ];
+        for (sname, kind) in solvers {
+            for &p in rank_counts {
+                let world = RankWorld::new(&layout, p, net.clone(), sim_cfg);
+                let out = solve_on_ranks(&world, &op, pre, kind, &rhs, &x0, &cfg);
+                let st = out.stats();
+                assert_eq!(st.iterations, iters, "{sname}+{pname} p={p} ran short");
+                assert!(st.final_relative_residual.is_finite());
+
+                // Decompose the critical (slowest) rank's timeline.
+                let crit = out
+                    .per_rank
+                    .iter()
+                    .max_by(|a, b| a.clock.total_cmp(&b.clock))
+                    .expect("ranks");
+                let by_kind = |k: SpanKind| -> f64 {
+                    crit.spans
+                        .iter()
+                        .filter(|s| s.kind == k)
+                        .map(|s| s.t1 - s.t0)
+                        .sum()
+                };
+                let halo_bytes_total: u64 = out.per_rank.iter().map(|r| r.stats.halo_bytes).sum();
+
+                // Dump one mid-size ChronGear timeline as a Chrome trace:
+                // the per-iteration allreduce bars are the figure.
+                if !traced && sname == "chrongear" && pname == "diag" && p >= 16 {
+                    let path = std::path::Path::new("BENCH_ranksim_trace.json");
+                    write_chrome_trace(&out.per_rank, path).expect("write trace");
+                    println!("[wrote {} (p={p} chrongear+diag timeline)]", path.display());
+                    traced = true;
+                }
+
+                rows.push(Row {
+                    solver: sname,
+                    precond: pname,
+                    ranks: p,
+                    iterations: st.iterations,
+                    max_blocks_per_rank: world.assignment().max_blocks_per_rank(),
+                    sim_time_s: out.sim_time,
+                    compute_s: by_kind(SpanKind::Compute),
+                    halo_s: by_kind(SpanKind::Halo),
+                    allreduce_s: by_kind(SpanKind::Allreduce),
+                    allreduces_per_rank: crit.stats.allreduces,
+                    halo_bytes_total,
+                });
+            }
+        }
+    }
+
+    println!(
+        "\n== simulated {}-iteration solves, {nx}x{ny} gx1-like grid, {} blocks, {} machine ==",
+        iters,
+        layout.n_blocks(),
+        machine.name
+    );
+    println!(
+        "{:>10} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "solver", "precond", "ranks", "sim ms", "compute ms", "halo ms", "reduce ms", "reduces"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>7} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>9}",
+            r.solver,
+            r.precond,
+            r.ranks,
+            r.sim_time_s * 1e3,
+            r.compute_s * 1e3,
+            r.halo_s * 1e3,
+            r.allreduce_s * 1e3,
+            r.allreduces_per_rank
+        );
+    }
+
+    // The acceptance facts, asserted so a regression fails loudly: the
+    // executed reduction cost grows with rank count under ChronGear (one
+    // tree per iteration, each log₂ p deep), while P-CSI's allreduce count
+    // stays fixed — its only reductions are the periodic convergence
+    // checks, so its reduce time stays a small fraction of ChronGear's no
+    // matter how many ranks the tree spans.
+    for pname in ["diag", "evp"] {
+        let series = |solver: &str| -> Vec<&Row> {
+            rows.iter()
+                .filter(|r| r.solver == solver && r.precond == pname)
+                .collect()
+        };
+        let cg = series("chrongear");
+        let csi = series("pcsi");
+        let (cg_lo, cg_hi) = (cg.first().unwrap(), cg.last().unwrap());
+        let (csi_lo, csi_hi) = (csi.first().unwrap(), csi.last().unwrap());
+        assert!(
+            cg_hi.allreduce_s > cg_lo.allreduce_s * 1.5,
+            "{pname}: ChronGear reduction time must grow with ranks \
+             ({:.3e}s at p={} vs {:.3e}s at p={})",
+            cg_lo.allreduce_s,
+            cg_lo.ranks,
+            cg_hi.allreduce_s,
+            cg_hi.ranks
+        );
+        assert!(
+            csi_hi.allreduce_s < cg_hi.allreduce_s / 4.0,
+            "{pname}: P-CSI must avoid most of ChronGear's reduction cost at scale"
+        );
+        assert!(
+            csi.iter()
+                .all(|r| r.allreduces_per_rank == csi_lo.allreduces_per_rank),
+            "{pname}: P-CSI's allreduce count must not depend on rank count"
+        );
+        assert!(
+            csi_lo.allreduces_per_rank * 5 <= cg_lo.allreduces_per_rank,
+            "{pname}: P-CSI must issue far fewer allreduces than ChronGear \
+             ({} vs {})",
+            csi_lo.allreduces_per_rank,
+            cg_lo.allreduces_per_rank
+        );
+        println!(
+            "[{pname}] reduce time p={}→{}: chrongear {:.3}ms→{:.3}ms, pcsi {:.3}ms→{:.3}ms",
+            cg_lo.ranks,
+            cg_hi.ranks,
+            cg_lo.allreduce_s * 1e3,
+            cg_hi.allreduce_s * 1e3,
+            csi_lo.allreduce_s * 1e3,
+            csi_hi.allreduce_s * 1e3
+        );
+    }
+
+    let prov = Provenance::collect();
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"scaling_ranksim\",");
+    let _ = writeln!(j, "  \"provenance\": {},", prov.json());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(
+        j,
+        "  \"grid\": {{\"nx\": {nx}, \"ny\": {ny}, \"bx\": {bx}, \"by\": {by}, \"blocks\": {}}},",
+        layout.n_blocks()
+    );
+    let _ = writeln!(j, "  \"machine\": \"{}\",", machine.name);
+    let _ = writeln!(
+        j,
+        "  \"network\": {{\"model\": \"{}\", \"alpha\": {:e}, \"beta_per_byte\": {:e}, \"alpha_reduce\": {:e}}},",
+        net.name(),
+        net.alpha,
+        net.beta_per_byte,
+        net.alpha_reduce
+    );
+    let _ = writeln!(
+        j,
+        "  \"compute_per_point\": {:e},",
+        sim_cfg.compute_per_point
+    );
+    let _ = writeln!(j, "  \"iterations_per_solve\": {iters},");
+    j.push_str("  \"results\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"ranks\": {}, \"iterations\": {}, \
+             \"max_blocks_per_rank\": {}, \"sim_time_s\": {}, \"compute_s\": {}, \"halo_s\": {}, \
+             \"allreduce_s\": {}, \"allreduces_per_rank\": {}, \"halo_bytes_total\": {}}}",
+            r.solver,
+            r.precond,
+            r.ranks,
+            r.iterations,
+            r.max_blocks_per_rank,
+            json_f(r.sim_time_s),
+            json_f(r.compute_s),
+            json_f(r.halo_s),
+            json_f(r.allreduce_s),
+            r.allreduces_per_rank,
+            r.halo_bytes_total
+        );
+        j.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+
+    let out = "BENCH_ranksim.json";
+    std::fs::write(out, &j).expect("write BENCH_ranksim.json");
+    println!("\n[wrote {out}]");
+}

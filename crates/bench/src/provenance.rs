@@ -1,0 +1,90 @@
+//! Run provenance for the JSON benchmark artifacts.
+//!
+//! Perf trajectories are only comparable when each data point says what
+//! produced it: the commit the binary was built from, whether the tree was
+//! dirty, how many threads the run used, and what platform it ran on. Every
+//! JSON-writing bench embeds one [`Provenance`] object.
+
+use std::process::Command;
+
+/// What produced a benchmark artifact.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// Abbreviated git commit hash of the working tree, `"unknown"` when
+    /// not in a repository (or git is unavailable).
+    pub git_commit: String,
+    /// Whether the working tree had uncommitted changes.
+    pub git_dirty: bool,
+    /// Worker threads honoured by the threaded backend (`POP_BARO_THREADS`
+    /// or the machine's available parallelism).
+    pub threads: usize,
+    pub os: &'static str,
+    pub arch: &'static str,
+}
+
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8(out.stdout).ok()
+}
+
+/// The thread count the run will use: `POP_BARO_THREADS` wins, otherwise
+/// the machine's available parallelism (1 when undetectable).
+pub fn effective_threads() -> usize {
+    std::env::var("POP_BARO_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
+impl Provenance {
+    /// Collect provenance for the current process and working directory.
+    pub fn collect() -> Self {
+        let git_commit = git(&["rev-parse", "--short=12", "HEAD"])
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let git_dirty = git(&["status", "--porcelain"])
+            .map(|s| !s.trim().is_empty())
+            .unwrap_or(false);
+        Provenance {
+            git_commit,
+            git_dirty,
+            threads: effective_threads(),
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+        }
+    }
+
+    /// Render as a one-line JSON object.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"git_commit\": \"{}\", \"git_dirty\": {}, \"threads\": {}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+            self.git_commit, self.git_dirty, self.threads, self.os, self.arch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_and_render() {
+        let p = Provenance::collect();
+        assert!(!p.git_commit.is_empty());
+        assert!(p.threads >= 1);
+        let j = p.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"git_commit\""));
+        assert!(j.contains(&format!("\"os\": \"{}\"", std::env::consts::OS)));
+        // Hash is hex or the "unknown" sentinel — never shell noise.
+        assert!(
+            p.git_commit == "unknown" || p.git_commit.chars().all(|c| c.is_ascii_hexdigit()),
+            "suspicious commit field: {}",
+            p.git_commit
+        );
+    }
+}

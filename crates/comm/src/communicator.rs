@@ -1,0 +1,229 @@
+//! The [`Communicator`] trait: the communication surface the solvers use.
+//!
+//! The four barotropic solvers are written once, generically, against this
+//! trait (`pop_core::solvers::CommSolver`); two runtimes implement it:
+//!
+//! - [`CommWorld`](crate::CommWorld) — the shared-memory world (serial or
+//!   thread-pool), where every "message" is a copy inside one address space
+//!   and reductions are block-ordered folds.
+//! - `RankWorld`/`RankComm` (crate `pop-ranksim`) — a rank-per-OS-thread
+//!   message-passing runtime where halo updates are explicit point-to-point
+//!   sends of boundary strips and global reductions run as a binomial tree
+//!   of messages, with a pluggable network model charging simulated time.
+//!
+//! # Deferred reduction semantics
+//!
+//! The key design point is how fused-sweep partials become global values.
+//! [`Communicator::for_each_block_fused`] returns an opaque
+//! [`Communicator::Sweep`] handle; the partials it carries are **not yet
+//! global**. Only [`Communicator::reduce_sweep`] turns them into globally
+//! combined sums — and *that* call is the allreduce: it is counted in
+//! [`StatsSnapshot`], it pays simulated latency under a rank runtime, and a
+//! solver that never calls it between convergence checks genuinely performs
+//! no global communication there. This is what lets P-CSI's
+//! communication-avoidance be *executed* rather than merely counted: its
+//! loop body produces a residual-norm sweep handle every iteration but only
+//! reduces it every `check_every` iterations.
+//!
+//! # Determinism contract
+//!
+//! `reduce_sweep` must combine the per-block partial rows of the sweep in
+//! **global active-block order** with a flat left-fold starting from zero —
+//! exactly what [`CommWorld`](crate::CommWorld) does in shared memory. Any
+//! implementation honouring this produces bit-identical reduction values,
+//! hence bit-identical solver trajectories, regardless of how many ranks
+//! the blocks are spread over (`tests/ranksim_equivalence.rs` pins this).
+
+use crate::blockvec::BlockVec;
+use crate::distvec::DistVec;
+use crate::layout::DistLayout;
+use crate::world::{CommWorld, StatsSnapshot, SweepPartials};
+use std::sync::Arc;
+
+/// A distributed field as seen by one communicator: block tiles addressed
+/// by **global** active-block id.
+///
+/// [`DistVec`] (all blocks in one storage) and `pop-ranksim`'s `RankVec`
+/// (only the blocks a rank privately owns) both implement this, so solver
+/// kernels can read side operands with `v.block(bk)` under either runtime.
+pub trait CommVec: Send + Sync {
+    /// The global layout this vector's blocks belong to.
+    fn layout(&self) -> &Arc<DistLayout>;
+
+    /// Read-only access to the tile of global active block `gb`. Panics if
+    /// this vector's view does not contain the block (a rank-private vector
+    /// only holds the owning rank's blocks).
+    fn block(&self, gb: usize) -> &BlockVec;
+
+    /// Zero every cell (interior and halo) of every block in this view,
+    /// exactly as a freshly allocated vector would be.
+    fn zero_fill(&mut self);
+}
+
+impl CommVec for DistVec {
+    #[inline]
+    fn layout(&self) -> &Arc<DistLayout> {
+        &self.layout
+    }
+
+    #[inline]
+    fn block(&self, gb: usize) -> &BlockVec {
+        &self.blocks[gb]
+    }
+
+    fn zero_fill(&mut self) {
+        for b in &mut self.blocks {
+            b.fill(0.0);
+        }
+    }
+}
+
+/// The communication surface of the barotropic solvers: halo updates, fused
+/// block sweeps, deferred global reductions, and event statistics.
+///
+/// See the [module docs](self) for the deferred-reduction semantics and the
+/// determinism contract.
+pub trait Communicator {
+    /// The distributed-vector type this communicator drives.
+    type Vec: CommVec;
+
+    /// Opaque handle to one fused sweep's per-block partial reductions.
+    /// For [`CommWorld`] this is just the block-ordered fold
+    /// ([`SweepPartials`]); a rank runtime keeps the per-block rows so a
+    /// later [`Communicator::reduce_sweep`] can reproduce the exact fold.
+    type Sweep;
+
+    /// Snapshot of the communication counters *as seen by this
+    /// communicator* (per-rank under a rank runtime).
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Allocate a zeroed vector with the same view (layout and block
+    /// ownership) as `model`.
+    fn alloc_like(&self, model: &Self::Vec) -> Self::Vec;
+
+    /// Update the halo ring of every block in `v`'s view from its
+    /// neighbours' interiors (point-to-point messages under a rank
+    /// runtime; shared-memory copies under [`CommWorld`]).
+    fn halo_update(&self, v: &mut Self::Vec);
+
+    /// The fused execution primitive: walk every block of the view once,
+    /// handing the kernel block `gb`'s tiles of all mutable operands, and
+    /// collect up to [`MAX_SWEEP_PARTIALS`](crate::MAX_SWEEP_PARTIALS)
+    /// partial reductions per block. Local work only — nothing global
+    /// happens (and nothing is counted) until the returned handle is passed
+    /// to [`Communicator::reduce_sweep`].
+    fn for_each_block_fused<const M: usize, F>(
+        &self,
+        muts: [&mut Self::Vec; M],
+        kernel: F,
+    ) -> Self::Sweep
+    where
+        F: Fn(usize, &mut [&mut BlockVec; M]) -> SweepPartials + Sync;
+
+    /// THE global reduction: combine `sweep`'s per-block partials over all
+    /// blocks of the *global* layout, in global block order, and return the
+    /// sums on every rank. Records one allreduce of `scalars` values (and
+    /// pays its simulated cost under a rank runtime). May be called more
+    /// than once on the same handle — each call is a fresh collective with
+    /// identical results.
+    fn reduce_sweep(&self, sweep: &Self::Sweep, scalars: u64) -> SweepPartials;
+
+    /// Masked global dot product via a fused sweep plus one reduction.
+    fn dot_fused(&self, x: &Self::Vec, y: &Self::Vec) -> f64;
+}
+
+impl Communicator for CommWorld {
+    type Vec = DistVec;
+    type Sweep = SweepPartials;
+
+    fn stats(&self) -> StatsSnapshot {
+        CommWorld::stats(self)
+    }
+
+    fn alloc_like(&self, model: &DistVec) -> DistVec {
+        DistVec::zeros(&model.layout)
+    }
+
+    fn halo_update(&self, v: &mut DistVec) {
+        CommWorld::halo_update(self, v);
+    }
+
+    fn for_each_block_fused<const M: usize, F>(
+        &self,
+        muts: [&mut DistVec; M],
+        kernel: F,
+    ) -> SweepPartials
+    where
+        F: Fn(usize, &mut [&mut BlockVec; M]) -> SweepPartials + Sync,
+    {
+        CommWorld::for_each_block_fused(self, muts, kernel)
+    }
+
+    /// In shared memory the sweep's fold is already the global value;
+    /// consuming it just records the allreduce the fold stood in for.
+    fn reduce_sweep(&self, sweep: &SweepPartials, scalars: u64) -> SweepPartials {
+        self.record_allreduce(scalars);
+        *sweep
+    }
+
+    fn dot_fused(&self, x: &DistVec, y: &DistVec) -> f64 {
+        CommWorld::dot_fused(self, x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_grid::Grid;
+
+    /// Exercise the whole trait surface through a generic function, driven
+    /// by the shared-memory world, and pin it against the inherent methods.
+    fn trait_norm2<C: Communicator>(comm: &C, v: &C::Vec) -> (f64, StatsSnapshot) {
+        let before = comm.stats();
+        let mut w = comm.alloc_like(v);
+        let sweep = comm.for_each_block_fused([&mut w], |gb, [wb]| {
+            let src = v.block(gb);
+            for j in 0..wb.ny {
+                wb.interior_row_mut(j).copy_from_slice(src.interior_row(j));
+            }
+            let mut p = [0.0; crate::MAX_SWEEP_PARTIALS];
+            p[0] = crate::blockvec::masked_block_dot(src, src, &v.layout().masks[gb]);
+            p
+        });
+        let total = comm.reduce_sweep(&sweep, 1)[0];
+        (total, comm.stats().since(&before))
+    }
+
+    #[test]
+    fn commworld_trait_surface_matches_inherent() {
+        let g = Grid::gx1_scaled(5, 48, 40);
+        let layout = DistLayout::build(&g, 12, 10);
+        for world in [CommWorld::serial(), CommWorld::threaded()] {
+            let mut v = DistVec::zeros(&layout);
+            v.fill_with(|i, j| ((i * 3 + j * 7) as f64 * 0.11).sin());
+            let direct = CommWorld::dot_fused(&world, &v, &v);
+            let (via_trait, diff) = trait_norm2(&world, &v);
+            assert_eq!(direct.to_bits(), via_trait.to_bits());
+            assert_eq!(diff.allreduces, 1, "reduce_sweep must count once");
+            assert_eq!(diff.allreduce_scalars, 1);
+        }
+    }
+
+    #[test]
+    fn reduce_sweep_can_be_repeated() {
+        let g = Grid::idealized_basin(12, 12, 50.0, 1.0);
+        let layout = DistLayout::build(&g, 6, 6);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, _| i as f64);
+        let sweep = Communicator::for_each_block_fused(&world, [&mut v], |gb, [vb]| {
+            let mut p = [0.0; crate::MAX_SWEEP_PARTIALS];
+            p[0] = vb.interior_row(0)[0] + gb as f64;
+            p
+        });
+        let a = world.reduce_sweep(&sweep, 1);
+        let b = world.reduce_sweep(&sweep, 1);
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+        assert_eq!(world.stats().allreduces, 2);
+    }
+}

@@ -20,16 +20,20 @@
 //!
 //! What is *not* simulated here: wire time. Latency/bandwidth costs live in
 //! `pop-perfmodel`, parameterized by the event counts recorded in
-//! [`CommStats`].
+//! [`CommStats`] — and, since the `pop-ranksim` crate, in a rank-based
+//! runtime implementing the same [`Communicator`] trait with real
+//! point-to-point messages and simulated network time.
 
 pub mod blockvec;
+pub mod communicator;
 pub mod distvec;
 pub mod halo;
 pub mod layout;
 pub mod pool;
 pub mod world;
 
-pub use blockvec::BlockVec;
+pub use blockvec::{masked_block_dot, masked_block_max_abs, BlockVec};
+pub use communicator::{CommVec, Communicator};
 pub use distvec::DistVec;
 pub use layout::DistLayout;
 pub use world::{

@@ -75,15 +75,19 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Event-count difference `self - earlier` (used to attribute counts to
-    /// a single solve).
+    /// a single solve). Saturating: if `reset_stats` ran between the two
+    /// snapshots a counter can go backwards, and the difference clamps to
+    /// zero instead of panicking in debug builds.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            halo_updates: self.halo_updates - earlier.halo_updates,
-            halo_messages: self.halo_messages - earlier.halo_messages,
-            halo_bytes: self.halo_bytes - earlier.halo_bytes,
-            allreduces: self.allreduces - earlier.allreduces,
-            allreduce_scalars: self.allreduce_scalars - earlier.allreduce_scalars,
-            barriers: self.barriers - earlier.barriers,
+            halo_updates: self.halo_updates.saturating_sub(earlier.halo_updates),
+            halo_messages: self.halo_messages.saturating_sub(earlier.halo_messages),
+            halo_bytes: self.halo_bytes.saturating_sub(earlier.halo_bytes),
+            allreduces: self.allreduces.saturating_sub(earlier.allreduces),
+            allreduce_scalars: self
+                .allreduce_scalars
+                .saturating_sub(earlier.allreduce_scalars),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
         }
     }
 }
@@ -100,6 +104,9 @@ pub struct CommWorld {
     /// Reusable per-block partial-reduction slots for fused sweeps, so
     /// steady-state solver iterations allocate nothing.
     sweep_scratch: Mutex<Vec<SweepPartials>>,
+    /// Reusable flat per-block partials for the unfused `dot_many` /
+    /// `max_abs` paths, matching the zero-alloc discipline of the sweeps.
+    partials_scratch: Mutex<Vec<f64>>,
 }
 
 impl CommWorld {
@@ -109,6 +116,7 @@ impl CommWorld {
             stats: CommStats::default(),
             scratch: Mutex::new(Vec::new()),
             sweep_scratch: Mutex::new(Vec::new()),
+            partials_scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -388,17 +396,35 @@ impl CommWorld {
     pub fn dot_many(&self, pairs: &[(&DistVec, &DistVec)]) -> Vec<f64> {
         assert!(!pairs.is_empty(), "no dot products requested");
         let n = pairs[0].0.layout.n_blocks();
-        let partials: Vec<Vec<f64>> = self.map_blocks(n, |b| {
-            pairs.iter().map(|(x, y)| x.block_dot(y, b)).collect()
-        });
+        let k = pairs.len();
+        let mut partials = self
+            .partials_scratch
+            .lock()
+            .expect("partials scratch poisoned");
+        partials.clear();
+        partials.resize(n * k, 0.0);
+        {
+            let base = SendPtr(partials.as_mut_ptr());
+            let run = |b: usize| {
+                // SAFETY: disjoint k-wide row per claimed block index.
+                let row = unsafe { std::slice::from_raw_parts_mut(base.get().add(b * k), k) };
+                for (slot, (x, y)) in row.iter_mut().zip(pairs) {
+                    *slot = x.block_dot(y, b);
+                }
+            };
+            match self.policy {
+                ExecPolicy::Serial => (0..n).for_each(run),
+                ExecPolicy::Threaded => pool::global().run_indexed(n, &run),
+            }
+        }
         // Combine in block order: deterministic under both policies.
-        let mut out = vec![0.0; pairs.len()];
-        for p in &partials {
-            for (o, v) in out.iter_mut().zip(p) {
+        let mut out = vec![0.0; k];
+        for b in 0..n {
+            for (o, v) in out.iter_mut().zip(&partials[b * k..(b + 1) * k]) {
                 *o += v;
             }
         }
-        self.record_allreduce(pairs.len() as u64);
+        self.record_allreduce(k as u64);
         out
     }
 
@@ -415,9 +441,23 @@ impl CommWorld {
     /// Masked global max |value| (one allreduce).
     pub fn max_abs(&self, x: &DistVec) -> f64 {
         let n = x.layout.n_blocks();
-        let partials = self.map_blocks(n, |b| x.block_max_abs(b));
+        let mut partials = self
+            .partials_scratch
+            .lock()
+            .expect("partials scratch poisoned");
+        partials.clear();
+        partials.resize(n, 0.0);
+        let base = SendPtr(partials.as_mut_ptr());
+        let run = |b: usize| {
+            // SAFETY: disjoint element per claimed index.
+            unsafe { *base.get().add(b) = x.block_max_abs(b) };
+        };
+        match self.policy {
+            ExecPolicy::Serial => (0..n).for_each(run),
+            ExecPolicy::Threaded => pool::global().run_indexed(n, &run),
+        }
         self.record_allreduce(1);
-        partials.into_iter().fold(0.0, f64::max)
+        partials.iter().copied().fold(0.0, f64::max)
     }
 
     /// A global barrier (semantically a no-op here; counted for the model).
@@ -523,6 +563,26 @@ mod tests {
         assert_eq!(s.allreduce_scalars, 3);
         world.reset_stats();
         assert_eq!(world.stats(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_saturates_across_reset() {
+        let g = Grid::idealized_basin(8, 8, 100.0, 1.0);
+        let layout = DistLayout::build(&g, 4, 4);
+        let world = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|_, _| 1.0);
+        world.halo_update(&mut v);
+        world.dot(&v, &v);
+        let before = world.stats();
+        world.reset_stats();
+        world.dot(&v, &v);
+        // Counters went backwards across the reset; the difference must
+        // clamp to zero, not panic.
+        let d = world.stats().since(&before);
+        assert_eq!(d.halo_updates, 0);
+        assert_eq!(d.allreduces, 0);
+        assert_eq!(d.allreduce_scalars, 0);
     }
 
     #[test]

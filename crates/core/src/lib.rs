@@ -45,5 +45,6 @@ pub mod tridiag;
 pub use lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
 pub use precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
 pub use solvers::{
-    ChronGear, ClassicPcg, LinearSolver, Pcsi, PipelinedCg, SolveStats, SolverConfig,
+    ChronGear, ClassicPcg, CommSolver, LinearSolver, Pcsi, PipelinedCg, SolveStats, SolverConfig,
+    SolverWorkspace,
 };

@@ -7,9 +7,11 @@
 //! term that dominates the solver's cost at large core counts — the paper's
 //! Figure 2 — and what P-CSI removes.
 
-use super::{masked_block_dot, rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
+use super::{
+    masked_block_dot, rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace,
+};
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
+use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Chronopoulos–Gear preconditioned conjugate gradients.
@@ -115,38 +117,34 @@ impl ChronGear {
     }
 }
 
-impl LinearSolver for ChronGear {
-    fn name(&self) -> &'static str {
-        "chrongear"
-    }
-
+impl CommSolver for ChronGear {
     /// The fused loop: three block sweeps per iteration — preconditioning,
     /// matvec + both inner-product partials, then all four vector
-    /// recurrences with the residual norm riding along. One recorded
-    /// allreduce per iteration (the fused ρ̃/δ̃ pair), exactly as the
-    /// unfused path. Bit-identical to [`ChronGear::solve_unfused`].
-    fn solve_ws(
+    /// recurrences with the residual norm riding along. One reduction per
+    /// iteration (the fused ρ̃/δ̃ pair), exactly as the unfused path.
+    /// Bit-identical to [`ChronGear::solve_unfused`] on every runtime.
+    fn solve_comm<C: Communicator>(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
-        world: &CommWorld,
-        b: &DistVec,
-        x: &mut DistVec,
+        comm: &C,
+        b: &C::Vec,
+        x: &mut C::Vec,
         cfg: &SolverConfig,
-        ws: &mut SolverWorkspace,
+        ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
-        let start = world.stats();
-        let layout = std::sync::Arc::clone(&x.layout);
-        let bnorm = rhs_norm(world, b);
+        let start = comm.stats();
+        let layout = std::sync::Arc::clone(b.layout());
+        let bnorm = rhs_norm(comm, b);
 
         // r₀ = b − A x₀ ; s₀ = 0 ; p₀ = 0 ; ρ₀ = 1 ; σ₀ = 0.
-        let [r, z, az, s, p] = ws.take(&layout);
-        world.halo_update(x);
-        let mut rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+        let [r, z, az, s, p] = ws.take(comm, b);
+        comm.halo_update(x);
+        let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
             let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-            pt[0] = op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
             pt
-        })[0];
+        });
         let mut rho_old = 1.0f64;
         let mut sigma = 0.0f64;
 
@@ -163,8 +161,8 @@ impl LinearSolver for ChronGear {
 
             // Step 4: preconditioning r' = M⁻¹ r (its own sweep: r' needs a
             // boundary update before the matvec can run).
-            world.for_each_block_fused([&mut *z], |bk, [zb]| {
-                pre.apply_block(bk, &r.blocks[bk], zb);
+            comm.for_each_block_fused([&mut *z], |bk, [zb]| {
+                pre.apply_block(bk, r.block(bk), zb);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
             precond_applies += 1;
@@ -172,19 +170,19 @@ impl LinearSolver for ChronGear {
             // Steps 5–6: the single halo exchange of the iteration, then one
             // sweep computing z = B r' AND both inner-product partials
             // ρ̃ = rᵀr', δ̃ = (Br')ᵀr' while the block is cache-hot.
-            world.halo_update(z);
-            let d = world.for_each_block_fused([&mut *az], |bk, [azb]| {
+            comm.halo_update(z);
+            let d_sweep = comm.for_each_block_fused([&mut *az], |bk, [azb]| {
                 let mask = &layout.masks[bk];
-                op.apply_block_into(bk, &z.blocks[bk], azb, mask);
+                op.apply_block_into(bk, z.block(bk), azb, mask);
                 let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = masked_block_dot(&r.blocks[bk], &z.blocks[bk], mask);
-                pt[1] = masked_block_dot(azb, &z.blocks[bk], mask);
+                pt[0] = masked_block_dot(r.block(bk), z.block(bk), mask);
+                pt[1] = masked_block_dot(azb, z.block(bk), mask);
                 pt
             });
             matvecs += 1;
 
             // Steps 7–9: consuming the pair is the iteration's ONE reduction.
-            world.record_allreduce(2);
+            let d = comm.reduce_sweep(&d_sweep, 2);
             let (rho, delta) = (d[0], d[1]);
 
             // Steps 10–12: recurrence scalars.
@@ -195,15 +193,15 @@ impl LinearSolver for ChronGear {
 
             // Steps 13–16: all four updates in one sweep, with ‖r‖² as a
             // free per-block partial for the periodic check.
-            rr = world.for_each_block_fused(
+            rr_sweep = comm.for_each_block_fused(
                 [&mut *s, &mut *p, &mut *x, &mut *r],
                 |bk, [sb, pb, xb, rb]| {
                     let mask = &layout.masks[bk];
                     let nx = sb.nx;
                     let mut acc = 0.0f64;
                     for j in 0..sb.ny {
-                        let zr = z.blocks[bk].interior_row(j);
-                        let azr = az.blocks[bk].interior_row(j);
+                        let zr = z.block(bk).interior_row(j);
+                        let azr = az.block(bk).interior_row(j);
                         let sr = sb.interior_row_mut(j);
                         let pr = pb.interior_row_mut(j);
                         let xr = xb.interior_row_mut(j);
@@ -226,13 +224,13 @@ impl LinearSolver for ChronGear {
                     pt[0] = acc;
                     pt
                 },
-            )[0];
+            );
             rho_old = rho;
 
             // Step 17: periodic convergence check (one extra reduction —
-            // consuming the combined partial).
+            // consuming the ‖r‖² partials carried by the update sweep).
             if iterations % cfg.check_every == 0 {
-                world.record_allreduce(1);
+                let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                 final_rel = rr.sqrt() / bnorm;
                 history.push((iterations, final_rel));
                 if final_rel < cfg.tol {
@@ -246,7 +244,7 @@ impl LinearSolver for ChronGear {
         }
 
         if final_rel.is_infinite() {
-            world.record_allreduce(1);
+            let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
             final_rel = rr.sqrt() / bnorm;
             converged = final_rel < cfg.tol;
             history.push((iterations, final_rel));
@@ -260,9 +258,30 @@ impl LinearSolver for ChronGear {
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
-            comm: world.stats().since(&start),
+            comm: comm.stats().since(&start),
             residual_history: history,
         }
+    }
+}
+
+impl LinearSolver for ChronGear {
+    fn name(&self) -> &'static str {
+        "chrongear"
+    }
+
+    /// Dynamic-dispatch entry point: the generic fused loop driven by the
+    /// shared-memory world.
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        self.solve_comm(op, pre, world, b, x, cfg, ws)
     }
 }
 

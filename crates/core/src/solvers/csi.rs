@@ -12,10 +12,10 @@
 //! tolerance, which is why P-CSI only wins at scale — exactly the crossover
 //! the paper measures and the reproduction tracks.
 
-use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
+use super::{rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
 use crate::lanczos::EigenBounds;
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
+use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Preconditioned Classical Stiefel Iteration.
@@ -132,30 +132,28 @@ impl Pcsi {
     }
 }
 
-impl LinearSolver for Pcsi {
-    fn name(&self) -> &'static str {
-        "pcsi"
-    }
-
+impl CommSolver for Pcsi {
     /// The fused loop: each iteration is **two** block sweeps — sweep A runs
     /// the preconditioner and both vector recurrences per block while it is
     /// cache-hot, sweep B recomputes the residual and carries its norm as a
     /// per-block partial, consumed (as the iteration's only reduction) at
-    /// the periodic convergence checks. Bit-identical to
-    /// [`Pcsi::solve_unfused`] on both backends.
-    fn solve_ws(
+    /// the periodic convergence checks. Between checks the loop performs
+    /// *zero* global reductions — under a rank runtime, literally zero
+    /// reduction messages — which is the paper's entire scalability story.
+    /// Bit-identical to [`Pcsi::solve_unfused`] on every runtime.
+    fn solve_comm<C: Communicator>(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
-        world: &CommWorld,
-        b: &DistVec,
-        x: &mut DistVec,
+        comm: &C,
+        b: &C::Vec,
+        x: &mut C::Vec,
         cfg: &SolverConfig,
-        ws: &mut SolverWorkspace,
+        ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
-        let start = world.stats();
-        let layout = std::sync::Arc::clone(&x.layout);
-        let bnorm = rhs_norm(world, b);
+        let start = comm.stats();
+        let layout = std::sync::Arc::clone(b.layout());
+        let bnorm = rhs_norm(comm, b);
 
         // Chebyshev scalars (Algorithm 2, step 1).
         let (nu, mu) = (self.bounds.nu, self.bounds.mu);
@@ -164,19 +162,19 @@ impl LinearSolver for Pcsi {
         let gamma = beta / alpha; // = (μ + ν)/2
         let mut omega = 2.0 / gamma; // ω₀
 
-        let [r, z, dx] = ws.take(&layout);
+        let [r, z, dx] = ws.take(comm, b);
 
         // r₀ = b − A x₀.
-        world.halo_update(x);
-        world.for_each_block_fused([&mut *r], |bk, [rb]| {
-            op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+        comm.halo_update(x);
+        comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+            op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
             [0.0; MAX_SWEEP_PARTIALS]
         });
 
         // Δx₀ = γ⁻¹ M⁻¹ r₀ ; x₁ = x₀ + Δx₀, fused into one sweep.
         let inv_gamma = 1.0 / gamma;
-        world.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
-            pre.apply_block(bk, &r.blocks[bk], zb);
+        comm.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
+            pre.apply_block(bk, r.block(bk), zb);
             for j in 0..dxb.ny {
                 let zr = zb.interior_row(j);
                 let dxr = dxb.interior_row_mut(j);
@@ -191,12 +189,12 @@ impl LinearSolver for Pcsi {
         });
 
         // r₁ = b − A x₁, with ‖r‖² riding along as a per-block partial.
-        world.halo_update(x);
-        let mut rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+        comm.halo_update(x);
+        let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
             let mut p = [0.0; MAX_SWEEP_PARTIALS];
-            p[0] = op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            p[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
             p
-        })[0];
+        });
 
         let mut matvecs = 2usize;
         let mut precond_applies = 1usize;
@@ -216,8 +214,8 @@ impl LinearSolver for Pcsi {
             // Steps 6–8 as ONE sweep per block: r' = M⁻¹ r, then
             // Δx = ω r' + c Δx and x += Δx while the tiles are cache-hot.
             // No reductions.
-            world.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
-                pre.apply_block(bk, &r.blocks[bk], zb);
+            comm.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
+                pre.apply_block(bk, r.block(bk), zb);
                 for j in 0..dxb.ny {
                     let zr = zb.interior_row(j);
                     let dxr = dxb.interior_row_mut(j);
@@ -234,20 +232,19 @@ impl LinearSolver for Pcsi {
 
             // Steps 9–10: one halo update, then the residual sweep; the
             // squared norm is accumulated per block for free.
-            world.halo_update(x);
-            rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+            comm.halo_update(x);
+            rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
                 let mut p = [0.0; MAX_SWEEP_PARTIALS];
-                p[0] =
-                    op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+                p[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 p
-            })[0];
+            });
             matvecs += 1;
 
             // Step 11: periodic convergence check — P-CSI's only reduction
-            // (the partials are combined locally; consuming them as a global
-            // norm is the allreduce).
+            // (the partials stay local until `reduce_sweep` consumes them as
+            // a global norm; *that* is the allreduce).
             if iterations % cfg.check_every == 0 {
-                world.record_allreduce(1);
+                let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                 final_rel = rr.sqrt() / bnorm;
                 history.push((iterations, final_rel));
                 if final_rel < cfg.tol {
@@ -261,7 +258,7 @@ impl LinearSolver for Pcsi {
         }
 
         if final_rel.is_infinite() {
-            world.record_allreduce(1);
+            let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
             final_rel = rr.sqrt() / bnorm;
             converged = final_rel < cfg.tol;
             history.push((iterations, final_rel));
@@ -275,9 +272,30 @@ impl LinearSolver for Pcsi {
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
-            comm: world.stats().since(&start),
+            comm: comm.stats().since(&start),
             residual_history: history,
         }
+    }
+}
+
+impl LinearSolver for Pcsi {
+    fn name(&self) -> &'static str {
+        "pcsi"
+    }
+
+    /// Dynamic-dispatch entry point: the generic fused loop driven by the
+    /// shared-memory world.
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        self.solve_comm(op, pre, world, b, x, cfg, ws)
     }
 }
 

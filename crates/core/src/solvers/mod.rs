@@ -11,7 +11,7 @@ pub use pcg::ClassicPcg;
 pub use pipecg::PipelinedCg;
 
 use crate::precond::Preconditioner;
-use pop_comm::{BlockVec, CommWorld, DistLayout, DistVec, StatsSnapshot};
+use pop_comm::{CommVec, CommWorld, Communicator, DistLayout, DistVec, StatsSnapshot};
 use pop_stencil::NinePoint;
 use std::sync::Arc;
 
@@ -71,65 +71,63 @@ pub struct SolveStats {
 
 /// Reusable vector arena for the fused solver loops.
 ///
-/// [`SolverWorkspace::take`] hands out `N` zeroed [`DistVec`]s bound to a
-/// layout, allocating only on first use or when the layout changes. POP
-/// calls the barotropic solver every time step on the same decomposition, so
-/// steady-state solves reuse these buffers and the iteration loops do zero
-/// heap allocation (DESIGN.md, "Fused execution model").
-#[derive(Default)]
-pub struct SolverWorkspace {
+/// [`SolverWorkspace::take`] hands out `N` zeroed vectors matching a model
+/// vector's view, allocating only on first use or when the layout changes.
+/// POP calls the barotropic solver every time step on the same
+/// decomposition, so steady-state solves reuse these buffers and the
+/// iteration loops do zero heap allocation (DESIGN.md, "Fused execution
+/// model").
+///
+/// Generic over the vector type so the same workspace discipline serves the
+/// shared-memory [`DistVec`] path and a rank runtime's private-slice
+/// vectors; the default parameter keeps existing `SolverWorkspace` call
+/// sites unchanged.
+pub struct SolverWorkspace<V = DistVec> {
     layout: Option<Arc<DistLayout>>,
-    vecs: Vec<DistVec>,
+    vecs: Vec<V>,
 }
 
-impl SolverWorkspace {
+impl<V> Default for SolverWorkspace<V> {
+    fn default() -> Self {
+        SolverWorkspace {
+            layout: None,
+            vecs: Vec::new(),
+        }
+    }
+}
+
+impl<V: CommVec> SolverWorkspace<V> {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Borrow `N` distributed vectors on `layout`, zeroed exactly as fresh
-    /// `DistVec::zeros` allocations would be (interior *and* halo), so a
-    /// warm-started solve is bit-identical to a cold one.
-    pub fn take<const N: usize>(&mut self, layout: &Arc<DistLayout>) -> [&mut DistVec; N] {
+    /// Borrow `N` vectors with the same view as `model`, zeroed exactly as
+    /// fresh allocations would be (interior *and* halo), so a warm-started
+    /// solve is bit-identical to a cold one.
+    pub fn take<const N: usize, C: Communicator<Vec = V>>(
+        &mut self,
+        comm: &C,
+        model: &V,
+    ) -> [&mut V; N] {
+        let layout = model.layout();
         let same = self.layout.as_ref().is_some_and(|l| Arc::ptr_eq(l, layout));
         if !same {
             self.vecs.clear();
             self.layout = Some(Arc::clone(layout));
         }
         while self.vecs.len() < N {
-            self.vecs.push(DistVec::zeros(layout));
+            self.vecs.push(comm.alloc_like(model));
         }
         let mut iter = self.vecs[..N].iter_mut();
         std::array::from_fn(|_| {
             let v = iter.next().expect("reserved above");
-            for blk in &mut v.blocks {
-                blk.fill(0.0);
-            }
+            v.zero_fill();
             v
         })
     }
 }
 
-/// Masked partial dot product over one block's interior, in the exact
-/// row-major ocean-point order of [`DistVec::block_dot`] — the accumulation
-/// the fused sweeps inline so their partials stay bit-identical to the
-/// unfused whole-vector dots.
-#[inline]
-pub(crate) fn masked_block_dot(a: &BlockVec, b: &BlockVec, mask: &[u8]) -> f64 {
-    let nx = a.nx;
-    let mut acc = 0.0;
-    for j in 0..a.ny {
-        let ra = a.interior_row(j);
-        let rb = b.interior_row(j);
-        let mrow = &mask[j * nx..(j + 1) * nx];
-        for i in 0..nx {
-            if mrow[i] != 0 {
-                acc += ra[i] * rb[i];
-            }
-        }
-    }
-    acc
-}
+pub(crate) use pop_comm::masked_block_dot;
 
 /// A linear solver for the barotropic system `A x = b`.
 ///
@@ -173,12 +171,41 @@ pub trait LinearSolver {
     }
 }
 
+/// The runtime-generic solver entry point: one fused iteration loop per
+/// solver, written once against the [`Communicator`] trait, driven by both
+/// the shared-memory [`CommWorld`] and a rank-based message-passing runtime
+/// (`pop-ranksim`).
+///
+/// Not object-safe (the method is generic over the communicator); dynamic
+/// dispatch keeps using [`LinearSolver`], whose `solve_ws` delegates here
+/// with `C = CommWorld`. Because every implementation routes *all* global
+/// operations through [`Communicator::reduce_sweep`] /
+/// [`Communicator::halo_update`], the determinism contract of the trait
+/// makes solver trajectories bit-identical across runtimes.
+pub trait CommSolver: LinearSolver {
+    /// Solve `A x = b` on whatever runtime `comm` provides. Under a rank
+    /// communicator this runs SPMD: every rank executes the same control
+    /// flow on its private blocks and the reductions keep the scalar state
+    /// identical everywhere.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_comm<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        b: &C::Vec,
+        x: &mut C::Vec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace<C::Vec>,
+    ) -> SolveStats;
+}
+
 /// `‖b‖₂` with a floor so a zero right-hand side converges immediately
 /// instead of dividing by zero. Computed through the fused sweep so the
 /// solver setup path stays allocation-free; bit-identical to
 /// `world.norm2_sq(b).sqrt()`.
-pub(crate) fn rhs_norm(world: &CommWorld, b: &DistVec) -> f64 {
-    world.dot_fused(b, b).sqrt().max(1e-300)
+pub(crate) fn rhs_norm<C: Communicator>(comm: &C, b: &C::Vec) -> f64 {
+    comm.dot_fused(b, b).sqrt().max(1e-300)
 }
 
 #[cfg(test)]

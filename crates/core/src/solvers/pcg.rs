@@ -5,9 +5,11 @@
 //! these two reductions into one, and the solver-kernel ablation bench
 //! measures exactly that difference.
 
-use super::{masked_block_dot, rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
+use super::{
+    masked_block_dot, rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace,
+};
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
+use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Classic PCG (Hestenes–Stiefel with preconditioning).
@@ -101,48 +103,45 @@ impl ClassicPcg {
     }
 }
 
-impl LinearSolver for ClassicPcg {
-    fn name(&self) -> &'static str {
-        "pcg"
-    }
-
+impl CommSolver for ClassicPcg {
     /// The fused loop: matvec + pᵀAp partial in one sweep; then x/r updates,
-    /// preconditioning, and the rᵀz / ‖r‖² partials in a second sweep; then
+    /// preconditioning, and the ‖r‖² / rᵀz partials in a second sweep; then
     /// the direction update. Still two reductions per iteration — classic
     /// PCG's defining cost — but each one now rides on a fused sweep.
-    /// Bit-identical to [`ClassicPcg::solve_unfused`].
-    fn solve_ws(
+    /// Bit-identical to [`ClassicPcg::solve_unfused`] on every runtime.
+    fn solve_comm<C: Communicator>(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
-        world: &CommWorld,
-        b: &DistVec,
-        x: &mut DistVec,
+        comm: &C,
+        b: &C::Vec,
+        x: &mut C::Vec,
         cfg: &SolverConfig,
-        ws: &mut SolverWorkspace,
+        ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
-        let start = world.stats();
-        let layout = std::sync::Arc::clone(&x.layout);
-        let bnorm = rhs_norm(world, b);
+        let start = comm.stats();
+        let layout = std::sync::Arc::clone(b.layout());
+        let bnorm = rhs_norm(comm, b);
 
-        let [r, z, p, ap] = ws.take(&layout);
-        world.halo_update(x);
-        let mut rr = world.for_each_block_fused([&mut *r], |bk, [rb]| {
+        let [r, z, p, ap] = ws.take(comm, b);
+        comm.halo_update(x);
+        // ‖r₀‖² rides in lane 0, where the periodic check expects it.
+        let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
             let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-            pt[0] = op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+            pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
             pt
-        })[0];
+        });
         // z₀ = M⁻¹ r₀ and p₀ = z₀ in one sweep, with the setup rᵀz partial.
-        let mut rz = world.for_each_block_fused([&mut *z, &mut *p], |bk, [zb, pb]| {
-            pre.apply_block(bk, &r.blocks[bk], zb);
+        let rz_sweep = comm.for_each_block_fused([&mut *z, &mut *p], |bk, [zb, pb]| {
+            pre.apply_block(bk, r.block(bk), zb);
             for j in 0..pb.ny {
                 pb.interior_row_mut(j).copy_from_slice(zb.interior_row(j));
             }
             let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-            pt[0] = masked_block_dot(&r.blocks[bk], zb, &layout.masks[bk]);
+            pt[0] = masked_block_dot(r.block(bk), zb, &layout.masks[bk]);
             pt
-        })[0];
-        world.record_allreduce(1); // reduction #0 (setup)
+        });
+        let mut rz = comm.reduce_sweep(&rz_sweep, 1)[0]; // reduction #0 (setup)
 
         let mut matvecs = 1usize;
         let mut precond_applies = 1usize;
@@ -156,55 +155,56 @@ impl LinearSolver for ClassicPcg {
             iterations += 1;
 
             // Sweep 1: Ap and its pᵀAp partial together.
-            world.halo_update(p);
-            let pap = world.for_each_block_fused([&mut *ap], |bk, [apb]| {
+            comm.halo_update(p);
+            let pap_sweep = comm.for_each_block_fused([&mut *ap], |bk, [apb]| {
                 let mask = &layout.masks[bk];
-                op.apply_block_into(bk, &p.blocks[bk], apb, mask);
+                op.apply_block_into(bk, p.block(bk), apb, mask);
                 let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = masked_block_dot(&p.blocks[bk], apb, mask);
+                pt[0] = masked_block_dot(p.block(bk), apb, mask);
                 pt
-            })[0];
+            });
             matvecs += 1;
 
             // Reduction #1 of the iteration.
-            world.record_allreduce(1);
+            let pap = comm.reduce_sweep(&pap_sweep, 1)[0];
             let alpha = rz / pap;
             let nalpha = -alpha;
 
-            // Sweep 2: x += αp, r −= αAp, z = M⁻¹r, and the rᵀz / ‖r‖²
-            // partials, all while the block is cache-hot.
-            let d = world.for_each_block_fused([&mut *x, &mut *r, &mut *z], |bk, [xb, rb, zb]| {
-                let mask = &layout.masks[bk];
-                let nx = xb.nx;
-                for j in 0..xb.ny {
-                    let prow = p.blocks[bk].interior_row(j);
-                    let aprow = ap.blocks[bk].interior_row(j);
-                    let xr = xb.interior_row_mut(j);
-                    let rrow = rb.interior_row_mut(j);
-                    for i in 0..nx {
-                        xr[i] += alpha * prow[i];
-                        rrow[i] += nalpha * aprow[i];
+            // Sweep 2: x += αp, r −= αAp, z = M⁻¹r, and the ‖r‖² / rᵀz
+            // partials, all while the block is cache-hot. ‖r‖² in lane 0:
+            // the periodic check re-reduces this sweep later.
+            let d_sweep =
+                comm.for_each_block_fused([&mut *x, &mut *r, &mut *z], |bk, [xb, rb, zb]| {
+                    let mask = &layout.masks[bk];
+                    let nx = xb.nx;
+                    for j in 0..xb.ny {
+                        let prow = p.block(bk).interior_row(j);
+                        let aprow = ap.block(bk).interior_row(j);
+                        let xr = xb.interior_row_mut(j);
+                        let rrow = rb.interior_row_mut(j);
+                        for i in 0..nx {
+                            xr[i] += alpha * prow[i];
+                            rrow[i] += nalpha * aprow[i];
+                        }
                     }
-                }
-                pre.apply_block(bk, rb, zb);
-                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = masked_block_dot(rb, zb, mask);
-                pt[1] = masked_block_dot(rb, rb, mask);
-                pt
-            });
+                    pre.apply_block(bk, rb, zb);
+                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                    pt[0] = masked_block_dot(rb, rb, mask);
+                    pt[1] = masked_block_dot(rb, zb, mask);
+                    pt
+                });
             precond_applies += 1;
 
-            // Reduction #2 of the iteration.
-            world.record_allreduce(1);
-            let rz_new = d[0];
-            rr = d[1];
+            // Reduction #2 of the iteration (consumes rᵀz).
+            let rz_new = comm.reduce_sweep(&d_sweep, 1)[1];
+            rr_sweep = d_sweep;
             let beta = rz_new / rz;
             rz = rz_new;
 
             // Sweep 3: the direction update p = z + β p.
-            world.for_each_block_fused([&mut *p], |bk, [pb]| {
+            comm.for_each_block_fused([&mut *p], |bk, [pb]| {
                 for j in 0..pb.ny {
-                    let zr = z.blocks[bk].interior_row(j);
+                    let zr = z.block(bk).interior_row(j);
                     let prow = pb.interior_row_mut(j);
                     for i in 0..prow.len() {
                         prow[i] = zr[i] + beta * prow[i];
@@ -214,7 +214,7 @@ impl LinearSolver for ClassicPcg {
             });
 
             if iterations % cfg.check_every == 0 {
-                world.record_allreduce(1);
+                let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                 final_rel = rr.sqrt() / bnorm;
                 history.push((iterations, final_rel));
                 if final_rel < cfg.tol {
@@ -228,7 +228,7 @@ impl LinearSolver for ClassicPcg {
         }
 
         if final_rel.is_infinite() {
-            world.record_allreduce(1);
+            let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
             final_rel = rr.sqrt() / bnorm;
             converged = final_rel < cfg.tol;
             history.push((iterations, final_rel));
@@ -242,9 +242,30 @@ impl LinearSolver for ClassicPcg {
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
-            comm: world.stats().since(&start),
+            comm: comm.stats().since(&start),
             residual_history: history,
         }
+    }
+}
+
+impl LinearSolver for ClassicPcg {
+    fn name(&self) -> &'static str {
+        "pcg"
+    }
+
+    /// Dynamic-dispatch entry point: the generic fused loop driven by the
+    /// shared-memory world.
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        self.solve_comm(op, pre, world, b, x, cfg, ws)
     }
 }
 

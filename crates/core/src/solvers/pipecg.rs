@@ -18,9 +18,9 @@
 //! ChronGear) and slightly worse round-off behaviour — both visible in the
 //! kernel benches and the convergence histories.
 
-use super::{rhs_norm, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
+use super::{rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
 use crate::precond::Preconditioner;
-use pop_comm::{CommWorld, DistVec, MAX_SWEEP_PARTIALS};
+use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
 
 /// Pipelined PCG.
@@ -138,45 +138,42 @@ impl PipelinedCg {
     }
 }
 
-impl LinearSolver for PipelinedCg {
-    fn name(&self) -> &'static str {
-        "pipecg"
-    }
-
+impl CommSolver for PipelinedCg {
     /// The fused loop: the three dot partials (γ, δ, ‖r‖²) and the
     /// preconditioner ride one sweep, the matvec a second, and all *eight*
     /// pipelined recurrences collapse into a single third sweep — the fusion
     /// win is largest here because the pipelined formulation is the most
-    /// vector-heavy. Bit-identical to [`PipelinedCg::solve_unfused`].
-    fn solve_ws(
+    /// vector-heavy. Bit-identical to [`PipelinedCg::solve_unfused`] on
+    /// every runtime.
+    fn solve_comm<C: Communicator>(
         &self,
         op: &NinePoint,
         pre: &dyn Preconditioner,
-        world: &CommWorld,
-        b: &DistVec,
-        x: &mut DistVec,
+        comm: &C,
+        b: &C::Vec,
+        x: &mut C::Vec,
         cfg: &SolverConfig,
-        ws: &mut SolverWorkspace,
+        ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
-        let start = world.stats();
-        let layout = std::sync::Arc::clone(&x.layout);
-        let bnorm = rhs_norm(world, b);
+        let start = comm.stats();
+        let layout = std::sync::Arc::clone(b.layout());
+        let bnorm = rhs_norm(comm, b);
 
-        let [r, u, w, m, n, z, q, s, p] = ws.take(&layout);
+        let [r, u, w, m, n, z, q, s, p] = ws.take(comm, b);
 
         // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀.
-        world.halo_update(x);
-        world.for_each_block_fused([&mut *r], |bk, [rb]| {
-            op.residual_block_into(bk, &x.blocks[bk], &b.blocks[bk], rb, &layout.masks[bk]);
+        comm.halo_update(x);
+        comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+            op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
             [0.0; MAX_SWEEP_PARTIALS]
         });
-        world.for_each_block_fused([&mut *u], |bk, [ub]| {
-            pre.apply_block(bk, &r.blocks[bk], ub);
+        comm.for_each_block_fused([&mut *u], |bk, [ub]| {
+            pre.apply_block(bk, r.block(bk), ub);
             [0.0; MAX_SWEEP_PARTIALS]
         });
-        world.halo_update(u);
-        world.for_each_block_fused([&mut *w], |bk, [wb]| {
-            op.apply_block_into(bk, &u.blocks[bk], wb, &layout.masks[bk]);
+        comm.halo_update(u);
+        comm.for_each_block_fused([&mut *w], |bk, [wb]| {
+            op.apply_block_into(bk, u.block(bk), wb, &layout.masks[bk]);
             [0.0; MAX_SWEEP_PARTIALS]
         });
 
@@ -199,9 +196,9 @@ impl LinearSolver for PipelinedCg {
             // the allreduce is posted asynchronously and progresses WHILE
             // the preconditioner and matvec run — which is why it is
             // flagged overlappable for the cost model.
-            let d = world.for_each_block_fused([&mut *m], |bk, [mb]| {
+            let d_sweep = comm.for_each_block_fused([&mut *m], |bk, [mb]| {
                 let mask = &layout.masks[bk];
-                let (rb, ub, wb) = (&r.blocks[bk], &u.blocks[bk], &w.blocks[bk]);
+                let (rb, ub, wb) = (r.block(bk), u.block(bk), w.block(bk));
                 let nx = rb.nx;
                 let (mut g, mut dl, mut rs) = (0.0, 0.0, 0.0);
                 for j in 0..rb.ny {
@@ -224,14 +221,14 @@ impl LinearSolver for PipelinedCg {
                 pt[2] = rs;
                 pt
             });
-            world.record_allreduce(3);
+            let d = comm.reduce_sweep(&d_sweep, 3);
             let (gamma, delta, rr) = (d[0], d[1], d[2]);
             precond_applies += 1;
 
             // Sweep 2: n = A m.
-            world.halo_update(m);
-            world.for_each_block_fused([&mut *n], |bk, [nb]| {
-                op.apply_block_into(bk, &m.blocks[bk], nb, &layout.masks[bk]);
+            comm.halo_update(m);
+            comm.for_each_block_fused([&mut *n], |bk, [nb]| {
+                op.apply_block_into(bk, m.block(bk), nb, &layout.masks[bk]);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
             matvecs += 1;
@@ -249,12 +246,12 @@ impl LinearSolver for PipelinedCg {
             // direction updates read the *old* w and u of the same point
             // (written only afterwards), exactly as the separate whole-vector
             // passes did.
-            world.for_each_block_fused(
+            comm.for_each_block_fused(
                 [
                     &mut *z, &mut *q, &mut *s, &mut *p, &mut *x, &mut *r, &mut *u, &mut *w,
                 ],
                 |bk, [zb, qb, sb, pb, xb, rb, ub, wb]| {
-                    let (nb, mb) = (&n.blocks[bk], &m.blocks[bk]);
+                    let (nb, mb) = (n.block(bk), m.block(bk));
                     let nx = zb.nx;
                     for j in 0..zb.ny {
                         let nr = nb.interior_row(j);
@@ -313,9 +310,30 @@ impl LinearSolver for PipelinedCg {
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
-            comm: world.stats().since(&start),
+            comm: comm.stats().since(&start),
             residual_history: history,
         }
+    }
+}
+
+impl LinearSolver for PipelinedCg {
+    fn name(&self) -> &'static str {
+        "pipecg"
+    }
+
+    /// Dynamic-dispatch entry point: the generic fused loop driven by the
+    /// shared-memory world.
+    fn solve_ws(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        b: &DistVec,
+        x: &mut DistVec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace,
+    ) -> SolveStats {
+        self.solve_comm(op, pre, world, b, x, cfg, ws)
     }
 }
 

@@ -1,0 +1,176 @@
+//! Running the barotropic solvers on a [`RankWorld`].
+//!
+//! The solvers are generic over [`Communicator`]
+//! (`pop_core::solvers::CommSolver`), so the same fused kernels that run in
+//! shared memory run here — each rank drives them over its private blocks,
+//! and every halo update and reduction goes through the message-passing
+//! runtime. This module adds the plumbing: scatter the inputs to ranks, run
+//! the SPMD solve, gather the solution and per-rank reports back.
+
+use crate::runtime::{sim_time, RankReport, RankWorld};
+use pop_comm::{Communicator, DistVec};
+use pop_core::{
+    ChronGear, ClassicPcg, CommSolver, EigenBounds, Pcsi, PipelinedCg, Preconditioner, SolveStats,
+    SolverConfig, SolverWorkspace,
+};
+use pop_stencil::NinePoint;
+
+/// Which solver to run, with the spectral bounds P-CSI needs baked in (the
+/// bounds come from a one-time Lanczos estimation; the paper amortizes it
+/// over a model run, and sharing the same bounds across runtimes keeps
+/// trajectories bit-identical).
+#[derive(Debug, Clone, Copy)]
+pub enum SolverKind {
+    ClassicPcg,
+    ChronGear,
+    PipelinedCg,
+    Pcsi(EigenBounds),
+}
+
+impl SolverKind {
+    /// The solver's reporting name (matches `LinearSolver::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::ClassicPcg => "pcg",
+            SolverKind::ChronGear => "chrongear",
+            SolverKind::PipelinedCg => "pipecg",
+            SolverKind::Pcsi(_) => "pcsi",
+        }
+    }
+
+    /// Run the solver over any communicator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        b: &C::Vec,
+        x: &mut C::Vec,
+        cfg: &SolverConfig,
+        ws: &mut SolverWorkspace<C::Vec>,
+    ) -> SolveStats {
+        match self {
+            SolverKind::ClassicPcg => ClassicPcg.solve_comm(op, pre, comm, b, x, cfg, ws),
+            SolverKind::ChronGear => ChronGear.solve_comm(op, pre, comm, b, x, cfg, ws),
+            SolverKind::PipelinedCg => PipelinedCg.solve_comm(op, pre, comm, b, x, cfg, ws),
+            SolverKind::Pcsi(bounds) => Pcsi::new(*bounds).solve_comm(op, pre, comm, b, x, cfg, ws),
+        }
+    }
+}
+
+/// A distributed solve's outcome: the assembled solution, the per-rank
+/// reports (each carrying that rank's [`SolveStats`] with *per-rank*
+/// communication counters), and the simulated wall time.
+#[derive(Debug)]
+pub struct RankSolveOutcome {
+    /// The solution gathered back into one shared-memory vector.
+    pub x: DistVec,
+    pub per_rank: Vec<RankReport<SolveStats>>,
+    /// Slowest rank's simulated clock (s).
+    pub sim_time: f64,
+}
+
+impl RankSolveOutcome {
+    /// Rank 0's solve statistics (identical iteration counts and residuals
+    /// on every rank — the solve is SPMD).
+    pub fn stats(&self) -> &SolveStats {
+        &self.per_rank[0].result
+    }
+}
+
+/// Scatter `b`/`x0` to the world's ranks, solve, gather the solution.
+pub fn solve_on_ranks(
+    world: &RankWorld,
+    op: &NinePoint,
+    pre: &dyn Preconditioner,
+    kind: SolverKind,
+    b: &DistVec,
+    x0: &DistVec,
+    cfg: &SolverConfig,
+) -> RankSolveOutcome {
+    let reports = world.run(|comm| {
+        let rb = comm.import(b);
+        let mut rx = comm.import(x0);
+        let mut ws = SolverWorkspace::new();
+        let st = kind.solve(op, pre, comm, &rb, &mut rx, cfg, &mut ws);
+        (st, rx.into_blocks())
+    });
+    let mut x = DistVec::zeros(&b.layout);
+    let mut per_rank = Vec::with_capacity(reports.len());
+    let mut t = 0.0f64;
+    for rep in reports {
+        t = t.max(rep.clock);
+        let (st, blocks) = rep.result;
+        for (gb, blk) in blocks {
+            x.blocks[gb] = blk;
+        }
+        per_rank.push(RankReport {
+            rank: rep.rank,
+            clock: rep.clock,
+            stats: rep.stats,
+            spans: rep.spans,
+            result: st,
+        });
+    }
+    debug_assert_eq!(t, sim_time(&per_rank));
+    RankSolveOutcome {
+        x,
+        per_rank,
+        sim_time: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::ZeroCost;
+    use crate::runtime::RankSimConfig;
+    use pop_comm::{CommWorld, DistLayout};
+    use pop_core::Diagonal;
+    use pop_grid::Grid;
+    use std::sync::Arc;
+
+    #[test]
+    fn ranked_chrongear_matches_shared_memory_bitwise() {
+        let g = Grid::gx1_scaled(13, 60, 48);
+        let layout = DistLayout::build(&g, 12, 10);
+        let shared = CommWorld::serial();
+        let op = NinePoint::assemble(&g, &layout, &shared, 4000.0);
+        let pre = Diagonal::new(&op);
+        let cfg = SolverConfig {
+            tol: 1e-10,
+            max_iters: 800,
+            check_every: 10,
+        };
+        let mut truth = DistVec::zeros(&layout);
+        truth.fill_with(|i, j| ((i as f64) * 0.17).sin() + ((j as f64) * 0.13).cos());
+        shared.halo_update(&mut truth);
+        let mut b = DistVec::zeros(&layout);
+        op.apply(&shared, &truth, &mut b);
+
+        let mut x_shared = DistVec::zeros(&layout);
+        let mut ws = SolverWorkspace::new();
+        let st_shared = ChronGear.solve_comm(&op, &pre, &shared, &b, &mut x_shared, &cfg, &mut ws);
+        assert!(st_shared.converged);
+
+        let world = RankWorld::new(&layout, 6, Arc::new(ZeroCost), RankSimConfig::default());
+        let x0 = DistVec::zeros(&layout);
+        let out = solve_on_ranks(&world, &op, &pre, SolverKind::ChronGear, &b, &x0, &cfg);
+        let st = out.stats();
+        assert!(st.converged);
+        assert_eq!(st.iterations, st_shared.iterations);
+        assert_eq!(
+            st.final_relative_residual.to_bits(),
+            st_shared.final_relative_residual.to_bits(),
+            "residual trajectories must be bit-identical"
+        );
+        assert_eq!(out.x.to_global(), x_shared.to_global());
+        // Per-rank reduction counts equal the shared-memory count: every
+        // rank participates in every collective.
+        for rep in &out.per_rank {
+            assert_eq!(rep.stats.allreduces, st_shared.comm.allreduces);
+            assert_eq!(rep.stats.halo_updates, st_shared.comm.halo_updates);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # pop-ranksim
+//!
+//! A rank-based message-passing runtime for the barotropic solvers: each
+//! simulated MPI rank is an OS thread owning a *private* slice of the block
+//! decomposition, halo updates are explicit point-to-point messages of
+//! boundary strips, and global reductions run as binomial trees of messages
+//! — so P-CSI's communication-avoidance is **executed**, not just counted.
+//!
+//! The shared-memory world (`pop_comm::CommWorld`) runs the solvers fast
+//! and counts the communication they *would* do; this crate makes them do
+//! it. Both runtimes implement `pop_comm::Communicator`, both drive the
+//! same fused solver kernels, and the determinism contract (block-ordered
+//! reduction folds) makes their solutions and residual trajectories
+//! bit-identical — which is what lets the simulated timings be attributed
+//! to communication structure alone.
+//!
+//! Pieces:
+//!
+//! - [`RankWorld`] / [`RankComm`] — the runtime ([`runtime`]).
+//! - [`RankVec`] — a rank's private blocks ([`vec`]).
+//! - [`NetworkModel`] ([`ZeroCost`], [`LatencyBandwidth`]) — what a message
+//!   costs in simulated seconds ([`net`]).
+//! - [`SolverKind`] / [`solve_on_ranks`] — scatter, SPMD solve, gather
+//!   ([`driver`]).
+//! - [`chrome_trace_json`] — per-rank event timelines for `chrome://tracing`
+//!   ([`trace`]).
+//!
+//! ```
+//! use pop_ranksim::{RankSimConfig, RankWorld, ZeroCost};
+//! use pop_comm::{CommVec, Communicator, DistLayout, DistVec};
+//! use pop_grid::Grid;
+//! use std::sync::Arc;
+//!
+//! let grid = Grid::gx1_scaled(5, 48, 40);
+//! let layout = DistLayout::build(&grid, 12, 10);
+//! let mut v = DistVec::zeros(&layout);
+//! v.fill_with(|i, j| (i + j) as f64);
+//!
+//! // Four ranks, free network: every rank computes the same global dot
+//! // product through a real gather/broadcast tree of messages.
+//! let world = RankWorld::new(&layout, 4, Arc::new(ZeroCost), RankSimConfig::default());
+//! let reports = world.run(|comm| {
+//!     let rv = comm.import(&v);
+//!     comm.dot_fused(&rv, &rv)
+//! });
+//! assert!(reports.windows(2).all(|w| w[0].result == w[1].result));
+//! ```
+
+pub mod driver;
+pub mod net;
+pub mod runtime;
+pub mod trace;
+pub mod vec;
+
+pub use driver::{solve_on_ranks, RankSolveOutcome, SolverKind};
+pub use net::{LatencyBandwidth, NetworkModel, ZeroCost};
+pub use runtime::{sim_time, RankComm, RankReport, RankSimConfig, RankSweep, RankWorld};
+pub use trace::{chrome_trace_json, write_chrome_trace, Span, SpanKind};
+pub use vec::RankVec;

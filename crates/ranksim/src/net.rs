@@ -1,0 +1,112 @@
+//! Pluggable network cost models.
+//!
+//! Every message the rank runtime moves — a halo boundary strip, one hop of
+//! a reduction tree — asks the network model what it costs in seconds, and
+//! that cost is charged to the simulated clocks of the ranks involved. Two
+//! models ship:
+//!
+//! - [`ZeroCost`] — messages are free. Simulated time measures nothing, but
+//!   every message still *moves*, so the runtime exercises the full
+//!   communication protocol (the equivalence tests run under this model).
+//! - [`LatencyBandwidth`] — the classic `α + βn` model with a separate
+//!   per-hop latency for reduction-tree stages, parameterized exactly like
+//!   the paper's machine models in `pop_perfmodel::machine`. Under this
+//!   model ChronGear's per-iteration allreduce pays `~2·log₂(p)·α_reduce`
+//!   while P-CSI's loop body pays nothing — the paper's Fig. 7/8 crossover,
+//!   executed rather than predicted.
+
+use pop_perfmodel::machine::MachineModel;
+
+/// Seconds charged to the simulated clock for each message the runtime
+/// moves. Implementations must be cheap and pure: the same `(bytes)` always
+/// costs the same, so simulated time is reproducible.
+pub trait NetworkModel: Send + Sync + std::fmt::Debug {
+    /// Short name for provenance in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Wire time of one point-to-point halo message carrying `bytes`.
+    fn p2p(&self, bytes: usize) -> f64;
+
+    /// Wire time of one hop of a tree collective carrying `bytes`.
+    fn collective_hop(&self, bytes: usize) -> f64;
+}
+
+/// Free network: the protocol runs, the clock stands still.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroCost;
+
+impl NetworkModel for ZeroCost {
+    fn name(&self) -> &'static str {
+        "zero-cost"
+    }
+
+    fn p2p(&self, _bytes: usize) -> f64 {
+        0.0
+    }
+
+    fn collective_hop(&self, _bytes: usize) -> f64 {
+        0.0
+    }
+}
+
+/// The `α + βn` latency–bandwidth model, with the reduction-tree hop
+/// latency kept separate (MPI_Allreduce stages behave differently from
+/// point-to-point traffic on real interconnects; the paper calibrates them
+/// separately too).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyBandwidth {
+    /// Point-to-point message latency (s).
+    pub alpha: f64,
+    /// Transfer time per byte (s).
+    pub beta_per_byte: f64,
+    /// Per-hop latency of a reduction-tree stage (s).
+    pub alpha_reduce: f64,
+}
+
+impl LatencyBandwidth {
+    /// Adopt a calibrated machine's parameters. `MachineModel::beta` is per
+    /// 8-byte element; this model charges per byte.
+    pub fn from_machine(m: &MachineModel) -> Self {
+        LatencyBandwidth {
+            alpha: m.alpha,
+            beta_per_byte: m.beta / 8.0,
+            alpha_reduce: m.alpha_reduce,
+        }
+    }
+}
+
+impl NetworkModel for LatencyBandwidth {
+    fn name(&self) -> &'static str {
+        "latency-bandwidth"
+    }
+
+    fn p2p(&self, bytes: usize) -> f64 {
+        self.alpha + bytes as f64 * self.beta_per_byte
+    }
+
+    fn collective_hop(&self, bytes: usize) -> f64 {
+        self.alpha_reduce + bytes as f64 * self.beta_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_is_free() {
+        assert_eq!(ZeroCost.p2p(1 << 20), 0.0);
+        assert_eq!(ZeroCost.collective_hop(8), 0.0);
+    }
+
+    #[test]
+    fn latency_bandwidth_matches_machine() {
+        let m = MachineModel::yellowstone();
+        let net = LatencyBandwidth::from_machine(&m);
+        assert_eq!(net.p2p(0), m.alpha);
+        assert_eq!(net.collective_hop(0), m.alpha_reduce);
+        // 8 bytes = one f64 element at the machine's per-element beta.
+        assert!((net.p2p(8) - (m.alpha + m.beta)).abs() < 1e-18);
+        assert!(net.p2p(1024) > net.p2p(8));
+    }
+}

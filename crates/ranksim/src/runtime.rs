@@ -1,0 +1,1011 @@
+//! The rank runtime: one OS thread per simulated MPI rank, typed channels
+//! for messages, simulated clocks charged by a [`NetworkModel`].
+//!
+//! # Execution model
+//!
+//! [`RankWorld::run`] spawns one thread per rank; each thread gets a
+//! [`RankComm`] — its private communicator — and runs the same SPMD body.
+//! A rank owns a private [`RankVec`] slice of every field (the blocks the
+//! space-filling-curve assignment gave it) and can only learn about remote
+//! data through messages:
+//!
+//! - **Halo updates** send each boundary strip as an explicit point-to-point
+//!   message to the owning rank (same geometry, message count, and byte
+//!   count as [`CommWorld`](pop_comm::CommWorld) attributes in shared
+//!   memory; rank-local strips are plain copies and cost no wire time).
+//! - **Global reductions** run as a binomial gather of per-block partial
+//!   rows to rank 0, a deterministic fold there, and a binomial broadcast of
+//!   the result — `2·⌈log₂ p⌉` message hops on the critical path, exactly
+//!   the `log₂ p` scaling the paper's reduction model assumes.
+//!
+//! # Simulated time
+//!
+//! Each rank carries a clock (seconds, starting at 0). Compute sweeps
+//! advance it by `owned points × compute_per_point`; every message carries
+//! an `avail_at` stamp of `sender clock + network cost`, and a receiver
+//! waits by advancing its clock to the latest arrival it consumed. Causality
+//! does the rest: reduction trees cost their critical path, neighbour skew
+//! propagates, and an allreduce-per-iteration solver accumulates exactly
+//! the latency the paper measures — while P-CSI's reduction-free loop body
+//! accumulates none.
+//!
+//! # Determinism
+//!
+//! Reductions honour the [`Communicator`] contract: rank 0 places every
+//! gathered `(global block id, partials)` row into a slot array and folds
+//! slots `0..n_blocks` left-to-right from zero — bit-identical to
+//! [`CommWorld`](pop_comm::CommWorld)'s block-ordered fold, for *any* rank
+//! count or block assignment. `tests/ranksim_equivalence.rs` pins this.
+
+use crate::net::NetworkModel;
+use crate::trace::{Span, SpanKind};
+use crate::vec::RankVec;
+use pop_comm::halo::{recv_region, CopyRegion};
+use pop_comm::{
+    masked_block_dot, BlockVec, CommVec, Communicator, DistLayout, DistVec, StatsSnapshot,
+    SweepPartials, MAX_SWEEP_PARTIALS,
+};
+use pop_grid::sfc::CurveKind;
+use pop_grid::{Direction, RankAssignment};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// Tuning knobs of the simulation (the network model rides separately).
+#[derive(Debug, Clone, Copy)]
+pub struct RankSimConfig {
+    /// Seconds of simulated compute charged per owned grid point per fused
+    /// sweep (and per dot sweep). Zero leaves the clock to communication.
+    pub compute_per_point: f64,
+    /// Record per-rank [`Span`]s for the Chrome trace dump.
+    pub record_trace: bool,
+}
+
+impl Default for RankSimConfig {
+    fn default() -> Self {
+        RankSimConfig {
+            compute_per_point: 0.0,
+            record_trace: false,
+        }
+    }
+}
+
+impl RankSimConfig {
+    /// Charge compute from a calibrated machine: a fused solver sweep costs
+    /// roughly 25 flops per point (nine-point stencil multiply–adds plus
+    /// the fused vector updates) at the machine's effective `theta`.
+    pub fn modeled(m: &pop_perfmodel::machine::MachineModel) -> Self {
+        RankSimConfig {
+            compute_per_point: 25.0 * m.theta,
+            record_trace: false,
+        }
+    }
+}
+
+/// One copy operation of the halo exchange, in global block ids.
+#[derive(Debug, Clone, Copy)]
+struct PlanEntry {
+    src_block: usize,
+    dst_block: usize,
+    /// `Direction::ALL` index, seen from the *receiving* block.
+    dir: u8,
+    region: CopyRegion,
+}
+
+/// The global halo exchange split by rank: who copies locally, who sends
+/// where, who expects what. Built once per world from the same
+/// `recv_region` geometry [`CommWorld`](pop_comm::CommWorld) uses.
+#[derive(Debug)]
+struct HaloPlan {
+    locals: Vec<Vec<PlanEntry>>,
+    sends: Vec<Vec<(usize, PlanEntry)>>,
+    recvs: Vec<Vec<PlanEntry>>,
+}
+
+impl HaloPlan {
+    fn build(layout: &DistLayout, ra: &RankAssignment) -> Self {
+        let d = &layout.decomp;
+        let mut plan = HaloPlan {
+            locals: vec![Vec::new(); ra.p],
+            sends: vec![Vec::new(); ra.p],
+            recvs: vec![Vec::new(); ra.p],
+        };
+        for (x, info) in d.blocks.iter().enumerate() {
+            for dir in Direction::ALL {
+                let Some(nb) = d.neighbors[x][dir.index()] else {
+                    continue;
+                };
+                let Some(region) = recv_region(info, &d.blocks[nb], dir, layout.halo) else {
+                    continue;
+                };
+                let e = PlanEntry {
+                    src_block: nb,
+                    dst_block: x,
+                    dir: dir.index() as u8,
+                    region,
+                };
+                let (sr, dr) = (ra.rank_of_block[nb], ra.rank_of_block[x]);
+                if sr == dr {
+                    plan.locals[dr].push(e);
+                } else {
+                    plan.sends[sr].push((dr, e));
+                    plan.recvs[dr].push(e);
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// A message between ranks. Every variant carries the simulated time at
+/// which its payload is available to the receiver.
+enum Msg {
+    /// One halo boundary strip for `(dst_block, dir)` of halo epoch `epoch`.
+    Halo {
+        epoch: u64,
+        dst_block: u32,
+        dir: u8,
+        data: Vec<f64>,
+        avail_at: f64,
+    },
+    /// Partial-reduction rows flowing up the binomial gather tree.
+    Gather {
+        epoch: u64,
+        from: usize,
+        rows: Vec<(u32, SweepPartials)>,
+        avail_at: f64,
+    },
+    /// The folded result flowing down the binomial broadcast tree.
+    Bcast {
+        epoch: u64,
+        vals: SweepPartials,
+        avail_at: f64,
+    },
+}
+
+/// Partial-reduction rows tagged with global block ids, as carried by
+/// gather messages and filed in the reorder buffer.
+type PartialRows = Vec<(u32, SweepPartials)>;
+
+/// A rank's receive side: the channel plus reorder buffers. Ranks drift
+/// (one may post epoch `e+1` halo sends while a neighbour still waits on
+/// epoch `e`), so every message is filed under its epoch key until asked
+/// for.
+struct Mailbox {
+    rx: Receiver<Msg>,
+    halos: HashMap<(u64, u32, u8), (Vec<f64>, f64)>,
+    gathers: HashMap<(u64, usize), (PartialRows, f64)>,
+    bcasts: HashMap<u64, (SweepPartials, f64)>,
+}
+
+impl Mailbox {
+    fn new(rx: Receiver<Msg>) -> Self {
+        Mailbox {
+            rx,
+            halos: HashMap::new(),
+            gathers: HashMap::new(),
+            bcasts: HashMap::new(),
+        }
+    }
+
+    /// Block on the channel for one message and file it.
+    fn pump(&mut self) {
+        match self.rx.recv().expect("peer rank terminated mid-protocol") {
+            Msg::Halo {
+                epoch,
+                dst_block,
+                dir,
+                data,
+                avail_at,
+            } => {
+                self.halos.insert((epoch, dst_block, dir), (data, avail_at));
+            }
+            Msg::Gather {
+                epoch,
+                from,
+                rows,
+                avail_at,
+            } => {
+                self.gathers.insert((epoch, from), (rows, avail_at));
+            }
+            Msg::Bcast {
+                epoch,
+                vals,
+                avail_at,
+            } => {
+                self.bcasts.insert(epoch, (vals, avail_at));
+            }
+        }
+    }
+
+    fn recv_halo(&mut self, epoch: u64, dst_block: u32, dir: u8) -> (Vec<f64>, f64) {
+        loop {
+            if let Some(v) = self.halos.remove(&(epoch, dst_block, dir)) {
+                return v;
+            }
+            self.pump();
+        }
+    }
+
+    fn recv_gather(&mut self, epoch: u64, from: usize) -> (Vec<(u32, SweepPartials)>, f64) {
+        loop {
+            if let Some(v) = self.gathers.remove(&(epoch, from)) {
+                return v;
+            }
+            self.pump();
+        }
+    }
+
+    fn recv_bcast(&mut self, epoch: u64) -> (SweepPartials, f64) {
+        loop {
+            if let Some(v) = self.bcasts.remove(&epoch) {
+                return v;
+            }
+            self.pump();
+        }
+    }
+}
+
+/// Per-rank communication counters (single-threaded, hence `Cell`s).
+#[derive(Debug, Default)]
+struct LocalStats {
+    halo_updates: Cell<u64>,
+    halo_messages: Cell<u64>,
+    halo_bytes: Cell<u64>,
+    allreduces: Cell<u64>,
+    allreduce_scalars: Cell<u64>,
+}
+
+/// The handle a fused sweep returns under the rank runtime: the per-block
+/// partial rows, kept un-reduced so [`Communicator::reduce_sweep`] can run
+/// the real collective (and can run it again — each call is a fresh tree).
+pub struct RankSweep {
+    rows: Vec<(u32, SweepPartials)>,
+}
+
+/// One simulated rank's communicator: private blocks, a channel to every
+/// peer, a mailbox, a clock. Not `Sync` — it lives on its rank's thread.
+pub struct RankComm {
+    rank: usize,
+    p: usize,
+    layout: Arc<DistLayout>,
+    owned: Arc<Vec<usize>>,
+    local_of: Arc<Vec<u32>>,
+    /// Sum of owned blocks' interior extents, for compute charging.
+    owned_points: f64,
+    plan: Arc<HaloPlan>,
+    net: Arc<dyn NetworkModel>,
+    cfg: RankSimConfig,
+    senders: Vec<Sender<Msg>>,
+    inbox: RefCell<Mailbox>,
+    clock: Cell<f64>,
+    halo_epoch: Cell<u64>,
+    reduce_epoch: Cell<u64>,
+    stats: LocalStats,
+    spans: RefCell<Vec<Span>>,
+    fold_scratch: RefCell<Vec<SweepPartials>>,
+}
+
+impl RankComm {
+    /// This rank's id, `0..n_ranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of simulated ranks in the world.
+    pub fn n_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Global ids of the blocks this rank owns, sorted ascending.
+    pub fn owned_blocks(&self) -> &[usize] {
+        &self.owned
+    }
+
+    /// Current simulated time on this rank's clock (s).
+    pub fn clock(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// A zeroed rank-private vector over this rank's blocks.
+    pub fn zeros(&self) -> RankVec {
+        RankVec::zeros(&self.layout, &self.owned, &self.local_of)
+    }
+
+    /// Copy this rank's slice out of a full shared-memory vector (the
+    /// "initial scatter" a real MPI run would do once at startup).
+    pub fn import(&self, src: &DistVec) -> RankVec {
+        assert!(
+            Arc::ptr_eq(&self.layout, &src.layout),
+            "import source uses a different layout"
+        );
+        RankVec::from_dist(src, &self.owned, &self.local_of)
+    }
+
+    fn send(&self, dst: usize, msg: Msg) {
+        self.senders[dst]
+            .send(msg)
+            .expect("receiver rank terminated");
+    }
+
+    fn push_span(&self, kind: SpanKind, t0: f64, t1: f64) {
+        if self.cfg.record_trace {
+            self.spans.borrow_mut().push(Span { kind, t0, t1 });
+        }
+    }
+
+    /// Advance the clock by `dt` of local work.
+    fn charge_compute(&self) {
+        let t0 = self.clock.get();
+        let t1 = t0 + self.owned_points * self.cfg.compute_per_point;
+        self.clock.set(t1);
+        self.push_span(SpanKind::Compute, t0, t1);
+    }
+
+    fn check_view(&self, v: &RankVec) {
+        assert!(
+            Arc::ptr_eq(&self.layout, v.layout()),
+            "operand uses a different layout"
+        );
+        assert!(
+            Arc::ptr_eq(&self.owned, v.owned_arc()),
+            "operand belongs to a different rank's view"
+        );
+    }
+
+    /// Fold gathered rows exactly like `CommWorld::sweep_reduce`: place each
+    /// block's row in its global slot, then left-fold slots `0..n_blocks`
+    /// from zero. The slot array makes gather arrival order irrelevant.
+    fn fold_rows(&self, rows: impl Iterator<Item = (u32, SweepPartials)>) -> SweepPartials {
+        let n = self.layout.n_blocks();
+        let mut slots = self.fold_scratch.borrow_mut();
+        slots.clear();
+        slots.resize(n, [0.0; MAX_SWEEP_PARTIALS]);
+        for (gb, row) in rows {
+            slots[gb as usize] = row;
+        }
+        let mut acc = [0.0; MAX_SWEEP_PARTIALS];
+        for row in slots.iter() {
+            for (a, v) in acc.iter_mut().zip(row) {
+                *a += *v;
+            }
+        }
+        acc
+    }
+
+    /// The allreduce: binomial gather of `(block id, partials)` rows to rank
+    /// 0, deterministic fold there, binomial broadcast of the result.
+    /// `2·⌈log₂ p⌉` hops on the critical path; each hop is charged as a
+    /// collective stage carrying `scalars` f64 values (the rows themselves
+    /// are the determinism mechanism, not the modelled payload — a real
+    /// MPI_Allreduce moves only the reduced scalars).
+    fn reduce_rows(&self, rows: &[(u32, SweepPartials)], scalars: u64) -> SweepPartials {
+        self.stats.allreduces.set(self.stats.allreduces.get() + 1);
+        self.stats
+            .allreduce_scalars
+            .set(self.stats.allreduce_scalars.get() + scalars);
+        let epoch = self.reduce_epoch.get();
+        self.reduce_epoch.set(epoch + 1);
+        let t0 = self.clock.get();
+        let hop = self.net.collective_hop(scalars.max(1) as usize * 8);
+        let (r, p) = (self.rank, self.p);
+
+        let result = if p == 1 {
+            self.fold_rows(rows.iter().copied())
+        } else {
+            // Gather phase: children (bit set) send up, parents absorb.
+            let mut acc = rows.to_vec();
+            let mut mask = 1usize;
+            while mask < p {
+                if r & mask != 0 {
+                    let parent = r - mask;
+                    let avail = self.clock.get() + hop;
+                    self.send(
+                        parent,
+                        Msg::Gather {
+                            epoch,
+                            from: r,
+                            rows: std::mem::take(&mut acc),
+                            avail_at: avail,
+                        },
+                    );
+                    break;
+                }
+                let child = r + mask;
+                if child < p {
+                    let (theirs, avail) = self.inbox.borrow_mut().recv_gather(epoch, child);
+                    self.clock.set(self.clock.get().max(avail));
+                    acc.extend(theirs);
+                }
+                mask <<= 1;
+            }
+            if r == 0 {
+                self.fold_rows(acc.into_iter())
+            } else {
+                let (vals, avail) = self.inbox.borrow_mut().recv_bcast(epoch);
+                self.clock.set(self.clock.get().max(avail));
+                vals
+            }
+        };
+
+        if p > 1 {
+            // Broadcast phase: forward to the subtree below our entry point.
+            let mut mask = if r == 0 {
+                p.next_power_of_two()
+            } else {
+                r & r.wrapping_neg() // lowest set bit: where we received
+            };
+            mask >>= 1;
+            while mask > 0 {
+                let dst = r + mask;
+                if dst < p {
+                    let avail = self.clock.get() + hop;
+                    self.send(
+                        dst,
+                        Msg::Bcast {
+                            epoch,
+                            vals: result,
+                            avail_at: avail,
+                        },
+                    );
+                }
+                mask >>= 1;
+            }
+        }
+        self.push_span(SpanKind::Allreduce, t0, self.clock.get());
+        result
+    }
+
+    fn into_report<R>(self, result: R) -> RankReport<R> {
+        RankReport {
+            rank: self.rank,
+            clock: self.clock.get(),
+            stats: Communicator::stats(&self),
+            spans: self.spans.into_inner(),
+            result,
+        }
+    }
+}
+
+impl Communicator for RankComm {
+    type Vec = RankVec;
+    type Sweep = RankSweep;
+
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            halo_updates: self.stats.halo_updates.get(),
+            halo_messages: self.stats.halo_messages.get(),
+            halo_bytes: self.stats.halo_bytes.get(),
+            allreduces: self.stats.allreduces.get(),
+            allreduce_scalars: self.stats.allreduce_scalars.get(),
+            barriers: 0,
+        }
+    }
+
+    fn alloc_like(&self, model: &RankVec) -> RankVec {
+        self.check_view(model);
+        self.zeros()
+    }
+
+    /// The halo exchange as real point-to-point traffic: post every remote
+    /// strip as a message, copy rank-local strips directly, then wait for
+    /// the expected arrivals and advance the clock to the latest one.
+    fn halo_update(&self, v: &mut RankVec) {
+        self.check_view(v);
+        let epoch = self.halo_epoch.get();
+        self.halo_epoch.set(epoch + 1);
+        let t0 = self.clock.get();
+        self.stats
+            .halo_updates
+            .set(self.stats.halo_updates.get() + 1);
+
+        // Post all sends first so no pair of ranks can deadlock.
+        for &(dst_rank, e) in &self.plan.sends[self.rank] {
+            let r = e.region;
+            let mut data = Vec::with_capacity(r.w * r.h);
+            v.block(e.src_block)
+                .extract_region(r.src_i, r.src_j, r.w, r.h, &mut data);
+            let avail = self.clock.get() + self.net.p2p(data.len() * 8);
+            self.send(
+                dst_rank,
+                Msg::Halo {
+                    epoch,
+                    dst_block: e.dst_block as u32,
+                    dir: e.dir,
+                    data,
+                    avail_at: avail,
+                },
+            );
+        }
+
+        for blk in v.blocks.iter_mut() {
+            blk.zero_halo();
+        }
+
+        // Message/byte counts follow CommWorld's convention: one message per
+        // non-empty (block, direction) strip, local strips included — only
+        // the *wire time* distinguishes local from remote.
+        let mut msgs = 0u64;
+        let mut elems = 0u64;
+
+        let mut buf = Vec::new();
+        for e in &self.plan.locals[self.rank] {
+            let r = e.region;
+            v.block(e.src_block)
+                .extract_region(r.src_i, r.src_j, r.w, r.h, &mut buf);
+            msgs += 1;
+            elems += buf.len() as u64;
+            v.block_mut(e.dst_block)
+                .copy_region(r.dst_i, r.dst_j, &buf, r.w, r.h);
+        }
+
+        let mut arrive = self.clock.get();
+        for e in &self.plan.recvs[self.rank] {
+            let (data, avail) = self
+                .inbox
+                .borrow_mut()
+                .recv_halo(epoch, e.dst_block as u32, e.dir);
+            let r = e.region;
+            msgs += 1;
+            elems += data.len() as u64;
+            v.block_mut(e.dst_block)
+                .copy_region(r.dst_i, r.dst_j, &data, r.w, r.h);
+            arrive = arrive.max(avail);
+        }
+        self.clock.set(arrive);
+
+        self.stats
+            .halo_messages
+            .set(self.stats.halo_messages.get() + msgs);
+        self.stats
+            .halo_bytes
+            .set(self.stats.halo_bytes.get() + elems * std::mem::size_of::<f64>() as u64);
+        self.push_span(SpanKind::Halo, t0, self.clock.get());
+    }
+
+    fn for_each_block_fused<const M: usize, F>(
+        &self,
+        mut muts: [&mut RankVec; M],
+        kernel: F,
+    ) -> RankSweep
+    where
+        F: Fn(usize, &mut [&mut BlockVec; M]) -> SweepPartials + Sync,
+    {
+        assert!(M > 0, "fused sweep needs a mutable operand");
+        for v in &muts {
+            self.check_view(v);
+        }
+        let bases: [*mut BlockVec; M] = muts.each_mut().map(|v| v.blocks.as_mut_ptr());
+        let mut rows = Vec::with_capacity(self.owned.len());
+        for (li, &gb) in self.owned.iter().enumerate() {
+            // SAFETY: distinct `&mut RankVec` operands are disjoint by the
+            // borrow checker, the loop is single-threaded, and each local
+            // index names a distinct tile of each operand.
+            let mut tiles: [&mut BlockVec; M] =
+                std::array::from_fn(|m| unsafe { &mut *bases[m].add(li) });
+            rows.push((gb as u32, kernel(gb, &mut tiles)));
+        }
+        self.charge_compute();
+        RankSweep { rows }
+    }
+
+    fn reduce_sweep(&self, sweep: &RankSweep, scalars: u64) -> SweepPartials {
+        self.reduce_rows(&sweep.rows, scalars)
+    }
+
+    fn dot_fused(&self, x: &RankVec, y: &RankVec) -> f64 {
+        self.check_view(x);
+        self.check_view(y);
+        let rows: Vec<(u32, SweepPartials)> = self
+            .owned
+            .iter()
+            .map(|&gb| {
+                let mut p = [0.0; MAX_SWEEP_PARTIALS];
+                p[0] = masked_block_dot(x.block(gb), y.block(gb), &self.layout.masks[gb]);
+                (gb as u32, p)
+            })
+            .collect();
+        self.charge_compute();
+        self.reduce_rows(&rows, 1)[0]
+    }
+}
+
+/// What one rank produced: its result, final clock, counters, and trace.
+#[derive(Debug)]
+pub struct RankReport<R> {
+    pub rank: usize,
+    /// Final simulated time on this rank's clock (s).
+    pub clock: f64,
+    /// This rank's communication counters.
+    pub stats: StatsSnapshot,
+    /// Recorded spans (empty unless [`RankSimConfig::record_trace`]).
+    pub spans: Vec<Span>,
+    pub result: R,
+}
+
+/// Simulated wall time of a run: the slowest rank's clock.
+pub fn sim_time<R>(reports: &[RankReport<R>]) -> f64 {
+    reports.iter().fold(0.0, |t, r| t.max(r.clock))
+}
+
+/// The world: a layout, a rank assignment, a network model. Reusable —
+/// each [`RankWorld::run`] spawns a fresh set of rank threads.
+#[derive(Debug)]
+pub struct RankWorld {
+    layout: Arc<DistLayout>,
+    assignment: Arc<RankAssignment>,
+    net: Arc<dyn NetworkModel>,
+    cfg: RankSimConfig,
+    plan: Arc<HaloPlan>,
+    /// Per rank: owned global block ids, sorted ascending.
+    owned: Vec<Arc<Vec<usize>>>,
+    /// Per rank: global block id -> local index (or `u32::MAX`).
+    local_of: Vec<Arc<Vec<u32>>>,
+}
+
+impl RankWorld {
+    /// Assign the layout's blocks to `p` ranks along a Hilbert curve
+    /// (POP's production choice) and build the world.
+    pub fn new(
+        layout: &Arc<DistLayout>,
+        p: usize,
+        net: Arc<dyn NetworkModel>,
+        cfg: RankSimConfig,
+    ) -> Self {
+        let assignment = layout.decomp.assign_ranks(p, CurveKind::Hilbert);
+        Self::with_assignment(layout, assignment, net, cfg)
+    }
+
+    /// Build the world over an explicit block-to-rank assignment.
+    pub fn with_assignment(
+        layout: &Arc<DistLayout>,
+        assignment: RankAssignment,
+        net: Arc<dyn NetworkModel>,
+        cfg: RankSimConfig,
+    ) -> Self {
+        let n = layout.n_blocks();
+        assert_eq!(
+            assignment.rank_of_block.len(),
+            n,
+            "assignment does not cover the layout's blocks"
+        );
+        let plan = Arc::new(HaloPlan::build(layout, &assignment));
+        let mut owned = Vec::with_capacity(assignment.p);
+        let mut local_of = Vec::with_capacity(assignment.p);
+        for r in 0..assignment.p {
+            let mut blocks = assignment.blocks_of_rank[r].clone();
+            blocks.sort_unstable();
+            let mut map = vec![u32::MAX; n];
+            for (li, &gb) in blocks.iter().enumerate() {
+                map[gb] = li as u32;
+            }
+            owned.push(Arc::new(blocks));
+            local_of.push(Arc::new(map));
+        }
+        RankWorld {
+            layout: Arc::clone(layout),
+            assignment: Arc::new(assignment),
+            net,
+            cfg,
+            plan,
+            owned,
+            local_of,
+        }
+    }
+
+    /// Number of simulated ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.assignment.p
+    }
+
+    /// The block-to-rank assignment driving this world.
+    pub fn assignment(&self) -> &RankAssignment {
+        &self.assignment
+    }
+
+    /// The layout this world distributes.
+    pub fn layout(&self) -> &Arc<DistLayout> {
+        &self.layout
+    }
+
+    /// Run `body` as an SPMD program: one OS thread per rank, each with its
+    /// own [`RankComm`]. Returns the per-rank reports in rank order.
+    /// Panics in any rank propagate.
+    pub fn run<R, F>(&self, body: F) -> Vec<RankReport<R>>
+    where
+        R: Send,
+        F: Fn(&RankComm) -> R + Sync,
+    {
+        let p = self.assignment.p;
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = std::sync::mpsc::channel();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        let body = &body;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|r| {
+                    let rx = rxs[r].take().expect("one receiver per rank");
+                    let senders = txs.clone();
+                    s.spawn(move || {
+                        let info = &self.layout.decomp.blocks;
+                        let owned_points: f64 = self.owned[r]
+                            .iter()
+                            .map(|&gb| (info[gb].nx * info[gb].ny) as f64)
+                            .sum();
+                        let comm = RankComm {
+                            rank: r,
+                            p,
+                            layout: Arc::clone(&self.layout),
+                            owned: Arc::clone(&self.owned[r]),
+                            local_of: Arc::clone(&self.local_of[r]),
+                            owned_points,
+                            plan: Arc::clone(&self.plan),
+                            net: Arc::clone(&self.net),
+                            cfg: self.cfg,
+                            senders,
+                            inbox: RefCell::new(Mailbox::new(rx)),
+                            clock: Cell::new(0.0),
+                            halo_epoch: Cell::new(0),
+                            reduce_epoch: Cell::new(0),
+                            stats: LocalStats::default(),
+                            spans: RefCell::new(Vec::new()),
+                            fold_scratch: RefCell::new(Vec::new()),
+                        };
+                        let result = body(&comm);
+                        comm.into_report(result)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{LatencyBandwidth, ZeroCost};
+    use pop_comm::CommWorld;
+    use pop_grid::Grid;
+    use pop_perfmodel::machine::MachineModel;
+
+    fn layout() -> Arc<DistLayout> {
+        let g = Grid::gx1_scaled(7, 60, 48);
+        DistLayout::build(&g, 10, 8)
+    }
+
+    fn world(layout: &Arc<DistLayout>, p: usize) -> RankWorld {
+        RankWorld::new(layout, p, Arc::new(ZeroCost), RankSimConfig::default())
+    }
+
+    /// The binomial-tree allreduce must reproduce CommWorld's block-ordered
+    /// fold bit-for-bit at every rank count, including non-powers of two.
+    #[test]
+    fn tree_reduce_matches_shared_memory_fold() {
+        let layout = layout();
+        let shared = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| ((i * 13 + j * 7) as f64 * 0.03).sin() * 1e8);
+        let want = CommWorld::dot_fused(&shared, &v, &v);
+
+        for p in [1, 2, 3, 5, 8, 13, 16] {
+            let w = world(&layout, p);
+            let reports = w.run(|comm| {
+                let rv = comm.import(&v);
+                comm.dot_fused(&rv, &rv)
+            });
+            assert_eq!(reports.len(), p);
+            for rep in &reports {
+                assert_eq!(
+                    rep.result.to_bits(),
+                    want.to_bits(),
+                    "p={p} rank {} disagrees with shared-memory fold",
+                    rep.rank
+                );
+                assert_eq!(rep.stats.allreduces, 1);
+                assert_eq!(rep.stats.allreduce_scalars, 1);
+            }
+        }
+    }
+
+    /// Message-passing halo exchange must produce the same halos as the
+    /// shared-memory exchange, and the per-rank message/byte counts must
+    /// sum to CommWorld's totals.
+    #[test]
+    fn halo_exchange_matches_shared_memory() {
+        let layout = layout();
+        let shared = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| (1 + i * 7 + j * 131) as f64);
+        let mut v_shared = v.clone();
+        shared.halo_update(&mut v_shared);
+        let shared_stats = shared.stats();
+
+        for p in [1, 3, 6, 11] {
+            let w = world(&layout, p);
+            let reports = w.run(|comm| {
+                let mut rv = comm.import(&v);
+                comm.halo_update(&mut rv);
+                rv.into_blocks()
+            });
+            let mut msgs = 0u64;
+            let mut bytes = 0u64;
+            for rep in reports {
+                msgs += rep.stats.halo_messages;
+                bytes += rep.stats.halo_bytes;
+                assert_eq!(rep.stats.halo_updates, 1);
+                for (gb, blk) in rep.result {
+                    assert_eq!(
+                        blk.raw(),
+                        v_shared.blocks[gb].raw(),
+                        "p={p}: block {gb} halo differs"
+                    );
+                }
+            }
+            assert_eq!(msgs, shared_stats.halo_messages, "p={p} message count");
+            assert_eq!(bytes, shared_stats.halo_bytes, "p={p} byte volume");
+        }
+    }
+
+    /// Under a latency model the reduction's simulated cost must grow with
+    /// the tree depth — the paper's log₂(p) term, actually executed.
+    #[test]
+    fn reduction_cost_grows_logarithmically() {
+        let layout = layout();
+        let net = Arc::new(LatencyBandwidth::from_machine(&MachineModel::yellowstone()));
+        let mut cost_at = Vec::new();
+        for p in [2usize, 4, 16] {
+            let w = RankWorld::new(&layout, p, net.clone(), RankSimConfig::default());
+            let reports = w.run(|comm| {
+                let x = comm.zeros();
+                for _ in 0..10 {
+                    comm.dot_fused(&x, &x);
+                }
+            });
+            cost_at.push(sim_time(&reports));
+        }
+        let per_reduce = net.collective_hop(8);
+        // p=2: exactly 2 hops per allreduce on the critical path.
+        assert!(
+            (cost_at[0] - 10.0 * 2.0 * per_reduce).abs() < 1e-12,
+            "p=2 cost {} vs expected {}",
+            cost_at[0],
+            10.0 * 2.0 * per_reduce
+        );
+        assert!(cost_at[1] > cost_at[0], "deeper tree must cost more");
+        assert!(cost_at[2] > cost_at[1]);
+        // p=16: critical path is 2·log₂(16) = 8 hops, not p-1 = 15.
+        assert!(
+            (cost_at[2] - 10.0 * 8.0 * per_reduce).abs() < 1e-12,
+            "p=16 cost {} should be the tree critical path {}",
+            cost_at[2],
+            10.0 * 8.0 * per_reduce
+        );
+    }
+
+    /// Halo wire time is charged for remote strips only; a single rank
+    /// (everything local) advances no clock under any network model.
+    #[test]
+    fn local_halo_costs_no_wire_time() {
+        let layout = layout();
+        let net = Arc::new(LatencyBandwidth::from_machine(&MachineModel::yellowstone()));
+        let one = RankWorld::new(&layout, 1, net.clone(), RankSimConfig::default());
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| (i + j) as f64);
+        let reports = one.run(|comm| {
+            let mut rv = comm.import(&v);
+            comm.halo_update(&mut rv);
+        });
+        assert_eq!(sim_time(&reports), 0.0);
+
+        let four = RankWorld::new(&layout, 4, net, RankSimConfig::default());
+        let reports = four.run(|comm| {
+            let mut rv = comm.import(&v);
+            comm.halo_update(&mut rv);
+        });
+        assert!(sim_time(&reports) > 0.0, "remote strips must cost time");
+    }
+
+    /// Re-reducing the same sweep handle is a fresh collective with
+    /// identical results (the PCG check path relies on this).
+    #[test]
+    fn repeated_reduce_is_fresh_collective() {
+        let layout = layout();
+        let w = world(&layout, 5);
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| ((i + 2 * j) as f64 * 0.01).cos());
+        let masks = &layout.masks;
+        let reports = w.run(|comm| {
+            let mut x = comm.import(&v);
+            let sweep = comm.for_each_block_fused([&mut x], |gb, [xb]| {
+                let mut p = [0.0; MAX_SWEEP_PARTIALS];
+                p[0] = masked_block_dot(xb, xb, &masks[gb]);
+                p
+            });
+            let a = comm.reduce_sweep(&sweep, 1);
+            let b = comm.reduce_sweep(&sweep, 1);
+            (a[0].to_bits(), b[0].to_bits(), comm.stats().allreduces)
+        });
+        for rep in reports {
+            let (a, b, n) = rep.result;
+            assert_eq!(a, b);
+            assert_eq!(n, 2);
+        }
+    }
+
+    /// Compute charging: points × compute_per_point per sweep, recorded as
+    /// trace spans when asked.
+    #[test]
+    fn compute_charge_and_trace_spans() {
+        let layout = layout();
+        let cfg = RankSimConfig {
+            compute_per_point: 1e-9,
+            record_trace: true,
+        };
+        let w = RankWorld::new(&layout, 3, Arc::new(ZeroCost), cfg);
+        let reports = w.run(|comm| {
+            let mut x = comm.zeros();
+            comm.for_each_block_fused([&mut x], |_, _| [0.0; MAX_SWEEP_PARTIALS]);
+            comm.dot_fused(&x, &x);
+        });
+        // Each rank pays two compute charges (sweep + dot) over its own
+        // points; the allreduce then synchronizes every clock to the
+        // slowest rank — the load imbalance becomes wait time, exactly as
+        // on real ranks.
+        let blocks = &layout.decomp.blocks;
+        let slowest = w
+            .assignment()
+            .blocks_of_rank
+            .iter()
+            .map(|bs| {
+                bs.iter()
+                    .map(|&b| (blocks[b].nx * blocks[b].ny) as f64)
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, |a, pts| a.max(2.0 * pts * 1e-9));
+        for rep in &reports {
+            assert!(
+                (rep.clock - slowest).abs() < 1e-15,
+                "rank {} clock {} vs synchronized {}",
+                rep.rank,
+                rep.clock,
+                slowest
+            );
+        }
+        for rep in &reports {
+            let kinds: Vec<_> = rep.spans.iter().map(|s| s.kind).collect();
+            assert!(kinds.contains(&SpanKind::Compute));
+            assert!(kinds.contains(&SpanKind::Allreduce));
+        }
+    }
+
+    /// More ranks than blocks: the surplus ranks idle but participate in
+    /// collectives, and results stay correct.
+    #[test]
+    fn idle_ranks_participate() {
+        let g = Grid::idealized_basin(16, 16, 300.0, 5.0e4);
+        let layout = DistLayout::build(&g, 8, 8); // 4 active blocks
+        let p = 7;
+        let w = world(&layout, p);
+        assert!(w.assignment().idle_ranks() > 0);
+        let shared = CommWorld::serial();
+        let mut v = DistVec::zeros(&layout);
+        v.fill_with(|i, j| (i * j + 1) as f64);
+        let want = CommWorld::dot_fused(&shared, &v, &v);
+        let reports = w.run(|comm| {
+            let rv = comm.import(&v);
+            comm.dot_fused(&rv, &rv)
+        });
+        for rep in reports {
+            assert_eq!(rep.result.to_bits(), want.to_bits());
+        }
+    }
+}

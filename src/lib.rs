@@ -20,6 +20,10 @@
 //! - [`core`] — the solvers (classic PCG, ChronGear, P-CSI) and
 //!   preconditioners (diagonal, block-LU, block-EVP), plus Lanczos
 //!   eigenvalue estimation.
+//! - [`ranksim`] — the rank-based message-passing runtime: each simulated
+//!   MPI rank is a thread owning private blocks, halos travel as
+//!   point-to-point messages, reductions climb binomial trees, and a
+//!   pluggable network model charges simulated time.
 //! - [`perfmodel`] — the paper's cost equations with Yellowstone- and
 //!   Edison-calibrated parameters.
 //! - [`ocean`] — the barotropic mode and the mini-POP ocean model.
@@ -57,6 +61,7 @@ pub use pop_core as core;
 pub use pop_grid as grid;
 pub use pop_ocean as ocean;
 pub use pop_perfmodel as perfmodel;
+pub use pop_ranksim as ranksim;
 pub use pop_stencil as stencil;
 pub use pop_verif as verif;
 
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use pop_grid::{Decomposition, Grid};
     pub use pop_ocean::{BarotropicMode, MiniPop, MiniPopConfig, SolverChoice, SolverSetup};
     pub use pop_perfmodel::{MachineModel, PopConfig, PopModel};
+    pub use pop_ranksim::{solve_on_ranks, LatencyBandwidth, RankSimConfig, RankWorld, ZeroCost};
     pub use pop_stencil::NinePoint;
     pub use pop_verif::{EnsembleConfig, VerificationLab};
 }
