@@ -1,0 +1,245 @@
+//! SIMD-vs-scalar micro-benchmarks of the three hot kernels, as JSON.
+//!
+//! Times the fused 9-point apply/residual block sweeps and the EVP tile
+//! solve under an explicit dispatch choice — the scalar reference arm
+//! against the best mode the CPU supports (`pop_simd::mode()`) — and
+//! reports paired-ratio speedups. The two arms compute bitwise-identical
+//! results (DESIGN.md §9), so this isolates pure kernel throughput.
+//!
+//! Writes `BENCH_kernels.json` in the working directory with full
+//! provenance: requested and resolved dispatch mode, CPU feature
+//! detection, thread counts. `--quick` shrinks reps for CI smoke runs.
+
+use pop_bench::provenance::Provenance;
+use pop_bench::timing::quick_requested;
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::precond::{EvpScratch, EvpSubBlock};
+use pop_grid::Grid;
+use pop_simd::SimdMode;
+use pop_stencil::{LocalStencil, NinePoint};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    kernel: String,
+    /// Per-op microseconds (op = one block/tile visit), median over samples.
+    scalar_us_median: f64,
+    simd_us_median: f64,
+    /// Median of paired per-sample ratios scalar/simd.
+    speedup_paired_median: f64,
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Interleaved scalar/SIMD sampling: each sample times `run(mode)` once per
+/// arm, back to back, so machine drift cancels inside each paired ratio.
+/// `run` returns the number of kernel ops it performed.
+fn measure(
+    kernel: &str,
+    simd: SimdMode,
+    samples: usize,
+    mut run: Box<dyn FnMut(SimdMode) -> usize + '_>,
+) -> Row {
+    // Warm-up both arms (page faults, branch predictors, frequency).
+    run(SimdMode::Scalar);
+    run(simd);
+    let mut scalar_us = Vec::with_capacity(samples);
+    let mut simd_us = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        for arm in [SimdMode::Scalar, simd] {
+            let t = Instant::now();
+            let ops = run(arm);
+            let us = t.elapsed().as_secs_f64() * 1e6 / ops as f64;
+            if arm == SimdMode::Scalar {
+                scalar_us.push(us);
+            } else {
+                simd_us.push(us);
+            }
+        }
+    }
+    let median = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    let mut ratios: Vec<f64> = scalar_us
+        .iter()
+        .zip(&simd_us)
+        .map(|(&s, &v)| s / v)
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    Row {
+        kernel: kernel.to_string(),
+        scalar_us_median: median(&scalar_us),
+        simd_us_median: median(&simd_us),
+        speedup_paired_median: ratios[ratios.len() / 2],
+    }
+}
+
+fn main() {
+    let quick = quick_requested();
+    let simd = pop_simd::mode();
+    if simd == SimdMode::Scalar {
+        eprintln!(
+            "WARNING [bench_kernels_json]: dispatch resolved to the scalar mode \
+             (POP_BARO_SIMD = {:?}); the \"simd\" arm is the scalar arm and every \
+             speedup below will be ~1.0x.",
+            pop_simd::requested()
+        );
+    }
+    let (reps, samples) = if quick { (10usize, 5usize) } else { (60, 31) };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- fused stencil apply / residual -----------------------------------
+    // An L2-resident grid (~0.9 MB working set), so the rows measure kernel
+    // throughput rather than memory bandwidth. Two decompositions: the
+    // 10x10 blocks the solver benches run on, and 20x20 blocks where lane
+    // groups dominate the row tail.
+    let (nx, ny) = (160, 120);
+    for (bx, by) in [(nx / 10, ny / 10), (nx / 20, ny / 20)] {
+        let g = Grid::gx01_scaled(7, nx, ny);
+        let layout = DistLayout::build(&g, bx, by);
+        let world = CommWorld::serial();
+        let op = NinePoint::assemble(&g, &layout, &world, 345.6);
+        let mut x = DistVec::zeros(&layout);
+        x.fill_with(|i, j| ((i * 3 + j * 7) as f64 * 0.013).sin());
+        world.halo_update(&mut x);
+        let mut y = DistVec::zeros(&layout);
+        let mut rhs = DistVec::zeros(&layout);
+        op.apply(&world, &x, &mut rhs);
+        let nb = layout.n_blocks();
+        let shape = format!("{}x{}", nx / bx, ny / by);
+
+        rows.push(measure(
+            &format!("stencil_apply_{shape}"),
+            simd,
+            samples,
+            Box::new(|mode| {
+                for _ in 0..reps {
+                    for b in 0..nb {
+                        op.apply_block_into_mode(
+                            mode,
+                            b,
+                            &x.blocks[b],
+                            &mut y.blocks[b],
+                            &layout.masks[b],
+                        );
+                    }
+                }
+                reps * nb
+            }),
+        ));
+        let mut r = DistVec::zeros(&layout);
+        let mut sink = 0.0f64;
+        rows.push(measure(
+            &format!("stencil_residual_{shape}"),
+            simd,
+            samples,
+            Box::new(|mode| {
+                for _ in 0..reps {
+                    for b in 0..nb {
+                        sink += op.residual_block_into_mode(
+                            mode,
+                            b,
+                            &x.blocks[b],
+                            &rhs.blocks[b],
+                            &mut r.blocks[b],
+                            &layout.masks[b],
+                        );
+                    }
+                }
+                reps * nb
+            }),
+        ));
+        assert!(sink.is_finite());
+    }
+
+    // --- EVP tile solve ---------------------------------------------------
+    // Marchable open-ocean tiles at the default tile size, reduced and full.
+    let evp_reps = reps * 200;
+    for (tn, reduced, phi) in [(8usize, true, 5.0), (8, false, 5.0), (12, true, 80.0)] {
+        // The larger tile takes a stronger diagonal (free-surface) shift to
+        // stay inside marching stability, like POP's real operator does.
+        let raw = LocalStencil::reference(tn, tn, 120.0, phi);
+        let sub = EvpSubBlock::new(&raw, reduced);
+        if !sub.uses_marching() {
+            eprintln!("[bench_kernels_json] skipping {tn}x{tn} (LU fallback, not EVP)");
+            continue;
+        }
+        let psi: Vec<f64> = (0..tn * tn)
+            .map(|k| ((k.wrapping_mul(2654435761)) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
+        let mut out = vec![0.0; tn * tn];
+        let mut scratch = EvpScratch::default();
+        let variant = if reduced { "reduced" } else { "full" };
+        rows.push(measure(
+            &format!("evp_tile_solve_{tn}x{tn}_{variant}"),
+            simd,
+            samples,
+            Box::new(|mode| {
+                for _ in 0..evp_reps {
+                    sub.solve_mode(mode, &psi, &mut out, &mut scratch);
+                }
+                evp_reps
+            }),
+        ));
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    println!(
+        "\n== kernel micro-benchmarks (scalar vs {}) ==",
+        simd.name()
+    );
+    println!(
+        "{:>28} {:>14} {:>14} {:>10}",
+        "kernel", "scalar µs/op", "simd µs/op", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>28} {:>14.4} {:>14.4} {:>9.2}x",
+            r.kernel, r.scalar_us_median, r.simd_us_median, r.speedup_paired_median
+        );
+    }
+
+    let prov = Provenance::collect();
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"bench\": \"bench_kernels_json\",");
+    let _ = writeln!(j, "  \"provenance\": {},", prov.json());
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(
+        j,
+        "  \"simd\": {{\"requested\": \"{}\", \"dispatch\": \"{}\", \"avx2_detected\": {}, \
+         \"fma_detected\": {}}},",
+        pop_simd::requested(),
+        simd.name(),
+        pop_simd::detected_avx2(),
+        pop_simd::detected_fma()
+    );
+    let _ = writeln!(j, "  \"samples\": {samples},");
+    j.push_str("  \"results\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"kernel\": \"{}\", \"scalar_us_median\": {}, \"simd_us_median\": {}, \
+             \"speedup_paired_median\": {}}}",
+            r.kernel,
+            json_f(r.scalar_us_median),
+            json_f(r.simd_us_median),
+            json_f(r.speedup_paired_median)
+        );
+        j.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+
+    let out = "BENCH_kernels.json";
+    std::fs::write(out, &j).expect("write BENCH_kernels.json");
+    println!("\n[wrote {out}]");
+}

@@ -78,6 +78,8 @@ fn json_f(v: f64) -> String {
 }
 
 fn main() {
+    let prov = Provenance::collect();
+    prov.warn_if_single_threaded("bench_solvers_json");
     let quick = quick_requested();
     let (nx, ny, bx, by, iters, samples) = if quick {
         (180usize, 120usize, 36usize, 24usize, 30usize, 3usize)
@@ -239,8 +241,11 @@ fn main() {
         );
     }
 
-    let prov = Provenance::collect();
-    let threads = prov.threads;
+    prov.warn_if_single_threaded("bench_solvers_json");
+    // The worker count the threaded backend actually used, not the env
+    // request — PR2-era artifacts recorded the latter and could silently
+    // label 1-worker runs as threaded.
+    let threads = prov.pool_threads;
 
     let mut j = String::new();
     j.push_str("{\n");

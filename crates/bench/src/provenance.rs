@@ -18,6 +18,21 @@ pub struct Provenance {
     /// Worker threads honoured by the threaded backend (`POP_BARO_THREADS`
     /// or the machine's available parallelism).
     pub threads: usize,
+    /// Worker count the global thread pool *actually* created — the number
+    /// the threaded backend really ran on (can differ from `threads` only
+    /// if the pool was sized before the env was set).
+    pub pool_threads: usize,
+    /// Raw `POP_BARO_THREADS` value, if set (distinguishes an explicit
+    /// request from machine-derived parallelism).
+    pub threads_env: Option<String>,
+    /// Kernel dispatch mode the run resolved to (`POP_BARO_SIMD` / CPU
+    /// detection): "scalar", "portable", or "avx2".
+    pub simd_mode: &'static str,
+    /// Whether the CPU supports AVX2, regardless of the chosen mode.
+    pub avx2_detected: bool,
+    /// Whether the CPU supports scalar FMA (used by the mode-shared EVP
+    /// chain pass, identically under every dispatch mode).
+    pub fma_detected: bool,
     pub os: &'static str,
     pub arch: &'static str,
 }
@@ -53,16 +68,52 @@ impl Provenance {
             git_commit,
             git_dirty,
             threads: effective_threads(),
+            pool_threads: pop_comm::pool::global().n_threads(),
+            threads_env: std::env::var("POP_BARO_THREADS").ok(),
+            simd_mode: pop_simd::mode().name(),
+            avx2_detected: pop_simd::detected_avx2(),
+            fma_detected: pop_simd::detected_fma(),
             os: std::env::consts::OS,
             arch: std::env::consts::ARCH,
         }
     }
 
+    /// If the "threaded" backend is about to run on a single pool worker,
+    /// say so loudly: its numbers would measure pool overhead, not
+    /// parallelism, and are trivially mistaken for multi-thread results.
+    pub fn warn_if_single_threaded(&self, bench: &str) {
+        if self.pool_threads <= 1 {
+            eprintln!(
+                "WARNING [{bench}]: the \"threaded\" backend is running on a SINGLE pool \
+                 worker (pool_threads = {}, POP_BARO_THREADS = {}). Its timings measure \
+                 pool dispatch overhead, not parallel speedup — do not compare them \
+                 against multi-threaded runs.",
+                self.pool_threads,
+                self.threads_env.as_deref().unwrap_or("<unset>"),
+            );
+        }
+    }
+
     /// Render as a one-line JSON object.
     pub fn json(&self) -> String {
+        let threads_env = match &self.threads_env {
+            Some(v) => format!("\"{v}\""),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"git_commit\": \"{}\", \"git_dirty\": {}, \"threads\": {}, \"os\": \"{}\", \"arch\": \"{}\"}}",
-            self.git_commit, self.git_dirty, self.threads, self.os, self.arch
+            "{{\"git_commit\": \"{}\", \"git_dirty\": {}, \"threads\": {}, \"pool_threads\": {}, \
+             \"threads_env\": {}, \"simd_mode\": \"{}\", \"avx2_detected\": {}, \
+             \"fma_detected\": {}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+            self.git_commit,
+            self.git_dirty,
+            self.threads,
+            self.pool_threads,
+            threads_env,
+            self.simd_mode,
+            self.avx2_detected,
+            self.fma_detected,
+            self.os,
+            self.arch
         )
     }
 }

@@ -1,13 +1,21 @@
 //! A halo-padded field tile for one decomposition block.
 
+use pop_simd::AlignedVec;
+
 /// One block's worth of a distributed field, stored with a halo ring of
 /// configurable width around the interior. POP keeps a halo of width 2 so a
 /// matrix–vector product *and* a non-diagonal preconditioner can run between
 /// boundary updates; we follow that default.
 ///
-/// Storage is row-major with stride `nx + 2*halo`; interior indices run
-/// `0..nx` × `0..ny`, and halo cells are addressed with negative or
-/// past-the-end indices through [`BlockVec::at`] / [`BlockVec::at_mut`].
+/// Storage is row-major; interior indices run `0..nx` × `0..ny`, and halo
+/// cells are addressed with negative or past-the-end indices through
+/// [`BlockVec::at`] / [`BlockVec::at_mut`]. For the SIMD kernel layer the
+/// backing buffer is 32-byte aligned and the row stride is `nx + 2*halo`
+/// rounded up to the 4-lane width ([`pop_simd::LANES`]), so consecutive
+/// rows keep the same alignment phase; the pad columns at the end of each
+/// row are storage-only — no kernel reads or writes them. All flat
+/// indexing must go through [`BlockVec::stride`], never recompute
+/// `nx + 2*halo`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockVec {
     /// Interior zonal extent.
@@ -16,28 +24,33 @@ pub struct BlockVec {
     pub ny: usize,
     /// Halo width on each side.
     pub halo: usize,
-    data: Vec<f64>,
+    /// Row stride of the padded storage: `nx + 2*halo` rounded up to the
+    /// SIMD lane width.
+    stride: usize,
+    data: AlignedVec,
 }
 
 impl BlockVec {
     /// A zero-filled tile.
     pub fn zeros(nx: usize, ny: usize, halo: usize) -> Self {
         assert!(nx > 0 && ny > 0, "empty block");
-        let stride = nx + 2 * halo;
+        let stride = pop_simd::round_up_lanes(nx + 2 * halo);
         let rows = ny + 2 * halo;
         BlockVec {
             nx,
             ny,
             halo,
-            data: vec![0.0; stride * rows],
+            stride,
+            data: AlignedVec::zeros(stride * rows),
         }
     }
 
-    /// Row stride of the padded storage (`nx + 2*halo`). Exposed for flat
-    /// kernels that index [`BlockVec::raw`] directly.
+    /// Row stride of the padded storage (`nx + 2*halo` rounded up to the
+    /// SIMD lane width). Exposed for flat kernels that index
+    /// [`BlockVec::raw`] directly.
     #[inline]
     pub fn stride(&self) -> usize {
-        self.nx + 2 * self.halo
+        self.stride
     }
 
     /// Linear index of logical position `(i, j)`; accepts halo coordinates
@@ -78,16 +91,17 @@ impl BlockVec {
         self.data[(j + self.halo) * s + i + self.halo] = v;
     }
 
-    /// The raw padded storage (including halo), row-major.
+    /// The raw padded storage (including halo and stride padding),
+    /// row-major with [`BlockVec::stride`].
     #[inline]
     pub fn raw(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable raw padded storage.
     #[inline]
     pub fn raw_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
     /// One interior row as a slice (excludes halo columns).
@@ -110,7 +124,7 @@ impl BlockVec {
 
     /// Set every cell (interior and halo) to `v`.
     pub fn fill(&mut self, v: f64) {
-        self.data.fill(v);
+        self.data.as_mut_slice().fill(v);
     }
 
     /// Zero only the halo ring, leaving the interior untouched.

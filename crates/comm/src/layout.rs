@@ -18,6 +18,11 @@ pub struct DistLayout {
     /// Per active block: interior ocean mask (1 = ocean), row-major
     /// `nx × ny` of the block.
     pub masks: Vec<Vec<u8>>,
+    /// Per active block: the same mask expanded to `f64` AND-mask words
+    /// (ocean ↦ all-ones, land ↦ `+0.0`), row-major `nx × ny`. Precomputed
+    /// here so the branch-free SIMD kernels never expand masks in the hot
+    /// loop.
+    pub maskbits: Vec<Vec<f64>>,
     /// Per active block: number of ocean points (cached from the mask).
     pub ocean_per_block: Vec<usize>,
 }
@@ -40,10 +45,12 @@ impl DistLayout {
             ocean.push(m.iter().map(|&v| v as usize).sum());
             masks.push(m);
         }
+        let maskbits = masks.iter().map(|m| pop_simd::mask_bits(m)).collect();
         Arc::new(DistLayout {
             decomp,
             halo,
             masks,
+            maskbits,
             ocean_per_block: ocean,
         })
     }

@@ -22,9 +22,11 @@
 //! marching cost — the paper's §4.3 optimization, valid because those
 //! couplings are an order of magnitude smaller than the rest.
 
+use super::evp_simd::{self, MarchPlan};
 use super::tiling::{tile_block, Tile};
 use super::Preconditioner;
 use pop_comm::{BlockVec, CommWorld, DistVec};
+use pop_simd::SimdMode;
 use pop_stencil::dense::LuFactors;
 use pop_stencil::{DenseMatrix, LocalStencil, NinePoint};
 
@@ -32,7 +34,15 @@ use pop_stencil::{DenseMatrix, LocalStencil, NinePoint};
 #[derive(Debug, Clone)]
 enum SubSolver {
     /// EVP marching with the inverse influence matrix `R = W⁻¹`.
-    Evp { r_inv: DenseMatrix },
+    Evp {
+        r_inv: DenseMatrix,
+        /// `R` transposed into the lane layout (column-major, row count
+        /// padded to `kp`) for the SIMD influence apply.
+        r_inv_t: Vec<f64>,
+        kp: usize,
+        /// Precomputed chain coefficients for the restructured march.
+        plan: MarchPlan,
+    },
     /// Dense LU fallback (unstable or singular influence matrix).
     DenseLu(LuFactors),
 }
@@ -45,8 +55,9 @@ pub struct EvpSubBlock {
     stencil: LocalStencil,
     /// Ocean mask of the *original* coefficients; outputs are zeroed on land.
     mask: Vec<u8>,
+    /// `f64` mask words (`all-ones`/`0.0`) for the branch-free copy-out.
+    maskbits: Vec<f64>,
     solver: SubSolver,
-    reduced: bool,
     /// Pad indices of the guess line `e` and overshoot ring `f`, precomputed
     /// at setup so `solve` never allocates (it runs per tile per iteration).
     e_idx: Vec<usize>,
@@ -70,6 +81,8 @@ pub struct EvpScratch {
     xpad: Vec<f64>,
     fvals: Vec<f64>,
     corr: Vec<f64>,
+    /// Per-row `g` buffer for the restructured marching sweep.
+    g: Vec<f64>,
     /// Contiguous-tile staging for the dense-LU fallback under strided calls.
     psi_t: Vec<f64>,
     x_t: Vec<f64>,
@@ -116,13 +129,14 @@ impl EvpSubBlock {
         };
 
         let (e_idx, f_idx) = line_indices(nx, ny);
+        let maskbits = pop_simd::mask_bits(&mask);
         EvpSubBlock {
             nx,
             ny,
             stencil,
             mask,
+            maskbits,
             solver,
-            reduced,
             e_idx,
             f_idx,
         }
@@ -139,14 +153,19 @@ impl EvpSubBlock {
         debug_assert_eq!(e_list.len(), k);
         debug_assert_eq!(f_list.len(), k);
 
+        // Chain coefficients exist because `marchable` held (ANE ≠ 0).
+        let plan = MarchPlan::new(stencil, reduced);
+        let mode = pop_simd::mode();
+
         // Influence matrix: column c = response on f to a unit guess on e[c].
         let stride = nx + 2;
         let mut xpad = vec![0.0; stride * (ny + 2)];
+        let mut g = Vec::new();
         let mut w = DenseMatrix::zeros(k);
         for (c, &(ei, ej)) in e_list.iter().enumerate() {
             xpad.fill(0.0);
             xpad[pad_idx(stride, ei as isize, ej as isize)] = 1.0;
-            march(stencil, &mut xpad, None, reduced);
+            evp_simd::march(mode, stencil, &plan, &mut xpad, None, &mut g);
             for (r, &(fi, fj)) in f_list.iter().enumerate() {
                 let v = xpad[pad_idx(stride, fi as isize, fj as isize)];
                 if !v.is_finite() {
@@ -159,16 +178,25 @@ impl EvpSubBlock {
         if !r_inv_finite(&r_inv) {
             return None;
         }
+        let kp = pop_simd::round_up_lanes(k);
+        let r_inv_t = evp_simd::transpose_padded(&r_inv, kp);
 
         // Accuracy probe: solve for a pseudo-random ψ and check the residual.
         let (e_idx, f_idx) = line_indices(nx, ny);
+        let mask = vec![1u8; nx * ny];
+        let maskbits = pop_simd::mask_bits(&mask);
         let probe = EvpSubBlock {
             nx,
             ny,
             stencil: stencil.clone(),
-            mask: vec![1; nx * ny],
-            solver: SubSolver::Evp { r_inv },
-            reduced,
+            mask,
+            maskbits,
+            solver: SubSolver::Evp {
+                r_inv,
+                r_inv_t,
+                kp,
+                plan,
+            },
             e_idx,
             f_idx,
         };
@@ -210,10 +238,16 @@ impl EvpSubBlock {
 
     /// Solve `B̃ x = ψ` (row-major `nx × ny` slices); land outputs zeroed.
     pub fn solve(&self, psi: &[f64], x: &mut [f64], scratch: &mut EvpScratch) {
+        self.solve_mode(pop_simd::mode(), psi, x, scratch);
+    }
+
+    /// [`EvpSubBlock::solve`] with an explicit kernel dispatch choice
+    /// (tests and benches; production callers use the global mode).
+    pub fn solve_mode(&self, mode: SimdMode, psi: &[f64], x: &mut [f64], scratch: &mut EvpScratch) {
         let (nx, ny) = (self.nx, self.ny);
         assert_eq!(psi.len(), nx * ny);
         assert_eq!(x.len(), nx * ny);
-        self.solve_strided(psi, nx, x, nx, scratch);
+        self.solve_strided_mode(mode, psi, nx, x, nx, scratch);
     }
 
     /// [`EvpSubBlock::solve`] reading `ψ` and writing `x` in place with
@@ -228,41 +262,82 @@ impl EvpSubBlock {
         x_stride: usize,
         scratch: &mut EvpScratch,
     ) {
+        self.solve_strided_mode(pop_simd::mode(), psi, psi_stride, x, x_stride, scratch);
+    }
+
+    /// [`EvpSubBlock::solve_strided`] with an explicit dispatch choice.
+    /// Every mode is bitwise-identical (DESIGN.md §9).
+    pub fn solve_strided_mode(
+        &self,
+        mode: SimdMode,
+        psi: &[f64],
+        psi_stride: usize,
+        x: &mut [f64],
+        x_stride: usize,
+        scratch: &mut EvpScratch,
+    ) {
         let (nx, ny) = (self.nx, self.ny);
         match &self.solver {
-            SubSolver::Evp { r_inv } => {
+            SubSolver::Evp {
+                r_inv,
+                r_inv_t,
+                kp,
+                plan,
+            } => {
                 let stride = nx + 2;
-                scratch.xpad.clear();
                 scratch.xpad.resize(stride * (ny + 2), 0.0);
                 let xpad = &mut scratch.xpad;
+                // Zero guess = zeroed e-line/ring; the interior needs no
+                // reset (the sweep overwrites it before reading it).
+                evp_simd::reset_march_pad(xpad, nx, ny);
 
                 // First sweep with zero guess.
-                march(&self.stencil, xpad, Some((psi, psi_stride)), self.reduced);
+                evp_simd::march(
+                    mode,
+                    &self.stencil,
+                    plan,
+                    xpad,
+                    Some((psi, psi_stride)),
+                    &mut scratch.g,
+                );
 
                 // Mismatch on the Dirichlet ring (precomputed pad indices —
-                // this path must not allocate).
+                // this path must not allocate in steady state).
                 scratch.fvals.clear();
                 scratch.fvals.extend(self.f_idx.iter().map(|&k| xpad[k]));
 
                 // Corrected guess e = −R·F, then the definitive sweep.
-                let k = scratch.fvals.len();
-                scratch.corr.clear();
-                scratch.corr.resize(k, 0.0);
-                r_inv.matvec(&scratch.fvals, &mut scratch.corr);
-                xpad.fill(0.0);
+                evp_simd::influence_apply(
+                    mode,
+                    r_inv,
+                    r_inv_t,
+                    *kp,
+                    &scratch.fvals,
+                    &mut scratch.corr,
+                );
+                evp_simd::reset_march_pad(xpad, nx, ny);
                 for (c, &k) in self.e_idx.iter().enumerate() {
                     xpad[k] = -scratch.corr[c];
                 }
-                march(&self.stencil, xpad, Some((psi, psi_stride)), self.reduced);
+                evp_simd::march(
+                    mode,
+                    &self.stencil,
+                    plan,
+                    xpad,
+                    Some((psi, psi_stride)),
+                    &mut scratch.g,
+                );
 
-                for j in 0..ny {
-                    let src = &xpad[(j + 1) * stride + 1..(j + 1) * stride + 1 + nx];
-                    let dst = &mut x[j * x_stride..j * x_stride + nx];
-                    let mrow = &self.mask[j * nx..(j + 1) * nx];
-                    for i in 0..nx {
-                        dst[i] = if mrow[i] != 0 { src[i] } else { 0.0 };
-                    }
-                }
+                evp_simd::masked_copy_out(
+                    mode,
+                    nx,
+                    ny,
+                    xpad,
+                    x,
+                    x_stride,
+                    &self.mask,
+                    &self.maskbits,
+                );
             }
             SubSolver::DenseLu(lu) => {
                 // The dense fallback wants contiguous tiles; gather/scatter
@@ -320,47 +395,6 @@ fn f_points(nx: usize, ny: usize) -> Vec<(usize, usize)> {
     f.extend((1..=nx).map(|i| (i, ny)));
     f.extend((1..ny).map(|j| (nx, j)));
     f
-}
-
-/// One southwest→northeast marching sweep (paper Eq. 4): solve the equation
-/// centered at `(i, j)` for `x(i+1, j+1)`, for all centers in lexicographic
-/// order. `psi = None` means a zero right-hand side (the preprocessing
-/// sweeps); `Some((slice, row_stride))` reads the right-hand side in place —
-/// possibly a strided tile of a larger block. Values on `e` and the
-/// south/west ring must be preset; everything with `i ≥ 1 ∧ j ≥ 1` —
-/// including the north/east ring — is produced.
-fn march(st: &LocalStencil, xpad: &mut [f64], psi: Option<(&[f64], usize)>, reduced: bool) {
-    let (nx, ny) = (st.nx, st.ny);
-    let xs = nx + 2;
-    debug_assert_eq!(xpad.len(), xs * (ny + 2));
-    // Flat recurrence over the raw coefficient slices: `ck` indexes the
-    // coefficient pad (stride `cs`), `xk` the solution pad (stride `xs`),
-    // both at logical `(i, j)`. The floating-point term order matches the
-    // coordinate form exactly, so results are bitwise unchanged.
-    let (cs, a0, an, ae, ane) = st.raw_parts();
-    for j in 0..ny {
-        let crow = (j + 1) * cs + 1;
-        let xrow = (j + 1) * xs + 1;
-        for i in 0..nx {
-            let ck = crow + i;
-            let xk = xrow + i;
-            let rhs = match psi {
-                Some((p, ps)) => p[j * ps + i],
-                None => 0.0,
-            };
-            let mut s = a0[ck] * xpad[xk]
-                + ane[ck - cs] * xpad[xk - xs + 1]
-                + ane[ck - 1] * xpad[xk + xs - 1]
-                + ane[ck - cs - 1] * xpad[xk - xs - 1];
-            if !reduced {
-                s += an[ck] * xpad[xk + xs]
-                    + an[ck - cs] * xpad[xk - xs]
-                    + ae[ck] * xpad[xk + 1]
-                    + ae[ck - 1] * xpad[xk - 1];
-            }
-            xpad[xk + xs + 1] = (rhs - s) / ane[ck];
-        }
-    }
 }
 
 fn r_inv_finite(m: &DenseMatrix) -> bool {

@@ -1,0 +1,569 @@
+//! Lane-parallel kernels for the EVP sub-block solve.
+//!
+//! Three kernels dominate an EVP tile solve (DESIGN.md §9): the marching
+//! sweep, the dense influence-matrix apply, and the masked copy-out. Each
+//! is written once as a generic 4-lane kernel over [`pop_simd::LaneF64`]
+//! and instantiated for the portable lanes and AVX2, next to a scalar
+//! reference arm; all arms are bitwise identical.
+//!
+//! ## The restructured march
+//!
+//! The classic marching recurrence solves the equation centered at
+//! `(i, j)` for `x(i+1, j+1)`, which chains a divide into every step of a
+//! loop-carried dependency. We split each center row into
+//!
+//! 1. a **g-pass** over terms from already-completed rows:
+//!    `g_i = (ψ_i − q_i) · d⁻¹_i` with `d⁻¹_i = 1/ANE(i,j)` precomputed at
+//!    setup — independent per column, so it vectorizes lane-parallel, and
+//! 2. a **chain pass** over the in-progress output row,
+//!    `y_{i+1} = g_i − h2_i·y_{i−1}` (reduced) or
+//!    `y_{i+1} = (g_i − h1_i·y_i) − h2_i·y_{i−1}` (full), with
+//!    `h1 = AN(i,j)/ANE(i,j)`, `h2 = ANE(i−1,j)/ANE(i,j)` precomputed at
+//!    setup ([`MarchPlan`]).
+//!
+//! The chain keeps only a multiply and a subtract on the critical path
+//! (the divide became a setup-time reciprocal), and it runs as the
+//! *same scalar loop in every dispatch mode* — recurrences are
+//! order-sensitive, so sharing the code is what guarantees scalar↔SIMD
+//! bitwise identity. The g-pass is bitwise mode-independent because each
+//! lane performs the scalar operation sequence for its own column.
+//!
+//! (Expanding the reduced recurrence one level — distance-4, four
+//! interleaved chains — was tried and measured *slower* at POP's 8–12
+//! column tiles: the extra pass and register rotation cost more than the
+//! halved serial latency. The distance-2 form below is the measured
+//! optimum at these row lengths.)
+//!
+//! The influence apply uses a transposed copy of `R = W⁻¹` laid out at
+//! setup so four *output* rows share one lane group; each lane accumulates
+//! over columns in ascending order starting from `+0.0`, exactly the
+//! scalar row dot product.
+
+use pop_simd::{LaneF64, Portable4, SimdMode, LANES};
+use pop_stencil::LocalStencil;
+
+/// Branch-free masked select, the scalar image of `LaneF64::and_bits`.
+#[inline(always)]
+fn and_select(v: f64, maskword: f64) -> f64 {
+    f64::from_bits(v.to_bits() & maskword.to_bits())
+}
+
+/// Setup-time precomputation for the restructured marching sweep: the
+/// chain coefficients `h1`/`h2` (row-major `nx × ny`, `h1` empty in
+/// reduced mode) and a zero right-hand-side row for the preprocessing
+/// sweeps. Built only for marchable tiles (`ANE ≠ 0` at every center).
+#[derive(Debug, Clone)]
+pub(super) struct MarchPlan {
+    reduced: bool,
+    /// `AN(i,j)/ANE(i,j)`; empty when reduced (the term is dropped, not
+    /// multiplied by zero — `0·y` is not bitwise neutral for `−0.0`).
+    h1: Vec<f64>,
+    /// `ANE(i−1,j)/ANE(i,j)`.
+    h2: Vec<f64>,
+    /// `1/ANE(i,j)`: the marching pivot as a reciprocal, so the per-point
+    /// divide becomes a multiply in *both* dispatch arms (the arms stay
+    /// bitwise identical; the one-time reciprocal rounding is absorbed by
+    /// the influence matrix, which is marched with the same plan).
+    d_inv: Vec<f64>,
+    zeros_row: Vec<f64>,
+}
+
+impl MarchPlan {
+    pub(super) fn new(st: &LocalStencil, reduced: bool) -> Self {
+        let (nx, ny) = (st.nx, st.ny);
+        let (cs, _a0, an, _ae, ane) = st.raw_parts();
+        let mut h1 = Vec::new();
+        let mut h2 = Vec::with_capacity(nx * ny);
+        let mut d_inv = Vec::with_capacity(nx * ny);
+        if !reduced {
+            h1.reserve(nx * ny);
+        }
+        for j in 0..ny {
+            let crow = (j + 1) * cs + 1;
+            for i in 0..nx {
+                let ck = crow + i;
+                h2.push(ane[ck - 1] / ane[ck]);
+                d_inv.push(1.0 / ane[ck]);
+                if !reduced {
+                    h1.push(an[ck] / ane[ck]);
+                }
+            }
+        }
+        MarchPlan {
+            reduced,
+            h1,
+            h2,
+            d_inv,
+            zeros_row: vec![0.0; nx],
+        }
+    }
+}
+
+/// The scalar chain pass shared verbatim by every dispatch mode. `out` is
+/// the padded output row (logical row `j+1`): `out[0]` = west ring
+/// `x(−1, j+1)`, `out[1]` = preset guess `x(0, j+1)`, and `out[i+2]`
+/// receives `x(i+1, j+1)`.
+///
+/// The recurrence is the tile solve's serial critical path, so on CPUs
+/// with FMA it runs as one fused `y = fma(−h2, y₋₂, g)` per step — half
+/// the dependency latency of `mul` then `sub`. The FMA choice is a CPU
+/// property, *not* a dispatch-mode property: every mode runs the same
+/// chain code, so scalar↔SIMD bitwise identity is preserved.
+#[inline(always)]
+fn chain_row(reduced: bool, h1row: &[f64], h2row: &[f64], g: &[f64], out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if pop_simd::detected_fma() {
+        // SAFETY: FMA support was just detected at runtime.
+        unsafe { chain_row_fma(reduced, h1row, h2row, g, out) };
+        return;
+    }
+    chain_row_plain(reduced, h1row, h2row, g, out)
+}
+
+#[inline(always)]
+fn chain_row_plain(reduced: bool, h1row: &[f64], h2row: &[f64], g: &[f64], out: &mut [f64]) {
+    let mut ym1 = out[0];
+    let mut y0 = out[1];
+    let out = &mut out[2..2 + g.len()];
+    if reduced {
+        for ((o, &gi), &h2i) in out.iter_mut().zip(g).zip(h2row) {
+            let y = gi - h2i * ym1;
+            *o = y;
+            ym1 = y0;
+            y0 = y;
+        }
+    } else {
+        for (((o, &gi), &h1i), &h2i) in out.iter_mut().zip(g).zip(h1row).zip(h2row) {
+            let y = (gi - h1i * y0) - h2i * ym1;
+            *o = y;
+            ym1 = y0;
+            y0 = y;
+        }
+    }
+}
+
+/// [`chain_row_plain`] with each `g − h·y` contracted to `fma(−h, y, g)`
+/// (negation is exact, so this is the correctly-rounded fused form).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn chain_row_fma(reduced: bool, h1row: &[f64], h2row: &[f64], g: &[f64], out: &mut [f64]) {
+    let mut ym1 = out[0];
+    let mut y0 = out[1];
+    let out = &mut out[2..2 + g.len()];
+    if reduced {
+        for ((o, &gi), &h2i) in out.iter_mut().zip(g).zip(h2row) {
+            let y = (-h2i).mul_add(ym1, gi);
+            *o = y;
+            ym1 = y0;
+            y0 = y;
+        }
+    } else {
+        for (((o, &gi), &h1i), &h2i) in out.iter_mut().zip(g).zip(h1row).zip(h2row) {
+            let y = (-h2i).mul_add(ym1, (-h1i).mul_add(y0, gi));
+            *o = y;
+            ym1 = y0;
+            y0 = y;
+        }
+    }
+}
+
+/// The completed-row operand windows of center row `j`, all of length
+/// `nx` and indexed by column `i`.
+struct GRows<'a> {
+    a0c: &'a [f64],
+    d: &'a [f64],
+    ane_s: &'a [f64],
+    ane_sw: &'a [f64],
+    an_s: &'a [f64],
+    aec: &'a [f64],
+    aew: &'a [f64],
+    xc: &'a [f64],
+    xe: &'a [f64],
+    xw: &'a [f64],
+    xs_: &'a [f64],
+    xse: &'a [f64],
+    xsw: &'a [f64],
+}
+
+impl<'a> GRows<'a> {
+    #[inline(always)]
+    fn slice(
+        st: &'a LocalStencil,
+        plan: &'a MarchPlan,
+        done: &'a [f64],
+        xs: usize,
+        j: usize,
+    ) -> GRows<'a> {
+        let reduced = plan.reduced;
+        let nx = st.nx;
+        let (cs, a0, an, ae, ane) = st.raw_parts();
+        let crow = (j + 1) * cs + 1;
+        let xrow = (j + 1) * xs + 1;
+        // SAFETY: `crow + nx ≤ (ny+1)(nx+1) = coef len`, plan rows are
+        // `nx × ny`, and `xrow + 1 + nx = (j+2)·xs = done.len()` for every
+        // `j < ny`; all other windows start lower. (Debug-checked inside
+        // `window`.)
+        unsafe {
+            let w = pop_simd::window;
+            GRows {
+                a0c: w(a0, crow, nx),
+                d: w(&plan.d_inv, j * nx, nx),
+                ane_s: w(ane, crow - cs, nx),
+                ane_sw: w(ane, crow - cs - 1, nx),
+                an_s: if reduced { &[] } else { w(an, crow - cs, nx) },
+                aec: if reduced { &[] } else { w(ae, crow, nx) },
+                aew: if reduced { &[] } else { w(ae, crow - 1, nx) },
+                xc: w(done, xrow, nx),
+                xe: if reduced { &[] } else { w(done, xrow + 1, nx) },
+                xw: if reduced { &[] } else { w(done, xrow - 1, nx) },
+                xs_: if reduced { &[] } else { w(done, xrow - xs, nx) },
+                xse: w(done, xrow - xs + 1, nx),
+                xsw: w(done, xrow - xs - 1, nx),
+            }
+        }
+    }
+
+    /// `g_i = (ψ_i − q_i) · d⁻¹_i`, scalar.
+    #[inline(always)]
+    fn g_scalar(&self, reduced: bool, rhs: &[f64], i: usize) -> f64 {
+        let mut q =
+            self.a0c[i] * self.xc[i] + self.ane_s[i] * self.xse[i] + self.ane_sw[i] * self.xsw[i];
+        if !reduced {
+            q += self.an_s[i] * self.xs_[i] + self.aec[i] * self.xe[i] + self.aew[i] * self.xw[i];
+        }
+        (rhs[i] - q) * self.d[i]
+    }
+
+    /// The lane image of [`GRows::g_scalar`]: four columns per group, the
+    /// identical operation sequence in each lane.
+    ///
+    /// # Safety
+    /// `i + LANES <= nx`; with AVX2 lanes the caller must run under the
+    /// `avx2` target feature.
+    #[inline(always)]
+    unsafe fn g_lanes<V: LaneF64>(&self, reduced: bool, rhs: &[f64], i: usize) -> V {
+        let at = |s: &[f64]| V::load(s.as_ptr().add(i));
+        let q = at(self.a0c).mul(at(self.xc));
+        let q = q.add(at(self.ane_s).mul(at(self.xse)));
+        let mut q = q.add(at(self.ane_sw).mul(at(self.xsw)));
+        if !reduced {
+            q = q.add(at(self.an_s).mul(at(self.xs_)));
+            q = q.add(at(self.aec).mul(at(self.xe)));
+            q = q.add(at(self.aew).mul(at(self.xw)));
+        }
+        at(rhs).sub(q).mul(at(self.d))
+    }
+}
+
+#[inline(always)]
+fn rhs_row<'a>(
+    psi: Option<(&'a [f64], usize)>,
+    plan: &'a MarchPlan,
+    nx: usize,
+    j: usize,
+) -> &'a [f64] {
+    match psi {
+        Some((p, ps)) => &p[j * ps..j * ps + nx],
+        None => &plan.zeros_row,
+    }
+}
+
+fn march_scalar(
+    st: &LocalStencil,
+    plan: &MarchPlan,
+    xpad: &mut [f64],
+    psi: Option<(&[f64], usize)>,
+    g: &mut [f64],
+) {
+    let (nx, ny) = (st.nx, st.ny);
+    let xs = nx + 2;
+    for j in 0..ny {
+        let (done, rest) = xpad.split_at_mut((j + 2) * xs);
+        let rows = GRows::slice(st, plan, done, xs, j);
+        let rhs = rhs_row(psi, plan, nx, j);
+        for (i, gi) in g.iter_mut().enumerate() {
+            *gi = rows.g_scalar(plan.reduced, rhs, i);
+        }
+        let h1row = if plan.reduced {
+            &[][..]
+        } else {
+            &plan.h1[j * nx..(j + 1) * nx]
+        };
+        chain_row(
+            plan.reduced,
+            h1row,
+            &plan.h2[j * nx..(j + 1) * nx],
+            g,
+            &mut rest[..xs],
+        );
+    }
+}
+
+#[inline(always)]
+fn march_lanes<V: LaneF64>(
+    st: &LocalStencil,
+    plan: &MarchPlan,
+    xpad: &mut [f64],
+    psi: Option<(&[f64], usize)>,
+    g: &mut [f64],
+) {
+    let (nx, ny) = (st.nx, st.ny);
+    let xs = nx + 2;
+    for j in 0..ny {
+        let (done, rest) = xpad.split_at_mut((j + 2) * xs);
+        let rows = GRows::slice(st, plan, done, xs, j);
+        let rhs = rhs_row(psi, plan, nx, j);
+        let mut i = 0;
+        while i + LANES <= nx {
+            unsafe {
+                rows.g_lanes::<V>(plan.reduced, rhs, i)
+                    .store(g.as_mut_ptr().add(i));
+            }
+            i += LANES;
+        }
+        for (k, gk) in g.iter_mut().enumerate().take(nx).skip(i) {
+            *gk = rows.g_scalar(plan.reduced, rhs, k);
+        }
+        let h1row = if plan.reduced {
+            &[][..]
+        } else {
+            &plan.h1[j * nx..(j + 1) * nx]
+        };
+        chain_row(
+            plan.reduced,
+            h1row,
+            &plan.h2[j * nx..(j + 1) * nx],
+            g,
+            &mut rest[..xs],
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn march_avx2(
+    st: &LocalStencil,
+    plan: &MarchPlan,
+    xpad: &mut [f64],
+    psi: Option<(&[f64], usize)>,
+    g: &mut [f64],
+) {
+    march_lanes::<pop_simd::Avx2>(st, plan, xpad, psi, g);
+}
+
+/// One southwest→northeast marching sweep (paper Eq. 4) in the
+/// restructured g/chain form. `psi = None` means a zero right-hand side
+/// (the influence-matrix preprocessing sweeps); `Some((slice, stride))`
+/// reads the right-hand side in place. Values on the guess line `e` and
+/// the south/west ring must be preset; everything with `i ≥ 1 ∧ j ≥ 1` —
+/// including the north/east ring — is produced. `g` is caller scratch of
+/// length ≥ `nx` (resized here).
+pub(super) fn march(
+    mode: SimdMode,
+    st: &LocalStencil,
+    plan: &MarchPlan,
+    xpad: &mut [f64],
+    psi: Option<(&[f64], usize)>,
+    g: &mut Vec<f64>,
+) {
+    debug_assert_eq!(xpad.len(), (st.nx + 2) * (st.ny + 2));
+    g.clear();
+    g.resize(st.nx, 0.0);
+    match mode {
+        SimdMode::Scalar => march_scalar(st, plan, xpad, psi, g),
+        SimdMode::Portable => march_lanes::<Portable4>(st, plan, xpad, psi, g),
+        SimdMode::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch only selects Avx2 after runtime detection.
+            unsafe {
+                march_avx2(st, plan, xpad, psi, g)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("AVX2 dispatch off x86-64")
+        }
+    }
+}
+
+/// Zero exactly the marching-pad cells a sweep *reads before writing*: the
+/// full south pad rows 0–1 (ring plus south e-line) and pad columns 0–1 of
+/// every higher row (west ring plus west e-line). Everything else — the
+/// whole interior and the north/east ring — is written by the sweep's
+/// chain pass before any later row's g-pass reads it, so stale values from
+/// a previous sweep (or a previous tile's solve) are unreachable. This
+/// replaces a full `fill(0.0)` of the pad on the per-iteration hot path.
+pub(super) fn reset_march_pad(xpad: &mut [f64], nx: usize, ny: usize) {
+    let xs = nx + 2;
+    xpad[..2 * xs].fill(0.0);
+    for j in 2..ny + 2 {
+        xpad[j * xs] = 0.0;
+        xpad[j * xs + 1] = 0.0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Influence-matrix apply
+// ---------------------------------------------------------------------------
+
+/// Transpose `R = W⁻¹` into the lane layout: column-major with the row
+/// count padded to `kp = round_up_lanes(k)` (`rt[c·kp + r] = R[r][c]`,
+/// zero-filled pad rows), so four output rows load as one lane group.
+pub(super) fn transpose_padded(r_inv: &pop_stencil::DenseMatrix, kp: usize) -> Vec<f64> {
+    let k = r_inv.n();
+    let mut rt = vec![0.0; k * kp];
+    for c in 0..k {
+        for r in 0..k {
+            rt[c * kp + r] = r_inv.get(r, c);
+        }
+    }
+    rt
+}
+
+fn matvec_scalar(r_inv: &pop_stencil::DenseMatrix, x: &[f64], y: &mut [f64]) {
+    // The pre-existing scalar implementation: each output row is an
+    // ascending-column left fold from +0.0 — the accumulation order the
+    // lane kernel reproduces per output row.
+    r_inv.matvec(x, &mut y[..x.len()]);
+}
+
+#[inline(always)]
+fn matvec_lanes<V: LaneF64>(rt: &[f64], kp: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(y.len(), kp);
+    // Up to four lane groups (16 output rows) advance together through one
+    // pass over `x`: one splat per column feeds every group, and the
+    // independent accumulators hide the add latency. Each output row still
+    // accumulates ascending columns from +0.0 — exactly the scalar order.
+    let mut r0 = 0;
+    while r0 < kp {
+        match ((kp - r0) / LANES).min(4) {
+            1 => matvec_groups::<V, 1>(rt, kp, x, y, r0),
+            2 => matvec_groups::<V, 2>(rt, kp, x, y, r0),
+            3 => matvec_groups::<V, 3>(rt, kp, x, y, r0),
+            _ => matvec_groups::<V, 4>(rt, kp, x, y, r0),
+        }
+        r0 += ((kp - r0) / LANES).min(4) * LANES;
+    }
+}
+
+#[inline(always)]
+fn matvec_groups<V: LaneF64, const NG: usize>(
+    rt: &[f64],
+    kp: usize,
+    x: &[f64],
+    y: &mut [f64],
+    r0: usize,
+) {
+    let mut acc = [V::splat(0.0); NG];
+    for (c, &xc) in x.iter().enumerate() {
+        let xv = V::splat(xc);
+        let col = c * kp + r0;
+        for (gi, a) in acc.iter_mut().enumerate() {
+            unsafe {
+                *a = a.add(V::load(rt.as_ptr().add(col + gi * LANES)).mul(xv));
+            }
+        }
+    }
+    for (gi, a) in acc.iter().enumerate() {
+        unsafe {
+            a.store(y.as_mut_ptr().add(r0 + gi * LANES));
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_avx2(rt: &[f64], kp: usize, x: &[f64], y: &mut [f64]) {
+    matvec_lanes::<pop_simd::Avx2>(rt, kp, x, y);
+}
+
+/// `corr = R · f` with the dispatch-selected kernel. `corr` is resized to
+/// `kp`; entries `0..f.len()` carry the product (pad entries are zero).
+pub(super) fn influence_apply(
+    mode: SimdMode,
+    r_inv: &pop_stencil::DenseMatrix,
+    rt: &[f64],
+    kp: usize,
+    f: &[f64],
+    corr: &mut Vec<f64>,
+) {
+    corr.clear();
+    corr.resize(kp, 0.0);
+    match mode {
+        SimdMode::Scalar => matvec_scalar(r_inv, f, corr),
+        SimdMode::Portable => matvec_lanes::<Portable4>(rt, kp, f, corr),
+        SimdMode::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatch only selects Avx2 after runtime detection.
+            unsafe {
+                matvec_avx2(rt, kp, f, corr)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("AVX2 dispatch off x86-64")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Masked copy-out
+// ---------------------------------------------------------------------------
+
+/// Copy the solved interior out of the marching pad into the (possibly
+/// strided) destination tile, zeroing land. The lane arms use the
+/// precomputed `f64` mask words; the scalar arm keeps the branch select —
+/// the two are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn masked_copy_out(
+    mode: SimdMode,
+    nx: usize,
+    ny: usize,
+    xpad: &[f64],
+    x: &mut [f64],
+    x_stride: usize,
+    mask: &[u8],
+    maskbits: &[f64],
+) {
+    let stride = nx + 2;
+    for j in 0..ny {
+        let src = &xpad[(j + 1) * stride + 1..(j + 1) * stride + 1 + nx];
+        let dst = &mut x[j * x_stride..j * x_stride + nx];
+        match mode {
+            SimdMode::Scalar => {
+                let mrow = &mask[j * nx..(j + 1) * nx];
+                for i in 0..nx {
+                    dst[i] = if mrow[i] != 0 { src[i] } else { 0.0 };
+                }
+            }
+            SimdMode::Portable => copy_row_lanes::<Portable4>(src, dst, &maskbits[j * nx..]),
+            SimdMode::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: dispatch only selects Avx2 after runtime detection.
+                unsafe {
+                    copy_row_avx2(src, dst, &maskbits[j * nx..])
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                unreachable!("AVX2 dispatch off x86-64")
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn copy_row_lanes<V: LaneF64>(src: &[f64], dst: &mut [f64], mbrow: &[f64]) {
+    let nx = dst.len();
+    let mut i = 0;
+    while i + LANES <= nx {
+        unsafe {
+            let v = V::load(src.as_ptr().add(i)).and_bits(V::load(mbrow.as_ptr().add(i)));
+            v.store(dst.as_mut_ptr().add(i));
+        }
+        i += LANES;
+    }
+    for k in i..nx {
+        dst[k] = and_select(src[k], mbrow[k]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn copy_row_avx2(src: &[f64], dst: &mut [f64], mbrow: &[f64]) {
+    copy_row_lanes::<pop_simd::Avx2>(src, dst, mbrow);
+}

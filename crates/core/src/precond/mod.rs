@@ -8,6 +8,7 @@
 mod blocklu;
 mod diagonal;
 mod evp;
+mod evp_simd;
 mod regularize;
 mod tiling;
 

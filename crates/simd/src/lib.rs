@@ -1,0 +1,546 @@
+//! SIMD substrate for the barotropic solver kernels.
+//!
+//! The hot kernels — the fused 9-point stencil apply/residual, the EVP
+//! marching sweep, and the dense influence-matrix apply — are written once
+//! as generic 4-lane kernels over the [`LaneF64`] trait and instantiated
+//! twice: with [`Portable4`] (plain `[f64; 4]` arithmetic the compiler may
+//! or may not vectorize) and, on x86-64, with [`Avx2`] (`std::arch`
+//! 256-bit intrinsics). A scalar path is always kept alongside as the
+//! reference implementation.
+//!
+//! ## Dispatch
+//!
+//! The implementation is selected **once at startup** by [`mode`]:
+//! `POP_BARO_SIMD={auto,avx2,portable,scalar}` (default `auto`) combined
+//! with runtime CPU-feature detection. `auto` picks AVX2 when the CPU has
+//! it, the portable lanes otherwise; `avx2` on a machine without AVX2
+//! warns and falls back to `portable` rather than faulting. Tests and
+//! micro-benchmarks that need to compare implementations in-process can
+//! override the choice with [`force_mode`].
+//!
+//! ## Bitwise determinism
+//!
+//! Every kernel vectorizes *lane-parallel across independent outputs*
+//! (grid columns, matrix rows): each lane executes exactly the scalar
+//! instruction sequence for its own output point — same operations, same
+//! association order, no FMA contraction, no horizontal reductions. IEEE
+//! 754 basic operations (`+ − × ÷`) are correctly rounded per lane, so a
+//! 4-lane kernel is **bitwise identical** to the scalar loop, and the
+//! serial/threaded/ranksim determinism guarantees of the solver stack are
+//! preserved under any dispatch choice. Order-sensitive scalar chains
+//! (residual-norm partial sums, the EVP marching recurrence) stay scalar
+//! in *all* paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Lane width of the kernel layer: four `f64`s (one 256-bit AVX2 register).
+pub const LANES: usize = 4;
+
+/// Round `n` up to a multiple of [`LANES`].
+#[inline]
+pub const fn round_up_lanes(n: usize) -> usize {
+    n.div_ceil(LANES) * LANES
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Which kernel implementation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Reference scalar loops.
+    Scalar,
+    /// Generic 4-lane kernels on `[f64; 4]` arithmetic.
+    Portable,
+    /// Generic 4-lane kernels on AVX2 256-bit intrinsics.
+    Avx2,
+}
+
+impl SimdMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdMode::Scalar => "scalar",
+            SimdMode::Portable => "portable",
+            SimdMode::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this mode runs the generic lane kernels (vs the scalar
+    /// reference loops).
+    pub fn uses_lanes(self) -> bool {
+        !matches!(self, SimdMode::Scalar)
+    }
+}
+
+/// Does this CPU support AVX2? (Always `false` off x86-64.)
+pub fn detected_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Does this CPU support scalar FMA? (Always `false` off x86-64.)
+///
+/// This gates *mode-shared* scalar code only — e.g. the EVP chain pass runs
+/// one FMA-accelerated recurrence identically under every dispatch mode, so
+/// scalar↔SIMD bitwise identity is unaffected. The lane kernels themselves
+/// never use FMA (they must match plain scalar `mul`/`add` per lane).
+pub fn detected_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// What `POP_BARO_SIMD` asked for (`"auto"` when unset), for provenance.
+pub fn requested() -> String {
+    std::env::var("POP_BARO_SIMD").unwrap_or_else(|_| "auto".to_string())
+}
+
+/// A bounds-check-free window `&s[at..at + len]` for kernel row slicing.
+/// The hot kernels carve a dozen row windows per grid row; the arithmetic
+/// behind `at`/`len` is validated once per block (and re-checked here in
+/// debug builds), so release builds skip the per-window bounds checks.
+///
+/// # Safety
+/// `at + len <= s.len()`.
+#[inline(always)]
+pub unsafe fn window(s: &[f64], at: usize, len: usize) -> &[f64] {
+    debug_assert!(at + len <= s.len());
+    std::slice::from_raw_parts(s.as_ptr().add(at), len)
+}
+
+fn mode_from_env() -> SimdMode {
+    let auto = || {
+        if detected_avx2() {
+            SimdMode::Avx2
+        } else {
+            SimdMode::Portable
+        }
+    };
+    let req = std::env::var("POP_BARO_SIMD").unwrap_or_default();
+    match req.to_ascii_lowercase().as_str() {
+        "" | "auto" => auto(),
+        "scalar" => SimdMode::Scalar,
+        "portable" => SimdMode::Portable,
+        "avx2" => {
+            if detected_avx2() {
+                SimdMode::Avx2
+            } else {
+                eprintln!(
+                    "[pop-simd] POP_BARO_SIMD=avx2 requested but the CPU has no AVX2; \
+                     using portable 4-lane kernels"
+                );
+                SimdMode::Portable
+            }
+        }
+        other => {
+            eprintln!("[pop-simd] unknown POP_BARO_SIMD value {other:?}; using auto dispatch");
+            auto()
+        }
+    }
+}
+
+static DEFAULT_MODE: OnceLock<SimdMode> = OnceLock::new();
+/// 0 = no override, otherwise `SimdMode as u8 + 1`.
+static FORCED_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The dispatch choice for this process: the [`force_mode`] override if one
+/// is set, otherwise the environment/CPU decision, made once and cached.
+pub fn mode() -> SimdMode {
+    match FORCED_MODE.load(Ordering::Relaxed) {
+        1 => SimdMode::Scalar,
+        2 => SimdMode::Portable,
+        3 => SimdMode::Avx2,
+        _ => *DEFAULT_MODE.get_or_init(mode_from_env),
+    }
+}
+
+/// Override the dispatch choice process-wide (`None` restores the startup
+/// decision). This is a hook for equivalence tests and micro-benchmarks
+/// that must run *both* implementations in one process; production code
+/// configures dispatch through `POP_BARO_SIMD` instead.
+///
+/// Panics if `Some(Avx2)` is forced on a machine without AVX2 — running
+/// AVX2 intrinsics there would be undefined behaviour, not a slow path.
+pub fn force_mode(m: Option<SimdMode>) {
+    if m == Some(SimdMode::Avx2) {
+        assert!(
+            detected_avx2(),
+            "cannot force AVX2 dispatch: CPU lacks AVX2"
+        );
+    }
+    let v = match m {
+        None => 0,
+        Some(SimdMode::Scalar) => 1,
+        Some(SimdMode::Portable) => 2,
+        Some(SimdMode::Avx2) => 3,
+    };
+    FORCED_MODE.store(v, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// The 4-lane f64 vector abstraction
+// ---------------------------------------------------------------------------
+
+/// Four `f64` lanes with IEEE 754 basic arithmetic.
+///
+/// Kernels written against this trait perform, in each lane, exactly the
+/// operation sequence of the corresponding scalar loop iteration — the
+/// contract that makes lane kernels bitwise equal to scalar ones. No
+/// implementation may fuse multiply-add or reorder operands.
+///
+/// # Safety
+///
+/// `load`/`store` are raw unaligned pointer accesses: the caller must
+/// guarantee `p .. p+4` is in bounds. The [`Avx2`] implementation must
+/// additionally only execute on CPUs with AVX2 (guaranteed by dispatch).
+pub trait LaneF64: Copy {
+    /// # Safety
+    /// `p .. p+LANES` must be readable.
+    unsafe fn load(p: *const f64) -> Self;
+    /// # Safety
+    /// `p .. p+LANES` must be writable.
+    unsafe fn store(self, p: *mut f64);
+    fn splat(v: f64) -> Self;
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+    /// Lanewise bitwise AND of the representations — the branch-free land
+    /// mask: `and_bits(v, ALL_ONES) == v` (bit-exact), `and_bits(v, 0.0)
+    /// == +0.0`.
+    fn and_bits(self, o: Self) -> Self;
+}
+
+/// Portable `[f64; 4]` lanes: straight-line Rust the compiler is free to
+/// autovectorize; semantics are the per-lane scalar operations by
+/// construction.
+#[derive(Clone, Copy)]
+pub struct Portable4([f64; 4]);
+
+impl LaneF64 for Portable4 {
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        Portable4([p.read(), p.add(1).read(), p.add(2).read(), p.add(3).read()])
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        p.write(self.0[0]);
+        p.add(1).write(self.0[1]);
+        p.add(2).write(self.0[2]);
+        p.add(3).write(self.0[3]);
+    }
+
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Portable4([v; 4])
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        Portable4([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]])
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        Portable4([a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]])
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        Portable4([a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]])
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        Portable4([a[0] / b[0], a[1] / b[1], a[2] / b[2], a[3] / b[3]])
+    }
+
+    #[inline(always)]
+    fn and_bits(self, o: Self) -> Self {
+        let a = self.0;
+        let b = o.0;
+        Portable4([
+            f64::from_bits(a[0].to_bits() & b[0].to_bits()),
+            f64::from_bits(a[1].to_bits() & b[1].to_bits()),
+            f64::from_bits(a[2].to_bits() & b[2].to_bits()),
+            f64::from_bits(a[3].to_bits() & b[3].to_bits()),
+        ])
+    }
+}
+
+/// AVX2 lanes: one `__m256d` register. Every method is a single VEX
+/// instruction with per-lane IEEE semantics identical to the scalar op
+/// (`vaddpd`/`vsubpd`/`vmulpd`/`vdivpd`/`vandpd`); no FMA is ever emitted.
+///
+/// Instances must only be constructed/used on CPUs with AVX2 — the
+/// dispatch layer guarantees this before selecting [`SimdMode::Avx2`].
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub struct Avx2(std::arch::x86_64::__m256d);
+
+#[cfg(target_arch = "x86_64")]
+impl LaneF64 for Avx2 {
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        Avx2(std::arch::x86_64::_mm256_loadu_pd(p))
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        std::arch::x86_64::_mm256_storeu_pd(p, self.0);
+    }
+
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        unsafe { Avx2(std::arch::x86_64::_mm256_set1_pd(v)) }
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        unsafe { Avx2(std::arch::x86_64::_mm256_add_pd(self.0, o.0)) }
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        unsafe { Avx2(std::arch::x86_64::_mm256_sub_pd(self.0, o.0)) }
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        unsafe { Avx2(std::arch::x86_64::_mm256_mul_pd(self.0, o.0)) }
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        unsafe { Avx2(std::arch::x86_64::_mm256_div_pd(self.0, o.0)) }
+    }
+
+    #[inline(always)]
+    fn and_bits(self, o: Self) -> Self {
+        unsafe { Avx2(std::arch::x86_64::_mm256_and_pd(self.0, o.0)) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Branch-free masks
+// ---------------------------------------------------------------------------
+
+/// The all-ones ocean mask word: `and_bits(v, MASK_OCEAN)` is `v`
+/// bit-exactly.
+pub const MASK_OCEAN: f64 = f64::from_bits(u64::MAX);
+/// The land mask word: `and_bits(v, MASK_LAND)` is `+0.0`.
+pub const MASK_LAND: f64 = 0.0;
+
+/// Expand a `u8` land/ocean mask into `f64` mask words for branch-free
+/// lane kernels: nonzero ↦ all-ones, zero ↦ `+0.0`.
+pub fn mask_bits(mask: &[u8]) -> Vec<f64> {
+    mask.iter()
+        .map(|&m| if m != 0 { MASK_OCEAN } else { MASK_LAND })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Aligned storage
+// ---------------------------------------------------------------------------
+
+/// One 32-byte-aligned lane group. `Vec<Lane32>` is therefore 32-byte
+/// aligned storage without any allocator shims or external crates.
+#[derive(Clone, Copy, Default)]
+#[repr(C, align(32))]
+struct Lane32([f64; LANES]);
+
+/// A fixed-length `f64` buffer whose base pointer is 32-byte aligned (one
+/// AVX2 register row), backed by `Vec<[f64; 4]>` groups.
+///
+/// Grows never; [`BlockVec`]-style owners size it once at construction.
+/// Exposes plain `&[f64]` / `&mut [f64]` views so scalar code is
+/// unaffected by the alignment guarantee.
+#[derive(Clone)]
+pub struct AlignedVec {
+    chunks: Vec<Lane32>,
+    len: usize,
+}
+
+impl AlignedVec {
+    /// A zeroed buffer of exactly `len` elements (the backing store is
+    /// rounded up to whole lane groups; the surplus is never exposed).
+    pub fn zeros(len: usize) -> Self {
+        AlignedVec {
+            chunks: vec![Lane32::default(); len.div_ceil(LANES)],
+            len,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast::<f64>(), self.len) }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for AlignedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_vec_is_32_byte_aligned_and_zeroed() {
+        for len in [0usize, 1, 3, 4, 5, 31, 64, 1000] {
+            let v = AlignedVec::zeros(len);
+            assert_eq!(v.len(), len);
+            assert!(v.as_slice().iter().all(|&x| x == 0.0));
+            if len > 0 {
+                assert_eq!(v.as_slice().as_ptr() as usize % 32, 0, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_vec_roundtrips_writes() {
+        let mut v = AlignedVec::zeros(13);
+        for (i, x) in v.as_mut_slice().iter_mut().enumerate() {
+            *x = i as f64 + 0.5;
+        }
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(w[12], 12.5);
+    }
+
+    #[test]
+    fn mask_bits_expand_to_and_masks() {
+        let bits = mask_bits(&[0, 1, 2, 0]);
+        let probe = -3.25f64;
+        let sel = |m: f64| -> f64 { f64::from_bits(probe.to_bits() & m.to_bits()) };
+        assert_eq!(sel(bits[0]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(sel(bits[1]).to_bits(), probe.to_bits());
+        assert_eq!(sel(bits[2]).to_bits(), probe.to_bits());
+        assert_eq!(sel(bits[3]).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn portable_lanes_match_scalar_ops_bitwise() {
+        let a = [1.5e-300, -2.25, 3.5, f64::MAX / 2.0];
+        let b = [7.0, -0.3, 1e200, 3.0];
+        type ScalarOp = fn(f64, f64) -> f64;
+        unsafe {
+            let va = Portable4::load(a.as_ptr());
+            let vb = Portable4::load(b.as_ptr());
+            let mut out = [0.0f64; 4];
+            let cases: [(Portable4, ScalarOp); 4] = [
+                (Portable4::add(va, vb), |x, y| x + y),
+                (Portable4::sub(va, vb), |x, y| x - y),
+                (Portable4::mul(va, vb), |x, y| x * y),
+                (Portable4::div(va, vb), |x, y| x / y),
+            ];
+            for (op, sc) in cases {
+                op.store(out.as_mut_ptr());
+                for k in 0..4 {
+                    assert_eq!(out[k].to_bits(), sc(a[k], b[k]).to_bits());
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_lanes_match_scalar_ops_bitwise() {
+        if !detected_avx2() {
+            return;
+        }
+        let a = [1.5e-300, -2.25, 3.5, f64::MAX / 2.0];
+        let b = [7.0, -0.3, 1e200, 3.0];
+        type ScalarOp = fn(f64, f64) -> f64;
+        unsafe {
+            let va = Avx2::load(a.as_ptr());
+            let vb = Avx2::load(b.as_ptr());
+            let mut out = [0.0f64; 4];
+            let cases: [(Avx2, ScalarOp); 4] = [
+                (Avx2::add(va, vb), |x, y| x + y),
+                (Avx2::sub(va, vb), |x, y| x - y),
+                (Avx2::mul(va, vb), |x, y| x * y),
+                (Avx2::div(va, vb), |x, y| x / y),
+            ];
+            for (op, sc) in cases {
+                op.store(out.as_mut_ptr());
+                for k in 0..4 {
+                    assert_eq!(out[k].to_bits(), sc(a[k], b[k]).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_honours_force_override() {
+        let before = mode();
+        force_mode(Some(SimdMode::Scalar));
+        assert_eq!(mode(), SimdMode::Scalar);
+        force_mode(Some(SimdMode::Portable));
+        assert_eq!(mode(), SimdMode::Portable);
+        force_mode(None);
+        assert_eq!(mode(), before);
+    }
+
+    #[test]
+    fn round_up_is_lane_multiple() {
+        assert_eq!(round_up_lanes(0), 0);
+        assert_eq!(round_up_lanes(1), 4);
+        assert_eq!(round_up_lanes(4), 4);
+        assert_eq!(round_up_lanes(13), 16);
+    }
+}

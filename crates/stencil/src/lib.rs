@@ -34,6 +34,7 @@ pub mod dense;
 pub mod diagnostics;
 pub mod local;
 pub mod op;
+mod simd;
 
 pub use dense::DenseMatrix;
 pub use diagnostics::OperatorDiagnostics;

@@ -2,9 +2,11 @@
 
 use pop_comm::{BlockVec, CommWorld, DistLayout, DistVec};
 use pop_grid::{Grid, GRAVITY};
+use pop_simd::SimdMode;
 use std::sync::Arc;
 
 use crate::local::LocalStencil;
+use crate::simd::{self, StencilBlock};
 
 /// The distributed nine-point operator in POP's symmetric storage.
 ///
@@ -188,56 +190,32 @@ impl NinePoint {
     }
 
     /// Flat, branch-light per-block kernel: `y_b = A x_b` over the interior
-    /// of block `b`. Indexes the padded stride layout through exact-length
-    /// row windows so the inner loop carries no per-point coordinate
-    /// arithmetic and bounds checks hoist; the nine products are summed in
-    /// the same order as [`NinePoint::apply_reference`], keeping the two
-    /// paths bit-identical.
+    /// of block `b`, dispatched to the scalar loop or the 4-lane SIMD
+    /// kernel per the process-wide [`pop_simd::mode`]. All dispatch choices
+    /// are bitwise identical: the nine products are summed in the same
+    /// order as [`NinePoint::apply_reference`] (one column per lane), so
+    /// the paths stay pinned to the reference bit-for-bit.
     ///
     /// `x`'s halo must be current (the caller's one halo update per
     /// iteration).
     pub fn apply_block_into(&self, b: usize, x: &BlockVec, y: &mut BlockVec, mask: &[u8]) {
-        let (nx, ny, h, s) = (y.nx, y.ny, y.halo, y.stride());
-        debug_assert_eq!(mask.len(), nx * ny);
-        debug_assert!(h >= 1, "stencil needs one halo layer");
-        let xr = x.raw();
-        let a0 = self.a0.blocks[b].raw();
-        let an = self.an.blocks[b].raw();
-        let ae = self.ae.blocks[b].raw();
-        let ane = self.ane.blocks[b].raw();
-        let yr = y.raw_mut();
-        for j in 0..ny {
-            let base = (j + h) * s + h;
-            // Coefficient rows: center row, plus the south row carrying the
-            // symmetric images stored at (·, j−1). The `w`-suffixed windows
-            // start one cell west, so index `i` reads column i−1 and `i+1`
-            // reads column i.
-            let a0r = &a0[base..base + nx];
-            let anr = &an[base..base + nx];
-            let ans = &an[base - s..base - s + nx];
-            let aew = &ae[base - 1..base + nx];
-            let anew = &ane[base - 1..base + nx];
-            let anesw = &ane[base - s - 1..base - s + nx];
-            // Solution rows, one cell wider on both sides: `xc[i + 1]` is
-            // x(i, j).
-            let xc = &xr[base - 1..base + nx + 1];
-            let xn = &xr[base + s - 1..base + s + nx + 1];
-            let xs = &xr[base - s - 1..base - s + nx + 1];
-            let yrow = &mut yr[base..base + nx];
-            let mrow = &mask[j * nx..j * nx + nx];
-            for i in 0..nx {
-                let v = a0r[i] * xc[i + 1]
-                    + anr[i] * xn[i + 1]
-                    + ans[i] * xs[i + 1]
-                    + aew[i + 1] * xc[i + 2]
-                    + aew[i] * xc[i]
-                    + anew[i + 1] * xn[i + 2]
-                    + anesw[i + 1] * xs[i + 2]
-                    + anew[i] * xn[i]
-                    + anesw[i] * xs[i];
-                yrow[i] = if mrow[i] != 0 { v } else { 0.0 };
-            }
-        }
+        self.apply_block_into_mode(pop_simd::mode(), b, x, y, mask);
+    }
+
+    /// [`NinePoint::apply_block_into`] with an explicit dispatch choice —
+    /// the hook equivalence tests and micro-benchmarks use to compare
+    /// implementations in one process.
+    pub fn apply_block_into_mode(
+        &self,
+        mode: SimdMode,
+        b: usize,
+        x: &BlockVec,
+        y: &mut BlockVec,
+        mask: &[u8],
+    ) {
+        let blk = self.stencil_block(b, x, y.halo, y.stride());
+        debug_assert_eq!((y.nx, y.ny), (blk.nx, blk.ny));
+        simd::apply(mode, &blk, y.raw_mut(), mask, &self.layout.maskbits[b]);
     }
 
     /// Fused per-block residual: `r_b = rhs_b − (A x_b)` in one pass, plus
@@ -254,51 +232,56 @@ impl NinePoint {
         r: &mut BlockVec,
         mask: &[u8],
     ) -> f64 {
-        let (nx, ny, h, s) = (r.nx, r.ny, r.halo, r.stride());
-        debug_assert_eq!(mask.len(), nx * ny);
-        debug_assert!(h >= 1, "stencil needs one halo layer");
-        let xr = x.raw();
-        let bbr = rhs.raw();
-        let a0 = self.a0.blocks[b].raw();
-        let an = self.an.blocks[b].raw();
-        let ae = self.ae.blocks[b].raw();
-        let ane = self.ane.blocks[b].raw();
-        let rr = r.raw_mut();
-        let mut acc = 0.0f64;
-        for j in 0..ny {
-            let base = (j + h) * s + h;
-            let a0r = &a0[base..base + nx];
-            let anr = &an[base..base + nx];
-            let ans = &an[base - s..base - s + nx];
-            let aew = &ae[base - 1..base + nx];
-            let anew = &ane[base - 1..base + nx];
-            let anesw = &ane[base - s - 1..base - s + nx];
-            let xc = &xr[base - 1..base + nx + 1];
-            let xn = &xr[base + s - 1..base + s + nx + 1];
-            let xs = &xr[base - s - 1..base - s + nx + 1];
-            let brow = &bbr[base..base + nx];
-            let rrow = &mut rr[base..base + nx];
-            let mrow = &mask[j * nx..j * nx + nx];
-            for i in 0..nx {
-                let v = a0r[i] * xc[i + 1]
-                    + anr[i] * xn[i + 1]
-                    + ans[i] * xs[i + 1]
-                    + aew[i + 1] * xc[i + 2]
-                    + aew[i] * xc[i]
-                    + anew[i + 1] * xn[i + 2]
-                    + anesw[i + 1] * xs[i + 2]
-                    + anew[i] * xn[i]
-                    + anesw[i] * xs[i];
-                if mrow[i] != 0 {
-                    let rv = brow[i] - v;
-                    rrow[i] = rv;
-                    acc += rv * rv;
-                } else {
-                    rrow[i] = brow[i] - 0.0;
-                }
-            }
+        self.residual_block_into_mode(pop_simd::mode(), b, x, rhs, r, mask)
+    }
+
+    /// [`NinePoint::residual_block_into`] with an explicit dispatch choice.
+    /// The masked `‖r‖²` partial accumulates in a scalar row-major sum
+    /// under every mode, so convergence histories never depend on dispatch.
+    pub fn residual_block_into_mode(
+        &self,
+        mode: SimdMode,
+        b: usize,
+        x: &BlockVec,
+        rhs: &BlockVec,
+        r: &mut BlockVec,
+        mask: &[u8],
+    ) -> f64 {
+        let blk = self.stencil_block(b, x, r.halo, r.stride());
+        debug_assert_eq!((r.nx, r.ny), (blk.nx, blk.ny));
+        simd::residual(
+            mode,
+            &blk,
+            rhs.raw(),
+            r.raw_mut(),
+            mask,
+            &self.layout.maskbits[b],
+        )
+    }
+
+    /// Bundle block `b`'s operand views for the flat kernels, checking the
+    /// shared padded layout once.
+    fn stencil_block<'a>(
+        &'a self,
+        b: usize,
+        x: &'a BlockVec,
+        halo: usize,
+        stride: usize,
+    ) -> StencilBlock<'a> {
+        debug_assert!(halo >= 1, "stencil needs one halo layer");
+        debug_assert_eq!(x.stride(), stride, "operand stride mismatch");
+        debug_assert_eq!(self.a0.blocks[b].stride(), stride);
+        StencilBlock {
+            nx: x.nx,
+            ny: x.ny,
+            h: halo,
+            s: stride,
+            xr: x.raw(),
+            a0: self.a0.blocks[b].raw(),
+            an: self.an.blocks[b].raw(),
+            ae: self.ae.blocks[b].raw(),
+            ane: self.ane.blocks[b].raw(),
         }
-        acc
     }
 
     /// Convenience: refresh `x`'s halo, then `r = b − A x`.
@@ -572,6 +555,76 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "fused residual diverged");
         }
         assert_eq!(acc.to_bits(), norm_ref.to_bits(), "norm partial diverged");
+    }
+
+    #[test]
+    fn simd_modes_bitwise_match_scalar_on_odd_blocks() {
+        // 13×7 blocks: nx is not a multiple of the lane width, so the lane
+        // kernels exercise both the vector body and the scalar tail. Every
+        // dispatch mode must reproduce the scalar kernel bit-for-bit —
+        // outputs, residuals, and the order-sensitive norm partials.
+        let g = Grid::gx1_scaled(13, 65, 49);
+        let (layout, world, op) = setup(&g, 13, 7, 1500.0);
+        let mut x = test_field(&layout, 21);
+        let rhs = test_field(&layout, 22);
+        world.halo_update(&mut x);
+
+        let mut modes = vec![pop_simd::SimdMode::Portable];
+        if pop_simd::detected_avx2() {
+            modes.push(pop_simd::SimdMode::Avx2);
+        }
+        for b in 0..layout.n_blocks() {
+            let mask = &layout.masks[b];
+            let mut y_ref = BlockVec::zeros(x.blocks[b].nx, x.blocks[b].ny, x.blocks[b].halo);
+            op.apply_block_into_mode(
+                pop_simd::SimdMode::Scalar,
+                b,
+                &x.blocks[b],
+                &mut y_ref,
+                mask,
+            );
+            let mut r_ref = y_ref.clone();
+            let acc_ref = op.residual_block_into_mode(
+                pop_simd::SimdMode::Scalar,
+                b,
+                &x.blocks[b],
+                &rhs.blocks[b],
+                &mut r_ref,
+                mask,
+            );
+            for &mode in &modes {
+                let mut y = y_ref.clone();
+                y.fill(f64::NAN); // prove every interior point is written
+                y.zero_halo();
+                op.apply_block_into_mode(mode, b, &x.blocks[b], &mut y, mask);
+                for j in 0..y.ny {
+                    for (a, c) in y.interior_row(j).iter().zip(y_ref.interior_row(j)) {
+                        assert_eq!(a.to_bits(), c.to_bits(), "{mode:?} apply diverged");
+                    }
+                }
+                let mut r = r_ref.clone();
+                r.fill(f64::NAN);
+                r.zero_halo();
+                let acc = op.residual_block_into_mode(
+                    mode,
+                    b,
+                    &x.blocks[b],
+                    &rhs.blocks[b],
+                    &mut r,
+                    mask,
+                );
+                for j in 0..r.ny {
+                    for (a, c) in r.interior_row(j).iter().zip(r_ref.interior_row(j)) {
+                        assert_eq!(a.to_bits(), c.to_bits(), "{mode:?} residual diverged");
+                    }
+                }
+                assert_eq!(
+                    acc.to_bits(),
+                    acc_ref.to_bits(),
+                    "{mode:?} norm partial diverged"
+                );
+            }
+        }
     }
 
     #[test]
