@@ -96,6 +96,7 @@ fn bench_check_cadence(quick: bool, samples: usize) {
             tol: 1e-12,
             max_iters: 50_000,
             check_every: every,
+            ..SolverConfig::default()
         };
         group.bench(&every.to_string(), || {
             let mut x = DistVec::zeros(&rhs.layout);

@@ -30,6 +30,7 @@ fn main() {
         tol: 1e-13,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
 
     let mut group = BenchGroup::new(&format!("full_solve_{nx}x{ny}"))

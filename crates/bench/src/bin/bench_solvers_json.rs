@@ -107,6 +107,7 @@ fn main() {
         tol: 0.0,
         max_iters: iters,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let lanczos = LanczosConfig {
         tol: 0.01,

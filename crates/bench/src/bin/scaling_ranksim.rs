@@ -102,6 +102,7 @@ fn main() {
         tol: 0.0,
         max_iters: iters,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let lanczos = LanczosConfig {
         tol: 0.01,
@@ -253,7 +254,7 @@ fn main() {
         );
     }
 
-    let prov = Provenance::collect();
+    let prov = Provenance::collect().with_fault_plan(sim_cfg.faults.describe());
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"bench\": \"scaling_ranksim\",");

@@ -234,6 +234,7 @@ pub fn production_solver_config() -> SolverConfig {
         tol: 1e-13,
         max_iters: 100_000,
         check_every: 10,
+        ..SolverConfig::default()
     }
 }
 

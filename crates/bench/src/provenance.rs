@@ -35,6 +35,11 @@ pub struct Provenance {
     pub fma_detected: bool,
     pub os: &'static str,
     pub arch: &'static str,
+    /// One-line description of the active network fault plan
+    /// (`FaultPlan::describe()`), `None` for a fault-free run. Chaos
+    /// benchmarks are not comparable to clean ones; this field keeps them
+    /// from being mixed silently.
+    pub fault_plan: Option<String>,
 }
 
 fn git(args: &[&str]) -> Option<String> {
@@ -75,7 +80,15 @@ impl Provenance {
             fma_detected: pop_simd::detected_fma(),
             os: std::env::consts::OS,
             arch: std::env::consts::ARCH,
+            fault_plan: None,
         }
+    }
+
+    /// Record the run's fault plan (pass `FaultPlan::describe()`); `None`
+    /// marks the run fault-free.
+    pub fn with_fault_plan(mut self, plan: Option<String>) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// If the "threaded" backend is about to run on a single pool worker,
@@ -100,10 +113,14 @@ impl Provenance {
             Some(v) => format!("\"{v}\""),
             None => "null".to_string(),
         };
+        let fault_plan = match &self.fault_plan {
+            Some(v) => format!("\"{v}\""),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"git_commit\": \"{}\", \"git_dirty\": {}, \"threads\": {}, \"pool_threads\": {}, \
              \"threads_env\": {}, \"simd_mode\": \"{}\", \"avx2_detected\": {}, \
-             \"fma_detected\": {}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+             \"fma_detected\": {}, \"os\": \"{}\", \"arch\": \"{}\", \"fault_plan\": {}}}",
             self.git_commit,
             self.git_dirty,
             self.threads,
@@ -113,7 +130,8 @@ impl Provenance {
             self.avx2_detected,
             self.fma_detected,
             self.os,
-            self.arch
+            self.arch,
+            fault_plan
         )
     }
 }
@@ -131,6 +149,10 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"git_commit\""));
         assert!(j.contains(&format!("\"os\": \"{}\"", std::env::consts::OS)));
+        // Fault-free runs render an explicit null; a recorded plan is quoted.
+        assert!(j.contains("\"fault_plan\": null"));
+        let chaotic = Provenance::collect().with_fault_plan(Some("seed=7".into()));
+        assert!(chaotic.json().contains("\"fault_plan\": \"seed=7\""));
         // Hash is hex or the "unknown" sentinel — never shell noise.
         assert!(
             p.git_commit == "unknown" || p.git_commit.chars().all(|c| c.is_ascii_hexdigit()),

@@ -60,6 +60,14 @@ pub struct CommStats {
     pub allreduces: AtomicU64,
     pub allreduce_scalars: AtomicU64,
     pub barriers: AtomicU64,
+    /// Messages retransmitted after a (simulated) drop. Always zero on the
+    /// shared-memory backends; the ranksim fault layer feeds it.
+    pub retries: AtomicU64,
+    /// Duplicate deliveries discarded by sequence-number dedup.
+    pub duplicates: AtomicU64,
+    /// Messages whose payload arrived corrupted or permanently failed
+    /// (surfaced to the solver instead of panicking).
+    pub delivery_failures: AtomicU64,
 }
 
 /// A plain-data copy of [`CommStats`] at a point in time.
@@ -71,6 +79,12 @@ pub struct StatsSnapshot {
     pub allreduces: u64,
     pub allreduce_scalars: u64,
     pub barriers: u64,
+    /// Messages retransmitted after a simulated drop (ranksim fault layer).
+    pub retries: u64,
+    /// Duplicate deliveries idempotently discarded via sequence numbers.
+    pub duplicates: u64,
+    /// Deliveries that arrived corrupted or permanently failed.
+    pub delivery_failures: u64,
 }
 
 impl StatsSnapshot {
@@ -88,6 +102,11 @@ impl StatsSnapshot {
                 .allreduce_scalars
                 .saturating_sub(earlier.allreduce_scalars),
             barriers: self.barriers.saturating_sub(earlier.barriers),
+            retries: self.retries.saturating_sub(earlier.retries),
+            duplicates: self.duplicates.saturating_sub(earlier.duplicates),
+            delivery_failures: self
+                .delivery_failures
+                .saturating_sub(earlier.delivery_failures),
         }
     }
 }
@@ -139,6 +158,9 @@ impl CommWorld {
             allreduces: self.stats.allreduces.load(Ordering::Relaxed),
             allreduce_scalars: self.stats.allreduce_scalars.load(Ordering::Relaxed),
             barriers: self.stats.barriers.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            duplicates: self.stats.duplicates.load(Ordering::Relaxed),
+            delivery_failures: self.stats.delivery_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -150,6 +172,9 @@ impl CommWorld {
         self.stats.allreduces.store(0, Ordering::Relaxed);
         self.stats.allreduce_scalars.store(0, Ordering::Relaxed);
         self.stats.barriers.store(0, Ordering::Relaxed);
+        self.stats.retries.store(0, Ordering::Relaxed);
+        self.stats.duplicates.store(0, Ordering::Relaxed);
+        self.stats.delivery_failures.store(0, Ordering::Relaxed);
     }
 
     /// Total parallelism behind this world (1 under [`ExecPolicy::Serial`]).

@@ -45,6 +45,6 @@ pub mod tridiag;
 pub use lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
 pub use precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
 pub use solvers::{
-    ChronGear, ClassicPcg, CommSolver, LinearSolver, Pcsi, PipelinedCg, SolveStats, SolverConfig,
-    SolverWorkspace,
+    ChronGear, ClassicPcg, CommSolver, LinearSolver, Pcsi, PipelinedCg, RecoveryConfig,
+    SolveOutcome, SolveStats, SolverConfig, SolverWorkspace,
 };

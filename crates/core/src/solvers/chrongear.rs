@@ -8,7 +8,8 @@
 //! Figure 2 — and what P-CSI removes.
 
 use super::{
-    masked_block_dot, rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace,
+    copy_vec, masked_block_dot, rhs_norm, snapshot_vec, CommSolver, LinearSolver, RecoveryMonitor,
+    SolveOutcome, SolveStats, SolverConfig, SolverWorkspace, Verdict,
 };
 use crate::precond::Preconditioner;
 use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
@@ -108,6 +109,8 @@ impl ChronGear {
             preconditioner: pre.name(),
             iterations,
             converged,
+            outcome: super::baseline_outcome(converged, final_rel),
+            restarts: 0,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -137,124 +140,162 @@ impl CommSolver for ChronGear {
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
-        // r₀ = b − A x₀ ; s₀ = 0 ; p₀ = 0 ; ρ₀ = 1 ; σ₀ = 0.
-        let [r, z, az, s, p] = ws.take(comm, b);
-        comm.halo_update(x);
-        let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-            let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-            pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
-            pt
-        });
-        let mut rho_old = 1.0f64;
-        let mut sigma = 0.0f64;
+        let [r, z, az, s, p, x_good] = ws.take(comm, b);
+        copy_vec(comm, x, x_good);
+        let mut monitor = RecoveryMonitor::new(cfg.recovery);
 
-        let mut matvecs = 1usize; // the initial residual
+        let mut matvecs = 0usize;
         let mut precond_applies = 0usize;
         let mut iterations = 0usize;
-        let mut converged = false;
+        let mut outcome = SolveOutcome::MaxIters;
         let mut final_rel = f64::INFINITY;
         let mut history: Vec<(usize, f64)> =
             Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
 
-        while iterations < cfg.max_iters {
-            iterations += 1;
-
-            // Step 4: preconditioning r' = M⁻¹ r (its own sweep: r' needs a
-            // boundary update before the matvec can run).
-            comm.for_each_block_fused([&mut *z], |bk, [zb]| {
-                pre.apply_block(bk, r.block(bk), zb);
-                [0.0; MAX_SWEEP_PARTIALS]
-            });
-            precond_applies += 1;
-
-            // Steps 5–6: the single halo exchange of the iteration, then one
-            // sweep computing z = B r' AND both inner-product partials
-            // ρ̃ = rᵀr', δ̃ = (Br')ᵀr' while the block is cache-hot.
-            comm.halo_update(z);
-            let d_sweep = comm.for_each_block_fused([&mut *az], |bk, [azb]| {
-                let mask = &layout.masks[bk];
-                op.apply_block_into(bk, z.block(bk), azb, mask);
+        // Each pass is one CG recurrence: the first from the caller's x₀, a
+        // restart re-enters from the last good snapshot (DESIGN.md §10).
+        'recurrence: loop {
+            // r₀ = b − A x₀ ; s₀ = 0 ; p₀ = 0 ; ρ₀ = 1 ; σ₀ = 0.
+            s.zero_fill();
+            p.zero_fill();
+            comm.halo_update(x);
+            let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
                 let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = masked_block_dot(r.block(bk), z.block(bk), mask);
-                pt[1] = masked_block_dot(azb, z.block(bk), mask);
+                pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 pt
             });
-            matvecs += 1;
+            let mut rho_old = 1.0f64;
+            let mut sigma = 0.0f64;
+            matvecs += 1; // the initial residual
 
-            // Steps 7–9: consuming the pair is the iteration's ONE reduction.
-            let d = comm.reduce_sweep(&d_sweep, 2);
-            let (rho, delta) = (d[0], d[1]);
+            while iterations < cfg.max_iters {
+                iterations += 1;
 
-            // Steps 10–12: recurrence scalars.
-            let beta = rho / rho_old;
-            sigma = delta - beta * beta * sigma;
-            let alpha = rho / sigma;
-            let nalpha = -alpha;
+                // Step 4: preconditioning r' = M⁻¹ r (its own sweep: r' needs a
+                // boundary update before the matvec can run).
+                comm.for_each_block_fused([&mut *z], |bk, [zb]| {
+                    pre.apply_block(bk, r.block(bk), zb);
+                    [0.0; MAX_SWEEP_PARTIALS]
+                });
+                precond_applies += 1;
 
-            // Steps 13–16: all four updates in one sweep, with ‖r‖² as a
-            // free per-block partial for the periodic check.
-            rr_sweep = comm.for_each_block_fused(
-                [&mut *s, &mut *p, &mut *x, &mut *r],
-                |bk, [sb, pb, xb, rb]| {
+                // Steps 5–6: the single halo exchange of the iteration, then one
+                // sweep computing z = B r' AND both inner-product partials
+                // ρ̃ = rᵀr', δ̃ = (Br')ᵀr' while the block is cache-hot.
+                comm.halo_update(z);
+                let d_sweep = comm.for_each_block_fused([&mut *az], |bk, [azb]| {
                     let mask = &layout.masks[bk];
-                    let nx = sb.nx;
-                    let mut acc = 0.0f64;
-                    for j in 0..sb.ny {
-                        let zr = z.block(bk).interior_row(j);
-                        let azr = az.block(bk).interior_row(j);
-                        let sr = sb.interior_row_mut(j);
-                        let pr = pb.interior_row_mut(j);
-                        let xr = xb.interior_row_mut(j);
-                        let rrow = rb.interior_row_mut(j);
-                        let mrow = &mask[j * nx..(j + 1) * nx];
-                        for i in 0..nx {
-                            let sv = zr[i] + beta * sr[i]; // s = r' + β s
-                            let pv = azr[i] + beta * pr[i]; // p = Br' + β p
-                            sr[i] = sv;
-                            pr[i] = pv;
-                            xr[i] += alpha * sv;
-                            let rv = rrow[i] + nalpha * pv;
-                            rrow[i] = rv;
-                            if mrow[i] != 0 {
-                                acc += rv * rv;
+                    op.apply_block_into(bk, z.block(bk), azb, mask);
+                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                    pt[0] = masked_block_dot(r.block(bk), z.block(bk), mask);
+                    pt[1] = masked_block_dot(azb, z.block(bk), mask);
+                    pt
+                });
+                matvecs += 1;
+
+                // Steps 7–9: consuming the pair is the iteration's ONE reduction.
+                let d = comm.reduce_sweep(&d_sweep, 2);
+                let (rho, delta) = (d[0], d[1]);
+
+                // Steps 10–12: recurrence scalars.
+                let beta = rho / rho_old;
+                sigma = delta - beta * beta * sigma;
+                let alpha = rho / sigma;
+                let nalpha = -alpha;
+
+                // Steps 13–16: all four updates in one sweep, with ‖r‖² as a
+                // free per-block partial for the periodic check.
+                rr_sweep = comm.for_each_block_fused(
+                    [&mut *s, &mut *p, &mut *x, &mut *r],
+                    |bk, [sb, pb, xb, rb]| {
+                        let mask = &layout.masks[bk];
+                        let nx = sb.nx;
+                        let mut acc = 0.0f64;
+                        for j in 0..sb.ny {
+                            let zr = z.block(bk).interior_row(j);
+                            let azr = az.block(bk).interior_row(j);
+                            let sr = sb.interior_row_mut(j);
+                            let pr = pb.interior_row_mut(j);
+                            let xr = xb.interior_row_mut(j);
+                            let rrow = rb.interior_row_mut(j);
+                            let mrow = &mask[j * nx..(j + 1) * nx];
+                            for i in 0..nx {
+                                let sv = zr[i] + beta * sr[i]; // s = r' + β s
+                                let pv = azr[i] + beta * pr[i]; // p = Br' + β p
+                                sr[i] = sv;
+                                pr[i] = pv;
+                                xr[i] += alpha * sv;
+                                let rv = rrow[i] + nalpha * pv;
+                                rrow[i] = rv;
+                                if mrow[i] != 0 {
+                                    acc += rv * rv;
+                                }
                             }
                         }
-                    }
-                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                    pt[0] = acc;
-                    pt
-                },
-            );
-            rho_old = rho;
+                        let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                        pt[0] = acc;
+                        pt
+                    },
+                );
+                rho_old = rho;
 
-            // Step 17: periodic convergence check (one extra reduction —
-            // consuming the ‖r‖² partials carried by the update sweep).
-            if iterations % cfg.check_every == 0 {
+                // Step 17: periodic convergence check (one extra reduction —
+                // consuming the ‖r‖² partials carried by the update sweep). The
+                // reduced value is identical on every rank, so the recovery
+                // verdict is too.
+                if iterations % cfg.check_every == 0 {
+                    let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
+                    final_rel = rr.sqrt() / bnorm;
+                    history.push((iterations, final_rel));
+                    match monitor.assess(final_rel) {
+                        Verdict::Healthy { improved } => {
+                            if final_rel < cfg.tol {
+                                outcome = SolveOutcome::Converged;
+                                break 'recurrence;
+                            }
+                            if improved {
+                                snapshot_vec(comm, x, x_good);
+                            }
+                        }
+                        Verdict::Restart => {
+                            copy_vec(comm, x_good, x);
+                            continue 'recurrence;
+                        }
+                        Verdict::Abort => {
+                            copy_vec(comm, x_good, x);
+                            final_rel = monitor.best_rel;
+                            outcome = SolveOutcome::Diverged;
+                            break 'recurrence;
+                        }
+                    }
+                }
+            }
+
+            // Iteration cap hit before any check: settle the final residual
+            // with one last reduction of the standing sweep (same event
+            // count as the pre-recovery loop).
+            if final_rel.is_infinite() {
                 let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                 final_rel = rr.sqrt() / bnorm;
                 history.push((iterations, final_rel));
-                if final_rel < cfg.tol {
-                    converged = true;
-                    break;
-                }
-                if !final_rel.is_finite() {
-                    break; // diverged; report as not converged
-                }
             }
-        }
-
-        if final_rel.is_infinite() {
-            let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
-            final_rel = rr.sqrt() / bnorm;
-            converged = final_rel < cfg.tol;
-            history.push((iterations, final_rel));
+            if final_rel < cfg.tol {
+                outcome = SolveOutcome::Converged;
+            } else if !final_rel.is_finite() {
+                copy_vec(comm, x_good, x);
+                final_rel = monitor.best_rel;
+                outcome = SolveOutcome::Diverged;
+            }
+            break 'recurrence;
         }
 
         SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
-            converged,
+            converged: outcome == SolveOutcome::Converged,
+            outcome,
+            restarts: monitor.restarts,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -301,6 +342,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 5000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let st = ChronGear.solve(&f.op, &Identity, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged, "stats: {st:?}");
@@ -317,6 +359,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 5000,
             check_every: 5,
+            ..SolverConfig::default()
         };
         let st = ChronGear.solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged, "stats: {st:?}");
@@ -336,6 +379,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 5000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let mut x1 = DistVec::zeros(&f.layout);
         let st_diag = ChronGear.solve(&f.op, &diag, &f.world, &f.b, &mut x1, &cfg);
@@ -360,6 +404,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 1000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let st = ChronGear.solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged);
@@ -380,6 +425,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 5000,
             check_every: 5,
+            ..SolverConfig::default()
         };
         let st = ChronGear.solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged);
@@ -404,6 +450,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 5000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let mut cold = DistVec::zeros(&f.layout);
         let st_cold = ChronGear.solve(&f.op, &pre, &f.world, &f.b, &mut cold, &cfg);

@@ -12,7 +12,10 @@
 //! tolerance, which is why P-CSI only wins at scale — exactly the crossover
 //! the paper measures and the reproduction tracks.
 
-use super::{rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
+use super::{
+    copy_vec, rhs_norm, snapshot_vec, CommSolver, LinearSolver, RecoveryMonitor, SolveOutcome,
+    SolveStats, SolverConfig, SolverWorkspace, Verdict,
+};
 use crate::lanczos::EigenBounds;
 use crate::precond::Preconditioner;
 use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
@@ -123,6 +126,8 @@ impl Pcsi {
             preconditioner: pre.name(),
             iterations,
             converged,
+            outcome: super::baseline_outcome(converged, final_rel),
+            restarts: 0,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -160,60 +165,34 @@ impl CommSolver for Pcsi {
         let alpha = 2.0 / (mu - nu);
         let beta = (mu + nu) / (mu - nu);
         let gamma = beta / alpha; // = (μ + ν)/2
-        let mut omega = 2.0 / gamma; // ω₀
 
-        let [r, z, dx] = ws.take(comm, b);
+        let [r, z, dx, x_good] = ws.take(comm, b);
+        copy_vec(comm, x, x_good);
+        let mut monitor = RecoveryMonitor::new(cfg.recovery);
 
-        // r₀ = b − A x₀.
-        comm.halo_update(x);
-        comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-            op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
-            [0.0; MAX_SWEEP_PARTIALS]
-        });
-
-        // Δx₀ = γ⁻¹ M⁻¹ r₀ ; x₁ = x₀ + Δx₀, fused into one sweep.
-        let inv_gamma = 1.0 / gamma;
-        comm.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
-            pre.apply_block(bk, r.block(bk), zb);
-            for j in 0..dxb.ny {
-                let zr = zb.interior_row(j);
-                let dxr = dxb.interior_row_mut(j);
-                let xr = xb.interior_row_mut(j);
-                for i in 0..dxr.len() {
-                    let d = zr[i] * inv_gamma;
-                    dxr[i] = d;
-                    xr[i] += d;
-                }
-            }
-            [0.0; MAX_SWEEP_PARTIALS]
-        });
-
-        // r₁ = b − A x₁, with ‖r‖² riding along as a per-block partial.
-        comm.halo_update(x);
-        let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-            let mut p = [0.0; MAX_SWEEP_PARTIALS];
-            p[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
-            p
-        });
-
-        let mut matvecs = 2usize;
-        let mut precond_applies = 1usize;
+        let mut matvecs = 0usize;
+        let mut precond_applies = 0usize;
         let mut iterations = 0usize;
-        let mut converged = false;
+        let mut outcome = SolveOutcome::MaxIters;
         let mut final_rel = f64::INFINITY;
         let mut history: Vec<(usize, f64)> =
             Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
 
-        while iterations < cfg.max_iters {
-            iterations += 1;
+        // Each pass of this loop is one Chebyshev recurrence: the first
+        // starts from the caller's x₀, a restart re-enters from the last
+        // good snapshot after a broken check (DESIGN.md §10).
+        'recurrence: loop {
+            let mut omega = 2.0 / gamma; // ω₀
 
-            // Step 5: the iterated weight ω_k = 1/(γ − ω_{k−1}/(4α²)).
-            omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
-            let c = gamma * omega - 1.0;
+            // r₀ = b − A x₀.
+            comm.halo_update(x);
+            comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+                op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
 
-            // Steps 6–8 as ONE sweep per block: r' = M⁻¹ r, then
-            // Δx = ω r' + c Δx and x += Δx while the tiles are cache-hot.
-            // No reductions.
+            // Δx₀ = γ⁻¹ M⁻¹ r₀ ; x₁ = x₀ + Δx₀, fused into one sweep.
+            let inv_gamma = 1.0 / gamma;
             comm.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
                 pre.apply_block(bk, r.block(bk), zb);
                 for j in 0..dxb.ny {
@@ -221,54 +200,119 @@ impl CommSolver for Pcsi {
                     let dxr = dxb.interior_row_mut(j);
                     let xr = xb.interior_row_mut(j);
                     for i in 0..dxr.len() {
-                        let d = dxr[i] * c + omega * zr[i];
+                        let d = zr[i] * inv_gamma;
                         dxr[i] = d;
                         xr[i] += d;
                     }
                 }
                 [0.0; MAX_SWEEP_PARTIALS]
             });
-            precond_applies += 1;
 
-            // Steps 9–10: one halo update, then the residual sweep; the
-            // squared norm is accumulated per block for free.
+            // r₁ = b − A x₁, with ‖r‖² riding along as a per-block partial.
             comm.halo_update(x);
-            rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
                 let mut p = [0.0; MAX_SWEEP_PARTIALS];
                 p[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 p
             });
-            matvecs += 1;
+            matvecs += 2;
+            precond_applies += 1;
 
-            // Step 11: periodic convergence check — P-CSI's only reduction
-            // (the partials stay local until `reduce_sweep` consumes them as
-            // a global norm; *that* is the allreduce).
-            if iterations % cfg.check_every == 0 {
+            while iterations < cfg.max_iters {
+                iterations += 1;
+
+                // Step 5: the iterated weight ω_k = 1/(γ − ω_{k−1}/(4α²)).
+                omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+                let c = gamma * omega - 1.0;
+
+                // Steps 6–8 as ONE sweep per block: r' = M⁻¹ r, then
+                // Δx = ω r' + c Δx and x += Δx while the tiles are
+                // cache-hot. No reductions.
+                comm.for_each_block_fused([&mut *z, &mut *dx, &mut *x], |bk, [zb, dxb, xb]| {
+                    pre.apply_block(bk, r.block(bk), zb);
+                    for j in 0..dxb.ny {
+                        let zr = zb.interior_row(j);
+                        let dxr = dxb.interior_row_mut(j);
+                        let xr = xb.interior_row_mut(j);
+                        for i in 0..dxr.len() {
+                            let d = dxr[i] * c + omega * zr[i];
+                            dxr[i] = d;
+                            xr[i] += d;
+                        }
+                    }
+                    [0.0; MAX_SWEEP_PARTIALS]
+                });
+                precond_applies += 1;
+
+                // Steps 9–10: one halo update, then the residual sweep; the
+                // squared norm is accumulated per block for free.
+                comm.halo_update(x);
+                rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+                    let mut p = [0.0; MAX_SWEEP_PARTIALS];
+                    p[0] =
+                        op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+                    p
+                });
+                matvecs += 1;
+
+                // Step 11: periodic convergence check — P-CSI's only
+                // reduction (the partials stay local until `reduce_sweep`
+                // consumes them as a global norm; *that* is the allreduce).
+                // The reduced value is identical on every rank, so the
+                // recovery verdict below is too.
+                if iterations % cfg.check_every == 0 {
+                    let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
+                    final_rel = rr.sqrt() / bnorm;
+                    history.push((iterations, final_rel));
+                    match monitor.assess(final_rel) {
+                        Verdict::Healthy { improved } => {
+                            if final_rel < cfg.tol {
+                                outcome = SolveOutcome::Converged;
+                                break 'recurrence;
+                            }
+                            if improved {
+                                snapshot_vec(comm, x, x_good);
+                            }
+                        }
+                        Verdict::Restart => {
+                            copy_vec(comm, x_good, x);
+                            continue 'recurrence;
+                        }
+                        Verdict::Abort => {
+                            copy_vec(comm, x_good, x);
+                            final_rel = monitor.best_rel;
+                            outcome = SolveOutcome::Diverged;
+                            break 'recurrence;
+                        }
+                    }
+                }
+            }
+
+            // Iteration cap hit before any check: settle the final residual
+            // with one last reduction of the standing sweep (same event
+            // count as the pre-recovery loop).
+            if final_rel.is_infinite() {
                 let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                 final_rel = rr.sqrt() / bnorm;
                 history.push((iterations, final_rel));
-                if final_rel < cfg.tol {
-                    converged = true;
-                    break;
-                }
-                if !final_rel.is_finite() {
-                    break;
-                }
             }
-        }
-
-        if final_rel.is_infinite() {
-            let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
-            final_rel = rr.sqrt() / bnorm;
-            converged = final_rel < cfg.tol;
-            history.push((iterations, final_rel));
+            if final_rel < cfg.tol {
+                outcome = SolveOutcome::Converged;
+            } else if !final_rel.is_finite() {
+                copy_vec(comm, x_good, x);
+                final_rel = monitor.best_rel;
+                outcome = SolveOutcome::Diverged;
+            }
+            break 'recurrence;
         }
 
         SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
-            converged,
+            converged: outcome == SolveOutcome::Converged,
+            outcome,
+            restarts: monitor.restarts,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -319,6 +363,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 20_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let st = Pcsi::new(bounds).solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged, "stats: {st:?}");
@@ -335,6 +380,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 20_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let mut x1 = DistVec::zeros(&f.layout);
         let st_cg = ChronGear.solve(&f.op, &pre, &f.world, &f.b, &mut x1, &cfg);
@@ -365,6 +411,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 20_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let (b_diag, _) = estimate_bounds(&f.op, &diag, &f.world, &LanczosConfig::default());
         let (b_evp, _) = estimate_bounds(&f.op, &evp, &f.world, &LanczosConfig::default());
@@ -393,6 +440,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 5000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let st = Pcsi::new(bounds).solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged);

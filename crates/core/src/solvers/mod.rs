@@ -26,6 +26,12 @@ pub struct SolverConfig {
     /// Convergence is tested every `check_every` iterations (the paper
     /// checks every 10 in the 0.1° runs; each test costs one reduction).
     pub check_every: usize,
+    /// Bounded graceful degradation when the recurrence breaks (NaN from a
+    /// poisoned halo strip, exploding residual). Inert in healthy runs: the
+    /// restart triggers only fire on non-finite or clearly diverged checked
+    /// residuals, so fault-free trajectories are bit-identical with any
+    /// recovery setting.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for SolverConfig {
@@ -34,6 +40,7 @@ impl Default for SolverConfig {
             tol: 1e-13,
             max_iters: 10_000,
             check_every: 10,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -48,6 +55,160 @@ impl SolverConfig {
     }
 }
 
+/// Restart policy for the solvers' graceful-degradation path.
+///
+/// Each fused solver snapshots its iterate at every *healthy* convergence
+/// check. When a later check sees a non-finite residual (NaN from a
+/// poisoned halo strip under fault injection) or one that exploded past
+/// `divergence_factor ×` the best residual seen, the solver restarts its
+/// recurrence from the snapshot instead of silently diverging — at most
+/// `max_restarts` times, after which it restores the snapshot and reports
+/// [`SolveOutcome::Diverged`]. The decision is taken from the *reduced*
+/// residual, which the communicator contract makes identical on every
+/// rank, so all ranks of an SPMD solve restart in lockstep and no rank can
+/// deadlock waiting on a collective its peers abandoned.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Recurrence restarts allowed before the solve gives up.
+    pub max_restarts: usize,
+    /// A checked residual above `divergence_factor × best-so-far` counts
+    /// as divergence (non-finite always does). Large enough that healthy
+    /// CG non-monotonicity never trips it.
+    pub divergence_factor: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_restarts: 3,
+            divergence_factor: 1e6,
+        }
+    }
+}
+
+/// How a solve ended. Richer than the `converged` flag: distinguishes a
+/// healthy run that merely hit the iteration cap from a recurrence that
+/// broke and exhausted its restart budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// `‖r‖ < tol · ‖b‖` reached.
+    Converged,
+    /// Iteration cap hit while the recurrence was still healthy (includes
+    /// stagnation at the rounding floor).
+    MaxIters,
+    /// The recurrence produced non-finite or exploded residuals and the
+    /// restart budget ran out. The returned `x` is the last good iterate —
+    /// finite by construction, never the poisoned state.
+    Diverged,
+}
+
+impl SolveOutcome {
+    /// Short label for logs and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveOutcome::Converged => "converged",
+            SolveOutcome::MaxIters => "max-iters",
+            SolveOutcome::Diverged => "diverged",
+        }
+    }
+}
+
+/// Shared restart bookkeeping for the fused solver loops: feed it every
+/// *reduced* relative residual, act on the verdict.
+#[derive(Debug)]
+pub(crate) struct RecoveryMonitor {
+    cfg: RecoveryConfig,
+    /// Best (smallest) healthy relative residual seen so far.
+    pub best_rel: f64,
+    /// Restarts performed.
+    pub restarts: usize,
+}
+
+/// What a checked residual means for the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// The recurrence is healthy; `improved` says the snapshot should be
+    /// refreshed from the current iterate.
+    Healthy { improved: bool },
+    /// Broken, budget left: restart the recurrence from the snapshot.
+    Restart,
+    /// Broken, budget exhausted: restore the snapshot and give up.
+    Abort,
+}
+
+impl RecoveryMonitor {
+    pub(crate) fn new(cfg: RecoveryConfig) -> Self {
+        RecoveryMonitor {
+            cfg,
+            best_rel: f64::INFINITY,
+            restarts: 0,
+        }
+    }
+
+    /// Classify one reduced relative residual. Every rank of an SPMD solve
+    /// sees the same `rel`, so every rank gets the same verdict.
+    pub(crate) fn assess(&mut self, rel: f64) -> Verdict {
+        let diverged = !rel.is_finite()
+            || (self.best_rel.is_finite() && rel > self.cfg.divergence_factor * self.best_rel);
+        if diverged {
+            if self.restarts < self.cfg.max_restarts {
+                self.restarts += 1;
+                Verdict::Restart
+            } else {
+                Verdict::Abort
+            }
+        } else {
+            let improved = rel < self.best_rel;
+            if improved {
+                self.best_rel = rel;
+            }
+            Verdict::Healthy { improved }
+        }
+    }
+}
+
+/// Outcome classification for the pre-recovery baseline loops
+/// (`solve_unfused`), which run no restarts: non-finite residuals mean the
+/// recurrence diverged, anything else that missed the tolerance is an
+/// iteration-cap exit.
+pub(crate) fn baseline_outcome(converged: bool, final_rel: f64) -> SolveOutcome {
+    if converged {
+        SolveOutcome::Converged
+    } else if final_rel.is_finite() {
+        SolveOutcome::MaxIters
+    } else {
+        SolveOutcome::Diverged
+    }
+}
+
+/// Copy `src`'s interior into `dst` through a fused sweep (no reduction is
+/// consumed, no halo is touched): the snapshot/restore primitive of the
+/// recovery path. Works on any communicator's vectors.
+pub(crate) fn copy_vec<C: Communicator>(comm: &C, src: &mut C::Vec, dst: &mut C::Vec) {
+    let _ = comm.for_each_block_fused([dst, src], |_, [d, s]| {
+        d.raw_mut().copy_from_slice(s.raw());
+        [0.0; pop_comm::MAX_SWEEP_PARTIALS]
+    });
+}
+
+/// Refresh the snapshot `dst` from `src`, block by block, skipping any block
+/// that holds a non-finite value. The reduced residual a solver checks can
+/// lag the iterate it describes (most sharply in pipelined CG, where the
+/// dots of iteration *k* are taken before iteration *k*'s updates), so a
+/// "healthy" verdict may arrive while `src` is already poisoned: this guard
+/// keeps the poison out of the snapshot so restarts and aborts always
+/// restore a finite field. The per-block decision is purely local — blocks
+/// are rank-private, so no cross-rank agreement is needed — and on a
+/// fault-free run it degenerates to `copy_vec` with an extra read pass.
+pub(crate) fn snapshot_vec<C: Communicator>(comm: &C, src: &mut C::Vec, dst: &mut C::Vec) {
+    let _ = comm.for_each_block_fused([dst, src], |_, [d, s]| {
+        if s.raw().iter().all(|v| v.is_finite()) {
+            d.raw_mut().copy_from_slice(s.raw());
+        }
+        [0.0; pop_comm::MAX_SWEEP_PARTIALS]
+    });
+}
+
 /// What one solve did: iteration counts, convergence, and the exact
 /// communication events it generated (the cost-model inputs).
 #[derive(Debug, Clone)]
@@ -56,6 +217,10 @@ pub struct SolveStats {
     pub preconditioner: &'static str,
     pub iterations: usize,
     pub converged: bool,
+    /// Structured outcome (`converged` stays as the simple boolean view).
+    pub outcome: SolveOutcome,
+    /// Recurrence restarts the recovery path performed.
+    pub restarts: usize,
     /// Final `‖r‖₂ / ‖b‖₂`.
     pub final_relative_residual: f64,
     pub matvecs: usize,

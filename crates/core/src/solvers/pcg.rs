@@ -6,7 +6,8 @@
 //! measures exactly that difference.
 
 use super::{
-    masked_block_dot, rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace,
+    copy_vec, masked_block_dot, rhs_norm, snapshot_vec, CommSolver, LinearSolver, RecoveryMonitor,
+    SolveOutcome, SolveStats, SolverConfig, SolverWorkspace, Verdict,
 };
 use crate::precond::Preconditioner;
 use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
@@ -94,6 +95,8 @@ impl ClassicPcg {
             preconditioner: pre.name(),
             iterations,
             converged,
+            outcome: super::baseline_outcome(converged, final_rel),
+            restarts: 0,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -123,122 +126,154 @@ impl CommSolver for ClassicPcg {
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
-        let [r, z, p, ap] = ws.take(comm, b);
-        comm.halo_update(x);
-        // ‖r₀‖² rides in lane 0, where the periodic check expects it.
-        let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-            let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-            pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
-            pt
-        });
-        // z₀ = M⁻¹ r₀ and p₀ = z₀ in one sweep, with the setup rᵀz partial.
-        let rz_sweep = comm.for_each_block_fused([&mut *z, &mut *p], |bk, [zb, pb]| {
-            pre.apply_block(bk, r.block(bk), zb);
-            for j in 0..pb.ny {
-                pb.interior_row_mut(j).copy_from_slice(zb.interior_row(j));
-            }
-            let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-            pt[0] = masked_block_dot(r.block(bk), zb, &layout.masks[bk]);
-            pt
-        });
-        let mut rz = comm.reduce_sweep(&rz_sweep, 1)[0]; // reduction #0 (setup)
+        let [r, z, p, ap, x_good] = ws.take(comm, b);
+        copy_vec(comm, x, x_good);
+        let mut monitor = RecoveryMonitor::new(cfg.recovery);
 
-        let mut matvecs = 1usize;
-        let mut precond_applies = 1usize;
+        let mut matvecs = 0usize;
+        let mut precond_applies = 0usize;
         let mut iterations = 0usize;
-        let mut converged = false;
+        let mut outcome = SolveOutcome::MaxIters;
         let mut final_rel = f64::INFINITY;
         let mut history: Vec<(usize, f64)> =
             Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
 
-        while iterations < cfg.max_iters {
-            iterations += 1;
-
-            // Sweep 1: Ap and its pᵀAp partial together.
-            comm.halo_update(p);
-            let pap_sweep = comm.for_each_block_fused([&mut *ap], |bk, [apb]| {
-                let mask = &layout.masks[bk];
-                op.apply_block_into(bk, p.block(bk), apb, mask);
+        'recurrence: loop {
+            comm.halo_update(x);
+            // ‖r₀‖² rides in lane 0, where the periodic check expects it.
+            let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
                 let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = masked_block_dot(p.block(bk), apb, mask);
+                pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 pt
             });
+            // z₀ = M⁻¹ r₀ and p₀ = z₀ in one sweep, with the setup rᵀz partial.
+            let rz_sweep = comm.for_each_block_fused([&mut *z, &mut *p], |bk, [zb, pb]| {
+                pre.apply_block(bk, r.block(bk), zb);
+                for j in 0..pb.ny {
+                    pb.interior_row_mut(j).copy_from_slice(zb.interior_row(j));
+                }
+                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                pt[0] = masked_block_dot(r.block(bk), zb, &layout.masks[bk]);
+                pt
+            });
+            let mut rz = comm.reduce_sweep(&rz_sweep, 1)[0]; // reduction #0 (setup)
             matvecs += 1;
-
-            // Reduction #1 of the iteration.
-            let pap = comm.reduce_sweep(&pap_sweep, 1)[0];
-            let alpha = rz / pap;
-            let nalpha = -alpha;
-
-            // Sweep 2: x += αp, r −= αAp, z = M⁻¹r, and the ‖r‖² / rᵀz
-            // partials, all while the block is cache-hot. ‖r‖² in lane 0:
-            // the periodic check re-reduces this sweep later.
-            let d_sweep =
-                comm.for_each_block_fused([&mut *x, &mut *r, &mut *z], |bk, [xb, rb, zb]| {
-                    let mask = &layout.masks[bk];
-                    let nx = xb.nx;
-                    for j in 0..xb.ny {
-                        let prow = p.block(bk).interior_row(j);
-                        let aprow = ap.block(bk).interior_row(j);
-                        let xr = xb.interior_row_mut(j);
-                        let rrow = rb.interior_row_mut(j);
-                        for i in 0..nx {
-                            xr[i] += alpha * prow[i];
-                            rrow[i] += nalpha * aprow[i];
-                        }
-                    }
-                    pre.apply_block(bk, rb, zb);
-                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                    pt[0] = masked_block_dot(rb, rb, mask);
-                    pt[1] = masked_block_dot(rb, zb, mask);
-                    pt
-                });
             precond_applies += 1;
 
-            // Reduction #2 of the iteration (consumes rᵀz).
-            let rz_new = comm.reduce_sweep(&d_sweep, 1)[1];
-            rr_sweep = d_sweep;
-            let beta = rz_new / rz;
-            rz = rz_new;
+            while iterations < cfg.max_iters {
+                iterations += 1;
 
-            // Sweep 3: the direction update p = z + β p.
-            comm.for_each_block_fused([&mut *p], |bk, [pb]| {
-                for j in 0..pb.ny {
-                    let zr = z.block(bk).interior_row(j);
-                    let prow = pb.interior_row_mut(j);
-                    for i in 0..prow.len() {
-                        prow[i] = zr[i] + beta * prow[i];
+                // Sweep 1: Ap and its pᵀAp partial together.
+                comm.halo_update(p);
+                let pap_sweep = comm.for_each_block_fused([&mut *ap], |bk, [apb]| {
+                    let mask = &layout.masks[bk];
+                    op.apply_block_into(bk, p.block(bk), apb, mask);
+                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                    pt[0] = masked_block_dot(p.block(bk), apb, mask);
+                    pt
+                });
+                matvecs += 1;
+
+                // Reduction #1 of the iteration.
+                let pap = comm.reduce_sweep(&pap_sweep, 1)[0];
+                let alpha = rz / pap;
+                let nalpha = -alpha;
+
+                // Sweep 2: x += αp, r −= αAp, z = M⁻¹r, and the ‖r‖² / rᵀz
+                // partials, all while the block is cache-hot. ‖r‖² in lane 0:
+                // the periodic check re-reduces this sweep later.
+                let d_sweep =
+                    comm.for_each_block_fused([&mut *x, &mut *r, &mut *z], |bk, [xb, rb, zb]| {
+                        let mask = &layout.masks[bk];
+                        let nx = xb.nx;
+                        for j in 0..xb.ny {
+                            let prow = p.block(bk).interior_row(j);
+                            let aprow = ap.block(bk).interior_row(j);
+                            let xr = xb.interior_row_mut(j);
+                            let rrow = rb.interior_row_mut(j);
+                            for i in 0..nx {
+                                xr[i] += alpha * prow[i];
+                                rrow[i] += nalpha * aprow[i];
+                            }
+                        }
+                        pre.apply_block(bk, rb, zb);
+                        let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                        pt[0] = masked_block_dot(rb, rb, mask);
+                        pt[1] = masked_block_dot(rb, zb, mask);
+                        pt
+                    });
+                precond_applies += 1;
+
+                // Reduction #2 of the iteration (consumes rᵀz).
+                let rz_new = comm.reduce_sweep(&d_sweep, 1)[1];
+                rr_sweep = d_sweep;
+                let beta = rz_new / rz;
+                rz = rz_new;
+
+                // Sweep 3: the direction update p = z + β p.
+                comm.for_each_block_fused([&mut *p], |bk, [pb]| {
+                    for j in 0..pb.ny {
+                        let zr = z.block(bk).interior_row(j);
+                        let prow = pb.interior_row_mut(j);
+                        for i in 0..prow.len() {
+                            prow[i] = zr[i] + beta * prow[i];
+                        }
+                    }
+                    [0.0; MAX_SWEEP_PARTIALS]
+                });
+
+                if iterations % cfg.check_every == 0 {
+                    let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
+                    final_rel = rr.sqrt() / bnorm;
+                    history.push((iterations, final_rel));
+                    match monitor.assess(final_rel) {
+                        Verdict::Healthy { improved } => {
+                            if final_rel < cfg.tol {
+                                outcome = SolveOutcome::Converged;
+                                break 'recurrence;
+                            }
+                            if improved {
+                                snapshot_vec(comm, x, x_good);
+                            }
+                        }
+                        Verdict::Restart => {
+                            copy_vec(comm, x_good, x);
+                            continue 'recurrence;
+                        }
+                        Verdict::Abort => {
+                            copy_vec(comm, x_good, x);
+                            final_rel = monitor.best_rel;
+                            outcome = SolveOutcome::Diverged;
+                            break 'recurrence;
+                        }
                     }
                 }
-                [0.0; MAX_SWEEP_PARTIALS]
-            });
+            }
 
-            if iterations % cfg.check_every == 0 {
+            // Iteration cap hit before any check: settle the final residual
+            // with one last reduction (same event count as before recovery).
+            if final_rel.is_infinite() {
                 let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                 final_rel = rr.sqrt() / bnorm;
                 history.push((iterations, final_rel));
-                if final_rel < cfg.tol {
-                    converged = true;
-                    break;
-                }
-                if !final_rel.is_finite() {
-                    break;
-                }
             }
-        }
-
-        if final_rel.is_infinite() {
-            let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
-            final_rel = rr.sqrt() / bnorm;
-            converged = final_rel < cfg.tol;
-            history.push((iterations, final_rel));
+            if final_rel < cfg.tol {
+                outcome = SolveOutcome::Converged;
+            } else if !final_rel.is_finite() {
+                copy_vec(comm, x_good, x);
+                final_rel = monitor.best_rel;
+                outcome = SolveOutcome::Diverged;
+            }
+            break 'recurrence;
         }
 
         SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
-            converged,
+            converged: outcome == SolveOutcome::Converged,
+            outcome,
+            restarts: monitor.restarts,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -286,6 +321,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 5000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let mut x_pcg = DistVec::zeros(&f.layout);
         let st_pcg = ClassicPcg.solve(&f.op, &pre, &f.world, &f.b, &mut x_pcg, &cfg);
@@ -314,6 +350,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 1000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let st = ClassicPcg.solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged);

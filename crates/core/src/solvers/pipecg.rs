@@ -18,7 +18,10 @@
 //! ChronGear) and slightly worse round-off behaviour — both visible in the
 //! kernel benches and the convergence histories.
 
-use super::{rhs_norm, CommSolver, LinearSolver, SolveStats, SolverConfig, SolverWorkspace};
+use super::{
+    copy_vec, rhs_norm, snapshot_vec, CommSolver, LinearSolver, RecoveryMonitor, SolveOutcome,
+    SolveStats, SolverConfig, SolverWorkspace, Verdict,
+};
 use crate::precond::Preconditioner;
 use pop_comm::{CommVec, CommWorld, Communicator, DistVec, MAX_SWEEP_PARTIALS};
 use pop_stencil::NinePoint;
@@ -129,6 +132,8 @@ impl PipelinedCg {
             preconditioner: pre.name(),
             iterations,
             converged,
+            outcome: super::baseline_outcome(converged, final_rel),
+            restarts: 0,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -159,154 +164,197 @@ impl CommSolver for PipelinedCg {
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
-        let [r, u, w, m, n, z, q, s, p] = ws.take(comm, b);
+        let [r, u, w, m, n, z, q, s, p, x_good] = ws.take(comm, b);
+        copy_vec(comm, x, x_good);
+        let mut monitor = RecoveryMonitor::new(cfg.recovery);
 
-        // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀.
-        comm.halo_update(x);
-        comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-            op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
-            [0.0; MAX_SWEEP_PARTIALS]
-        });
-        comm.for_each_block_fused([&mut *u], |bk, [ub]| {
-            pre.apply_block(bk, r.block(bk), ub);
-            [0.0; MAX_SWEEP_PARTIALS]
-        });
-        comm.halo_update(u);
-        comm.for_each_block_fused([&mut *w], |bk, [wb]| {
-            op.apply_block_into(bk, u.block(bk), wb, &layout.masks[bk]);
-            [0.0; MAX_SWEEP_PARTIALS]
-        });
-
-        let mut gamma_old = 1.0f64;
-        let mut alpha_old = 1.0f64;
-        let mut matvecs = 2usize;
-        let mut precond_applies = 1usize;
+        let mut matvecs = 0usize;
+        let mut precond_applies = 0usize;
         let mut iterations = 0usize;
-        let mut converged = false;
+        let mut outcome = SolveOutcome::MaxIters;
         let mut final_rel = f64::INFINITY;
         let mut history: Vec<(usize, f64)> =
             Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
 
-        while iterations < cfg.max_iters {
-            iterations += 1;
+        'recurrence: loop {
+            // The auxiliary recurrences must start from zero: after a restart
+            // they may hold non-finite values from the poisoned run.
+            z.zero_fill();
+            q.zero_fill();
+            s.zero_fill();
+            p.zero_fill();
 
-            // Sweep 1: the fused reduction's three partials — γ = (r,u),
-            // δ = (w,u), ‖r‖² — plus the preconditioner application
-            // m = M⁻¹w, all in one pass over the block. On a real machine
-            // the allreduce is posted asynchronously and progresses WHILE
-            // the preconditioner and matvec run — which is why it is
-            // flagged overlappable for the cost model.
-            let d_sweep = comm.for_each_block_fused([&mut *m], |bk, [mb]| {
-                let mask = &layout.masks[bk];
-                let (rb, ub, wb) = (r.block(bk), u.block(bk), w.block(bk));
-                let nx = rb.nx;
-                let (mut g, mut dl, mut rs) = (0.0, 0.0, 0.0);
-                for j in 0..rb.ny {
-                    let rrow = rb.interior_row(j);
-                    let urow = ub.interior_row(j);
-                    let wrow = wb.interior_row(j);
-                    let mrow = &mask[j * nx..(j + 1) * nx];
-                    for i in 0..nx {
-                        if mrow[i] != 0 {
-                            g += rrow[i] * urow[i];
-                            dl += wrow[i] * urow[i];
-                            rs += rrow[i] * rrow[i];
-                        }
-                    }
-                }
-                pre.apply_block(bk, wb, mb);
-                let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = g;
-                pt[1] = dl;
-                pt[2] = rs;
-                pt
-            });
-            let d = comm.reduce_sweep(&d_sweep, 3);
-            let (gamma, delta, rr) = (d[0], d[1], d[2]);
-            precond_applies += 1;
-
-            // Sweep 2: n = A m.
-            comm.halo_update(m);
-            comm.for_each_block_fused([&mut *n], |bk, [nb]| {
-                op.apply_block_into(bk, m.block(bk), nb, &layout.masks[bk]);
+            // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀.
+            comm.halo_update(x);
+            comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+                op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
-            matvecs += 1;
+            comm.for_each_block_fused([&mut *u], |bk, [ub]| {
+                pre.apply_block(bk, r.block(bk), ub);
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
+            comm.halo_update(u);
+            comm.for_each_block_fused([&mut *w], |bk, [wb]| {
+                op.apply_block_into(bk, u.block(bk), wb, &layout.masks[bk]);
+                [0.0; MAX_SWEEP_PARTIALS]
+            });
 
-            let (alpha, beta) = if iterations == 1 {
-                (gamma / delta, 0.0)
-            } else {
-                let beta = gamma / gamma_old;
-                let alpha = gamma / (delta - beta * gamma / alpha_old);
-                (alpha, beta)
-            };
-            let nalpha = -alpha;
+            let mut gamma_old = 1.0f64;
+            let mut alpha_old = 1.0f64;
+            let mut first = true;
+            matvecs += 2;
+            precond_applies += 1;
 
-            // Sweep 3: all eight pipelined recurrences fused per point. The
-            // direction updates read the *old* w and u of the same point
-            // (written only afterwards), exactly as the separate whole-vector
-            // passes did.
-            comm.for_each_block_fused(
-                [
-                    &mut *z, &mut *q, &mut *s, &mut *p, &mut *x, &mut *r, &mut *u, &mut *w,
-                ],
-                |bk, [zb, qb, sb, pb, xb, rb, ub, wb]| {
-                    let (nb, mb) = (n.block(bk), m.block(bk));
-                    let nx = zb.nx;
-                    for j in 0..zb.ny {
-                        let nr = nb.interior_row(j);
-                        let mr = mb.interior_row(j);
-                        let zr = zb.interior_row_mut(j);
-                        let qr = qb.interior_row_mut(j);
-                        let sr = sb.interior_row_mut(j);
-                        let pr = pb.interior_row_mut(j);
-                        let xr = xb.interior_row_mut(j);
-                        let rrow = rb.interior_row_mut(j);
-                        let ur = ub.interior_row_mut(j);
-                        let wr = wb.interior_row_mut(j);
+            while iterations < cfg.max_iters {
+                iterations += 1;
+
+                // Sweep 1: the fused reduction's three partials — γ = (r,u),
+                // δ = (w,u), ‖r‖² — plus the preconditioner application
+                // m = M⁻¹w, all in one pass over the block. On a real machine
+                // the allreduce is posted asynchronously and progresses WHILE
+                // the preconditioner and matvec run — which is why it is
+                // flagged overlappable for the cost model.
+                let d_sweep = comm.for_each_block_fused([&mut *m], |bk, [mb]| {
+                    let mask = &layout.masks[bk];
+                    let (rb, ub, wb) = (r.block(bk), u.block(bk), w.block(bk));
+                    let nx = rb.nx;
+                    let (mut g, mut dl, mut rs) = (0.0, 0.0, 0.0);
+                    for j in 0..rb.ny {
+                        let rrow = rb.interior_row(j);
+                        let urow = ub.interior_row(j);
+                        let wrow = wb.interior_row(j);
+                        let mrow = &mask[j * nx..(j + 1) * nx];
                         for i in 0..nx {
-                            let zv = nr[i] + beta * zr[i];
-                            let qv = mr[i] + beta * qr[i];
-                            let sv = wr[i] + beta * sr[i];
-                            let pv = ur[i] + beta * pr[i];
-                            zr[i] = zv;
-                            qr[i] = qv;
-                            sr[i] = sv;
-                            pr[i] = pv;
-                            xr[i] += alpha * pv;
-                            rrow[i] += nalpha * sv;
-                            ur[i] += nalpha * qv;
-                            wr[i] += nalpha * zv;
+                            if mrow[i] != 0 {
+                                g += rrow[i] * urow[i];
+                                dl += wrow[i] * urow[i];
+                                rs += rrow[i] * rrow[i];
+                            }
                         }
                     }
+                    pre.apply_block(bk, wb, mb);
+                    let mut pt = [0.0; MAX_SWEEP_PARTIALS];
+                    pt[0] = g;
+                    pt[1] = dl;
+                    pt[2] = rs;
+                    pt
+                });
+                let d = comm.reduce_sweep(&d_sweep, 3);
+                let (gamma, delta, rr) = (d[0], d[1], d[2]);
+                precond_applies += 1;
+
+                // Sweep 2: n = A m.
+                comm.halo_update(m);
+                comm.for_each_block_fused([&mut *n], |bk, [nb]| {
+                    op.apply_block_into(bk, m.block(bk), nb, &layout.masks[bk]);
                     [0.0; MAX_SWEEP_PARTIALS]
-                },
-            );
+                });
+                matvecs += 1;
 
-            gamma_old = gamma;
-            alpha_old = alpha;
+                let (alpha, beta) = if first {
+                    first = false;
+                    (gamma / delta, 0.0)
+                } else {
+                    let beta = gamma / gamma_old;
+                    let alpha = gamma / (delta - beta * gamma / alpha_old);
+                    (alpha, beta)
+                };
+                let nalpha = -alpha;
 
-            final_rel = rr.sqrt() / bnorm;
-            if iterations % cfg.check_every == 0 {
-                history.push((iterations, final_rel));
-            }
-            if final_rel < cfg.tol {
-                converged = true;
-                if iterations % cfg.check_every != 0 {
+                // Sweep 3: all eight pipelined recurrences fused per point. The
+                // direction updates read the *old* w and u of the same point
+                // (written only afterwards), exactly as the separate whole-vector
+                // passes did.
+                comm.for_each_block_fused(
+                    [
+                        &mut *z, &mut *q, &mut *s, &mut *p, &mut *x, &mut *r, &mut *u, &mut *w,
+                    ],
+                    |bk, [zb, qb, sb, pb, xb, rb, ub, wb]| {
+                        let (nb, mb) = (n.block(bk), m.block(bk));
+                        let nx = zb.nx;
+                        for j in 0..zb.ny {
+                            let nr = nb.interior_row(j);
+                            let mr = mb.interior_row(j);
+                            let zr = zb.interior_row_mut(j);
+                            let qr = qb.interior_row_mut(j);
+                            let sr = sb.interior_row_mut(j);
+                            let pr = pb.interior_row_mut(j);
+                            let xr = xb.interior_row_mut(j);
+                            let rrow = rb.interior_row_mut(j);
+                            let ur = ub.interior_row_mut(j);
+                            let wr = wb.interior_row_mut(j);
+                            for i in 0..nx {
+                                let zv = nr[i] + beta * zr[i];
+                                let qv = mr[i] + beta * qr[i];
+                                let sv = wr[i] + beta * sr[i];
+                                let pv = ur[i] + beta * pr[i];
+                                zr[i] = zv;
+                                qr[i] = qv;
+                                sr[i] = sv;
+                                pr[i] = pv;
+                                xr[i] += alpha * pv;
+                                rrow[i] += nalpha * sv;
+                                ur[i] += nalpha * qv;
+                                wr[i] += nalpha * zv;
+                            }
+                        }
+                        [0.0; MAX_SWEEP_PARTIALS]
+                    },
+                );
+
+                gamma_old = gamma;
+                alpha_old = alpha;
+
+                final_rel = rr.sqrt() / bnorm;
+                if iterations % cfg.check_every == 0 {
                     history.push((iterations, final_rel));
                 }
-                break;
+                // The pipelined formulation checks every iteration for free, so
+                // the recovery monitor sees every residual too.
+                match monitor.assess(final_rel) {
+                    Verdict::Healthy { improved } => {
+                        if final_rel < cfg.tol {
+                            if iterations % cfg.check_every != 0 {
+                                history.push((iterations, final_rel));
+                            }
+                            outcome = SolveOutcome::Converged;
+                            break 'recurrence;
+                        }
+                        if improved {
+                            snapshot_vec(comm, x, x_good);
+                        }
+                    }
+                    Verdict::Restart => {
+                        copy_vec(comm, x_good, x);
+                        continue 'recurrence;
+                    }
+                    Verdict::Abort => {
+                        copy_vec(comm, x_good, x);
+                        final_rel = monitor.best_rel;
+                        outcome = SolveOutcome::Diverged;
+                        break 'recurrence;
+                    }
+                }
             }
-            if !final_rel.is_finite() {
-                break;
+
+            if final_rel < cfg.tol {
+                outcome = SolveOutcome::Converged;
+            } else if !final_rel.is_finite() {
+                copy_vec(comm, x_good, x);
+                final_rel = monitor.best_rel;
+                outcome = SolveOutcome::Diverged;
             }
+            break 'recurrence;
         }
 
         SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
-            converged,
+            converged: outcome == SolveOutcome::Converged,
+            outcome,
+            restarts: monitor.restarts,
             final_relative_residual: final_rel,
             matvecs,
             precond_applies,
@@ -354,6 +402,7 @@ mod tests {
             tol: 1e-12,
             max_iters: 50_000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let mut x_pipe = DistVec::zeros(&f.layout);
         let st_pipe = PipelinedCg.solve(&f.op, &pre, &f.world, &f.b, &mut x_pipe, &cfg);
@@ -383,6 +432,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 2000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let st = PipelinedCg.solve(&f.op, &pre, &f.world, &f.b, &mut x, &cfg);
         assert!(st.converged);
@@ -404,6 +454,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 50_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let mut x1 = DistVec::zeros(&f.layout);
         let st_diag = PipelinedCg.solve(&f.op, &diag, &f.world, &f.b, &mut x1, &cfg);

@@ -148,6 +148,7 @@ mod tests {
             tol,
             max_iters: 20_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let m = BarotropicMode::new(&g, &world, 16, 16, 2400.0, choice, cfg);
         (world, m)

@@ -176,6 +176,7 @@ impl MiniPop {
             tol: config.tolerance,
             max_iters: 50_000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let barotropic = BarotropicMode::with_gravity(
             &grid,

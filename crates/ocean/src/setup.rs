@@ -193,6 +193,7 @@ mod tests {
             tol: 1e-11,
             max_iters: 30_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         for choice in [
             SolverChoice::ChronGearDiag,

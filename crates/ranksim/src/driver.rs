@@ -142,6 +142,7 @@ mod tests {
             tol: 1e-10,
             max_iters: 800,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let mut truth = DistVec::zeros(&layout);
         truth.fill_with(|i, j| ((i as f64) * 0.17).sin() + ((j as f64) * 0.13).cos());

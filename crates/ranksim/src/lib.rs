@@ -20,6 +20,9 @@
 //! - [`RankVec`] — a rank's private blocks ([`vec`]).
 //! - [`NetworkModel`] ([`ZeroCost`], [`LatencyBandwidth`]) — what a message
 //!   costs in simulated seconds ([`net`]).
+//! - [`FaultPlan`] / [`FaultConfig`] — seeded, deterministic network fault
+//!   injection: delay, duplication, reordering, drop-with-retry, poisoned
+//!   strips, whole-rank stalls ([`fault`]).
 //! - [`SolverKind`] / [`solve_on_ranks`] — scatter, SPMD solve, gather
 //!   ([`driver`]).
 //! - [`chrome_trace_json`] — per-rank event timelines for `chrome://tracing`
@@ -47,12 +50,14 @@
 //! ```
 
 pub mod driver;
+pub mod fault;
 pub mod net;
 pub mod runtime;
 pub mod trace;
 pub mod vec;
 
 pub use driver::{solve_on_ranks, RankSolveOutcome, SolverKind};
+pub use fault::{FaultConfig, FaultPlan};
 pub use net::{LatencyBandwidth, NetworkModel, ZeroCost};
 pub use runtime::{sim_time, RankComm, RankReport, RankSimConfig, RankSweep, RankWorld};
 pub use trace::{chrome_trace_json, write_chrome_trace, Span, SpanKind};

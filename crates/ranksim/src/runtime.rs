@@ -37,6 +37,7 @@
 //! [`CommWorld`](pop_comm::CommWorld)'s block-ordered fold, for *any* rank
 //! count or block assignment. `tests/ranksim_equivalence.rs` pins this.
 
+use crate::fault::{shuffle, FaultPlan, SeqTracker};
 use crate::net::NetworkModel;
 use crate::trace::{Span, SpanKind};
 use crate::vec::RankVec;
@@ -60,6 +61,9 @@ pub struct RankSimConfig {
     pub compute_per_point: f64,
     /// Record per-rank [`Span`]s for the Chrome trace dump.
     pub record_trace: bool,
+    /// Seeded network fault plan; [`FaultPlan::none()`] leaves the runtime
+    /// bit-for-bit identical to one without a fault layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for RankSimConfig {
@@ -67,6 +71,7 @@ impl Default for RankSimConfig {
         RankSimConfig {
             compute_per_point: 0.0,
             record_trace: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,8 +83,14 @@ impl RankSimConfig {
     pub fn modeled(m: &pop_perfmodel::machine::MachineModel) -> Self {
         RankSimConfig {
             compute_per_point: 25.0 * m.theta,
-            record_trace: false,
+            ..RankSimConfig::default()
         }
+    }
+
+    /// This config with a fault plan installed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -140,6 +151,7 @@ impl HaloPlan {
 
 /// A message between ranks. Every variant carries the simulated time at
 /// which its payload is available to the receiver.
+#[derive(Clone)]
 enum Msg {
     /// One halo boundary strip for `(dst_block, dir)` of halo epoch `epoch`.
     Halo {
@@ -147,6 +159,10 @@ enum Msg {
         dst_block: u32,
         dir: u8,
         data: Vec<f64>,
+        /// The payload arrived corrupted (simulated checksum failure) or its
+        /// retry budget was exhausted; `data` is NaN-poisoned and the
+        /// receiver counts a delivery failure.
+        poisoned: bool,
         avail_at: f64,
     },
     /// Partial-reduction rows flowing up the binomial gather tree.
@@ -168,38 +184,75 @@ enum Msg {
 /// gather messages and filed in the reorder buffer.
 type PartialRows = Vec<(u32, SweepPartials)>;
 
+/// A message on the wire: the payload plus the sender's identity and the
+/// per-link sequence number that makes delivery idempotent (duplicates are
+/// discarded at [`Mailbox::pump`] before they can be filed twice).
+struct Envelope {
+    from: u32,
+    seq: u64,
+    msg: Msg,
+}
+
+/// One filed halo strip: payload, simulated arrival time, poison flag.
+struct HaloArrival {
+    data: Vec<f64>,
+    avail_at: f64,
+    poisoned: bool,
+}
+
 /// A rank's receive side: the channel plus reorder buffers. Ranks drift
 /// (one may post epoch `e+1` halo sends while a neighbour still waits on
 /// epoch `e`), so every message is filed under its epoch key until asked
 /// for.
 struct Mailbox {
-    rx: Receiver<Msg>,
-    halos: HashMap<(u64, u32, u8), (Vec<f64>, f64)>,
+    rx: Receiver<Envelope>,
+    /// Per-sender sequence tracking for duplicate discard.
+    seen: Vec<SeqTracker>,
+    /// Duplicate deliveries discarded so far.
+    duplicates: u64,
+    halos: HashMap<(u64, u32, u8), HaloArrival>,
     gathers: HashMap<(u64, usize), (PartialRows, f64)>,
     bcasts: HashMap<u64, (SweepPartials, f64)>,
 }
 
 impl Mailbox {
-    fn new(rx: Receiver<Msg>) -> Self {
+    fn new(rx: Receiver<Envelope>, p: usize) -> Self {
         Mailbox {
             rx,
+            seen: (0..p).map(|_| SeqTracker::default()).collect(),
+            duplicates: 0,
             halos: HashMap::new(),
             gathers: HashMap::new(),
             bcasts: HashMap::new(),
         }
     }
 
-    /// Block on the channel for one message and file it.
+    /// Block on the channel for one message and file it; duplicates (same
+    /// sender, same sequence number) are counted and dropped, so pumping
+    /// may file nothing.
     fn pump(&mut self) {
-        match self.rx.recv().expect("peer rank terminated mid-protocol") {
+        let env = self.rx.recv().expect("peer rank terminated mid-protocol");
+        if !self.seen[env.from as usize].accept(env.seq) {
+            self.duplicates += 1;
+            return;
+        }
+        match env.msg {
             Msg::Halo {
                 epoch,
                 dst_block,
                 dir,
                 data,
+                poisoned,
                 avail_at,
             } => {
-                self.halos.insert((epoch, dst_block, dir), (data, avail_at));
+                self.halos.insert(
+                    (epoch, dst_block, dir),
+                    HaloArrival {
+                        data,
+                        avail_at,
+                        poisoned,
+                    },
+                );
             }
             Msg::Gather {
                 epoch,
@@ -219,7 +272,7 @@ impl Mailbox {
         }
     }
 
-    fn recv_halo(&mut self, epoch: u64, dst_block: u32, dir: u8) -> (Vec<f64>, f64) {
+    fn recv_halo(&mut self, epoch: u64, dst_block: u32, dir: u8) -> HaloArrival {
         loop {
             if let Some(v) = self.halos.remove(&(epoch, dst_block, dir)) {
                 return v;
@@ -255,6 +308,11 @@ struct LocalStats {
     halo_bytes: Cell<u64>,
     allreduces: Cell<u64>,
     allreduce_scalars: Cell<u64>,
+    /// Retransmissions this rank performed as a sender (fault plan).
+    retries: Cell<u64>,
+    /// Poisoned halo strips this rank received (corruption or exhausted
+    /// retry budget), surfaced instead of panicking.
+    delivery_failures: Cell<u64>,
 }
 
 /// The handle a fused sweep returns under the rank runtime: the per-block
@@ -277,11 +335,16 @@ pub struct RankComm {
     plan: Arc<HaloPlan>,
     net: Arc<dyn NetworkModel>,
     cfg: RankSimConfig,
-    senders: Vec<Sender<Msg>>,
+    senders: Vec<Sender<Envelope>>,
     inbox: RefCell<Mailbox>,
     clock: Cell<f64>,
     halo_epoch: Cell<u64>,
     reduce_epoch: Cell<u64>,
+    /// Next sequence number per directed link `self → dst` (seqs start
+    /// at 1; 0 means nothing sent yet).
+    next_seq: RefCell<Vec<u64>>,
+    /// Monotone operation counter keying stall draws.
+    fault_op: Cell<u64>,
     stats: LocalStats,
     spans: RefCell<Vec<Span>>,
     fold_scratch: RefCell<Vec<SweepPartials>>,
@@ -323,10 +386,50 @@ impl RankComm {
         RankVec::from_dist(src, &self.owned, &self.local_of)
     }
 
-    fn send(&self, dst: usize, msg: Msg) {
-        self.senders[dst]
-            .send(msg)
-            .expect("receiver rank terminated");
+    /// Allocate the next sequence number on the link to `dst` and draw the
+    /// plan's faults for that message. Retries are charged here (the sender
+    /// performed them).
+    fn next_message(&self, dst: usize, data_plane: bool) -> (u64, crate::fault::MessageFaults) {
+        let mut seqs = self.next_seq.borrow_mut();
+        seqs[dst] += 1;
+        let seq = seqs[dst];
+        let f = self.cfg.faults.message(self.rank, dst, seq, data_plane);
+        if f.retries > 0 {
+            self.stats
+                .retries
+                .set(self.stats.retries.get() + u64::from(f.retries));
+        }
+        (seq, f)
+    }
+
+    /// Put `msg` on the wire to `dst` (twice when the plan duplicated it —
+    /// the receiver's sequence tracker discards the copy). A closed mailbox
+    /// is tolerated: a rank only exits after consuming every message it
+    /// logically needs, so a send that finds it gone can only be a stale
+    /// duplicate or a fault-delayed copy the receiver no longer waits for.
+    fn post(&self, dst: usize, seq: u64, duplicate: bool, msg: Msg) {
+        let from = self.rank as u32;
+        if duplicate {
+            let _ = self.senders[dst].send(Envelope {
+                from,
+                seq,
+                msg: msg.clone(),
+            });
+        }
+        let _ = self.senders[dst].send(Envelope { from, seq, msg });
+    }
+
+    /// Draw (and charge) a whole-rank stall for the next halo/reduction
+    /// operation.
+    fn charge_stall(&self) {
+        let op = self.fault_op.get();
+        self.fault_op.set(op + 1);
+        let s = self.cfg.faults.stall(self.rank, op);
+        if s > 0.0 {
+            let t0 = self.clock.get();
+            self.clock.set(t0 + s);
+            self.push_span(SpanKind::Stall, t0, t0 + s);
+        }
     }
 
     fn push_span(&self, kind: SpanKind, t0: f64, t1: f64) {
@@ -381,6 +484,7 @@ impl RankComm {
     /// are the determinism mechanism, not the modelled payload — a real
     /// MPI_Allreduce moves only the reduced scalars).
     fn reduce_rows(&self, rows: &[(u32, SweepPartials)], scalars: u64) -> SweepPartials {
+        self.charge_stall();
         self.stats.allreduces.set(self.stats.allreduces.get() + 1);
         self.stats
             .allreduce_scalars
@@ -400,9 +504,12 @@ impl RankComm {
             while mask < p {
                 if r & mask != 0 {
                     let parent = r - mask;
-                    let avail = self.clock.get() + hop;
-                    self.send(
+                    let (seq, f) = self.next_message(parent, false);
+                    let avail = self.clock.get() + hop + f.extra_delay;
+                    self.post(
                         parent,
+                        seq,
+                        f.duplicate,
                         Msg::Gather {
                             epoch,
                             from: r,
@@ -440,9 +547,12 @@ impl RankComm {
             while mask > 0 {
                 let dst = r + mask;
                 if dst < p {
-                    let avail = self.clock.get() + hop;
-                    self.send(
+                    let (seq, f) = self.next_message(dst, false);
+                    let avail = self.clock.get() + hop + f.extra_delay;
+                    self.post(
                         dst,
+                        seq,
+                        f.duplicate,
                         Msg::Bcast {
                             epoch,
                             vals: result,
@@ -480,6 +590,9 @@ impl Communicator for RankComm {
             allreduces: self.stats.allreduces.get(),
             allreduce_scalars: self.stats.allreduce_scalars.get(),
             barriers: 0,
+            retries: self.stats.retries.get(),
+            duplicates: self.inbox.borrow().duplicates,
+            delivery_failures: self.stats.delivery_failures.get(),
         }
     }
 
@@ -493,6 +606,7 @@ impl Communicator for RankComm {
     /// the expected arrivals and advance the clock to the latest one.
     fn halo_update(&self, v: &mut RankVec) {
         self.check_view(v);
+        self.charge_stall();
         let epoch = self.halo_epoch.get();
         self.halo_epoch.set(epoch + 1);
         let t0 = self.clock.get();
@@ -500,23 +614,43 @@ impl Communicator for RankComm {
             .halo_updates
             .set(self.stats.halo_updates.get() + 1);
 
-        // Post all sends first so no pair of ranks can deadlock.
+        // Post all sends first so no pair of ranks can deadlock. Sequence
+        // numbers are allocated in plan order (the logical send order); a
+        // reorder fault only permutes the physical posting of this one
+        // burst, so no strip is ever held back across epochs.
+        let mut burst: Vec<(usize, u64, bool, Msg)> =
+            Vec::with_capacity(self.plan.sends[self.rank].len());
         for &(dst_rank, e) in &self.plan.sends[self.rank] {
             let r = e.region;
             let mut data = Vec::with_capacity(r.w * r.h);
             v.block(e.src_block)
                 .extract_region(r.src_i, r.src_j, r.w, r.h, &mut data);
-            let avail = self.clock.get() + self.net.p2p(data.len() * 8);
-            self.send(
+            let (seq, f) = self.next_message(dst_rank, true);
+            if f.poison {
+                for x in data.iter_mut() {
+                    *x = f64::NAN;
+                }
+            }
+            let avail = self.clock.get() + self.net.p2p(data.len() * 8) + f.extra_delay;
+            burst.push((
                 dst_rank,
+                seq,
+                f.duplicate,
                 Msg::Halo {
                     epoch,
                     dst_block: e.dst_block as u32,
                     dir: e.dir,
                     data,
+                    poisoned: f.poison,
                     avail_at: avail,
                 },
-            );
+            ));
+        }
+        if let Some(shuffle_seed) = self.cfg.faults.reorder(self.rank, epoch) {
+            shuffle(&mut burst, shuffle_seed);
+        }
+        for (dst, seq, dup, msg) in burst {
+            self.post(dst, seq, dup, msg);
         }
 
         for blk in v.blocks.iter_mut() {
@@ -542,16 +676,28 @@ impl Communicator for RankComm {
 
         let mut arrive = self.clock.get();
         for e in &self.plan.recvs[self.rank] {
-            let (data, avail) = self
+            let HaloArrival {
+                data,
+                avail_at,
+                poisoned,
+            } = self
                 .inbox
                 .borrow_mut()
                 .recv_halo(epoch, e.dst_block as u32, e.dir);
+            if poisoned {
+                // Surfaced, not panicked: the NaN strip propagates into the
+                // next residual reduction, where the solvers' recovery
+                // logic restarts every rank in lockstep.
+                self.stats
+                    .delivery_failures
+                    .set(self.stats.delivery_failures.get() + 1);
+            }
             let r = e.region;
             msgs += 1;
             elems += data.len() as u64;
             v.block_mut(e.dst_block)
                 .copy_region(r.dst_i, r.dst_j, &data, r.w, r.h);
-            arrive = arrive.max(avail);
+            arrive = arrive.max(avail_at);
         }
         self.clock.set(arrive);
 
@@ -748,10 +894,12 @@ impl RankWorld {
                             net: Arc::clone(&self.net),
                             cfg: self.cfg,
                             senders,
-                            inbox: RefCell::new(Mailbox::new(rx)),
+                            inbox: RefCell::new(Mailbox::new(rx, p)),
                             clock: Cell::new(0.0),
                             halo_epoch: Cell::new(0),
                             reduce_epoch: Cell::new(0),
+                            next_seq: RefCell::new(vec![0; p]),
+                            fault_op: Cell::new(0),
                             stats: LocalStats::default(),
                             spans: RefCell::new(Vec::new()),
                             fold_scratch: RefCell::new(Vec::new()),
@@ -949,6 +1097,7 @@ mod tests {
         let cfg = RankSimConfig {
             compute_per_point: 1e-9,
             record_trace: true,
+            ..RankSimConfig::default()
         };
         let w = RankWorld::new(&layout, 3, Arc::new(ZeroCost), cfg);
         let reports = w.run(|comm| {

@@ -22,6 +22,8 @@ pub enum SpanKind {
     Halo,
     /// A global reduction: the binomial gather/broadcast tree.
     Allreduce,
+    /// An injected whole-rank stall (fault plan).
+    Stall,
 }
 
 impl SpanKind {
@@ -31,6 +33,7 @@ impl SpanKind {
             SpanKind::Compute => "compute",
             SpanKind::Halo => "halo",
             SpanKind::Allreduce => "allreduce",
+            SpanKind::Stall => "stall",
         }
     }
 }

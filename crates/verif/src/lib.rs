@@ -18,14 +18,19 @@
 //!
 //! [`stats`] holds the metric math (testable in isolation);
 //! [`ensemble`] runs `pop-ocean` models to produce the monthly fields;
-//! [`consistency`] wraps both into the pass/fail decision.
+//! [`consistency`] wraps both into the pass/fail decision;
+//! [`mms`] is the sharper unit-level oracle — manufactured solutions with
+//! analytically known answers, for testing that a solver solves the
+//! *equation*, not just that it matches another implementation.
 
 pub mod consistency;
 pub mod ensemble;
+pub mod mms;
 pub mod portcheck;
 pub mod stats;
 
 pub use consistency::{ConsistencyReport, Verdict};
 pub use ensemble::{EnsembleConfig, EnsembleStats, VerificationLab};
+pub use mms::MmsCase;
 pub use portcheck::{port_check, PortCheckReport, PortReference};
 pub use stats::{rmse, rmsz, EnsembleMoments};

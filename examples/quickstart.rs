@@ -40,6 +40,7 @@ fn main() {
         tol: 1e-13,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     println!(
         "\n{:<18} {:>6} {:>11} {:>12} {:>10}",

@@ -23,11 +23,14 @@
 //! - [`ranksim`] — the rank-based message-passing runtime: each simulated
 //!   MPI rank is a thread owning private blocks, halos travel as
 //!   point-to-point messages, reductions climb binomial trees, and a
-//!   pluggable network model charges simulated time.
+//!   pluggable network model charges simulated time. A seeded fault layer
+//!   ([`prelude::FaultPlan`]) injects deterministic network chaos for the
+//!   recovery test suites.
 //! - [`perfmodel`] — the paper's cost equations with Yellowstone- and
 //!   Edison-calibrated parameters.
 //! - [`ocean`] — the barotropic mode and the mini-POP ocean model.
-//! - [`verif`] — perturbation ensembles, RMSE/RMSZ, the consistency test.
+//! - [`verif`] — perturbation ensembles, RMSE/RMSZ, the consistency test,
+//!   and the method-of-manufactured-solutions oracle.
 //!
 //! ## Quickstart
 //!
@@ -71,12 +74,16 @@ pub mod prelude {
     pub use pop_core::lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
     pub use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
     pub use pop_core::solvers::{
-        ChronGear, ClassicPcg, LinearSolver, Pcsi, SolveStats, SolverConfig,
+        ChronGear, ClassicPcg, LinearSolver, Pcsi, RecoveryConfig, SolveOutcome, SolveStats,
+        SolverConfig,
     };
     pub use pop_grid::{Decomposition, Grid};
     pub use pop_ocean::{BarotropicMode, MiniPop, MiniPopConfig, SolverChoice, SolverSetup};
     pub use pop_perfmodel::{MachineModel, PopConfig, PopModel};
-    pub use pop_ranksim::{solve_on_ranks, LatencyBandwidth, RankSimConfig, RankWorld, ZeroCost};
+    pub use pop_ranksim::{
+        solve_on_ranks, FaultConfig, FaultPlan, LatencyBandwidth, RankSimConfig, RankWorld,
+        SolverKind, ZeroCost,
+    };
     pub use pop_stencil::NinePoint;
-    pub use pop_verif::{EnsembleConfig, VerificationLab};
+    pub use pop_verif::{EnsembleConfig, MmsCase, VerificationLab};
 }

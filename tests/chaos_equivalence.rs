@@ -1,0 +1,271 @@
+//! Chaos conformance: benign network faults are bitwise invisible.
+//!
+//! The fault layer (DESIGN.md §10) splits faults into two classes. Benign
+//! faults — delay jitter, duplication, bounded reordering, recoverable
+//! drop-with-retry, whole-rank stalls — change *when* messages arrive, never
+//! *what* they say: sequence-number dedup discards duplicates, the mailbox
+//! files reordered arrivals by epoch, and retries only charge simulated
+//! time. This suite pins the resulting contract:
+//!
+//! - `FaultPlan::none()` is bit-for-bit the pre-fault runtime: identical
+//!   solutions, iteration counts, residual histories and communication
+//!   counts to the shared-memory world, with every fault counter zero.
+//! - A seeded benign plan perturbs only simulated clocks and fault
+//!   counters; solutions stay bitwise identical to the fault-free run, for
+//!   every solver, under default and forced-scalar SIMD dispatch.
+//!
+//! Seeds are pinned (override with `POP_CHAOS_SEED`) so CI chaos runs are
+//! reproducible down to the individual dropped packet.
+
+use pop_baro::prelude::*;
+use pop_baro::ranksim::RankReport;
+use pop_core::solvers::{SolveStats, SolverWorkspace};
+use pop_simd::SimdMode;
+use std::sync::Arc;
+
+/// SplitMix64: a tiny, stable PRNG so the "random" fields are reproducible
+/// from the seed alone.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform value in [-1, 1) derived from (seed, i, j).
+fn noise(seed: u64, i: usize, j: usize) -> f64 {
+    let mut s = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ ((j as u64) << 32);
+    let bits = splitmix64(&mut s);
+    (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+struct Problem {
+    layout: std::sync::Arc<pop_baro::comm::DistLayout>,
+    op: NinePoint,
+    rhs: DistVec,
+}
+
+/// A masked multi-block problem with a pseudo-random right-hand side built
+/// in the operator's range, as in `tests/ranksim_equivalence.rs`.
+fn problem(seed: u64) -> Problem {
+    let grid = Grid::gx01_scaled(11, 90, 60);
+    let layout = DistLayout::build(&grid, 18, 20);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
+    let mut field = DistVec::zeros(&layout);
+    field.fill_with(|i, j| noise(seed, i, j));
+    world.halo_update(&mut field);
+    let mut rhs = DistVec::zeros(&layout);
+    op.apply(&world, &field, &mut rhs);
+    Problem { layout, op, rhs }
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("POP_CHAOS_SEED") {
+        Ok(v) => vec![v.parse().expect("POP_CHAOS_SEED must be an integer")],
+        Err(_) => vec![0xBE9151, 0x0DD5EED],
+    }
+}
+
+fn cfg() -> SolverConfig {
+    SolverConfig {
+        tol: 1e-10,
+        max_iters: 5000,
+        check_every: 10,
+        ..SolverConfig::default()
+    }
+}
+
+/// Everything a solve produces that callers can observe, as raw bits.
+#[derive(PartialEq)]
+struct Observables {
+    iterations: usize,
+    outcome: SolveOutcome,
+    restarts: usize,
+    final_residual_bits: u64,
+    history_bits: Vec<(usize, u64)>,
+    x_bits: Vec<u64>,
+}
+
+fn observe(st: &SolveStats, x: &DistVec) -> Observables {
+    Observables {
+        iterations: st.iterations,
+        outcome: st.outcome,
+        restarts: st.restarts,
+        final_residual_bits: st.final_relative_residual.to_bits(),
+        history_bits: st
+            .residual_history
+            .iter()
+            .map(|&(k, r)| (k, r.to_bits()))
+            .collect(),
+        x_bits: x.to_global().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+struct RankRun {
+    obs: Observables,
+    per_rank: Vec<RankReport<SolveStats>>,
+    sim_time: f64,
+}
+
+fn run_ranksim(
+    p: &Problem,
+    pre: &dyn Preconditioner,
+    kind: SolverKind,
+    ranks: usize,
+    faults: FaultPlan,
+) -> RankRun {
+    let world = RankWorld::new(
+        &p.layout,
+        ranks,
+        Arc::new(ZeroCost),
+        RankSimConfig::default().with_faults(faults),
+    );
+    let x0 = DistVec::zeros(&p.layout);
+    let out = solve_on_ranks(&world, &p.op, pre, kind, &p.rhs, &x0, &cfg());
+    RankRun {
+        obs: observe(out.stats(), &out.x),
+        per_rank: out.per_rank,
+        sim_time: out.sim_time,
+    }
+}
+
+fn run_shared(p: &Problem, pre: &dyn Preconditioner, kind: SolverKind) -> Observables {
+    let world = CommWorld::serial();
+    let mut x = DistVec::zeros(&p.layout);
+    let mut ws = SolverWorkspace::new();
+    let st = kind.solve(&p.op, pre, &world, &p.rhs, &mut x, &cfg(), &mut ws);
+    observe(&st, &x)
+}
+
+fn assert_same(name: &str, base: &Observables, got: &Observables) {
+    assert_eq!(got.iterations, base.iterations, "{name}: iteration counts");
+    assert_eq!(got.outcome, base.outcome, "{name}: outcomes");
+    assert_eq!(got.restarts, base.restarts, "{name}: restart counts");
+    assert_eq!(
+        got.final_residual_bits,
+        base.final_residual_bits,
+        "{name}: final residuals differ ({:e} vs {:e})",
+        f64::from_bits(got.final_residual_bits),
+        f64::from_bits(base.final_residual_bits)
+    );
+    assert_eq!(
+        got.history_bits, base.history_bits,
+        "{name}: residual histories differ"
+    );
+    for (k, (a, b)) in got.x_bits.iter().zip(&base.x_bits).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "{name}: solution differs at point {k}: {:e} vs {:e}",
+            f64::from_bits(*a),
+            f64::from_bits(*b)
+        );
+    }
+}
+
+fn solver_matrix(p: &Problem, pre: &dyn Preconditioner) -> Vec<SolverKind> {
+    let shared = CommWorld::serial();
+    let (bounds, _) = estimate_bounds(&p.op, pre, &shared, &LanczosConfig::default());
+    vec![
+        SolverKind::ClassicPcg,
+        SolverKind::ChronGear,
+        SolverKind::PipelinedCg,
+        SolverKind::Pcsi(bounds),
+    ]
+}
+
+/// `FaultPlan::none()` is the pre-fault runtime, bit for bit: all four
+/// solvers, both preconditioners, counters silent.
+#[test]
+fn disabled_fault_plan_is_bitwise_identical_and_counter_free() {
+    let p = problem(2015);
+    for (pname, pre) in [
+        ("diag", &Diagonal::new(&p.op) as &dyn Preconditioner),
+        ("evp", &BlockEvp::with_defaults(&p.op)),
+    ] {
+        for kind in solver_matrix(&p, pre) {
+            let name = format!("{}+{pname}", kind.name());
+            let base = run_shared(&p, pre, kind);
+            assert_eq!(base.outcome, SolveOutcome::Converged, "{name}: baseline");
+            let run = run_ranksim(&p, pre, kind, 6, FaultPlan::none());
+            assert_same(&name, &base, &run.obs);
+            assert_eq!(run.obs.restarts, 0, "{name}: restarts under no faults");
+            for rep in &run.per_rank {
+                assert_eq!(rep.stats.retries, 0, "{name}: retries");
+                assert_eq!(rep.stats.duplicates, 0, "{name}: duplicates");
+                assert_eq!(rep.stats.delivery_failures, 0, "{name}: failures");
+            }
+        }
+    }
+}
+
+/// Benign chaos — delays, duplicates, reorders, recoverable drops, stalls —
+/// leaves every observable of the solve bitwise identical to the fault-free
+/// run; only simulated time and the fault counters move.
+#[test]
+fn benign_fault_plans_are_bitwise_conformant() {
+    let p = problem(2015);
+    let diag = Diagonal::new(&p.op);
+    let evp = BlockEvp::with_defaults(&p.op);
+    for seed in chaos_seeds() {
+        for (pname, pre) in [
+            ("diag", &diag as &dyn Preconditioner),
+            ("evp", &evp as &dyn Preconditioner),
+        ] {
+            for kind in solver_matrix(&p, pre) {
+                let name = format!("{}+{pname} chaos-seed={seed}", kind.name());
+                let clean = run_ranksim(&p, pre, kind, 6, FaultPlan::none());
+                let plan = FaultPlan::seeded(seed, FaultConfig::benign());
+                let chaotic = run_ranksim(&p, pre, kind, 6, plan);
+                assert_same(&name, &clean.obs, &chaotic.obs);
+
+                // The faults really fired: counters and simulated time moved.
+                let retries: u64 = chaotic.per_rank.iter().map(|r| r.stats.retries).sum();
+                let dups: u64 = chaotic.per_rank.iter().map(|r| r.stats.duplicates).sum();
+                let fails: u64 = chaotic
+                    .per_rank
+                    .iter()
+                    .map(|r| r.stats.delivery_failures)
+                    .sum();
+                assert!(retries > 0, "{name}: no retries recorded");
+                assert!(dups > 0, "{name}: no duplicates recorded");
+                assert_eq!(fails, 0, "{name}: benign plan must not fail deliveries");
+                assert_eq!(clean.sim_time, 0.0, "{name}: ZeroCost fault-free time");
+                assert!(
+                    chaotic.sim_time > 0.0,
+                    "{name}: fault penalties must charge simulated time"
+                );
+            }
+        }
+    }
+}
+
+/// Restores the startup dispatch decision even if an assertion panics.
+struct ModeGuard;
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        pop_simd::force_mode(None);
+    }
+}
+
+/// The conformance property holds under forced-scalar dispatch too: the
+/// fault layer and the SIMD layer compose without breaking bitwise identity.
+/// (`force_mode` is process-global, so this sweep lives in one `#[test]`.)
+#[test]
+fn benign_conformance_holds_under_forced_scalar_dispatch() {
+    let _guard = ModeGuard;
+    let p = problem(2015);
+    let diag = Diagonal::new(&p.op);
+    let seed = chaos_seeds()[0];
+    for kind in solver_matrix(&p, &diag) {
+        let name = format!("{} scalar chaos-seed={seed}", kind.name());
+        pop_simd::force_mode(Some(SimdMode::Scalar));
+        let base = run_shared(&p, &diag, kind);
+        let plan = FaultPlan::seeded(seed, FaultConfig::benign());
+        let chaotic = run_ranksim(&p, &diag, kind, 6, plan);
+        assert_same(&name, &base, &chaotic.obs);
+        pop_simd::force_mode(None);
+    }
+}

@@ -51,6 +51,7 @@ fn check_solver(name: &str, p: &Problem, pre: &dyn Preconditioner, solver: &dyn 
         tol: 1e-11,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let serial = CommWorld::serial();
     let threaded = CommWorld::threaded();
@@ -89,6 +90,7 @@ macro_rules! check_fused_matches_unfused {
             tol: 1e-11,
             max_iters: 50_000,
             check_every: 10,
+            ..SolverConfig::default()
         };
         let serial = CommWorld::serial();
         let threaded = CommWorld::threaded();
@@ -177,6 +179,7 @@ fn fused_comm_counts_match_unfused() {
         tol: 1e-11,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
 
     macro_rules! counts {

@@ -1,0 +1,210 @@
+//! Seeded land-mask fuzzing: pathological topologies, three backends.
+//!
+//! Real bathymetry is full of degenerate shapes — isolated one-cell seas,
+//! one-cell-wide channels, blocks that are entirely land, blocks holding a
+//! single ocean point. Each fuzzed mask here is *engineered* to contain all
+//! four features (then perturbed by a seeded [`pop_rng`] stream, so every
+//! run is reproducible from the seed alone), and every solver must:
+//!
+//! - assemble and converge on the resulting operator, and
+//! - produce **bitwise identical** solutions, histories and iteration
+//!   counts on the serial, threaded and ranksim backends.
+//!
+//! Land-block elimination, halo exchange along 1-wide straits and masked
+//! reductions over near-empty blocks all get exercised in one sweep.
+
+use pop_baro::prelude::*;
+use pop_core::solvers::{SolveStats, SolverWorkspace};
+use pop_grid::{Bathymetry, GridKind, Metrics};
+use pop_rng::SmallRng;
+use std::sync::Arc;
+
+const NX: usize = 64;
+const NY: usize = 40;
+const BX: usize = 16;
+const BY: usize = 10;
+
+/// Build a pathological but reproducible mask. The western third is a solid
+/// ocean basin (the guaranteed region); the rest is seeded noise with the
+/// four engineered degeneracies stamped on top.
+fn fuzzed_grid(seed: u64) -> Grid {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut depth = vec![0.0f64; NX * NY];
+    let d = |depth: &mut Vec<f64>, i: usize, j: usize, v: f64| depth[j * NX + i] = v;
+
+    // Random speckle ocean over the interior (p = 0.55), solid basin in the
+    // western third. The outer ring stays land.
+    for j in 1..NY - 1 {
+        for i in 1..NX - 1 {
+            let ocean = i < NX / 3 || rng.gen::<f64>() < 0.55;
+            if ocean {
+                d(&mut depth, i, j, 100.0 + 400.0 * rng.gen::<f64>());
+            }
+        }
+    }
+
+    // Feature 1: an all-land block (block row 1, block col 2).
+    for j in BY..2 * BY {
+        for i in 2 * BX..3 * BX {
+            d(&mut depth, i, j, 0.0);
+        }
+    }
+    // Feature 2: a single-ocean-point block (block row 2, block col 2).
+    for j in 2 * BY..3 * BY {
+        for i in 2 * BX..3 * BX {
+            d(&mut depth, i, j, 0.0);
+        }
+    }
+    d(&mut depth, 2 * BX + BX / 2, 2 * BY + BY / 2, 250.0);
+    // Feature 3: isolated ocean cells — land moats stamped around three
+    // seeded positions in the eastern noise field.
+    for _ in 0..3 {
+        let ci = rng.gen_range(NX / 2 + 2..NX - 2);
+        let cj = rng.gen_range(2..NY - 2);
+        for dj in -1i64..=1 {
+            for di in -1i64..=1 {
+                let (i, j) = ((ci as i64 + di) as usize, (cj as i64 + dj) as usize);
+                d(
+                    &mut depth,
+                    i,
+                    j,
+                    if di == 0 && dj == 0 { 180.0 } else { 0.0 },
+                );
+            }
+        }
+    }
+    // Feature 4: a one-cell-wide channel crossing the all-land block,
+    // connecting whatever lies on either side through a 1-wide strait.
+    let channel_j = BY + BY / 2;
+    for i in 2 * BX..3 * BX {
+        d(&mut depth, i, channel_j, 320.0);
+    }
+
+    let bathy = Bathymetry {
+        nx: NX,
+        ny: NY,
+        depth,
+    };
+    Grid::from_parts(
+        GridKind::Custom,
+        Metrics::uniform(NX, NY, 5.0e4),
+        &bathy,
+        false,
+    )
+}
+
+/// A manufactured RHS in the operator's range, seeded like the mask.
+fn rhs_for(layout: &Arc<DistLayout>, op: &NinePoint, seed: u64) -> DistVec {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0FF5);
+    let world = CommWorld::serial();
+    let global: Vec<f64> = (0..NX * NY).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let mut field = DistVec::from_global(layout, &global);
+    world.halo_update(&mut field);
+    let mut rhs = DistVec::zeros(layout);
+    op.apply(&world, &field, &mut rhs);
+    rhs
+}
+
+fn cfg() -> SolverConfig {
+    SolverConfig {
+        tol: 1e-10,
+        max_iters: 5000,
+        check_every: 10,
+        ..SolverConfig::default()
+    }
+}
+
+#[derive(PartialEq, Debug)]
+struct Observables {
+    iterations: usize,
+    outcome: SolveOutcome,
+    final_residual_bits: u64,
+    history_bits: Vec<(usize, u64)>,
+    x_bits: Vec<u64>,
+}
+
+fn observe(st: &SolveStats, x: &DistVec) -> Observables {
+    Observables {
+        iterations: st.iterations,
+        outcome: st.outcome,
+        final_residual_bits: st.final_relative_residual.to_bits(),
+        history_bits: st
+            .residual_history
+            .iter()
+            .map(|&(k, r)| (k, r.to_bits()))
+            .collect(),
+        x_bits: x.to_global().iter().map(|v| v.to_bits()).collect(),
+    }
+}
+
+fn run_world(
+    world: &CommWorld,
+    layout: &Arc<DistLayout>,
+    op: &NinePoint,
+    pre: &dyn Preconditioner,
+    kind: SolverKind,
+    rhs: &DistVec,
+) -> Observables {
+    let mut x = DistVec::zeros(layout);
+    let mut ws = SolverWorkspace::new();
+    let st = kind.solve(op, pre, world, rhs, &mut x, &cfg(), &mut ws);
+    observe(&st, &x)
+}
+
+fn run_ranks(
+    layout: &Arc<DistLayout>,
+    op: &NinePoint,
+    pre: &dyn Preconditioner,
+    kind: SolverKind,
+    rhs: &DistVec,
+) -> Observables {
+    let world = RankWorld::new(layout, 4, Arc::new(ZeroCost), RankSimConfig::default());
+    let x0 = DistVec::zeros(layout);
+    let out = solve_on_ranks(&world, op, pre, kind, rhs, &x0, &cfg());
+    observe(out.stats(), &out.x)
+}
+
+/// The fuzz sweep: for each seed, build the pathological mask, check the
+/// engineered degeneracies actually exist, then demand convergence and
+/// bitwise backend agreement for every solver.
+#[test]
+fn pathological_masks_solve_identically_on_all_backends() {
+    for seed in [11u64, 29, 47] {
+        let grid = fuzzed_grid(seed);
+        // The engineered features survived the noise: the single-point block
+        // holds exactly its one ocean cell plus the channel row.
+        assert!(grid.is_ocean(2 * BX + BX / 2, 2 * BY + BY / 2));
+        assert!(grid.is_ocean(2 * BX, BY + BY / 2));
+        assert!(!grid.is_ocean(2 * BX + 1, BY + 1));
+        assert!(
+            grid.ocean_points() > NX * NY / 4,
+            "fuzz produced a dead map"
+        );
+
+        let layout = DistLayout::build(&grid, BX, BY);
+        let serial = CommWorld::serial();
+        let threaded = CommWorld::threaded();
+        let op = NinePoint::assemble(&grid, &layout, &serial, 9000.0);
+        let pre = Diagonal::new(&op);
+        let rhs = rhs_for(&layout, &op, seed);
+        let (bounds, _) = estimate_bounds(&op, &pre, &serial, &LanczosConfig::default());
+        for kind in [
+            SolverKind::ClassicPcg,
+            SolverKind::ChronGear,
+            SolverKind::PipelinedCg,
+            SolverKind::Pcsi(bounds),
+        ] {
+            let name = format!("{} fuzz-seed={seed}", kind.name());
+            let base = run_world(&serial, &layout, &op, &pre, kind, &rhs);
+            assert_eq!(
+                base.outcome,
+                SolveOutcome::Converged,
+                "{name}: serial solve failed on fuzzed mask"
+            );
+            let t = run_world(&threaded, &layout, &op, &pre, kind, &rhs);
+            assert!(t == base, "{name}: threaded backend diverged from serial");
+            let r = run_ranks(&layout, &op, &pre, kind, &rhs);
+            assert!(r == base, "{name}: ranksim backend diverged from serial");
+        }
+    }
+}

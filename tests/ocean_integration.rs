@@ -108,6 +108,7 @@ fn barotropic_mode_matches_standalone_solver() {
         tol: 1e-13,
         max_iters: 20_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let mut mode = BarotropicMode::new(
         &grid,

@@ -167,6 +167,7 @@ fn solve_then_apply_roundtrips() {
                 tol: 1e-11,
                 max_iters: 50_000,
                 check_every: 10,
+                ..SolverConfig::default()
             },
         );
         assert!(st.converged, "case {c}");

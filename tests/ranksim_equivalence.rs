@@ -72,6 +72,7 @@ fn check(name: &str, p: &Problem, pre: &dyn Preconditioner, kind: SolverKind, ra
         tol: 1e-10,
         max_iters: 5000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let shared = CommWorld::serial();
     let mut x_shared = DistVec::zeros(&p.layout);

@@ -104,6 +104,7 @@ fn run_shared(
         tol: 1e-10,
         max_iters: 5000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let mut x = DistVec::zeros(&p.layout);
     let mut ws = SolverWorkspace::new();
@@ -116,6 +117,7 @@ fn run_ranksim(p: &Problem, pre: &dyn Preconditioner, kind: SolverKind, ranks: u
         tol: 1e-10,
         max_iters: 5000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let world = RankWorld::new(
         &p.layout,

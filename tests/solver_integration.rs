@@ -48,6 +48,7 @@ fn every_config_solves_every_grid_family() {
         tol: 1e-12,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     for grid in &grids {
         let p = problem(grid, 16, 14, 9000.0);
@@ -77,6 +78,7 @@ fn solution_independent_of_decomposition() {
         tol: 1e-13,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let mut solutions = Vec::new();
     for (bx, by) in [(60, 48), (15, 12), (12, 16), (9, 7)] {
@@ -106,6 +108,7 @@ fn serial_and_threaded_backends_bit_identical() {
         tol: 1e-12,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let run = |world: CommWorld| {
         let layout = DistLayout::build(&grid, 14, 12);
@@ -137,6 +140,7 @@ fn solvers_agree_with_each_other() {
         tol: 1e-13,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let mut sols = Vec::new();
     for choice in [
@@ -171,6 +175,7 @@ fn communication_counts_follow_the_papers_accounting() {
         tol: 1e-11,
         max_iters: 50_000,
         check_every: 10,
+        ..SolverConfig::default()
     };
     let cg = SolverSetup::new(SolverChoice::ChronGearDiag, &p.op, &p.world);
     let mut x = DistVec::zeros(&p.layout);
@@ -198,6 +203,7 @@ fn tighter_tolerance_costs_more_iterations() {
             tol,
             max_iters: 50_000,
             check_every: 1,
+            ..SolverConfig::default()
         };
         let setup = SolverSetup::new(SolverChoice::ChronGearDiag, &p.op, &p.world);
         let mut x = DistVec::zeros(&p.layout);

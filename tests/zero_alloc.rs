@@ -82,6 +82,7 @@ fn fused_solve_iterations_allocate_nothing() {
         tol: 0.0,
         max_iters: iters,
         check_every: iters,
+        ..SolverConfig::default()
     };
 
     let mut x = DistVec::zeros(&layout);
