@@ -16,6 +16,7 @@ use pop_core::lanczos::{estimate_bounds, LanczosConfig};
 use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
 use pop_core::solvers::{ChronGear, LinearSolver, Pcsi, SolveStats, SolverConfig, SolverWorkspace};
 use pop_grid::Grid;
+use pop_obs::ObsSink;
 use pop_stencil::NinePoint;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -103,10 +104,15 @@ fn main() {
 
     // Fixed-iteration timing: tol = 0 never converges, so every solve runs
     // exactly `iters` iterations and per-iteration time is elapsed / iters.
+    // The live obs sink accumulates every timed solve's counters; they are
+    // embedded in the BENCH artifact so a perf regression comes with the
+    // telemetry (allreduce counts per phase, residual histogram) attached.
+    let obs = ObsSink::enabled();
     let cfg = SolverConfig {
         tol: 0.0,
         max_iters: iters,
         check_every: 10,
+        obs: obs.clone(),
         ..SolverConfig::default()
     };
     let lanczos = LanczosConfig {
@@ -261,6 +267,7 @@ fn main() {
     let _ = writeln!(j, "  \"iterations_per_solve\": {iters},");
     let _ = writeln!(j, "  \"samples\": {samples},");
     let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"metrics\": {},", obs.metrics_json());
     j.push_str("  \"results\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let samp: Vec<String> = r.samples_us.iter().map(|&v| json_f(v)).collect();

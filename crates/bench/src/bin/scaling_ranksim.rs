@@ -27,6 +27,7 @@ use pop_core::lanczos::{estimate_bounds, LanczosConfig};
 use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
 use pop_core::solvers::SolverConfig;
 use pop_grid::Grid;
+use pop_obs::ObsSink;
 use pop_perfmodel::machine::MachineModel;
 use pop_ranksim::{
     solve_on_ranks, write_chrome_trace, LatencyBandwidth, NetworkModel, RankSimConfig, RankWorld,
@@ -58,6 +59,78 @@ fn json_f(v: f64) -> String {
     }
 }
 
+/// The acceptance facts of the sweep (paper Fig. 7/8), checked over the
+/// collected rows: ChronGear's reduction time must grow with rank count
+/// while P-CSI's allreduce count stays fixed and its reduce time stays a
+/// small fraction of ChronGear's. Returns `Err` with a diagnostic instead
+/// of panicking — an empty or partial sweep (empty rank list, a solver
+/// erroring out of the sweep) is reported gracefully and the binary exits
+/// non-zero.
+fn check_crossover(rows: &[Row], preconds: &[&str]) -> Result<Vec<String>, String> {
+    let mut summaries = Vec::new();
+    for &pname in preconds {
+        let series = |solver: &str| -> Vec<&Row> {
+            rows.iter()
+                .filter(|r| r.solver == solver && r.precond == pname)
+                .collect()
+        };
+        let cg = series("chrongear");
+        let csi = series("pcsi");
+        let (Some(cg_lo), Some(cg_hi)) = (cg.first(), cg.last()) else {
+            return Err(format!(
+                "{pname}: no ChronGear rows collected — empty rank sweep or solver failure"
+            ));
+        };
+        let (Some(csi_lo), Some(csi_hi)) = (csi.first(), csi.last()) else {
+            return Err(format!(
+                "{pname}: no P-CSI rows collected — empty rank sweep or solver failure"
+            ));
+        };
+        if cg_hi.allreduce_s <= cg_lo.allreduce_s * 1.5 {
+            return Err(format!(
+                "{pname}: ChronGear reduction time must grow with ranks \
+                 ({:.3e}s at p={} vs {:.3e}s at p={})",
+                cg_lo.allreduce_s, cg_lo.ranks, cg_hi.allreduce_s, cg_hi.ranks
+            ));
+        }
+        if csi_hi.allreduce_s >= cg_hi.allreduce_s / 4.0 {
+            return Err(format!(
+                "{pname}: P-CSI must avoid most of ChronGear's reduction cost at scale"
+            ));
+        }
+        if !csi
+            .iter()
+            .all(|r| r.allreduces_per_rank == csi_lo.allreduces_per_rank)
+        {
+            return Err(format!(
+                "{pname}: P-CSI's allreduce count must not depend on rank count"
+            ));
+        }
+        if csi_lo.allreduces_per_rank * 5 > cg_lo.allreduces_per_rank {
+            return Err(format!(
+                "{pname}: P-CSI must issue far fewer allreduces than ChronGear ({} vs {})",
+                csi_lo.allreduces_per_rank, cg_lo.allreduces_per_rank
+            ));
+        }
+        summaries.push(format!(
+            "[{pname}] reduce time p={}→{}: chrongear {:.3}ms→{:.3}ms, pcsi {:.3}ms→{:.3}ms",
+            cg_lo.ranks,
+            cg_hi.ranks,
+            cg_lo.allreduce_s * 1e3,
+            cg_hi.allreduce_s * 1e3,
+            csi_lo.allreduce_s * 1e3,
+            csi_hi.allreduce_s * 1e3
+        ));
+    }
+    Ok(summaries)
+}
+
+/// Exit with a diagnostic instead of a panic backtrace.
+fn fail(msg: &str) -> ! {
+    eprintln!("scaling_ranksim: error: {msg}");
+    std::process::exit(1);
+}
+
 fn main() {
     let quick = quick_requested();
     let (nx, ny, bx, by, iters, rank_counts): (_, _, _, _, _, &[usize]) = if quick {
@@ -73,14 +146,17 @@ fn main() {
         (320, 240, 10, 8, 50, &[4, 8, 16, 32, 64, 128, 256])
     };
 
+    let Some(&max_ranks) = rank_counts.last() else {
+        fail("rank sweep is empty — nothing to run");
+    };
     let g = Grid::gx1_scaled(11, nx, ny);
     let layout = DistLayout::build(&g, bx, by);
-    assert!(
-        layout.n_blocks() >= *rank_counts.last().expect("rank sweep"),
-        "grid has {} active blocks; need at least {} so no rank idles",
-        layout.n_blocks(),
-        rank_counts.last().unwrap()
-    );
+    if layout.n_blocks() < max_ranks {
+        fail(&format!(
+            "grid has {} active blocks; need at least {max_ranks} so no rank idles",
+            layout.n_blocks()
+        ));
+    }
     let serial = CommWorld::serial();
     let op = NinePoint::assemble(&g, &layout, &serial, 2700.0);
 
@@ -97,11 +173,14 @@ fn main() {
 
     // Fixed-iteration runs (tol = 0 never converges): the sweep compares
     // communication structure, so every configuration must do identical
-    // iteration counts at every rank count.
+    // iteration counts at every rank count. The live obs sink collects
+    // every solve's telemetry; its metrics land in the BENCH provenance.
+    let obs = ObsSink::enabled();
     let cfg = SolverConfig {
         tol: 0.0,
         max_iters: iters,
         check_every: 10,
+        obs: obs.clone(),
         ..SolverConfig::default()
     };
     let lanczos = LanczosConfig {
@@ -202,56 +281,19 @@ fn main() {
         );
     }
 
-    // The acceptance facts, asserted so a regression fails loudly: the
-    // executed reduction cost grows with rank count under ChronGear (one
-    // tree per iteration, each log₂ p deep), while P-CSI's allreduce count
-    // stays fixed — its only reductions are the periodic convergence
-    // checks, so its reduce time stays a small fraction of ChronGear's no
-    // matter how many ranks the tree spans.
-    for pname in ["diag", "evp"] {
-        let series = |solver: &str| -> Vec<&Row> {
-            rows.iter()
-                .filter(|r| r.solver == solver && r.precond == pname)
-                .collect()
-        };
-        let cg = series("chrongear");
-        let csi = series("pcsi");
-        let (cg_lo, cg_hi) = (cg.first().unwrap(), cg.last().unwrap());
-        let (csi_lo, csi_hi) = (csi.first().unwrap(), csi.last().unwrap());
-        assert!(
-            cg_hi.allreduce_s > cg_lo.allreduce_s * 1.5,
-            "{pname}: ChronGear reduction time must grow with ranks \
-             ({:.3e}s at p={} vs {:.3e}s at p={})",
-            cg_lo.allreduce_s,
-            cg_lo.ranks,
-            cg_hi.allreduce_s,
-            cg_hi.ranks
-        );
-        assert!(
-            csi_hi.allreduce_s < cg_hi.allreduce_s / 4.0,
-            "{pname}: P-CSI must avoid most of ChronGear's reduction cost at scale"
-        );
-        assert!(
-            csi.iter()
-                .all(|r| r.allreduces_per_rank == csi_lo.allreduces_per_rank),
-            "{pname}: P-CSI's allreduce count must not depend on rank count"
-        );
-        assert!(
-            csi_lo.allreduces_per_rank * 5 <= cg_lo.allreduces_per_rank,
-            "{pname}: P-CSI must issue far fewer allreduces than ChronGear \
-             ({} vs {})",
-            csi_lo.allreduces_per_rank,
-            cg_lo.allreduces_per_rank
-        );
-        println!(
-            "[{pname}] reduce time p={}→{}: chrongear {:.3}ms→{:.3}ms, pcsi {:.3}ms→{:.3}ms",
-            cg_lo.ranks,
-            cg_hi.ranks,
-            cg_lo.allreduce_s * 1e3,
-            cg_hi.allreduce_s * 1e3,
-            csi_lo.allreduce_s * 1e3,
-            csi_hi.allreduce_s * 1e3
-        );
+    // The acceptance facts, checked so a regression fails loudly (but
+    // gracefully): the executed reduction cost grows with rank count under
+    // ChronGear (one tree per iteration, each log₂ p deep), while P-CSI's
+    // allreduce count stays fixed — its only reductions are the periodic
+    // convergence checks, so its reduce time stays a small fraction of
+    // ChronGear's no matter how many ranks the tree spans.
+    match check_crossover(&rows, &["diag", "evp"]) {
+        Ok(summaries) => {
+            for s in summaries {
+                println!("{s}");
+            }
+        }
+        Err(msg) => fail(&msg),
     }
 
     let prov = Provenance::collect().with_fault_plan(sim_cfg.faults.describe());
@@ -280,6 +322,10 @@ fn main() {
         sim_cfg.compute_per_point
     );
     let _ = writeln!(j, "  \"iterations_per_solve\": {iters},");
+    // Every solve in the sweep fed the same live obs sink; its counters
+    // (per-solver/per-phase comm totals, residual histogram, simulated-time
+    // spans) ride along in the provenance blob.
+    let _ = writeln!(j, "  \"metrics\": {},", obs.metrics_json());
     j.push_str("  \"results\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -306,4 +352,66 @@ fn main() {
     let out = "BENCH_ranksim.json";
     std::fs::write(out, &j).expect("write BENCH_ranksim.json");
     println!("\n[wrote {out}]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(solver: &'static str, ranks: usize, allreduce_s: f64, reduces: u64) -> Row {
+        Row {
+            solver,
+            precond: "diag",
+            ranks,
+            iterations: 50,
+            max_blocks_per_rank: 4,
+            sim_time_s: 1.0,
+            compute_s: 0.5,
+            halo_s: 0.1,
+            allreduce_s,
+            allreduces_per_rank: reduces,
+            halo_bytes_total: 1024,
+        }
+    }
+
+    /// Regression: an empty sweep used to hit `.first().unwrap()` and panic
+    /// with an opaque backtrace; it must now surface a diagnostic `Err` so
+    /// `main` can exit non-zero with a real message.
+    #[test]
+    fn empty_sweep_is_an_error_not_a_panic() {
+        let err = check_crossover(&[], &["diag", "evp"]).unwrap_err();
+        assert!(err.contains("no ChronGear rows"), "got: {err}");
+        // Rows for one precond only: the other must still be reported, not
+        // unwrapped past.
+        let rows = vec![row("chrongear", 4, 1e-3, 101), row("pcsi", 4, 1e-5, 6)];
+        let err = check_crossover(&rows, &["evp"]).unwrap_err();
+        assert!(err.contains("evp"), "got: {err}");
+    }
+
+    #[test]
+    fn crossover_facts_accepted_on_paper_shaped_data() {
+        let rows = vec![
+            row("chrongear", 4, 1.0e-3, 101),
+            row("chrongear", 256, 8.0e-3, 101),
+            row("pcsi", 4, 1.0e-5, 6),
+            row("pcsi", 256, 1.2e-5, 6),
+        ];
+        let lines = check_crossover(&rows, &["diag"]).expect("healthy sweep");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("chrongear"));
+    }
+
+    #[test]
+    fn flat_chrongear_reduce_time_is_flagged() {
+        // ChronGear's reduce time *not* growing with ranks contradicts the
+        // log2(p) tree model — the check must say so.
+        let rows = vec![
+            row("chrongear", 4, 1.0e-3, 101),
+            row("chrongear", 256, 1.0e-3, 101),
+            row("pcsi", 4, 1.0e-5, 6),
+            row("pcsi", 256, 1.0e-5, 6),
+        ];
+        let err = check_crossover(&rows, &["diag"]).unwrap_err();
+        assert!(err.contains("grow with ranks"), "got: {err}");
+    }
 }

@@ -147,9 +147,9 @@ impl BenchGroup {
     }
 }
 
-/// `--quick` (or `POP_BENCH_QUICK=1`): smaller grids, fewer samples, for CI
-/// smoke runs.
+/// `--quick` / `--smoke` (or `POP_BENCH_QUICK=1`): smaller grids, fewer
+/// samples, for CI smoke runs.
 pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    std::env::args().any(|a| a == "--quick" || a == "--smoke")
         || std::env::var("POP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }

@@ -27,9 +27,27 @@ pub struct EigenBounds {
 }
 
 impl EigenBounds {
+    /// Whether the interval is usable by the Chebyshev recurrence:
+    /// `0 < ν < μ < ∞`. [`run`] only ever returns valid bounds, but the
+    /// fields are public, so hand-built bounds are checked before use.
+    pub fn is_valid(&self) -> bool {
+        self.nu.is_finite() && self.mu.is_finite() && self.nu > 0.0 && self.mu > self.nu
+    }
+
     /// Condition-number estimate `μ/ν` of the preconditioned operator.
+    ///
+    /// Returns `+∞` for an invalid interval (ν ≤ 0, non-finite, or μ ≤ ν)
+    /// instead of the raw quotient: `μ/ν` on a degenerate layout would be
+    /// negative or NaN, which silently poisons anything ranking
+    /// preconditioners by conditioning. An unusable interval is "infinitely
+    /// badly conditioned", which sorts it last and survives `max`/`<`
+    /// comparisons sanely.
     pub fn condition(&self) -> f64 {
-        self.mu / self.nu
+        if self.is_valid() {
+            self.mu / self.nu
+        } else {
+            f64::INFINITY
+        }
     }
 }
 
@@ -192,11 +210,28 @@ fn run(
     // Widen: Lanczos extremes lie inside the true spectrum.
     nu *= 1.0 - cfg.safety_lo;
     mu *= 1.0 + cfg.safety_hi;
-    // Guard rails for pathological inputs.
-    if !(nu.is_finite() && mu.is_finite() && nu > 0.0 && mu > nu) {
+    // Guard rails for pathological inputs (degenerate layouts: all-land or
+    // single-ocean-cell blocks can break the Lanczos process before any
+    // usable tridiagonal exists). Healthy estimates pass through untouched —
+    // the branches below only *compare*, so fault-free runs stay
+    // bit-identical.
+    if !(mu.is_finite() && mu > 0.0) {
+        // No usable upper estimate at all: fall back to a generic interval.
         nu = 1e-6;
         mu = 2.0;
+    } else {
+        // The upper estimate is usable; salvage it. Floor ν at a tiny
+        // positive multiple of μ so the interval stays valid (ν ≤ 0 or NaN
+        // would make the Chebyshev scalars non-finite), and force μ > ν.
+        let floor = mu * 1e-12;
+        if !(nu.is_finite() && nu >= floor) {
+            nu = floor;
+        }
+        if mu <= nu {
+            mu = 2.0 * nu;
+        }
     }
+    debug_assert!(EigenBounds { nu, mu }.is_valid());
     (EigenBounds { nu, mu }, steps_taken)
 }
 
@@ -348,6 +383,36 @@ mod tests {
             be.condition(),
             bd.condition()
         );
+    }
+
+    /// Regression: `condition()` used to return the raw quotient `μ/ν`,
+    /// which is *negative* for ν < 0 and NaN for the 0/0 interval — both
+    /// poison any comparison ranking preconditioners. Degenerate intervals
+    /// must read as infinitely badly conditioned instead.
+    #[test]
+    fn condition_is_infinite_for_degenerate_intervals() {
+        let negative_nu = EigenBounds { nu: -1.0, mu: 2.0 };
+        assert!(!negative_nu.is_valid());
+        assert_eq!(negative_nu.condition(), f64::INFINITY);
+
+        let zero_zero = EigenBounds { nu: 0.0, mu: 0.0 };
+        assert!(!zero_zero.is_valid());
+        assert_eq!(zero_zero.condition(), f64::INFINITY);
+
+        let inverted = EigenBounds { nu: 2.0, mu: 1.0 };
+        assert!(!inverted.is_valid());
+        assert_eq!(inverted.condition(), f64::INFINITY);
+
+        let nan_mu = EigenBounds {
+            nu: 1.0,
+            mu: f64::NAN,
+        };
+        assert_eq!(nan_mu.condition(), f64::INFINITY);
+
+        // A healthy interval is untouched.
+        let ok = EigenBounds { nu: 0.5, mu: 2.0 };
+        assert!(ok.is_valid());
+        assert_eq!(ok.condition(), 4.0);
     }
 
     #[test]

@@ -137,6 +137,7 @@ impl CommSolver for ChronGear {
         ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
         let start = comm.stats();
+        let mut obs = cfg.obs.begin_solve(self.name(), pre.name(), start);
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
@@ -167,6 +168,7 @@ impl CommSolver for ChronGear {
             let mut rho_old = 1.0f64;
             let mut sigma = 0.0f64;
             matvecs += 1; // the initial residual
+            obs.phase("setup", || comm.stats());
 
             while iterations < cfg.max_iters {
                 iterations += 1;
@@ -244,9 +246,11 @@ impl CommSolver for ChronGear {
                 // reduced value is identical on every rank, so the recovery
                 // verdict is too.
                 if iterations % cfg.check_every == 0 {
+                    obs.phase("iterate", || comm.stats());
                     let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                     final_rel = rr.sqrt() / bnorm;
                     history.push((iterations, final_rel));
+                    obs.phase("check", || comm.stats());
                     match monitor.assess(final_rel) {
                         Verdict::Healthy { improved } => {
                             if final_rel < cfg.tol {
@@ -258,6 +262,7 @@ impl CommSolver for ChronGear {
                             }
                         }
                         Verdict::Restart => {
+                            obs.restart(iterations);
                             copy_vec(comm, x_good, x);
                             continue 'recurrence;
                         }
@@ -289,7 +294,7 @@ impl CommSolver for ChronGear {
             break 'recurrence;
         }
 
-        SolveStats {
+        let stats = SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
@@ -301,7 +306,17 @@ impl CommSolver for ChronGear {
             precond_applies,
             comm: comm.stats().since(&start),
             residual_history: history,
-        }
+        };
+        obs.finish(
+            stats.outcome.label(),
+            stats.final_relative_residual,
+            stats.iterations,
+            stats.matvecs,
+            stats.precond_applies,
+            &stats.residual_history,
+            || comm.stats(),
+        );
+        stats
     }
 }
 

@@ -157,11 +157,13 @@ impl CommSolver for Pcsi {
         ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
         let start = comm.stats();
+        let mut obs = cfg.obs.begin_solve(self.name(), pre.name(), start);
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
         // Chebyshev scalars (Algorithm 2, step 1).
         let (nu, mu) = (self.bounds.nu, self.bounds.mu);
+        obs.eigen(nu, mu);
         let alpha = 2.0 / (mu - nu);
         let beta = (mu + nu) / (mu - nu);
         let gamma = beta / alpha; // = (μ + ν)/2
@@ -217,6 +219,7 @@ impl CommSolver for Pcsi {
             });
             matvecs += 2;
             precond_applies += 1;
+            obs.phase("setup", || comm.stats());
 
             while iterations < cfg.max_iters {
                 iterations += 1;
@@ -261,9 +264,11 @@ impl CommSolver for Pcsi {
                 // The reduced value is identical on every rank, so the
                 // recovery verdict below is too.
                 if iterations % cfg.check_every == 0 {
+                    obs.phase("iterate", || comm.stats());
                     let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                     final_rel = rr.sqrt() / bnorm;
                     history.push((iterations, final_rel));
+                    obs.phase("check", || comm.stats());
                     match monitor.assess(final_rel) {
                         Verdict::Healthy { improved } => {
                             if final_rel < cfg.tol {
@@ -275,6 +280,7 @@ impl CommSolver for Pcsi {
                             }
                         }
                         Verdict::Restart => {
+                            obs.restart(iterations);
                             copy_vec(comm, x_good, x);
                             continue 'recurrence;
                         }
@@ -306,7 +312,7 @@ impl CommSolver for Pcsi {
             break 'recurrence;
         }
 
-        SolveStats {
+        let stats = SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
@@ -318,7 +324,17 @@ impl CommSolver for Pcsi {
             precond_applies,
             comm: comm.stats().since(&start),
             residual_history: history,
-        }
+        };
+        obs.finish(
+            stats.outcome.label(),
+            stats.final_relative_residual,
+            stats.iterations,
+            stats.matvecs,
+            stats.precond_applies,
+            &stats.residual_history,
+            || comm.stats(),
+        );
+        stats
     }
 }
 

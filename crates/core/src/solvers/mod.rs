@@ -12,6 +12,7 @@ pub use pipecg::PipelinedCg;
 
 use crate::precond::Preconditioner;
 use pop_comm::{CommVec, CommWorld, Communicator, DistLayout, DistVec, StatsSnapshot};
+use pop_obs::ObsSink;
 use pop_stencil::NinePoint;
 use std::sync::Arc;
 
@@ -32,6 +33,13 @@ pub struct SolverConfig {
     /// residuals, so fault-free trajectories are bit-identical with any
     /// recovery setting.
     pub recovery: RecoveryConfig,
+    /// Observability sink (`pop-obs`). The default sink is disabled and
+    /// costs nothing on the hot path; an enabled sink records a per-solve
+    /// [`pop_obs::ConvergenceTrace`] and registry metrics. The sink only
+    /// ever *reads* communicator statistics — never issues communication —
+    /// so solver trajectories and allreduce counts are bit-identical with
+    /// observability on or off (`tests/obs_equivalence.rs`).
+    pub obs: ObsSink,
 }
 
 impl Default for SolverConfig {
@@ -41,6 +49,7 @@ impl Default for SolverConfig {
             max_iters: 10_000,
             check_every: 10,
             recovery: RecoveryConfig::default(),
+            obs: ObsSink::disabled(),
         }
     }
 }
@@ -52,6 +61,12 @@ impl SolverConfig {
             tol,
             ..Default::default()
         }
+    }
+
+    /// The same config with observability routed to `sink`.
+    pub fn with_obs(mut self, sink: ObsSink) -> Self {
+        self.obs = sink;
+        self
     }
 }
 

@@ -123,6 +123,7 @@ impl CommSolver for ClassicPcg {
         ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
         let start = comm.stats();
+        let mut obs = cfg.obs.begin_solve(self.name(), pre.name(), start);
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
@@ -159,6 +160,7 @@ impl CommSolver for ClassicPcg {
             let mut rz = comm.reduce_sweep(&rz_sweep, 1)[0]; // reduction #0 (setup)
             matvecs += 1;
             precond_applies += 1;
+            obs.phase("setup", || comm.stats());
 
             while iterations < cfg.max_iters {
                 iterations += 1;
@@ -223,9 +225,11 @@ impl CommSolver for ClassicPcg {
                 });
 
                 if iterations % cfg.check_every == 0 {
+                    obs.phase("iterate", || comm.stats());
                     let rr = comm.reduce_sweep(&rr_sweep, 1)[0];
                     final_rel = rr.sqrt() / bnorm;
                     history.push((iterations, final_rel));
+                    obs.phase("check", || comm.stats());
                     match monitor.assess(final_rel) {
                         Verdict::Healthy { improved } => {
                             if final_rel < cfg.tol {
@@ -237,6 +241,7 @@ impl CommSolver for ClassicPcg {
                             }
                         }
                         Verdict::Restart => {
+                            obs.restart(iterations);
                             copy_vec(comm, x_good, x);
                             continue 'recurrence;
                         }
@@ -267,7 +272,7 @@ impl CommSolver for ClassicPcg {
             break 'recurrence;
         }
 
-        SolveStats {
+        let stats = SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
@@ -279,7 +284,17 @@ impl CommSolver for ClassicPcg {
             precond_applies,
             comm: comm.stats().since(&start),
             residual_history: history,
-        }
+        };
+        obs.finish(
+            stats.outcome.label(),
+            stats.final_relative_residual,
+            stats.iterations,
+            stats.matvecs,
+            stats.precond_applies,
+            &stats.residual_history,
+            || comm.stats(),
+        );
+        stats
     }
 }
 

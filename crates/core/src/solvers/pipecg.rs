@@ -161,6 +161,7 @@ impl CommSolver for PipelinedCg {
         ws: &mut SolverWorkspace<C::Vec>,
     ) -> SolveStats {
         let start = comm.stats();
+        let mut obs = cfg.obs.begin_solve(self.name(), pre.name(), start);
         let layout = std::sync::Arc::clone(b.layout());
         let bnorm = rhs_norm(comm, b);
 
@@ -205,6 +206,7 @@ impl CommSolver for PipelinedCg {
             let mut first = true;
             matvecs += 2;
             precond_applies += 1;
+            obs.phase("setup", || comm.stats());
 
             while iterations < cfg.max_iters {
                 iterations += 1;
@@ -240,7 +242,12 @@ impl CommSolver for PipelinedCg {
                     pt[2] = rs;
                     pt
                 });
+                // PipeCG's convergence check rides the fused per-iteration
+                // reduction, so the reduce itself is attributed to "check"
+                // and everything else to "iterate".
+                obs.phase("iterate", || comm.stats());
                 let d = comm.reduce_sweep(&d_sweep, 3);
+                obs.phase("check", || comm.stats());
                 let (gamma, delta, rr) = (d[0], d[1], d[2]);
                 precond_applies += 1;
 
@@ -326,6 +333,7 @@ impl CommSolver for PipelinedCg {
                         }
                     }
                     Verdict::Restart => {
+                        obs.restart(iterations);
                         copy_vec(comm, x_good, x);
                         continue 'recurrence;
                     }
@@ -348,7 +356,7 @@ impl CommSolver for PipelinedCg {
             break 'recurrence;
         }
 
-        SolveStats {
+        let stats = SolveStats {
             solver: self.name(),
             preconditioner: pre.name(),
             iterations,
@@ -360,7 +368,17 @@ impl CommSolver for PipelinedCg {
             precond_applies,
             comm: comm.stats().since(&start),
             residual_history: history,
-        }
+        };
+        obs.finish(
+            stats.outcome.label(),
+            stats.final_relative_residual,
+            stats.iterations,
+            stats.matvecs,
+            stats.precond_applies,
+            &stats.residual_history,
+            || comm.stats(),
+        );
+        stats
     }
 }
 

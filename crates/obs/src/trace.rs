@@ -1,0 +1,64 @@
+//! Per-solve convergence telemetry.
+//!
+//! A [`ConvergenceTrace`] is the machine-readable record of one solve: the
+//! residual at every convergence check (the paper's Fig. 5 raw data),
+//! eigenbound estimates feeding the Chebyshev recurrence, restart events
+//! from the recovery path, and the communication events attributed to each
+//! phase of the solve. Traces are collected by the active `ObsSink` and
+//! exported as JSON lines; the schema is documented in DESIGN.md §11.
+
+use pop_comm::StatsSnapshot;
+
+/// Communication events and wall time attributed to one named phase of a
+/// solve ("setup", "iterate", "check", "finalize").
+#[derive(Debug, Clone)]
+pub struct PhaseComm {
+    pub name: &'static str,
+    /// Wall-clock seconds spent in the phase (shared-memory path; ranksim
+    /// simulated time is exported separately through the registry).
+    pub seconds: f64,
+    /// Event counts for the phase (delta of the communicator's stats).
+    pub comm: StatsSnapshot,
+}
+
+/// The full telemetry record of one solve.
+#[derive(Debug, Clone)]
+pub struct ConvergenceTrace {
+    pub solver: &'static str,
+    pub precond: &'static str,
+    /// `SolveOutcome::label()`: "converged" | "max-iters" | "diverged".
+    pub outcome: &'static str,
+    pub iterations: usize,
+    pub final_rel: f64,
+    /// Chebyshev eigenbound estimate `(nu, mu)` when the solver uses one
+    /// (P-CSI); `None` for the CG family.
+    pub eigen: Option<(f64, f64)>,
+    /// `(iteration, ‖r‖/‖b‖)` at every convergence check.
+    pub samples: Vec<(usize, f64)>,
+    /// Iteration numbers at which the recovery path restarted the
+    /// recurrence.
+    pub restart_iters: Vec<usize>,
+    /// Per-phase attribution; phase deltas sum to the solve's total
+    /// `StatsSnapshot` by construction.
+    pub phases: Vec<PhaseComm>,
+}
+
+impl ConvergenceTrace {
+    /// Sum of the per-phase comm deltas — equals the solve's
+    /// `SolveStats.comm` (checked by `tests/obs_equivalence.rs`).
+    pub fn total_comm(&self) -> StatsSnapshot {
+        let mut t = StatsSnapshot::default();
+        for p in &self.phases {
+            t.halo_updates += p.comm.halo_updates;
+            t.halo_messages += p.comm.halo_messages;
+            t.halo_bytes += p.comm.halo_bytes;
+            t.allreduces += p.comm.allreduces;
+            t.allreduce_scalars += p.comm.allreduce_scalars;
+            t.barriers += p.comm.barriers;
+            t.retries += p.comm.retries;
+            t.duplicates += p.comm.duplicates;
+            t.delivery_failures += p.comm.delivery_failures;
+        }
+        t
+    }
+}

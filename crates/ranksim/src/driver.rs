@@ -8,11 +8,13 @@
 //! the SPMD solve, gather the solution and per-rank reports back.
 
 use crate::runtime::{sim_time, RankReport, RankWorld};
+use crate::trace::SpanKind;
 use pop_comm::{Communicator, DistVec};
 use pop_core::{
     ChronGear, ClassicPcg, CommSolver, EigenBounds, Pcsi, PipelinedCg, Preconditioner, SolveStats,
     SolverConfig, SolverWorkspace,
 };
+use pop_obs::ObsSink;
 use pop_stencil::NinePoint;
 
 /// Which solver to run, with the spectral bounds P-CSI needs baked in (the
@@ -80,6 +82,15 @@ impl RankSolveOutcome {
 }
 
 /// Scatter `b`/`x0` to the world's ranks, solve, gather the solution.
+///
+/// Observability: only rank 0 carries the caller's [`ObsSink`] into its
+/// solver loop — the solve is SPMD, so every rank would record the *same*
+/// scalar trajectory and duplicate the trace. Rank 0's per-solve counters
+/// therefore match the shared-memory path exactly. After the gather, the
+/// per-rank simulated-clock spans are merged into the same registry
+/// (`pop_sim_phase_seconds_total{kind=...}`, `pop_sim_time_seconds`), so a
+/// ranksim run exports the same schema as a shared-memory run plus the
+/// simulated-time series.
 pub fn solve_on_ranks(
     world: &RankWorld,
     op: &NinePoint,
@@ -90,10 +101,15 @@ pub fn solve_on_ranks(
     cfg: &SolverConfig,
 ) -> RankSolveOutcome {
     let reports = world.run(|comm| {
+        let rank_cfg = if comm.rank() == 0 {
+            cfg.clone()
+        } else {
+            cfg.clone().with_obs(ObsSink::disabled())
+        };
         let rb = comm.import(b);
         let mut rx = comm.import(x0);
         let mut ws = SolverWorkspace::new();
-        let st = kind.solve(op, pre, comm, &rb, &mut rx, cfg, &mut ws);
+        let st = kind.solve(op, pre, comm, &rb, &mut rx, &rank_cfg, &mut ws);
         (st, rx.into_blocks())
     });
     let mut x = DistVec::zeros(&b.layout);
@@ -114,6 +130,23 @@ pub fn solve_on_ranks(
         });
     }
     debug_assert_eq!(t, sim_time(&per_rank));
+    if let Some(reg) = cfg.obs.registry() {
+        for (kind, name) in [
+            (SpanKind::Compute, "compute"),
+            (SpanKind::Halo, "halo"),
+            (SpanKind::Allreduce, "allreduce"),
+            (SpanKind::Stall, "stall"),
+        ] {
+            let secs: f64 = per_rank
+                .iter()
+                .flat_map(|r| r.spans.iter())
+                .filter(|s| s.kind == kind)
+                .map(|s| s.t1 - s.t0)
+                .sum();
+            reg.counter_add_f64("pop_sim_phase_seconds_total", &[("kind", name)], secs);
+        }
+        reg.gauge_set("pop_sim_time_seconds", &[], t);
+    }
     RankSolveOutcome {
         x,
         per_rank,

@@ -46,7 +46,12 @@ pub fn evaluate(
     let mut failing = Vec::new();
     for (t, z) in rmsz.iter().enumerate() {
         let (_, hi) = ensemble.member_rmsz_range[t];
-        if *z > margin * hi {
+        // A non-finite RMSZ (NaN when the σ floor excluded every point —
+        // see `pop_verif::stats::rmsz_detailed`) carries no evidence of
+        // consistency, so it counts as a failing month: `NaN > x` is false,
+        // and without this guard a degenerate comparison would silently
+        // pass.
+        if !z.is_finite() || *z > margin * hi {
             failing.push(t);
         }
     }
@@ -111,6 +116,41 @@ mod tests {
         assert_eq!(report.verdict, Verdict::Inconsistent);
         assert_eq!(report.failing_months.len(), months);
         assert!(report.rmsz.iter().all(|&z| z > 10.0));
+    }
+
+    /// Regression: a month whose ensemble has zero spread everywhere gives
+    /// the candidate a NaN RMSZ (all points σ-floor-excluded). That month
+    /// must count as *failing* — pre-fix, `NaN > threshold` being false let
+    /// a completely uninformative comparison pass as consistent.
+    #[test]
+    fn nan_rmsz_month_counts_as_failure() {
+        let n = 16;
+        // Three members, two months: month 0 has real spread, month 1 is
+        // bit-identical across members (zero spread ⇒ NaN candidate RMSZ).
+        let member_months: Vec<Vec<Vec<f64>>> = (0..3)
+            .map(|m| {
+                vec![
+                    (0..n).map(|k| k as f64 + 0.1 * m as f64).collect(),
+                    (0..n).map(|k| k as f64).collect(),
+                ]
+            })
+            .collect();
+        let e = EnsembleStats::from_member_months(member_months);
+        let cand: Vec<Vec<f64>> = vec![
+            e.member_months[0][0].clone(),
+            (0..n).map(|k| k as f64 + 123.0).collect(),
+        ];
+        let report = evaluate(&e, &cand, DEFAULT_MARGIN, 0);
+        assert!(
+            report.rmsz[1].is_nan(),
+            "expected NaN month, got {:?}",
+            report.rmsz
+        );
+        assert!(
+            report.failing_months.contains(&1),
+            "NaN RMSZ month must fail: {report:?}"
+        );
+        assert_eq!(report.verdict, Verdict::Inconsistent);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub use consistency::{ConsistencyReport, Verdict};
 pub use ensemble::{EnsembleConfig, EnsembleStats, VerificationLab};
 pub use mms::MmsCase;
 pub use portcheck::{port_check, PortCheckReport, PortReference};
-pub use stats::{rmse, rmsz, EnsembleMoments};
+pub use stats::{rmse, rmsz, rmsz_detailed, EnsembleMoments, RmszScore};

@@ -60,8 +60,31 @@ impl EnsembleMoments {
     }
 }
 
+/// RMSZ score plus the exclusion accounting that qualifies it.
+///
+/// A score over 3 points of a 10 000-point field means something very
+/// different from one over 9 997 — the excluded count makes silent
+/// degeneracy (tiny ensemble, constant field) visible to callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmszScore {
+    /// The root-mean-square Z-score over the scored points; `NaN` when no
+    /// point survived the σ floor (no information, *not* a perfect score).
+    pub score: f64,
+    /// Points that entered the sum.
+    pub scored: usize,
+    /// Points dropped because their ensemble spread was below the floor.
+    pub excluded: usize,
+}
+
+impl RmszScore {
+    /// Whether any point was actually scored.
+    pub fn is_informative(&self) -> bool {
+        self.scored > 0
+    }
+}
+
 /// Root-mean-square Z-score of field `x` against ensemble moments
-/// (paper §6):
+/// (paper §6), with exclusion accounting:
 ///
 /// ```text
 /// RMSZ(x, E) = sqrt( 1/n Σ_j ((x(j) − μ(j)) / δ(j))² )
@@ -70,8 +93,12 @@ impl EnsembleMoments {
 /// Points where the ensemble spread is numerically zero (below
 /// `sigma_floor` relative to the largest spread) carry no information about
 /// variability and are excluded from the sum; with a real perturbation
-/// ensemble there are essentially none.
-pub fn rmsz(x: &[f64], moments: &EnsembleMoments, sigma_floor: f64) -> f64 {
+/// ensemble there are essentially none, and the returned
+/// [`RmszScore::excluded`] count lets callers verify that. When *zero*
+/// points survive the floor the score is `NaN` — a degenerate comparison
+/// must not masquerade as a perfect one (`0.0`, the old behaviour, compares
+/// below every consistency threshold).
+pub fn rmsz_detailed(x: &[f64], moments: &EnsembleMoments, sigma_floor: f64) -> RmszScore {
     assert_eq!(x.len(), moments.mean.len(), "field length mismatch");
     let max_sigma = moments.std.iter().copied().fold(0.0f64, f64::max);
     let floor = sigma_floor * max_sigma.max(1e-300);
@@ -84,10 +111,22 @@ pub fn rmsz(x: &[f64], moments: &EnsembleMoments, sigma_floor: f64) -> f64 {
             count += 1;
         }
     }
-    if count == 0 {
-        return 0.0;
+    let score = if count == 0 {
+        f64::NAN
+    } else {
+        (sum / count as f64).sqrt()
+    };
+    RmszScore {
+        score,
+        scored: count,
+        excluded: x.len() - count,
     }
-    (sum / count as f64).sqrt()
+}
+
+/// The plain RMSZ score: [`rmsz_detailed`] without the accounting. Returns
+/// the documented `NaN` when every point is excluded by the σ floor.
+pub fn rmsz(x: &[f64], moments: &EnsembleMoments, sigma_floor: f64) -> f64 {
+    rmsz_detailed(x, moments, sigma_floor).score
 }
 
 /// Default relative σ floor used by the experiments.
@@ -192,6 +231,30 @@ mod tests {
         // Second point has σ = 0; a wild value there must not blow up RMSZ.
         let z = rmsz(&[2.0, 999.0], &m, SIGMA_FLOOR);
         assert_eq!(z, 0.0, "deviation at σ=0 points is not scored");
+        // The exclusion is accounted for, not silent.
+        let d = rmsz_detailed(&[2.0, 999.0], &m, SIGMA_FLOOR);
+        assert_eq!(d.scored, 1);
+        assert_eq!(d.excluded, 1);
+        assert!(d.is_informative());
+        assert_eq!(d.score, 0.0);
+    }
+
+    /// Regression: with *every* point below the σ floor (a constant-field
+    /// ensemble), `rmsz` used to return `0.0` — a "perfect" score carrying
+    /// zero information, which sails under any consistency threshold. It
+    /// must be NaN, and the detailed form must say nothing was scored.
+    #[test]
+    fn all_excluded_rmsz_is_nan_not_zero() {
+        let a = [5.0, 7.0];
+        let b = [5.0, 7.0];
+        let m = EnsembleMoments::from_members(&[&a, &b]);
+        let z = rmsz(&[999.0, -999.0], &m, SIGMA_FLOOR);
+        assert!(z.is_nan(), "all-excluded RMSZ must be NaN, got {z}");
+        let d = rmsz_detailed(&[999.0, -999.0], &m, SIGMA_FLOOR);
+        assert_eq!(d.scored, 0);
+        assert_eq!(d.excluded, 2);
+        assert!(!d.is_informative());
+        assert!(d.score.is_nan());
     }
 
     #[test]

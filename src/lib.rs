@@ -31,6 +31,11 @@
 //! - [`ocean`] — the barotropic mode and the mini-POP ocean model.
 //! - [`verif`] — perturbation ensembles, RMSE/RMSZ, the consistency test,
 //!   and the method-of-manufactured-solutions oracle.
+//! - [`obs`] — the solver observability layer: a lock-free metrics
+//!   registry, per-solve convergence traces, and Prometheus/JSON exporters.
+//!   Thread an enabled [`prelude::ObsSink`] through [`prelude::SolverConfig`]
+//!   to capture telemetry; the default (disabled) sink costs nothing and
+//!   leaves solver output bit-identical.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +67,7 @@
 pub use pop_comm as comm;
 pub use pop_core as core;
 pub use pop_grid as grid;
+pub use pop_obs as obs;
 pub use pop_ocean as ocean;
 pub use pop_perfmodel as perfmodel;
 pub use pop_ranksim as ranksim;
@@ -78,6 +84,7 @@ pub mod prelude {
         SolverConfig,
     };
     pub use pop_grid::{Decomposition, Grid};
+    pub use pop_obs::{ConvergenceTrace, ObsSink};
     pub use pop_ocean::{BarotropicMode, MiniPop, MiniPopConfig, SolverChoice, SolverSetup};
     pub use pop_perfmodel::{MachineModel, PopConfig, PopModel};
     pub use pop_ranksim::{

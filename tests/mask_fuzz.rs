@@ -208,3 +208,59 @@ fn pathological_masks_solve_identically_on_all_backends() {
         }
     }
 }
+
+/// Regression for the eigenbound guard rails: on a map that is land except
+/// for a handful of scattered single cells (every block all-land or holding
+/// one isolated ocean point), the Lanczos process breaks down almost
+/// immediately. `estimate_bounds` must still hand back a *valid* interval —
+/// `0 < ν < μ`, finite condition number — that `Pcsi::new` accepts and that
+/// drives a finite solve instead of feeding NaN/∞ into the Chebyshev
+/// recurrence.
+#[test]
+fn degenerate_masks_yield_valid_eigenbounds() {
+    let mut depth = vec![0.0f64; NX * NY];
+    // One isolated ocean cell near the middle of each of four blocks; every
+    // neighbour is land, so A is diagonal over four disconnected points.
+    for (i, j) in [
+        (BX / 2, BY / 2),
+        (BX + BX / 2, 2 * BY + BY / 2),
+        (2 * BX + 2, BY + 2),
+        (3 * BX + 5, 3 * BY / 2),
+    ] {
+        depth[j * NX + i] = 250.0;
+    }
+    let bathy = Bathymetry {
+        nx: NX,
+        ny: NY,
+        depth,
+    };
+    let grid = Grid::from_parts(
+        GridKind::Custom,
+        Metrics::uniform(NX, NY, 5.0e4),
+        &bathy,
+        false,
+    );
+    assert_eq!(grid.ocean_points(), 4);
+
+    let layout = DistLayout::build(&grid, BX, BY);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
+    let pre = Diagonal::new(&op);
+    let (bounds, _) = estimate_bounds(&op, &pre, &world, &LanczosConfig::default());
+    assert!(
+        bounds.nu > 0.0 && bounds.mu > bounds.nu && bounds.mu.is_finite(),
+        "degenerate mask produced unusable bounds: {bounds:?}"
+    );
+    assert!(bounds.condition().is_finite());
+
+    // The salvaged bounds must be consumable end-to-end.
+    let rhs = rhs_for(&layout, &op, 3);
+    let got = run_world(&world, &layout, &op, &pre, SolverKind::Pcsi(bounds), &rhs);
+    assert!(
+        f64::from_bits(got.final_residual_bits).is_finite(),
+        "P-CSI produced a non-finite residual on the degenerate mask"
+    );
+    for bits in &got.x_bits {
+        assert!(f64::from_bits(*bits).is_finite());
+    }
+}
