@@ -1,0 +1,117 @@
+//! Shared command-line parsing for the JSON bench binaries.
+//!
+//! `bench_solvers_json`, `bench_kernels_json`, and `scaling_ranksim` each
+//! used to scan `std::env::args` on their own, so a typo like `--qiuck`
+//! silently ran the full-size benchmark. This helper owns the common
+//! flags in one place — strict about unknown options, with the same
+//! `POP_BENCH_QUICK` environment fallback the old ad-hoc scans honoured.
+
+/// Options shared by the JSON bench binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--quick` / `--smoke` (or `POP_BENCH_QUICK=1`): smaller grids,
+    /// fewer samples, for CI smoke runs.
+    pub quick: bool,
+    /// `--seed N`: base seed for grid generation and seeded RHS batches.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// The year of the paper, as everywhere else in the harness.
+    pub const DEFAULT_SEED: u64 = 2015;
+
+    /// Parse from the process arguments, honouring `POP_BENCH_QUICK`.
+    /// Unknown options abort with a message instead of being ignored.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(mut a) => {
+                a.quick = a.quick || quick_env();
+                a
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit argument list (no environment), for tests.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = BenchArgs {
+            quick: false,
+            seed: Self::DEFAULT_SEED,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" | "--smoke" => out.quick = true,
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs an integer")?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown option {other} (supported: --quick | --smoke, --seed N)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// `POP_BENCH_QUICK` set to anything but `0`/empty.
+pub fn quick_env() -> bool {
+    std::env::var("POP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Lenient probe kept for the figure binaries that take other options:
+/// true when the argument list contains `--quick`/`--smoke` or the
+/// environment requests quick mode. New JSON benches should prefer
+/// [`BenchArgs::parse`], which also rejects typos.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "--smoke") || quick_env()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.quick);
+        assert_eq!(a.seed, BenchArgs::DEFAULT_SEED);
+    }
+
+    #[test]
+    fn quick_and_smoke_are_synonyms() {
+        assert!(parse(&["--quick"]).unwrap().quick);
+        assert!(parse(&["--smoke"]).unwrap().quick);
+    }
+
+    #[test]
+    fn seed_parses() {
+        assert_eq!(parse(&["--seed", "7"]).unwrap().seed, 7);
+        assert_eq!(
+            parse(&["--smoke", "--seed", "7"]).unwrap(),
+            BenchArgs {
+                quick: true,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_and_malformed_options_are_rejected() {
+        assert!(parse(&["--qiuck"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+}

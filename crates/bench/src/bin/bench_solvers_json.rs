@@ -9,12 +9,15 @@
 //!
 //! `--quick` shrinks the grid and sample counts for CI smoke runs.
 
+use pop_bench::args::BenchArgs;
 use pop_bench::provenance::Provenance;
-use pop_bench::timing::quick_requested;
 use pop_comm::{CommWorld, DistLayout, DistVec};
 use pop_core::lanczos::{estimate_bounds, LanczosConfig};
 use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
-use pop_core::solvers::{ChronGear, LinearSolver, Pcsi, SolveStats, SolverConfig, SolverWorkspace};
+use pop_core::solvers::{
+    BatchCommSolver, BatchWorkspace, ChronGear, LinearSolver, Pcsi, SolveStats, SolverConfig,
+    SolverWorkspace,
+};
 use pop_grid::Grid;
 use pop_obs::ObsSink;
 use pop_stencil::NinePoint;
@@ -58,6 +61,56 @@ impl Solver {
             Solver::ChronGear(s) => s.solve_unfused(op, pre, world, b, x, cfg),
         }
     }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_batched(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        world: &CommWorld,
+        bs: &[&DistVec],
+        xs: &mut [&mut DistVec],
+        cfg: &SolverConfig,
+        ws: &mut BatchWorkspace<CommWorld>,
+    ) -> Vec<SolveStats> {
+        match self {
+            Solver::Pcsi(s) => s.solve_batch_comm(op, pre, world, bs, xs, cfg, ws),
+            Solver::ChronGear(s) => s.solve_batch_comm(op, pre, world, bs, xs, cfg, ws),
+        }
+    }
+}
+
+/// An independent right-hand side for lane `lane` of the multi-RHS axis:
+/// the base field with seeded multiplicative noise, so batched lanes do
+/// distinct work (with `tol = 0` the iteration count is fixed either way).
+fn perturbed_rhs(rhs: &DistVec, lane: u64, seed: u64) -> DistVec {
+    let mut b = rhs.clone();
+    let mut state = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for blk in &mut b.blocks {
+        for j in 0..blk.ny {
+            for v in blk.interior_row_mut(j) {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let n = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                if *v != 0.0 {
+                    *v *= 1.0 + 0.25 * n;
+                }
+            }
+        }
+    }
+    b
+}
+
+struct BatchRow {
+    solver: &'static str,
+    precond: &'static str,
+    backend: &'static str,
+    rhs_batch: usize,
+    per_solve_us_median: f64,
+    per_solve_us_min: f64,
+    allreduces_per_iter: f64,
+    samples_us: Vec<f64>,
 }
 
 struct Row {
@@ -81,7 +134,8 @@ fn json_f(v: f64) -> String {
 fn main() {
     let prov = Provenance::collect();
     prov.warn_if_single_threaded("bench_solvers_json");
-    let quick = quick_requested();
+    let args = BenchArgs::parse();
+    let quick = args.quick;
     let (nx, ny, bx, by, iters, samples) = if quick {
         (180usize, 120usize, 36usize, 24usize, 30usize, 3usize)
     } else {
@@ -226,6 +280,128 @@ fn main() {
         }
     }
 
+    // ---- batched multi-RHS axis (rhs_batch ∈ {1, 4, 16}) ------------------
+    //
+    // rhs_batch = 1 times the plain single-RHS fused solve; wider batches
+    // run the k-RHS engine, whose SIMD lanes amortise operator coefficients
+    // and EVP influence matrices across right-hand sides and carry all k
+    // residuals in each reduction. Per-solve time is elapsed / k — the
+    // amortised cost of one RHS. With `tol = 0` every lane runs exactly
+    // `iters` iterations, so allreduce counts are deterministic and the
+    // batched engine must match the single-RHS solve exactly (flat in k).
+    let batch_ks: [usize; 3] = [1, 4, 16];
+    let max_k = *batch_ks.iter().max().expect("non-empty");
+    let batch_bs: Vec<DistVec> = (0..max_k)
+        .map(|l| perturbed_rhs(&rhs, l as u64, args.seed))
+        .collect();
+    let mut batch_rows: Vec<BatchRow> = Vec::new();
+    for (pname, pre) in preconds {
+        let (bounds, _) = estimate_bounds(&op, pre, &serial, &lanczos);
+        let solvers: [(&'static str, Solver); 2] = [
+            ("chrongear", Solver::ChronGear(ChronGear)),
+            ("pcsi", Solver::Pcsi(Pcsi::new(bounds))),
+        ];
+        for (sname, solver) in &solvers {
+            for (bname, world) in backends {
+                let mut ws = SolverWorkspace::new();
+                let mut bws = BatchWorkspace::new();
+                let mut single_allreduces = None;
+                for &k in &batch_ks {
+                    let mut run = |timed: bool| -> (f64, u64) {
+                        let bs_ref: Vec<&DistVec> = batch_bs[..k].iter().collect();
+                        let mut xs_own: Vec<DistVec> =
+                            (0..k).map(|_| DistVec::zeros(&layout)).collect();
+                        let t = Instant::now();
+                        let allreduces = if k == 1 {
+                            let st = solver.solve_fused(
+                                &op,
+                                pre,
+                                world,
+                                bs_ref[0],
+                                &mut xs_own[0],
+                                &cfg,
+                                &mut ws,
+                            );
+                            assert_eq!(st.iterations, iters, "{sname}+{pname} ran short");
+                            st.comm.allreduces
+                        } else {
+                            let mut xs_ref: Vec<&mut DistVec> = xs_own.iter_mut().collect();
+                            let stats = solver.solve_batched(
+                                &op,
+                                pre,
+                                world,
+                                &bs_ref,
+                                &mut xs_ref,
+                                &cfg,
+                                &mut bws,
+                            );
+                            assert!(
+                                stats.iter().all(|st| st.iterations == iters),
+                                "{sname}+{pname} batch ran short"
+                            );
+                            stats[0].comm.allreduces
+                        };
+                        let el = t.elapsed().as_secs_f64();
+                        (if timed { el * 1e6 / k as f64 } else { 0.0 }, allreduces)
+                    };
+                    // Warm-up: populate the workspaces outside the timings
+                    // and pin the allreduce accounting.
+                    let (_, allreduces) = run(false);
+                    match single_allreduces {
+                        None => single_allreduces = Some(allreduces),
+                        Some(base) => assert_eq!(
+                            allreduces, base,
+                            "{sname}+{pname}+{bname}: allreduce count must stay flat in k \
+                             (rhs_batch={k}: {allreduces} vs single-RHS {base})"
+                        ),
+                    }
+                    let mut samples_us = Vec::with_capacity(samples);
+                    for _ in 0..samples {
+                        samples_us.push(run(true).0);
+                    }
+                    let mut sorted = samples_us.clone();
+                    sorted.sort_by(f64::total_cmp);
+                    batch_rows.push(BatchRow {
+                        solver: sname,
+                        precond: pname,
+                        backend: bname,
+                        rhs_batch: k,
+                        per_solve_us_median: sorted[sorted.len() / 2],
+                        per_solve_us_min: sorted[0],
+                        allreduces_per_iter: allreduces as f64 / iters as f64,
+                        samples_us,
+                    });
+                }
+            }
+        }
+    }
+
+    // Per-solve scaling vs the single-RHS reference of the same config.
+    struct BatchScaling {
+        solver: &'static str,
+        precond: &'static str,
+        backend: &'static str,
+        rhs_batch: usize,
+        per_solve_ratio_vs_single: f64,
+    }
+    let mut batch_scaling: Vec<BatchScaling> = Vec::new();
+    for r in batch_rows.iter().filter(|r| r.rhs_batch > 1) {
+        if let Some(single) = batch_rows.iter().find(|s| {
+            s.rhs_batch == 1
+                && s.solver == r.solver
+                && s.precond == r.precond
+                && s.backend == r.backend
+        }) {
+            batch_scaling.push(BatchScaling {
+                solver: r.solver,
+                precond: r.precond,
+                backend: r.backend,
+                rhs_batch: r.rhs_batch,
+                per_solve_ratio_vs_single: r.per_solve_us_median / single.per_solve_us_median,
+            });
+        }
+    }
+
     println!(
         "\n== per-iteration times, {nx}x{ny} grid, {} blocks, {iters} iters ==",
         layout.n_blocks()
@@ -245,6 +421,31 @@ fn main() {
         println!(
             "{:>10} {:>7} {:>9}  {:.2}x (paired median), {:.2}x (min)",
             s.solver, s.precond, s.backend, s.paired_median, s.min
+        );
+    }
+
+    println!("\n== batched multi-RHS: per-solve times by rhs_batch ==");
+    println!(
+        "{:>10} {:>7} {:>9} {:>9} {:>15} {:>13} {:>12}",
+        "solver", "precond", "backend", "rhs_batch", "median µs/slv", "min µs/slv", "allred/iter"
+    );
+    for r in &batch_rows {
+        println!(
+            "{:>10} {:>7} {:>9} {:>9} {:>15.2} {:>13.2} {:>12.2}",
+            r.solver,
+            r.precond,
+            r.backend,
+            r.rhs_batch,
+            r.per_solve_us_median,
+            r.per_solve_us_min,
+            r.allreduces_per_iter
+        );
+    }
+    println!("\n== batched per-solve cost vs rhs_batch = 1 (lower is better) ==");
+    for s in &batch_scaling {
+        println!(
+            "{:>10} {:>7} {:>9}  rhs_batch={:>2}: {:.2}x",
+            s.solver, s.precond, s.backend, s.rhs_batch, s.per_solve_ratio_vs_single
         );
     }
 
@@ -299,6 +500,49 @@ fn main() {
             json_f(s.min)
         );
         j.push_str(if k + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"rhs_batch_results\": [\n");
+    for (k, r) in batch_rows.iter().enumerate() {
+        let samp: Vec<String> = r.samples_us.iter().map(|&v| json_f(v)).collect();
+        let _ = write!(
+            j,
+            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"backend\": \"{}\", \
+             \"rhs_batch\": {}, \"per_solve_us_median\": {}, \"per_solve_us_min\": {}, \
+             \"allreduces_per_iter\": {}, \"samples_us\": [{}]}}",
+            r.solver,
+            r.precond,
+            r.backend,
+            r.rhs_batch,
+            json_f(r.per_solve_us_median),
+            json_f(r.per_solve_us_min),
+            json_f(r.allreduces_per_iter),
+            samp.join(", ")
+        );
+        j.push_str(if k + 1 < batch_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"rhs_batch_scaling\": [\n");
+    for (k, s) in batch_scaling.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"backend\": \"{}\", \
+             \"rhs_batch\": {}, \"per_solve_ratio_vs_single\": {}}}",
+            s.solver,
+            s.precond,
+            s.backend,
+            s.rhs_batch,
+            json_f(s.per_solve_ratio_vs_single)
+        );
+        j.push_str(if k + 1 < batch_scaling.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     j.push_str("  ]\n}\n");
 

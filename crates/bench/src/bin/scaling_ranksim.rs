@@ -20,8 +20,8 @@
 //! mid-size configuration. `--quick` runs a 4-point sweep on a smaller grid
 //! for CI smoke.
 
+use pop_bench::args::BenchArgs;
 use pop_bench::provenance::Provenance;
-use pop_bench::timing::quick_requested;
 use pop_comm::{CommWorld, DistLayout, DistVec};
 use pop_core::lanczos::{estimate_bounds, LanczosConfig};
 use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
@@ -132,7 +132,7 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let quick = quick_requested();
+    let quick = BenchArgs::parse().quick;
     let (nx, ny, bx, by, iters, rank_counts): (_, _, _, _, _, &[usize]) = if quick {
         (
             160usize,

@@ -13,6 +13,7 @@
 //! 4. print the series next to the paper's reported values and append a CSV
 //!    under `results/`.
 
+pub mod args;
 pub mod provenance;
 pub mod timing;
 

@@ -148,8 +148,6 @@ impl BenchGroup {
 }
 
 /// `--quick` / `--smoke` (or `POP_BENCH_QUICK=1`): smaller grids, fewer
-/// samples, for CI smoke runs.
-pub fn quick_requested() -> bool {
-    std::env::args().any(|a| a == "--quick" || a == "--smoke")
-        || std::env::var("POP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
-}
+/// samples, for CI smoke runs. Re-exported from the shared argument
+/// parser; JSON benches should use [`crate::args::BenchArgs::parse`].
+pub use crate::args::quick_requested;

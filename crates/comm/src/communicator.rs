@@ -37,6 +37,7 @@
 use crate::blockvec::BlockVec;
 use crate::distvec::DistVec;
 use crate::layout::DistLayout;
+use crate::multivec::{MultiBlockVec, MultiCommVec, MultiDistVec};
 use crate::world::{CommWorld, StatsSnapshot, SweepPartials};
 use std::sync::Arc;
 
@@ -130,6 +131,33 @@ pub trait Communicator {
 
     /// Masked global dot product via a fused sweep plus one reduction.
     fn dot_fused(&self, x: &Self::Vec, y: &Self::Vec) -> f64;
+
+    /// The `k`-wide distributed-vector type this communicator drives
+    /// through batched solves.
+    type MultiVec: MultiCommVec;
+
+    /// Allocate a zeroed `groups * LANES`-wide vector with the same view
+    /// (layout and block ownership) as `model`.
+    fn alloc_multi(&self, model: &Self::Vec, groups: usize) -> Self::MultiVec;
+
+    /// Multi-RHS halo update: same message count as
+    /// [`Communicator::halo_update`] (each boundary strip travels once,
+    /// carrying all lanes), `k×` the bytes.
+    fn halo_update_multi(&self, v: &mut Self::MultiVec);
+
+    /// Multi-RHS fused sweep: the batched image of
+    /// [`Communicator::for_each_block_fused`]. Per-RHS partials occupy
+    /// per-lane slots of the same [`SweepPartials`] row, so one
+    /// [`Communicator::reduce_sweep`] call — **one** allreduce message —
+    /// reduces all `k` residuals at once and the per-iteration allreduce
+    /// count stays flat in `k`.
+    fn for_each_block_multi<const M: usize, F>(
+        &self,
+        muts: [&mut Self::MultiVec; M],
+        kernel: F,
+    ) -> Self::Sweep
+    where
+        F: Fn(usize, &mut [&mut MultiBlockVec; M]) -> SweepPartials + Sync;
 }
 
 impl Communicator for CommWorld {
@@ -168,6 +196,27 @@ impl Communicator for CommWorld {
 
     fn dot_fused(&self, x: &DistVec, y: &DistVec) -> f64 {
         CommWorld::dot_fused(self, x, y)
+    }
+
+    type MultiVec = MultiDistVec;
+
+    fn alloc_multi(&self, model: &DistVec, groups: usize) -> MultiDistVec {
+        MultiDistVec::zeros(&model.layout, groups)
+    }
+
+    fn halo_update_multi(&self, v: &mut MultiDistVec) {
+        CommWorld::halo_update_multi(self, v);
+    }
+
+    fn for_each_block_multi<const M: usize, F>(
+        &self,
+        muts: [&mut MultiDistVec; M],
+        kernel: F,
+    ) -> SweepPartials
+    where
+        F: Fn(usize, &mut [&mut MultiBlockVec; M]) -> SweepPartials + Sync,
+    {
+        CommWorld::for_each_block_multi(self, muts, kernel)
     }
 }
 

@@ -29,6 +29,7 @@ pub mod communicator;
 pub mod distvec;
 pub mod halo;
 pub mod layout;
+pub mod multivec;
 pub mod pool;
 pub mod world;
 
@@ -36,6 +37,7 @@ pub use blockvec::{masked_block_dot, masked_block_max_abs, BlockVec};
 pub use communicator::{CommVec, Communicator};
 pub use distvec::DistVec;
 pub use layout::DistLayout;
+pub use multivec::{masked_dot_multi, MultiBlockVec, MultiCommVec, MultiDistVec};
 pub use world::{
     CommStats, CommWorld, ExecPolicy, StatsSnapshot, SweepPartials, MAX_SWEEP_PARTIALS,
 };

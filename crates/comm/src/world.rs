@@ -20,9 +20,12 @@ pub enum ExecPolicy {
 }
 
 /// Width of the per-block partial-reduction slot of a fused sweep. Wide
-/// enough for the hungriest solver (pipelined CG fuses three dot products);
-/// unused lanes stay `0.0` and add nothing.
-pub const MAX_SWEEP_PARTIALS: usize = 4;
+/// enough for the hungriest solver at the widest RHS batch (pipelined CG
+/// fuses three dot products per RHS; a 16-wide batch needs 48 slots);
+/// unused lanes stay `0.0` and add nothing. Both runtimes charge allreduce
+/// cost by the *requested* scalar count, not this capacity, so widening the
+/// slot is free.
+pub const MAX_SWEEP_PARTIALS: usize = 64;
 
 /// Per-block (and combined) partial reductions of a fused sweep.
 pub type SweepPartials = [f64; MAX_SWEEP_PARTIALS];
@@ -415,6 +418,112 @@ impl CommWorld {
             .fetch_add(elems * std::mem::size_of::<f64>() as u64, Ordering::Relaxed);
     }
 
+    /// Multi-RHS image of [`CommWorld::halo_update`]: update the halo ring
+    /// of every block of a `k`-wide vector. Same message *count* as the
+    /// single-RHS exchange — each (block, direction) strip travels as one
+    /// buffer carrying all `k` lanes — with honestly `k×` the byte volume.
+    pub fn halo_update_multi(&self, v: &mut crate::MultiDistVec) {
+        let layout = std::sync::Arc::clone(&v.layout);
+        let decomp = &layout.decomp;
+        let halo = layout.halo;
+        let n = decomp.blocks.len();
+
+        let mut scratch = self.scratch.lock().expect("halo scratch poisoned");
+        if scratch.len() != n {
+            *scratch = (0..n)
+                .map(|_| std::array::from_fn(|_| Vec::new()))
+                .collect();
+        }
+
+        let mut messages = 0u64;
+        let mut elems = 0u64;
+
+        // Phase 1: gather outgoing regions (all groups and lanes per
+        // buffer). Reads are shared; each buffer row is written by one task.
+        {
+            let v_ref = &*v;
+            let gather = |b: usize, bufs: &mut [Vec<f64>; 8]| {
+                let me = &decomp.blocks[b];
+                for d in Direction::ALL {
+                    let buf = &mut bufs[d.index()];
+                    buf.clear();
+                    if let Some(nb) = decomp.neighbors[b][d.index()] {
+                        if let Some(r) = recv_region(me, &decomp.blocks[nb], d, halo) {
+                            v_ref.blocks[nb].extract_region(r.src_i, r.src_j, r.w, r.h, buf);
+                        }
+                    }
+                }
+            };
+            self.for_each_block(&mut scratch[..], gather);
+        }
+
+        for bufs in scratch.iter() {
+            for buf in bufs {
+                if !buf.is_empty() {
+                    messages += 1;
+                    elems += buf.len() as u64;
+                }
+            }
+        }
+
+        // Phase 2: scatter buffers into each block's halo ring.
+        {
+            let scratch_ref = &*scratch;
+            let scatter = |b: usize, blk: &mut crate::MultiBlockVec| {
+                blk.zero_halo();
+                let me = &decomp.blocks[b];
+                for d in Direction::ALL {
+                    if let Some(nb) = decomp.neighbors[b][d.index()] {
+                        if let Some(r) = recv_region(me, &decomp.blocks[nb], d, halo) {
+                            let buf = &scratch_ref[b][d.index()];
+                            blk.copy_region(r.dst_i, r.dst_j, buf, r.w, r.h);
+                        }
+                    }
+                }
+            };
+            self.for_each_block(&mut v.blocks, scatter);
+        }
+
+        self.stats.halo_updates.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .halo_messages
+            .fetch_add(messages, Ordering::Relaxed);
+        self.stats
+            .halo_bytes
+            .fetch_add(elems * std::mem::size_of::<f64>() as u64, Ordering::Relaxed);
+    }
+
+    /// Multi-RHS image of [`CommWorld::for_each_block_fused`]: one fused
+    /// sweep over `k`-wide tiles, collecting up to [`MAX_SWEEP_PARTIALS`]
+    /// per-block partials (per-RHS slots included) combined in block order.
+    pub fn for_each_block_multi<const M: usize, F>(
+        &self,
+        muts: [&mut crate::MultiDistVec; M],
+        kernel: F,
+    ) -> SweepPartials
+    where
+        F: Fn(usize, &mut [&mut crate::MultiBlockVec; M]) -> SweepPartials + Sync,
+    {
+        assert!(M > 0, "fused sweep needs a mutable operand");
+        let n = muts[0].layout.n_blocks();
+        for v in muts.iter().skip(1) {
+            assert!(
+                Arc::ptr_eq(&muts[0].layout, &v.layout),
+                "fused sweep operands must share a layout"
+            );
+        }
+        let bases: [SendPtr<crate::MultiBlockVec>; M] =
+            muts.map(|v| SendPtr(v.blocks.as_mut_ptr()));
+        let kernel = &kernel;
+        self.sweep_reduce(n, move |b| {
+            // SAFETY: disjoint block index per task; disjoint vectors per
+            // the distinct `&mut` arguments.
+            let mut tiles: [&mut crate::MultiBlockVec; M] =
+                std::array::from_fn(|m| unsafe { &mut *bases[m].get().add(b) });
+            kernel(b, &mut tiles)
+        })
+    }
+
     /// Masked global dot products of several vector pairs, fused into a
     /// *single* recorded allreduce. ChronGear's step 9 fuses exactly two
     /// (`ρ̃`, `δ̃`); the convergence check uses one.
@@ -688,7 +797,9 @@ mod tests {
                         }
                     }
                 }
-                [dot, 0.0, 0.0, 0.0]
+                let mut p = [0.0; MAX_SWEEP_PARTIALS];
+                p[0] = dot;
+                p
             });
             world.record_allreduce(1);
             assert_eq!(x.to_global(), xu.to_global(), "fused x update differs");
@@ -727,7 +838,12 @@ mod tests {
         let vals: Vec<f64> = (0..n)
             .map(|b| ((b * b) as f64 * 0.3).sin() * 1e10)
             .collect();
-        let acc = world.reduce_blocks_fused(n, |b| [vals[b], 2.0 * vals[b], 0.0, 0.0]);
+        let acc = world.reduce_blocks_fused(n, |b| {
+            let mut p = [0.0; MAX_SWEEP_PARTIALS];
+            p[0] = vals[b];
+            p[1] = 2.0 * vals[b];
+            p
+        });
         let mut expect = [0.0; MAX_SWEEP_PARTIALS];
         for v in &vals {
             expect[0] += *v;

@@ -45,6 +45,8 @@ pub mod tridiag;
 pub use lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
 pub use precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
 pub use solvers::{
-    ChronGear, ClassicPcg, CommSolver, LinearSolver, Pcsi, PipelinedCg, RecoveryConfig,
-    SolveOutcome, SolveStats, SolverConfig, SolverWorkspace,
+    batch_key, operator_fingerprint, solve_many, BatchCommSolver, BatchKey, BatchPlanner,
+    BatchWorkspace, ChronGear, ClassicPcg, CommSolver, LinearSolver, Pcsi, PipelinedCg,
+    PlannedBatch, RecoveryConfig, SolveOutcome, SolveStats, SolverConfig, SolverWorkspace,
+    MAX_BATCH,
 };

@@ -1,8 +1,18 @@
 //! The trivial preconditioners: identity and POP's production diagonal.
 
 use super::Preconditioner;
-use pop_comm::{BlockVec, DistVec};
+use pop_comm::{BlockVec, DistVec, MultiBlockVec};
+use pop_simd::{LaneF64, Portable4, LANES};
 use pop_stencil::NinePoint;
+
+/// Shape agreement for a batched apply: `r` and `z` must be views of the
+/// same block geometry so one offset computation serves both.
+#[inline]
+fn debug_assert_same_shape(r: &MultiBlockVec, z: &MultiBlockVec) {
+    debug_assert_eq!(r.groups(), z.groups());
+    debug_assert_eq!((r.nx, r.ny, r.halo), (z.nx, z.ny, z.halo));
+    debug_assert_eq!(r.stride(), z.stride());
+}
 
 /// No preconditioning (`M = I`); the baseline for convergence comparisons.
 #[derive(Debug, Clone, Default)]
@@ -12,6 +22,19 @@ impl Preconditioner for Identity {
     fn apply_block(&self, _b: usize, r: &BlockVec, z: &mut BlockVec) {
         for j in 0..z.ny {
             z.interior_row_mut(j).copy_from_slice(r.interior_row(j));
+        }
+    }
+
+    fn apply_block_multi(&self, _b: usize, r: &MultiBlockVec, z: &mut MultiBlockVec) {
+        debug_assert_same_shape(r, z);
+        let rraw = r.raw();
+        let zraw = z.raw_mut();
+        for g in 0..r.groups() {
+            for j in 0..r.ny {
+                let base = r.offset(g, 0, j as isize);
+                let w = r.nx * LANES;
+                zraw[base..base + w].copy_from_slice(&rraw[base..base + w]);
+            }
         }
     }
 
@@ -58,6 +81,34 @@ impl Preconditioner for Diagonal {
             let di = inv.interior_row(j);
             for ((zv, rv), dv) in zi.iter_mut().zip(ri).zip(di) {
                 *zv = rv * dv;
+            }
+        }
+    }
+
+    /// Fused lane kernel: one splat of `1/A0` per grid point serves all four
+    /// lanes; each lane performs the scalar `rv * dv`, so per-lane results
+    /// are bitwise identical to [`Diagonal::apply_block`]. Portable lanes
+    /// are used in every dispatch mode — a plain lanewise multiply has one
+    /// possible operation sequence, so there is nothing mode-dependent to
+    /// mirror.
+    fn apply_block_multi(&self, b: usize, r: &MultiBlockVec, z: &mut MultiBlockVec) {
+        debug_assert_same_shape(r, z);
+        let inv = &self.inv_diag.blocks[b];
+        let rraw = r.raw();
+        let zraw = z.raw_mut();
+        for g in 0..r.groups() {
+            for j in 0..r.ny {
+                let base = r.offset(g, 0, j as isize);
+                let di = inv.interior_row(j);
+                for (i, &dv) in di.iter().enumerate() {
+                    // SAFETY: `base + i·LANES + LANES` stays inside the
+                    // interior row segment of group `g` for `i < nx`.
+                    unsafe {
+                        let rv = Portable4::load(rraw.as_ptr().add(base + i * LANES));
+                        rv.mul(Portable4::splat(dv))
+                            .store(zraw.as_mut_ptr().add(base + i * LANES));
+                    }
+                }
             }
         }
     }

@@ -22,11 +22,12 @@
 //! marching cost — the paper's §4.3 optimization, valid because those
 //! couplings are an order of magnitude smaller than the rest.
 
+use super::evp_multi::{self, MultiEvpScratch};
 use super::evp_simd::{self, MarchPlan};
 use super::tiling::{tile_block, Tile};
 use super::Preconditioner;
-use pop_comm::{BlockVec, CommWorld, DistVec};
-use pop_simd::SimdMode;
+use pop_comm::{BlockVec, CommWorld, DistVec, MultiBlockVec};
+use pop_simd::{SimdMode, LANES};
 use pop_stencil::dense::LuFactors;
 use pop_stencil::{DenseMatrix, LocalStencil, NinePoint};
 
@@ -372,6 +373,138 @@ impl EvpSubBlock {
             }
         }
     }
+
+    /// The batched image of [`EvpSubBlock::solve_strided_mode`]: solve the
+    /// tile for all `groups · LANES` right-hand sides at once, in place
+    /// inside lane-major [`MultiBlockVec`] storage. `psi`/`x` start at the
+    /// tile's first interior lane group of lane group 0; lane group `g`'s
+    /// tile sits `g · psi_gstride` (resp. `x_gstride`) elements later, and
+    /// each advances `psi_stride`/`x_stride` `f64` elements per tile row
+    /// (block stride · `LANES`). Marching tiles take the fused lane kernels
+    /// of [`evp_multi`] (every coefficient and influence-matrix entry
+    /// loaded once for all lanes of all groups, one independent chain
+    /// recurrence in flight per group); dense-LU fallback tiles stage one
+    /// lane at a time through the scalar LU path. Per lane the result is
+    /// bitwise identical to the single-RHS solve.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn solve_strided_multi(
+        &self,
+        mode: SimdMode,
+        psi: &[f64],
+        psi_stride: usize,
+        psi_gstride: usize,
+        x: &mut [f64],
+        x_stride: usize,
+        x_gstride: usize,
+        groups: usize,
+        scratch: &mut MultiEvpScratch,
+    ) {
+        let (nx, ny) = (self.nx, self.ny);
+        let sl = groups * LANES;
+        match &self.solver {
+            SubSolver::Evp { r_inv, plan, .. } => {
+                scratch.xpad.resize((nx + 2) * (ny + 2) * sl, 0.0);
+                let xpad = &mut scratch.xpad;
+                evp_multi::reset_march_pad_multi(xpad, nx, ny, sl);
+
+                // First sweep with zero guess, all lanes at once.
+                evp_multi::march_multi(
+                    mode,
+                    &self.stencil,
+                    plan,
+                    xpad,
+                    psi,
+                    psi_stride,
+                    psi_gstride,
+                    &mut scratch.g,
+                    groups,
+                );
+
+                // Mismatch on the Dirichlet ring, per lane (pure copies).
+                scratch.fvals.clear();
+                for &fk in &self.f_idx {
+                    scratch
+                        .fvals
+                        .extend_from_slice(&xpad[fk * sl..(fk + 1) * sl]);
+                }
+
+                // Corrected guess e = −R·F, then the definitive sweep. The
+                // e-line negation is the scalar unary `-` per lane (exact,
+                // unlike `0.0 − x` which loses `−0.0`).
+                evp_multi::influence_apply_multi(
+                    mode,
+                    r_inv,
+                    &scratch.fvals,
+                    &mut scratch.corr,
+                    groups,
+                );
+                evp_multi::reset_march_pad_multi(xpad, nx, ny, sl);
+                for (c, &ek) in self.e_idx.iter().enumerate() {
+                    for v in 0..sl {
+                        xpad[ek * sl + v] = -scratch.corr[c * sl + v];
+                    }
+                }
+                evp_multi::march_multi(
+                    mode,
+                    &self.stencil,
+                    plan,
+                    xpad,
+                    psi,
+                    psi_stride,
+                    psi_gstride,
+                    &mut scratch.g,
+                    groups,
+                );
+
+                evp_multi::masked_copy_out_multi(
+                    mode,
+                    nx,
+                    ny,
+                    xpad,
+                    x,
+                    x_stride,
+                    x_gstride,
+                    &self.maskbits,
+                    groups,
+                );
+            }
+            SubSolver::DenseLu(lu) => {
+                // Every lane through one lane-parallel substitution: stage
+                // all tiles superlane-major, run the shared factorization's
+                // recurrences on the whole batch at once (the scalar
+                // fallback's serial chains are the single worst per-lane
+                // cost in a batched apply), then zero land and scatter.
+                // Per lane the staged values, solve sequence, and mask
+                // zeroing are exactly the one-lane-at-a-time path's.
+                let n = nx * ny;
+                scratch.psi_t.resize(n * sl, 0.0);
+                scratch.x_t.resize(n * sl, 0.0);
+                for g in 0..groups {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let p = (j * nx + i) * sl + g * LANES;
+                            let s = g * psi_gstride + j * psi_stride + i * LANES;
+                            scratch.psi_t[p..p + LANES].copy_from_slice(&psi[s..s + LANES]);
+                        }
+                    }
+                }
+                evp_multi::lu_solve_multi(mode, lu, &scratch.psi_t, &mut scratch.x_t, groups);
+                for g in 0..groups {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let p = (j * nx + i) * sl + g * LANES;
+                            let d = g * x_gstride + j * x_stride + i * LANES;
+                            if self.mask[j * nx + i] == 0 {
+                                x[d..d + LANES].fill(0.0);
+                            } else {
+                                x[d..d + LANES].copy_from_slice(&scratch.x_t[p..p + LANES]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Padded-array linear index for logical `(i, j)`, `-1 ≤ i ≤ nx`,
@@ -491,6 +624,8 @@ pub(super) struct TileScratch {
     pub psi: Vec<f64>,
     pub out: Vec<f64>,
     pub evp: EvpScratch,
+    /// Lane-major pads/buffers for the batched tile solve.
+    pub multi: MultiEvpScratch,
 }
 
 thread_local! {
@@ -525,6 +660,59 @@ impl Preconditioner for BlockEvp {
                             &mut zraw[off..],
                             stride,
                             &mut scratch.evp,
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    /// Fused batched apply: every tile is solved for all `groups() × LANES`
+    /// right-hand sides in one interleaved pass, so its influence matrix
+    /// (or LU factors) and stencil coefficients are loaded once per batch
+    /// instead of once per RHS — the amortization the batched solve engine
+    /// is built on (DESIGN.md §12). Per lane, bitwise identical to
+    /// [`BlockEvp::apply_block`].
+    fn apply_block_multi(&self, b: usize, r: &MultiBlockVec, z: &mut MultiBlockVec) {
+        let mode = pop_simd::mode();
+        TILE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (stride, h, rows) = (r.stride(), r.halo, r.rows());
+            debug_assert_eq!(z.stride(), stride);
+            debug_assert_eq!(z.halo, h);
+            debug_assert_eq!(z.groups(), r.groups());
+            let groups = r.groups();
+            let rraw = r.raw();
+            let zraw = z.raw_mut();
+            let rs = stride * LANES;
+            // Lane group `g`'s tile image sits `g · gs` elements past
+            // group 0's in the lane-major block storage.
+            let gs = rows * stride * LANES;
+            for (t, sub) in &self.subs[b] {
+                match sub {
+                    None => {
+                        for g in 0..groups {
+                            let off = ((g * rows + t.j0 + h) * stride + h + t.i0) * LANES;
+                            for j in 0..t.ny {
+                                zraw[off + j * rs..off + j * rs + t.nx * LANES].fill(0.0);
+                            }
+                        }
+                    }
+                    Some(s) => {
+                        // Solve the tile for every lane group at once, in
+                        // place inside the lane-major block arrays — no
+                        // gather/scatter copies.
+                        let off = ((t.j0 + h) * stride + h + t.i0) * LANES;
+                        s.solve_strided_multi(
+                            mode,
+                            &rraw[off..],
+                            rs,
+                            gs,
+                            &mut zraw[off..],
+                            rs,
+                            gs,
+                            groups,
+                            &mut scratch.multi,
                         );
                     }
                 }

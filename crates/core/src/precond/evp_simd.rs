@@ -54,17 +54,17 @@ fn and_select(v: f64, maskword: f64) -> f64 {
 /// sweeps. Built only for marchable tiles (`ANE ≠ 0` at every center).
 #[derive(Debug, Clone)]
 pub(super) struct MarchPlan {
-    reduced: bool,
+    pub(super) reduced: bool,
     /// `AN(i,j)/ANE(i,j)`; empty when reduced (the term is dropped, not
     /// multiplied by zero — `0·y` is not bitwise neutral for `−0.0`).
-    h1: Vec<f64>,
+    pub(super) h1: Vec<f64>,
     /// `ANE(i−1,j)/ANE(i,j)`.
-    h2: Vec<f64>,
+    pub(super) h2: Vec<f64>,
     /// `1/ANE(i,j)`: the marching pivot as a reciprocal, so the per-point
     /// divide becomes a multiply in *both* dispatch arms (the arms stay
     /// bitwise identical; the one-time reciprocal rounding is absorbed by
     /// the influence matrix, which is marched with the same plan).
-    d_inv: Vec<f64>,
+    pub(super) d_inv: Vec<f64>,
     zeros_row: Vec<f64>,
 }
 

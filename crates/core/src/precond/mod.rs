@@ -8,6 +8,7 @@
 mod blocklu;
 mod diagonal;
 mod evp;
+mod evp_multi;
 mod evp_simd;
 mod regularize;
 mod tiling;
@@ -18,7 +19,16 @@ pub use evp::{BlockEvp, EvpScratch, EvpSubBlock};
 pub use regularize::regularize;
 pub use tiling::{tile_block, Tile};
 
-use pop_comm::{BlockVec, CommWorld, DistVec};
+use pop_comm::{BlockVec, CommWorld, DistVec, MultiBlockVec};
+use pop_simd::LANES;
+
+thread_local! {
+    /// Per-thread staging pair for the default lane-at-a-time
+    /// [`Preconditioner::apply_block_multi`]: one gathered single-RHS block
+    /// and its result, reallocated only when the block geometry changes.
+    static LANE_STAGE: std::cell::RefCell<Option<(BlockVec, BlockVec)>> =
+        const { std::cell::RefCell::new(None) };
+}
 
 /// A symmetric positive definite operator `M ≈ A` applied as `z = M⁻¹ r`.
 pub trait Preconditioner: Send + Sync {
@@ -39,6 +49,44 @@ pub trait Preconditioner: Send + Sync {
         });
     }
 
+    /// Batched image of [`Preconditioner::apply_block`]: apply `M⁻¹`
+    /// independently to each of the `groups() × LANES` right-hand sides
+    /// riding the lanes of one `k`-wide block. Per lane the result must be
+    /// bitwise identical to a single-RHS [`Preconditioner::apply_block`];
+    /// lane halos of `z_b` may be left zeroed (solvers never read a
+    /// preconditioner output's halo before refreshing it).
+    ///
+    /// The default stages one lane at a time through the scalar
+    /// [`Preconditioner::apply_block`] — bitwise faithful by construction at
+    /// zero per-preconditioner code. Preconditioners whose setup data can be
+    /// amortized across lanes (diagonal splats, the block-EVP influence
+    /// matrices) override this with fused lane kernels under the same
+    /// bitwise contract (DESIGN.md §12).
+    fn apply_block_multi(&self, b: usize, r: &MultiBlockVec, z: &mut MultiBlockVec) {
+        debug_assert_eq!(r.groups(), z.groups());
+        LANE_STAGE.with(|cell| {
+            let slot = &mut *cell.borrow_mut();
+            let fits = matches!(
+                slot,
+                Some((s, _)) if s.nx == r.nx && s.ny == r.ny && s.halo == r.halo
+            );
+            if !fits {
+                *slot = Some((
+                    BlockVec::zeros(r.nx, r.ny, r.halo),
+                    BlockVec::zeros(r.nx, r.ny, r.halo),
+                ));
+            }
+            let (sr, sz) = slot.as_mut().expect("staging pair just ensured");
+            for g in 0..r.groups() {
+                for lane in 0..LANES {
+                    r.store_lane(g, lane, sr);
+                    self.apply_block(b, sr, sz);
+                    z.load_lane(g, lane, sz);
+                }
+            }
+        });
+    }
+
     /// The pre-fusion whole-vector application — what `solve_unfused` runs,
     /// so fused-vs-unfused benches compare against the true baseline.
     /// Implementations whose seed version allocated per call (block-EVP)
@@ -55,4 +103,68 @@ pub trait Preconditioner: Send + Sync {
     /// point, for the cost model (paper §4.3: diagonal = 1, EVP ≈ 27,
     /// reduced EVP ≈ 14).
     fn flops_per_point(&self) -> f64;
+}
+
+#[cfg(test)]
+mod batched_tests {
+    use super::*;
+    use pop_comm::DistLayout;
+    use pop_grid::Grid;
+    use pop_stencil::NinePoint;
+
+    /// Every preconditioner's batched apply — fused overrides (identity,
+    /// diagonal, block-EVP) and the default lane-staging path (block-LU) —
+    /// is bitwise identical, per lane, to the single-RHS apply on a real
+    /// land-masked grid, ragged tails and coastal LU-fallback tiles
+    /// included.
+    #[test]
+    fn apply_block_multi_matches_single_rhs_per_lane() {
+        let g = Grid::gx1_scaled(10, 48, 40);
+        let layout = DistLayout::build(&g, 13, 9);
+        let world = CommWorld::serial();
+        let op = NinePoint::assemble(&g, &layout, &world, 1800.0);
+        let pres: Vec<Box<dyn Preconditioner>> = vec![
+            Box::new(Identity),
+            Box::new(Diagonal::new(&op)),
+            Box::new(BlockEvp::with_defaults(&op)),
+            Box::new(BlockEvp::new(&op, 8, false)),
+            Box::new(BlockLu::new(&op, 8, true)),
+        ];
+        let groups = 2;
+        for pre in &pres {
+            for (b, info) in layout.decomp.blocks.iter().enumerate() {
+                let mut singles = Vec::new();
+                let mut rm = MultiBlockVec::zeros(info.nx, info.ny, layout.halo, groups);
+                for l in 0..groups * LANES {
+                    let mut r = BlockVec::zeros(info.nx, info.ny, layout.halo);
+                    for j in 0..info.ny {
+                        for i in 0..info.nx {
+                            let q = (i * 31 + j * 7 + l * 13 + b * 3) % 100;
+                            r.set(i, j, q as f64 * 0.03 - 1.5);
+                        }
+                    }
+                    rm.load_lane(l / LANES, l % LANES, &r);
+                    singles.push(r);
+                }
+                let mut zm = MultiBlockVec::zeros(info.nx, info.ny, layout.halo, groups);
+                pre.apply_block_multi(b, &rm, &mut zm);
+                for (l, r) in singles.iter().enumerate() {
+                    let mut z = BlockVec::zeros(info.nx, info.ny, layout.halo);
+                    pre.apply_block(b, r, &mut z);
+                    for j in 0..info.ny {
+                        for i in 0..info.nx {
+                            let got = zm.at(l / LANES, l % LANES, i as isize, j as isize);
+                            let want = z.get(i, j);
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "{} block {b} lane {l} ({i},{j}): {got:e} vs {want:e}",
+                                pre.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,2032 @@
+//! Batched multi-RHS solve engine (DESIGN.md §12).
+//!
+//! POP calls the barotropic solver once per time step, but ensemble runs,
+//! data-assimilation increments, and multi-tracer splittings all solve the
+//! *same* operator against several right-hand sides. This module advances
+//! `k ≤ 16` such systems in lockstep through the fused sweeps: the four
+//! SIMD lanes of a [`MultiBlockVec`] carry four independent RHS vectors,
+//! so the 9-point stencil coefficients and the EVP influence matrices are
+//! loaded **once per block** and amortised across lanes, and every
+//! per-iteration reduction carries all `k` residuals in a **single**
+//! allreduce message — P-CSI's per-iteration allreduce count stays flat
+//! in `k`.
+//!
+//! The engine's contract is bitwise: each RHS follows exactly the floating
+//! point trajectory its single-RHS [`super::CommSolver::solve_comm`] would
+//! have produced, in every dispatch mode (`tests/batch_equivalence.rs`).
+//! That holds because every primitive underneath is lane-pinned to its
+//! single-RHS image (stencil multi kernels, `apply_block_multi`,
+//! [`masked_dot_multi`]) and the pointwise recurrence updates here repeat
+//! the scalar loops' operation order per lane with per-lane scalar
+//! broadcasts.
+//!
+//! Lanes retire independently: when one RHS converges at a check, its
+//! solution is gathered out, its [`SolveStats`] are frozen (per-RHS
+//! iteration counts, not the batch maximum), and its lane keeps computing
+//! harmless garbage that no reduction slot or other lane ever reads.
+//! Per-lane recovery restarts re-run the solver's single-RHS setup through
+//! a staging vector and scatter the result back into the lane, so a
+//! restarted RHS stays on its single-RHS trajectory too. Ragged batches
+//! (`k` not a multiple of [`LANES`]) fill the tail lanes with copies of
+//! lane 0's system; the shadow lanes are never assessed, gathered, or
+//! reported.
+
+use super::{
+    CommSolver, RecoveryMonitor, SolveOutcome, SolveStats, SolverConfig, SolverWorkspace, Verdict,
+};
+use crate::precond::Preconditioner;
+use crate::solvers::{ChronGear, ClassicPcg, LinearSolver, Pcsi, PipelinedCg};
+use pop_comm::{
+    masked_dot_multi, CommVec, Communicator, DistLayout, MultiBlockVec, MultiCommVec,
+    StatsSnapshot, MAX_SWEEP_PARTIALS,
+};
+use pop_obs::{ObsSink, SolveObs};
+use pop_simd::{LaneF64, Portable4, LANES};
+use pop_stencil::NinePoint;
+use std::sync::Arc;
+
+/// Widest batch the engine accepts: four lane groups. The binding
+/// constraint is the fused reduction row — PipeCG carries three scalars
+/// per RHS and `3 × MAX_BATCH ≤ MAX_SWEEP_PARTIALS` must hold so one
+/// allreduce still fits every lane's partials.
+pub const MAX_BATCH: usize = 16;
+const _: () = assert!(3 * MAX_BATCH <= MAX_SWEEP_PARTIALS);
+
+const ZEROS: [f64; MAX_SWEEP_PARTIALS] = [0.0; MAX_SWEEP_PARTIALS];
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+/// Reusable arena for the batched loops: the `k`-wide vectors plus a
+/// single-RHS [`SolverWorkspace`] used as staging space by the per-lane
+/// restart path. Like [`SolverWorkspace`], steady-state reuse across
+/// solves on one layout performs zero heap allocation.
+pub struct BatchWorkspace<C: Communicator> {
+    multis: MultiArena<C>,
+    stage: SolverWorkspace<C::Vec>,
+}
+
+impl<C: Communicator> Default for BatchWorkspace<C> {
+    fn default() -> Self {
+        BatchWorkspace {
+            multis: MultiArena {
+                layout: None,
+                groups: 0,
+                vecs: Vec::new(),
+            },
+            stage: SolverWorkspace::default(),
+        }
+    }
+}
+
+impl<C: Communicator> BatchWorkspace<C> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct MultiArena<C: Communicator> {
+    layout: Option<Arc<DistLayout>>,
+    groups: usize,
+    vecs: Vec<C::MultiVec>,
+}
+
+impl<C: Communicator> MultiArena<C> {
+    /// Borrow `N` zeroed `groups`-wide vectors matching `model`'s view,
+    /// allocating only on first use or when the layout/width changes.
+    fn take<const N: usize>(
+        &mut self,
+        comm: &C,
+        model: &C::Vec,
+        groups: usize,
+    ) -> [&mut C::MultiVec; N] {
+        let layout = model.layout();
+        let same =
+            self.layout.as_ref().is_some_and(|l| Arc::ptr_eq(l, layout)) && self.groups == groups;
+        if !same {
+            self.vecs.clear();
+            self.layout = Some(Arc::clone(layout));
+            self.groups = groups;
+        }
+        while self.vecs.len() < N {
+            self.vecs.push(comm.alloc_multi(model, groups));
+        }
+        let mut iter = self.vecs[..N].iter_mut();
+        std::array::from_fn(|_| {
+            let v = iter.next().expect("reserved above");
+            v.zero_fill();
+            v
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane plumbing
+// ---------------------------------------------------------------------------
+
+/// Load each lane `l < srcs.len()` from `srcs[l]`; ragged tail lanes get
+/// copies of `srcs[0]` so they follow a real (finite) trajectory instead
+/// of holding zeros that could reach a division.
+fn fill_lanes<C: Communicator>(comm: &C, mv: &mut C::MultiVec, srcs: &[&C::Vec]) {
+    let slots = mv.groups() * LANES;
+    let _ = comm.for_each_block_multi([mv], |gb, [mb]| {
+        for slot in 0..slots {
+            let src = if slot < srcs.len() {
+                srcs[slot]
+            } else {
+                srcs[0]
+            };
+            mb.load_lane(slot / LANES, slot % LANES, src.block(gb));
+        }
+        ZEROS
+    });
+}
+
+/// Copy lane `slot` of `mv` out into a single-RHS vector (full padded
+/// storage, halo included). The dropped sweep handle means no reduction is
+/// consumed and nothing global is counted.
+fn gather_lane<C: Communicator>(comm: &C, mv: &C::MultiVec, slot: usize, dst: &mut C::Vec) {
+    let _ = comm.for_each_block_fused([dst], |gb, [db]| {
+        mv.block(gb).store_lane(slot / LANES, slot % LANES, db);
+        ZEROS
+    });
+}
+
+/// Copy a single-RHS vector into lane `slot` of `mv` (full padded storage).
+fn scatter_lane<C: Communicator>(comm: &C, src: &C::Vec, mv: &mut C::MultiVec, slot: usize) {
+    let _ = comm.for_each_block_multi([mv], |gb, [mb]| {
+        mb.load_lane(slot / LANES, slot % LANES, src.block(gb));
+        ZEROS
+    });
+}
+
+/// Flat index range of lane-group `g`'s padded storage in a multi-tile.
+#[inline]
+fn group_range(mb: &MultiBlockVec, g: usize) -> std::ops::Range<usize> {
+    let glen = mb.rows() * mb.stride() * LANES;
+    g * glen..(g + 1) * glen
+}
+
+/// Copy one lane between two multi-tiles of identical shape.
+fn lane_copy_block(src: &MultiBlockVec, dst: &mut MultiBlockVec, slot: usize) {
+    let (g, lane) = (slot / LANES, slot % LANES);
+    let r = group_range(dst, g);
+    let s = &src.raw()[r.clone()];
+    let d = &mut dst.raw_mut()[r];
+    let mut i = lane;
+    while i < d.len() {
+        d[i] = s[i];
+        i += LANES;
+    }
+}
+
+/// Does every value of lane `slot` in this tile (halo included) stay
+/// finite? The lane image of `snapshot_vec`'s per-block guard.
+fn lane_finite_block(src: &MultiBlockVec, slot: usize) -> bool {
+    let (g, lane) = (slot / LANES, slot % LANES);
+    let s = &src.raw()[group_range(src, g)];
+    let mut i = lane;
+    while i < s.len() {
+        if !s[i].is_finite() {
+            return false;
+        }
+        i += LANES;
+    }
+    true
+}
+
+/// The lane image of `copy_vec`: copy the listed lanes `src → dst`.
+fn copy_lanes<C: Communicator>(
+    comm: &C,
+    src: &C::MultiVec,
+    dst: &mut C::MultiVec,
+    slots: &[usize],
+) {
+    if slots.is_empty() {
+        return;
+    }
+    let _ = comm.for_each_block_multi([dst], |gb, [db]| {
+        let sb = src.block(gb);
+        for &slot in slots {
+            lane_copy_block(sb, db, slot);
+        }
+        ZEROS
+    });
+}
+
+/// The lane image of `snapshot_vec`: refresh the listed lanes of the
+/// snapshot, per block, skipping any (lane, block) pair holding a
+/// non-finite value so restarts always restore a finite field.
+fn snapshot_lanes<C: Communicator>(
+    comm: &C,
+    src: &C::MultiVec,
+    dst: &mut C::MultiVec,
+    slots: &[usize],
+) {
+    if slots.is_empty() {
+        return;
+    }
+    let _ = comm.for_each_block_multi([dst], |gb, [db]| {
+        let sb = src.block(gb);
+        for &slot in slots {
+            if lane_finite_block(sb, slot) {
+                lane_copy_block(sb, db, slot);
+            }
+        }
+        ZEROS
+    });
+}
+
+/// Zero the listed lanes of `mv` (interior and halo), the lane image of
+/// `zero_fill` on a single-RHS vector.
+fn zero_lanes<C: Communicator>(comm: &C, mv: &mut C::MultiVec, slots: &[usize]) {
+    if slots.is_empty() {
+        return;
+    }
+    let _ = comm.for_each_block_multi([mv], |_gb, [db]| {
+        for &slot in slots {
+            let (g, lane) = (slot / LANES, slot % LANES);
+            let r = group_range(db, g);
+            let d = &mut db.raw_mut()[r];
+            let mut i = lane;
+            while i < d.len() {
+                d[i] = 0.0;
+                i += LANES;
+            }
+        }
+        ZEROS
+    });
+}
+
+/// Per-lane `‖b‖₂` with the same `1e-300` floor as `rhs_norm`, from one
+/// fused multi sweep and ONE reduction carrying all `k` norms. Bitwise
+/// equal per lane to `rhs_norm` (`masked_dot_multi` is lane-pinned to the
+/// skip-accumulate block dot and the fold order over blocks is identical).
+fn rhs_norms<C: Communicator>(
+    comm: &C,
+    mb: &mut C::MultiVec,
+    layout: &DistLayout,
+    slots: usize,
+    k: usize,
+) -> Vec<f64> {
+    let sweep = comm.for_each_block_multi([mb], |gb, [bb]| {
+        let mut p = ZEROS;
+        masked_dot_multi(bb, bb, &layout.masks[gb], &mut p[..slots]);
+        p
+    });
+    let red = comm.reduce_sweep(&sweep, slots as u64);
+    (0..k).map(|l| red[l].sqrt().max(1e-300)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pointwise lane kernels
+// ---------------------------------------------------------------------------
+//
+// Each kernel repeats the scalar recurrence's exact per-point operation
+// order, lanewise, with per-lane scalars broadcast from slot arrays.
+// Portable lanes are used in every dispatch mode: a plain lanewise
+// multiply-add chain has one possible operation sequence, so there is
+// nothing mode-dependent to mirror (same argument as the diagonal
+// preconditioner's fused kernel).
+
+/// The per-lane scalar broadcast for lane-group `g` of a `slots`-long array.
+#[inline]
+fn lanev(a: &[f64], g: usize) -> Portable4 {
+    debug_assert!(a.len() >= (g + 1) * LANES);
+    // SAFETY: bounds checked by the debug assert; callers size these
+    // arrays as groups()*LANES.
+    unsafe { Portable4::load(a.as_ptr().add(g * LANES)) }
+}
+
+#[inline]
+fn debug_assert_same_shape(a: &MultiBlockVec, b: &MultiBlockVec) {
+    debug_assert_eq!(a.groups(), b.groups());
+    debug_assert_eq!((a.nx, a.ny, a.halo), (b.nx, b.ny, b.halo));
+    debug_assert_eq!(a.stride(), b.stride());
+}
+
+/// P-CSI setup update, per lane: `d = γ⁻¹ z ; Δx = d ; x += d`.
+fn csi_setup_block(
+    zb: &MultiBlockVec,
+    dxb: &mut MultiBlockVec,
+    xb: &mut MultiBlockVec,
+    inv_gamma: f64,
+) {
+    debug_assert_same_shape(zb, dxb);
+    debug_assert_same_shape(zb, xb);
+    let (nx, ny, h) = (zb.nx, zb.ny, zb.halo);
+    let (stride, rows, groups) = (zb.stride(), zb.rows(), zb.groups());
+    let ig = Portable4::splat(inv_gamma);
+    let zr = zb.raw();
+    let dxr = dxb.raw_mut();
+    let xr = xb.raw_mut();
+    for g in 0..groups {
+        for j in 0..ny {
+            let base = ((g * rows + j + h) * stride + h) * LANES;
+            for i in 0..nx {
+                let at = base + i * LANES;
+                // SAFETY: `at + LANES` stays inside lane-group `g`'s
+                // interior row for i < nx; all three tiles share the shape.
+                unsafe {
+                    let d = Portable4::load(zr.as_ptr().add(at)).mul(ig);
+                    d.store(dxr.as_mut_ptr().add(at));
+                    let x = Portable4::load(xr.as_ptr().add(at));
+                    x.add(d).store(xr.as_mut_ptr().add(at));
+                }
+            }
+        }
+    }
+}
+
+/// P-CSI iterate update, per lane: `d = c·Δx + ω·z ; Δx = d ; x += d` with
+/// per-lane `ω`, `c` (each lane sits at its own recurrence depth after a
+/// restart).
+fn csi_update_block(
+    zb: &MultiBlockVec,
+    dxb: &mut MultiBlockVec,
+    xb: &mut MultiBlockVec,
+    omega: &[f64],
+    c: &[f64],
+) {
+    debug_assert_same_shape(zb, dxb);
+    debug_assert_same_shape(zb, xb);
+    let (nx, ny, h) = (zb.nx, zb.ny, zb.halo);
+    let (stride, rows, groups) = (zb.stride(), zb.rows(), zb.groups());
+    let zr = zb.raw();
+    let dxr = dxb.raw_mut();
+    let xr = xb.raw_mut();
+    for g in 0..groups {
+        let ov = lanev(omega, g);
+        let cv = lanev(c, g);
+        for j in 0..ny {
+            let base = ((g * rows + j + h) * stride + h) * LANES;
+            for i in 0..nx {
+                let at = base + i * LANES;
+                // SAFETY: interior offsets as in `csi_setup_block`.
+                unsafe {
+                    let z = Portable4::load(zr.as_ptr().add(at));
+                    let dx = Portable4::load(dxr.as_ptr().add(at));
+                    let d = dx.mul(cv).add(ov.mul(z));
+                    d.store(dxr.as_mut_ptr().add(at));
+                    let x = Portable4::load(xr.as_ptr().add(at));
+                    x.add(d).store(xr.as_mut_ptr().add(at));
+                }
+            }
+        }
+    }
+}
+
+/// ChronGear's four fused recurrences, per lane with per-lane scalars:
+/// `s = z + βs ; p = Az + βp ; x += αs ; r += (−α)p`.
+#[allow(clippy::too_many_arguments)]
+fn chrongear_update_block(
+    zb: &MultiBlockVec,
+    azb: &MultiBlockVec,
+    sb: &mut MultiBlockVec,
+    pb: &mut MultiBlockVec,
+    xb: &mut MultiBlockVec,
+    rb: &mut MultiBlockVec,
+    beta: &[f64],
+    alpha: &[f64],
+    nalpha: &[f64],
+) {
+    debug_assert_same_shape(zb, sb);
+    debug_assert_same_shape(zb, rb);
+    let (nx, ny, h) = (zb.nx, zb.ny, zb.halo);
+    let (stride, rows, groups) = (zb.stride(), zb.rows(), zb.groups());
+    let zr = zb.raw();
+    let azr = azb.raw();
+    let sr = sb.raw_mut();
+    let pr = pb.raw_mut();
+    let xr = xb.raw_mut();
+    let rr = rb.raw_mut();
+    for g in 0..groups {
+        let bv = lanev(beta, g);
+        let av = lanev(alpha, g);
+        let nav = lanev(nalpha, g);
+        for j in 0..ny {
+            let base = ((g * rows + j + h) * stride + h) * LANES;
+            for i in 0..nx {
+                let at = base + i * LANES;
+                // SAFETY: interior offsets; all six tiles share the shape.
+                unsafe {
+                    let z = Portable4::load(zr.as_ptr().add(at));
+                    let az = Portable4::load(azr.as_ptr().add(at));
+                    let s = Portable4::load(sr.as_ptr().add(at));
+                    let p = Portable4::load(pr.as_ptr().add(at));
+                    let sv = z.add(bv.mul(s));
+                    let pv = az.add(bv.mul(p));
+                    sv.store(sr.as_mut_ptr().add(at));
+                    pv.store(pr.as_mut_ptr().add(at));
+                    let x = Portable4::load(xr.as_ptr().add(at));
+                    x.add(av.mul(sv)).store(xr.as_mut_ptr().add(at));
+                    let r = Portable4::load(rr.as_ptr().add(at));
+                    r.add(nav.mul(pv)).store(rr.as_mut_ptr().add(at));
+                }
+            }
+        }
+    }
+}
+
+/// Classic PCG's iterate update, per lane: `x += αp ; r += (−α)Ap`.
+fn pcg_xr_block(
+    pb: &MultiBlockVec,
+    apb: &MultiBlockVec,
+    xb: &mut MultiBlockVec,
+    rb: &mut MultiBlockVec,
+    alpha: &[f64],
+    nalpha: &[f64],
+) {
+    debug_assert_same_shape(pb, xb);
+    debug_assert_same_shape(pb, rb);
+    let (nx, ny, h) = (pb.nx, pb.ny, pb.halo);
+    let (stride, rows, groups) = (pb.stride(), pb.rows(), pb.groups());
+    let pr = pb.raw();
+    let apr = apb.raw();
+    let xr = xb.raw_mut();
+    let rr = rb.raw_mut();
+    for g in 0..groups {
+        let av = lanev(alpha, g);
+        let nav = lanev(nalpha, g);
+        for j in 0..ny {
+            let base = ((g * rows + j + h) * stride + h) * LANES;
+            for i in 0..nx {
+                let at = base + i * LANES;
+                // SAFETY: interior offsets; all four tiles share the shape.
+                unsafe {
+                    let p = Portable4::load(pr.as_ptr().add(at));
+                    let ap = Portable4::load(apr.as_ptr().add(at));
+                    let x = Portable4::load(xr.as_ptr().add(at));
+                    x.add(av.mul(p)).store(xr.as_mut_ptr().add(at));
+                    let r = Portable4::load(rr.as_ptr().add(at));
+                    r.add(nav.mul(ap)).store(rr.as_mut_ptr().add(at));
+                }
+            }
+        }
+    }
+}
+
+/// Classic PCG's direction update, per lane: `p = z + βp`.
+fn pcg_dir_block(zb: &MultiBlockVec, pb: &mut MultiBlockVec, beta: &[f64]) {
+    debug_assert_same_shape(zb, pb);
+    let (nx, ny, h) = (zb.nx, zb.ny, zb.halo);
+    let (stride, rows, groups) = (zb.stride(), zb.rows(), zb.groups());
+    let zr = zb.raw();
+    let pr = pb.raw_mut();
+    for g in 0..groups {
+        let bv = lanev(beta, g);
+        for j in 0..ny {
+            let base = ((g * rows + j + h) * stride + h) * LANES;
+            for i in 0..nx {
+                let at = base + i * LANES;
+                // SAFETY: interior offsets; both tiles share the shape.
+                unsafe {
+                    let z = Portable4::load(zr.as_ptr().add(at));
+                    let p = Portable4::load(pr.as_ptr().add(at));
+                    z.add(bv.mul(p)).store(pr.as_mut_ptr().add(at));
+                }
+            }
+        }
+    }
+}
+
+/// Interior-only copy `dst = src` for every lane (PCG's setup `p₀ = z₀`).
+fn copy_interior_block(src: &MultiBlockVec, dst: &mut MultiBlockVec) {
+    debug_assert_same_shape(src, dst);
+    let sr = src.raw();
+    let dr = dst.raw_mut();
+    for g in 0..src.groups() {
+        for j in 0..src.ny {
+            let base = src.offset(g, 0, j as isize);
+            let w = src.nx * LANES;
+            dr[base..base + w].copy_from_slice(&sr[base..base + w]);
+        }
+    }
+}
+
+/// PipeCG's eight fused recurrences, per lane with per-lane scalars.
+/// Direction updates read the *old* `w`/`u` of the point, written only
+/// afterwards — same intra-point order as the scalar loop.
+#[allow(clippy::too_many_arguments)]
+fn pipecg_update_block(
+    nb: &MultiBlockVec,
+    mb: &MultiBlockVec,
+    zb: &mut MultiBlockVec,
+    qb: &mut MultiBlockVec,
+    sb: &mut MultiBlockVec,
+    pb: &mut MultiBlockVec,
+    xb: &mut MultiBlockVec,
+    rb: &mut MultiBlockVec,
+    ub: &mut MultiBlockVec,
+    wb: &mut MultiBlockVec,
+    beta: &[f64],
+    alpha: &[f64],
+    nalpha: &[f64],
+) {
+    debug_assert_same_shape(nb, zb);
+    debug_assert_same_shape(nb, wb);
+    let (nx, ny, h) = (nb.nx, nb.ny, nb.halo);
+    let (stride, rows, groups) = (nb.stride(), nb.rows(), nb.groups());
+    let nr = nb.raw();
+    let mr = mb.raw();
+    let zr = zb.raw_mut();
+    let qr = qb.raw_mut();
+    let sr = sb.raw_mut();
+    let pr = pb.raw_mut();
+    let xr = xb.raw_mut();
+    let rr = rb.raw_mut();
+    let ur = ub.raw_mut();
+    let wr = wb.raw_mut();
+    for g in 0..groups {
+        let bv = lanev(beta, g);
+        let av = lanev(alpha, g);
+        let nav = lanev(nalpha, g);
+        for j in 0..ny {
+            let base = ((g * rows + j + h) * stride + h) * LANES;
+            for i in 0..nx {
+                let at = base + i * LANES;
+                // SAFETY: interior offsets; all ten tiles share the shape.
+                unsafe {
+                    let n = Portable4::load(nr.as_ptr().add(at));
+                    let m = Portable4::load(mr.as_ptr().add(at));
+                    let z = Portable4::load(zr.as_ptr().add(at));
+                    let q = Portable4::load(qr.as_ptr().add(at));
+                    let s = Portable4::load(sr.as_ptr().add(at));
+                    let p = Portable4::load(pr.as_ptr().add(at));
+                    let zv = n.add(bv.mul(z));
+                    let qv = m.add(bv.mul(q));
+                    let sv = Portable4::load(wr.as_ptr().add(at)).add(bv.mul(s));
+                    let pv = Portable4::load(ur.as_ptr().add(at)).add(bv.mul(p));
+                    zv.store(zr.as_mut_ptr().add(at));
+                    qv.store(qr.as_mut_ptr().add(at));
+                    sv.store(sr.as_mut_ptr().add(at));
+                    pv.store(pr.as_mut_ptr().add(at));
+                    let x = Portable4::load(xr.as_ptr().add(at));
+                    x.add(av.mul(pv)).store(xr.as_mut_ptr().add(at));
+                    let r = Portable4::load(rr.as_ptr().add(at));
+                    r.add(nav.mul(sv)).store(rr.as_mut_ptr().add(at));
+                    let u = Portable4::load(ur.as_ptr().add(at));
+                    u.add(nav.mul(qv)).store(ur.as_mut_ptr().add(at));
+                    let w = Portable4::load(wr.as_ptr().add(at));
+                    w.add(nav.mul(zv)).store(wr.as_mut_ptr().add(at));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-lane bookkeeping
+// ---------------------------------------------------------------------------
+
+/// One RHS's solve state inside a batch: its own recovery monitor, its own
+/// counters (frozen at retirement — satellite fix: `iterations` reports
+/// the per-RHS count, never the batch maximum), and its own observability
+/// handle.
+struct LaneCtl {
+    monitor: RecoveryMonitor,
+    obs: Option<SolveObs>,
+    history: Vec<(usize, f64)>,
+    final_rel: f64,
+    matvecs: usize,
+    precond_applies: usize,
+    iterations: usize,
+    outcome: SolveOutcome,
+    retired: bool,
+    /// `‖r‖²` reduced during this lane's staged restart setup. Stands in
+    /// for the shared residual sweep in the iteration-cap tail (whose slots
+    /// would otherwise describe pre-restart data for this lane) until the
+    /// next full batched iteration refreshes the sweep for every lane.
+    setup_rr: Option<f64>,
+}
+
+/// Retirement lists produced by one convergence check.
+#[derive(Default)]
+struct CheckOutcome {
+    converged: Vec<usize>,
+    aborted: Vec<usize>,
+    snapshot: Vec<usize>,
+    restart: Vec<usize>,
+}
+
+/// Batch-wide bookkeeping: per-lane controls plus the shared norms.
+struct BatchCtl {
+    solver: &'static str,
+    k: usize,
+    slots: usize,
+    bnorm: Vec<f64>,
+    lanes: Vec<LaneCtl>,
+}
+
+impl BatchCtl {
+    fn new(
+        cfg: &SolverConfig,
+        solver: &'static str,
+        precond: &'static str,
+        start: StatsSnapshot,
+        k: usize,
+        slots: usize,
+    ) -> Self {
+        BatchCtl {
+            solver,
+            k,
+            slots,
+            bnorm: Vec::new(),
+            lanes: (0..k)
+                .map(|_| LaneCtl {
+                    monitor: RecoveryMonitor::new(cfg.recovery),
+                    obs: Some(cfg.obs.begin_solve(solver, precond, start)),
+                    history: Vec::new(),
+                    final_rel: f64::INFINITY,
+                    matvecs: 0,
+                    precond_applies: 0,
+                    iterations: 0,
+                    outcome: SolveOutcome::MaxIters,
+                    retired: false,
+                    setup_rr: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn active(&self) -> usize {
+        self.lanes.iter().filter(|l| !l.retired).count()
+    }
+
+    fn all_retired(&self) -> bool {
+        self.active() == 0
+    }
+
+    /// Charge one batched iteration to every active lane. All four solvers
+    /// cost exactly one matvec and one preconditioner application per
+    /// iteration, so the per-lane totals match the single-RHS loops.
+    fn tick(&mut self, iteration: usize) {
+        for lane in self.lanes.iter_mut().filter(|l| !l.retired) {
+            lane.iterations = iteration;
+            lane.matvecs += 1;
+            lane.precond_applies += 1;
+        }
+    }
+
+    /// Charge the (batched) setup sweeps to every active lane.
+    fn charge_setup(&mut self, matvecs: usize, precond_applies: usize) {
+        for lane in self.lanes.iter_mut().filter(|l| !l.retired) {
+            lane.matvecs += matvecs;
+            lane.precond_applies += precond_applies;
+        }
+    }
+
+    /// Clear every lane's staged-restart residual: a fresh full residual
+    /// sweep now describes all lanes again.
+    fn clear_setup_rr(&mut self) {
+        for lane in &mut self.lanes {
+            lane.setup_rr = None;
+        }
+    }
+
+    /// Feed every active lane's reduced `‖r‖²` (at `rr[l]`) through its
+    /// recovery monitor — the batched image of the single-RHS convergence
+    /// check, including the history-push cadence (`cadence` is false only
+    /// for PipeCG's off-cadence every-iteration assessments, which push a
+    /// late history entry on convergence exactly as the scalar loop does).
+    fn assess(
+        &mut self,
+        cfg: &SolverConfig,
+        rr: &[f64],
+        iteration: usize,
+        cadence: bool,
+    ) -> CheckOutcome {
+        let mut out = CheckOutcome::default();
+        for (l, &rrl) in rr.iter().enumerate().take(self.k) {
+            if self.lanes[l].retired {
+                continue;
+            }
+            let rel = rrl.sqrt() / self.bnorm[l];
+            let lane = &mut self.lanes[l];
+            lane.final_rel = rel;
+            if cadence {
+                lane.history.push((iteration, rel));
+            }
+            match lane.monitor.assess(rel) {
+                Verdict::Healthy { improved } => {
+                    if rel < cfg.tol {
+                        if !cadence {
+                            lane.history.push((iteration, rel));
+                        }
+                        out.converged.push(l);
+                    } else if improved {
+                        out.snapshot.push(l);
+                    }
+                }
+                Verdict::Restart => out.restart.push(l),
+                Verdict::Abort => {
+                    lane.final_rel = lane.monitor.best_rel;
+                    out.aborted.push(l);
+                }
+            }
+        }
+        out
+    }
+
+    /// Freeze a lane: record its outcome and flush its observability
+    /// handle. Batched solves make no per-phase attribution (the sweeps are
+    /// shared across lanes), so the solve-level counters and the
+    /// convergence trace are the per-lane telemetry.
+    fn retire(&mut self, l: usize, outcome: SolveOutcome, end: impl FnOnce() -> StatsSnapshot) {
+        let lane = &mut self.lanes[l];
+        lane.retired = true;
+        lane.outcome = outcome;
+        if let Some(obs) = lane.obs.take() {
+            obs.finish(
+                outcome.label(),
+                lane.final_rel,
+                lane.iterations,
+                lane.matvecs,
+                lane.precond_applies,
+                &lane.history,
+                end,
+            );
+        }
+    }
+
+    /// Export `pop_batch_occupancy` (active lanes / k). Free when the sink
+    /// is disabled: the registry handle is `None` and nothing is computed.
+    fn record_occupancy(&self, obs: &ObsSink) {
+        if let Some(reg) = obs.registry() {
+            reg.gauge_set(
+                "pop_batch_occupancy",
+                &[("solver", self.solver)],
+                self.active() as f64 / self.k as f64,
+            );
+        }
+    }
+
+    /// Count one per-lane restart in `pop_batch_lane_restarts_total`.
+    fn record_lane_restart(&self, obs: &ObsSink) {
+        if let Some(reg) = obs.registry() {
+            reg.counter_add(
+                "pop_batch_lane_restarts_total",
+                &[("solver", self.solver)],
+                1,
+            );
+        }
+    }
+
+    /// Assemble the per-lane stats. The communication snapshot is the
+    /// whole batch's delta, duplicated into each lane: events are shared
+    /// across lanes by construction, so a per-lane split would be
+    /// arbitrary (documented in DESIGN.md §12).
+    fn into_stats(self, precond: &'static str, comm_delta: StatsSnapshot) -> Vec<SolveStats> {
+        let solver = self.solver;
+        self.lanes
+            .into_iter()
+            .map(|lane| SolveStats {
+                solver,
+                preconditioner: precond,
+                iterations: lane.iterations,
+                converged: lane.outcome == SolveOutcome::Converged,
+                outcome: lane.outcome,
+                restarts: lane.monitor.restarts,
+                final_relative_residual: lane.final_rel,
+                matvecs: lane.matvecs,
+                precond_applies: lane.precond_applies,
+                comm: comm_delta,
+                residual_history: lane.history,
+            })
+            .collect()
+    }
+}
+
+/// Validate batch geometry: `1 ≤ k ≤ MAX_BATCH`, matching `bs`/`xs`, one
+/// shared layout. Returns `(k, groups, slots)`.
+fn batch_shape<C: Communicator>(bs: &[&C::Vec], xs: &[&mut C::Vec]) -> (usize, usize, usize) {
+    let k = bs.len();
+    assert_eq!(k, xs.len(), "batch needs one x per rhs");
+    assert!(
+        (1..=MAX_BATCH).contains(&k),
+        "batch width must be 1..={MAX_BATCH}, got {k}"
+    );
+    let layout = bs[0].layout();
+    for b in bs {
+        assert!(
+            Arc::ptr_eq(b.layout(), layout),
+            "batched rhs must share one layout"
+        );
+    }
+    for x in xs {
+        assert!(
+            Arc::ptr_eq(x.layout(), layout),
+            "batched x must share the rhs layout"
+        );
+    }
+    let groups = k.div_ceil(LANES);
+    (k, groups, groups * LANES)
+}
+
+/// Shared iteration-cap epilogue for the three check-cadence solvers:
+/// settle any lane whose residual was never reduced (one reduction of the
+/// standing sweep, unless the lane's staged restart already reduced a
+/// fresher value), then classify and gather every still-active lane
+/// exactly as the single-RHS tails do. PipeCG passes `rr_sweep = None`
+/// (it reduces every iteration, so `final_rel` is always settled).
+#[allow(clippy::too_many_arguments)]
+fn settle_remaining<C: Communicator>(
+    comm: &C,
+    cfg: &SolverConfig,
+    ctl: &mut BatchCtl,
+    iterations: usize,
+    rr_sweep: Option<&C::Sweep>,
+    mx: &C::MultiVec,
+    mxg: &C::MultiVec,
+    xs: &mut [&mut C::Vec],
+) {
+    if ctl.all_retired() {
+        return;
+    }
+    let needs_reduce = rr_sweep.is_some()
+        && ctl
+            .lanes
+            .iter()
+            .any(|l| !l.retired && l.final_rel.is_infinite() && l.setup_rr.is_none());
+    let red = if needs_reduce {
+        Some(comm.reduce_sweep(rr_sweep.expect("checked above"), ctl.slots as u64))
+    } else {
+        None
+    };
+    for (l, xl) in xs.iter_mut().enumerate().take(ctl.k) {
+        if ctl.lanes[l].retired {
+            continue;
+        }
+        if rr_sweep.is_some() && ctl.lanes[l].final_rel.is_infinite() {
+            let rrv = ctl.lanes[l]
+                .setup_rr
+                .unwrap_or_else(|| red.as_ref().expect("reduced when any lane needs it")[l]);
+            let rel = rrv.sqrt() / ctl.bnorm[l];
+            ctl.lanes[l].final_rel = rel;
+            ctl.lanes[l].history.push((iterations, rel));
+        }
+        let rel = ctl.lanes[l].final_rel;
+        if rel < cfg.tol {
+            ctl.retire(l, SolveOutcome::Converged, || comm.stats());
+            gather_lane(comm, mx, l, &mut **xl);
+        } else if !rel.is_finite() {
+            ctl.lanes[l].final_rel = ctl.lanes[l].monitor.best_rel;
+            ctl.retire(l, SolveOutcome::Diverged, || comm.stats());
+            gather_lane(comm, mxg, l, &mut **xl);
+        } else {
+            ctl.retire(l, SolveOutcome::MaxIters, || comm.stats());
+            gather_lane(comm, mx, l, &mut **xl);
+        }
+    }
+}
+
+/// Handle the non-restart retirement lists of one check: gather converged
+/// lanes out of `x`, aborted lanes out of the snapshot, refresh improved
+/// lanes' snapshots.
+fn apply_check<C: Communicator>(
+    comm: &C,
+    ctl: &mut BatchCtl,
+    out: &CheckOutcome,
+    mx: &C::MultiVec,
+    mxg: &mut C::MultiVec,
+    xs: &mut [&mut C::Vec],
+) {
+    for &l in &out.converged {
+        ctl.retire(l, SolveOutcome::Converged, || comm.stats());
+        gather_lane(comm, mx, l, &mut *xs[l]);
+    }
+    for &l in &out.aborted {
+        ctl.retire(l, SolveOutcome::Diverged, || comm.stats());
+        gather_lane(comm, mxg, l, &mut *xs[l]);
+    }
+    snapshot_lanes(comm, mx, mxg, &out.snapshot);
+}
+
+// ---------------------------------------------------------------------------
+// The batched solver trait
+// ---------------------------------------------------------------------------
+
+/// Batched multi-RHS solve: advance `k ≤ 16` systems `A x_l = b_l`
+/// (shared operator and preconditioner, independent right-hand sides) in
+/// lockstep through `k`-wide fused sweeps. Per RHS the returned stats and
+/// the solution bits are identical to `k` independent
+/// [`CommSolver::solve_comm`] calls, except `comm`, which reports the
+/// whole batch's (much smaller) event count.
+pub trait BatchCommSolver: CommSolver {
+    /// Solve the batch on whatever runtime `comm` provides, reusing `ws`
+    /// across solves. Stats are returned in RHS order.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_batch_comm<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        bs: &[&C::Vec],
+        xs: &mut [&mut C::Vec],
+        cfg: &SolverConfig,
+        ws: &mut BatchWorkspace<C>,
+    ) -> Vec<SolveStats>;
+}
+
+impl BatchCommSolver for Pcsi {
+    fn solve_batch_comm<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        bs: &[&C::Vec],
+        xs: &mut [&mut C::Vec],
+        cfg: &SolverConfig,
+        ws: &mut BatchWorkspace<C>,
+    ) -> Vec<SolveStats> {
+        let start = comm.stats();
+        let (k, groups, slots) = batch_shape::<C>(bs, xs);
+        let layout = Arc::clone(bs[0].layout());
+        let BatchWorkspace { multis, stage } = ws;
+        let [mb, mx, mr, mz, mdx, mxg] = multis.take(comm, bs[0], groups);
+
+        let mut ctl = BatchCtl::new(cfg, self.name(), pre.name(), start, k, slots);
+        let (nu, mu) = (self.bounds.nu, self.bounds.mu);
+        for lane in &mut ctl.lanes {
+            if let Some(obs) = lane.obs.as_mut() {
+                obs.eigen(nu, mu);
+            }
+        }
+        let alpha = 2.0 / (mu - nu);
+        let beta = (mu + nu) / (mu - nu);
+        let gamma = beta / alpha;
+        let inv_gamma = 1.0 / gamma;
+
+        fill_lanes(comm, mb, bs);
+        {
+            let x0: Vec<&C::Vec> = xs.iter().map(|x| &**x).collect();
+            fill_lanes(comm, mx, &x0);
+        }
+        ctl.bnorm = rhs_norms(comm, mb, &layout, slots, k);
+        copy_lanes(comm, &*mx, mxg, &(0..slots).collect::<Vec<_>>());
+
+        // Per-lane recurrence depth: restarts reset a single slot to ω₀.
+        let mut omega = vec![2.0 / gamma; slots];
+        let mut cs = vec![0.0; slots];
+
+        // Batched setup: r₀ = b − A x₀ ; Δx₀ = γ⁻¹ M⁻¹ r₀ ; x₁ = x₀ + Δx₀ ;
+        // r₁ = b − A x₁ with per-lane ‖r‖² partials riding along.
+        comm.halo_update_multi(mx);
+        let _ = comm.for_each_block_multi([&mut *mr], |bk, [rb]| {
+            let mut p = ZEROS;
+            op.residual_block_multi(bk, mx.block(bk), mb.block(bk), rb, &mut p[..slots]);
+            ZEROS
+        });
+        let _ = comm.for_each_block_multi([&mut *mz, &mut *mdx, &mut *mx], |bk, [zb, dxb, xb]| {
+            pre.apply_block_multi(bk, mr.block(bk), zb);
+            csi_setup_block(zb, dxb, xb, inv_gamma);
+            ZEROS
+        });
+        comm.halo_update_multi(mx);
+        let mut rr_sweep = comm.for_each_block_multi([&mut *mr], |bk, [rb]| {
+            let mut p = ZEROS;
+            op.residual_block_multi(bk, mx.block(bk), mb.block(bk), rb, &mut p[..slots]);
+            p
+        });
+        ctl.charge_setup(2, 1);
+
+        // Deferred-residual pass fusion. On iterations whose residual has
+        // no same-iteration consumer (no convergence check, not the final
+        // iteration) sweep B is postponed and fused into the *next*
+        // iteration's sweep A: residual, preconditioner, and iterate
+        // update run back to back on each block while its tiles are
+        // cache-hot, and a full re-read of `x` and `r` per iteration
+        // disappears. Per lane the arithmetic is the exact sequence of
+        // the split sweeps — each block's deferred residual reads its own
+        // pre-update storage plus halo cells the in-place x-update never
+        // touches — so trajectories stay bitwise identical; only the pass
+        // count drops.
+        let mut deferred_b = false;
+        let mut iterations = 0usize;
+        while iterations < cfg.max_iters && !ctl.all_retired() {
+            iterations += 1;
+            ctl.tick(iterations);
+            for s in 0..slots {
+                omega[s] = 1.0 / (gamma - omega[s] / (4.0 * alpha * alpha));
+                cs[s] = gamma * omega[s] - 1.0;
+            }
+
+            // Sweep A: z = M⁻¹ r, then Δx = ω z + c Δx and x += Δx —
+            // led, when deferred, by the previous iteration's residual.
+            if deferred_b {
+                deferred_b = false;
+                rr_sweep = comm.for_each_block_multi(
+                    [&mut *mr, &mut *mz, &mut *mdx, &mut *mx],
+                    |bk, [rb, zb, dxb, xb]| {
+                        let mut p = ZEROS;
+                        op.residual_block_multi(bk, xb, mb.block(bk), rb, &mut p[..slots]);
+                        pre.apply_block_multi(bk, rb, zb);
+                        csi_update_block(zb, dxb, xb, &omega, &cs);
+                        p
+                    },
+                );
+                ctl.clear_setup_rr();
+            } else {
+                let _ = comm.for_each_block_multi(
+                    [&mut *mz, &mut *mdx, &mut *mx],
+                    |bk, [zb, dxb, xb]| {
+                        pre.apply_block_multi(bk, mr.block(bk), zb);
+                        csi_update_block(zb, dxb, xb, &omega, &cs);
+                        ZEROS
+                    },
+                );
+            }
+
+            // Sweep B: one halo update, then the residual with per-lane
+            // ‖r‖² partials — the iteration's only reducible state. Run
+            // eagerly only when something reads it this iteration: the
+            // check below or the post-loop settlement. (Retirement state
+            // changes only on check iterations, so every loop exit leaves
+            // `rr_sweep` describing the last iteration's residual, exactly
+            // as the split sweeps did.)
+            comm.halo_update_multi(mx);
+            if iterations % cfg.check_every == 0 || iterations == cfg.max_iters {
+                rr_sweep = comm.for_each_block_multi([&mut *mr], |bk, [rb]| {
+                    let mut p = ZEROS;
+                    op.residual_block_multi(bk, mx.block(bk), mb.block(bk), rb, &mut p[..slots]);
+                    p
+                });
+                ctl.clear_setup_rr();
+            } else {
+                deferred_b = true;
+            }
+
+            if iterations % cfg.check_every == 0 {
+                // ONE allreduce carries all k residuals: flat in k.
+                let rr = comm.reduce_sweep(&rr_sweep, slots as u64);
+                let out = ctl.assess(cfg, &rr, iterations, true);
+                apply_check(comm, &mut ctl, &out, &*mx, mxg, xs);
+                for &l in &out.restart {
+                    if let Some(obs) = ctl.lanes[l].obs.as_mut() {
+                        obs.restart(iterations);
+                    }
+                    ctl.record_lane_restart(&cfg.obs);
+                    // Restore the lane from its snapshot, then re-run the
+                    // solver's exact single-RHS setup through staging
+                    // vectors so the lane rejoins its scalar trajectory.
+                    copy_lanes(comm, &*mxg, mx, &[l]);
+                    omega[l] = 2.0 / gamma;
+                    let [sx, sr, sz, sdx] = stage.take(comm, bs[0]);
+                    gather_lane(comm, &*mx, l, sx);
+                    comm.halo_update(sx);
+                    let _ = comm.for_each_block_fused([&mut *sr], |bk, [rb]| {
+                        op.residual_block_into(
+                            bk,
+                            sx.block(bk),
+                            bs[l].block(bk),
+                            rb,
+                            &layout.masks[bk],
+                        );
+                        ZEROS
+                    });
+                    let _ = comm.for_each_block_fused(
+                        [&mut *sz, &mut *sdx, &mut *sx],
+                        |bk, [zb, dxb, xb]| {
+                            pre.apply_block(bk, sr.block(bk), zb);
+                            for j in 0..dxb.ny {
+                                let zr = zb.interior_row(j);
+                                let dxr = dxb.interior_row_mut(j);
+                                let xr = xb.interior_row_mut(j);
+                                for i in 0..dxr.len() {
+                                    let d = zr[i] * inv_gamma;
+                                    dxr[i] = d;
+                                    xr[i] += d;
+                                }
+                            }
+                            ZEROS
+                        },
+                    );
+                    comm.halo_update(sx);
+                    let s_sweep = comm.for_each_block_fused([&mut *sr], |bk, [rb]| {
+                        let mut p = ZEROS;
+                        p[0] = op.residual_block_into(
+                            bk,
+                            sx.block(bk),
+                            bs[l].block(bk),
+                            rb,
+                            &layout.masks[bk],
+                        );
+                        p
+                    });
+                    ctl.lanes[l].setup_rr = Some(comm.reduce_sweep(&s_sweep, 1)[0]);
+                    ctl.lanes[l].matvecs += 2;
+                    ctl.lanes[l].precond_applies += 1;
+                    scatter_lane(comm, &*sx, mx, l);
+                    scatter_lane(comm, &*sr, mr, l);
+                    scatter_lane(comm, &*sdx, mdx, l);
+                }
+                ctl.record_occupancy(&cfg.obs);
+            }
+        }
+
+        settle_remaining(
+            comm,
+            cfg,
+            &mut ctl,
+            iterations,
+            Some(&rr_sweep),
+            &*mx,
+            &*mxg,
+            xs,
+        );
+        ctl.into_stats(pre.name(), comm.stats().since(&start))
+    }
+}
+
+impl BatchCommSolver for ChronGear {
+    fn solve_batch_comm<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        bs: &[&C::Vec],
+        xs: &mut [&mut C::Vec],
+        cfg: &SolverConfig,
+        ws: &mut BatchWorkspace<C>,
+    ) -> Vec<SolveStats> {
+        let start = comm.stats();
+        let (k, groups, slots) = batch_shape::<C>(bs, xs);
+        let layout = Arc::clone(bs[0].layout());
+        let BatchWorkspace { multis, stage } = ws;
+        let [mb, mx, mr, mz, maz, ms, mp, mxg] = multis.take(comm, bs[0], groups);
+        let mut ctl = BatchCtl::new(cfg, self.name(), pre.name(), start, k, slots);
+
+        fill_lanes(comm, mb, bs);
+        {
+            let x0: Vec<&C::Vec> = xs.iter().map(|x| &**x).collect();
+            fill_lanes(comm, mx, &x0);
+        }
+        ctl.bnorm = rhs_norms(comm, mb, &layout, slots, k);
+        copy_lanes(comm, &*mx, mxg, &(0..slots).collect::<Vec<_>>());
+
+        // Per-lane recurrence scalars (restarts reset single slots).
+        let mut rho_old = vec![1.0f64; slots];
+        let mut sigma = vec![0.0f64; slots];
+        let mut beta = vec![0.0f64; slots];
+        let mut alph = vec![0.0f64; slots];
+        let mut nalph = vec![0.0f64; slots];
+
+        // Batched setup: r₀ = b − A x₀ (s and p start zeroed by take()).
+        comm.halo_update_multi(mx);
+        let mut rr_sweep = comm.for_each_block_multi([&mut *mr], |bk, [rb]| {
+            let mut p = ZEROS;
+            op.residual_block_multi(bk, mx.block(bk), mb.block(bk), rb, &mut p[..slots]);
+            p
+        });
+        ctl.charge_setup(1, 0);
+
+        let mut iterations = 0usize;
+        while iterations < cfg.max_iters && !ctl.all_retired() {
+            iterations += 1;
+            ctl.tick(iterations);
+
+            // z = M⁻¹ r (its own sweep: z needs a boundary update before
+            // the matvec).
+            let _ = comm.for_each_block_multi([&mut *mz], |bk, [zb]| {
+                pre.apply_block_multi(bk, mr.block(bk), zb);
+                ZEROS
+            });
+
+            // The iteration's single halo exchange, then Az plus both
+            // inner-product partials (ρ̃ = rᵀz, δ̃ = (Az)ᵀz) per lane.
+            comm.halo_update_multi(mz);
+            let d_sweep = comm.for_each_block_multi([&mut *maz], |bk, [azb]| {
+                let mask = &layout.masks[bk];
+                op.apply_block_multi(bk, mz.block(bk), azb);
+                let mut p = ZEROS;
+                masked_dot_multi(mr.block(bk), mz.block(bk), mask, &mut p[..slots]);
+                masked_dot_multi(azb, mz.block(bk), mask, &mut p[slots..2 * slots]);
+                p
+            });
+
+            // The fused reduction: 2k scalars, ONE allreduce.
+            let d = comm.reduce_sweep(&d_sweep, (2 * slots) as u64);
+            for s in 0..slots {
+                let rho = d[s];
+                let delta = d[slots + s];
+                let b = rho / rho_old[s];
+                sigma[s] = delta - b * b * sigma[s];
+                let a = rho / sigma[s];
+                beta[s] = b;
+                alph[s] = a;
+                nalph[s] = -a;
+                rho_old[s] = rho;
+            }
+
+            // All four updates in one sweep, with per-lane ‖r‖² partials
+            // for the periodic check. The dot re-reads the just-stored r
+            // bits, so it equals the scalar loop's fused accumulate.
+            rr_sweep = comm.for_each_block_multi(
+                [&mut *ms, &mut *mp, &mut *mx, &mut *mr],
+                |bk, [sb, pb, xb, rb]| {
+                    chrongear_update_block(
+                        mz.block(bk),
+                        maz.block(bk),
+                        sb,
+                        pb,
+                        xb,
+                        rb,
+                        &beta,
+                        &alph,
+                        &nalph,
+                    );
+                    let mut p = ZEROS;
+                    masked_dot_multi(rb, rb, &layout.masks[bk], &mut p[..slots]);
+                    p
+                },
+            );
+            ctl.clear_setup_rr();
+
+            if iterations % cfg.check_every == 0 {
+                let rr = comm.reduce_sweep(&rr_sweep, slots as u64);
+                let out = ctl.assess(cfg, &rr, iterations, true);
+                apply_check(comm, &mut ctl, &out, &*mx, mxg, xs);
+                for &l in &out.restart {
+                    if let Some(obs) = ctl.lanes[l].obs.as_mut() {
+                        obs.restart(iterations);
+                    }
+                    ctl.record_lane_restart(&cfg.obs);
+                    copy_lanes(comm, &*mxg, mx, &[l]);
+                    zero_lanes(comm, ms, &[l]);
+                    zero_lanes(comm, mp, &[l]);
+                    rho_old[l] = 1.0;
+                    sigma[l] = 0.0;
+                    let [sx, sr] = stage.take(comm, bs[0]);
+                    gather_lane(comm, &*mx, l, sx);
+                    comm.halo_update(sx);
+                    let s_sweep = comm.for_each_block_fused([&mut *sr], |bk, [rb]| {
+                        let mut p = ZEROS;
+                        p[0] = op.residual_block_into(
+                            bk,
+                            sx.block(bk),
+                            bs[l].block(bk),
+                            rb,
+                            &layout.masks[bk],
+                        );
+                        p
+                    });
+                    ctl.lanes[l].setup_rr = Some(comm.reduce_sweep(&s_sweep, 1)[0]);
+                    ctl.lanes[l].matvecs += 1;
+                    scatter_lane(comm, &*sx, mx, l);
+                    scatter_lane(comm, &*sr, mr, l);
+                }
+                ctl.record_occupancy(&cfg.obs);
+            }
+        }
+
+        settle_remaining(
+            comm,
+            cfg,
+            &mut ctl,
+            iterations,
+            Some(&rr_sweep),
+            &*mx,
+            &*mxg,
+            xs,
+        );
+        ctl.into_stats(pre.name(), comm.stats().since(&start))
+    }
+}
+
+impl BatchCommSolver for ClassicPcg {
+    fn solve_batch_comm<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        bs: &[&C::Vec],
+        xs: &mut [&mut C::Vec],
+        cfg: &SolverConfig,
+        ws: &mut BatchWorkspace<C>,
+    ) -> Vec<SolveStats> {
+        let start = comm.stats();
+        let (k, groups, slots) = batch_shape::<C>(bs, xs);
+        let layout = Arc::clone(bs[0].layout());
+        let BatchWorkspace { multis, stage } = ws;
+        let [mb, mx, mr, mz, mp, map, mxg] = multis.take(comm, bs[0], groups);
+        let mut ctl = BatchCtl::new(cfg, self.name(), pre.name(), start, k, slots);
+
+        fill_lanes(comm, mb, bs);
+        {
+            let x0: Vec<&C::Vec> = xs.iter().map(|x| &**x).collect();
+            fill_lanes(comm, mx, &x0);
+        }
+        ctl.bnorm = rhs_norms(comm, mb, &layout, slots, k);
+        copy_lanes(comm, &*mx, mxg, &(0..slots).collect::<Vec<_>>());
+
+        let mut rz = vec![0.0f64; slots];
+        let mut beta = vec![0.0f64; slots];
+        let mut alph = vec![0.0f64; slots];
+        let mut nalph = vec![0.0f64; slots];
+
+        // Batched setup: r₀ = b − A x₀ ; z₀ = M⁻¹ r₀ ; p₀ = z₀ ; plus the
+        // setup rᵀz reduction (#0), all per lane.
+        comm.halo_update_multi(mx);
+        let mut rr_sweep = comm.for_each_block_multi([&mut *mr], |bk, [rb]| {
+            let mut p = ZEROS;
+            op.residual_block_multi(bk, mx.block(bk), mb.block(bk), rb, &mut p[..slots]);
+            p
+        });
+        let rz_sweep = comm.for_each_block_multi([&mut *mz, &mut *mp], |bk, [zb, pb]| {
+            pre.apply_block_multi(bk, mr.block(bk), zb);
+            copy_interior_block(zb, pb);
+            let mut p = ZEROS;
+            masked_dot_multi(mr.block(bk), zb, &layout.masks[bk], &mut p[..slots]);
+            p
+        });
+        {
+            let red = comm.reduce_sweep(&rz_sweep, slots as u64);
+            rz.copy_from_slice(&red[..slots]);
+        }
+        ctl.charge_setup(1, 1);
+
+        let mut iterations = 0usize;
+        while iterations < cfg.max_iters && !ctl.all_retired() {
+            iterations += 1;
+            ctl.tick(iterations);
+
+            // Sweep 1: Ap and its pᵀAp partials together.
+            comm.halo_update_multi(mp);
+            let pap_sweep = comm.for_each_block_multi([&mut *map], |bk, [apb]| {
+                op.apply_block_multi(bk, mp.block(bk), apb);
+                let mut p = ZEROS;
+                masked_dot_multi(mp.block(bk), apb, &layout.masks[bk], &mut p[..slots]);
+                p
+            });
+
+            // Reduction #1 of the iteration.
+            let pap = comm.reduce_sweep(&pap_sweep, slots as u64);
+            for s in 0..slots {
+                let a = rz[s] / pap[s];
+                alph[s] = a;
+                nalph[s] = -a;
+            }
+
+            // Sweep 2: x += αp, r −= αAp, z = M⁻¹r, with per-lane ‖r‖² and
+            // rᵀz partials in the two slot bands.
+            let d_sweep =
+                comm.for_each_block_multi([&mut *mx, &mut *mr, &mut *mz], |bk, [xb, rb, zb]| {
+                    pcg_xr_block(mp.block(bk), map.block(bk), xb, rb, &alph, &nalph);
+                    pre.apply_block_multi(bk, rb, zb);
+                    let mask = &layout.masks[bk];
+                    let mut p = ZEROS;
+                    masked_dot_multi(rb, rb, mask, &mut p[..slots]);
+                    masked_dot_multi(rb, zb, mask, &mut p[slots..2 * slots]);
+                    p
+                });
+
+            // Reduction #2: consumes rᵀz from the second slot band. The
+            // declared width mirrors the single-RHS loop's `reduce(…, 1)`
+            // (which also reads past its declared scalar count).
+            let red = comm.reduce_sweep(&d_sweep, slots as u64);
+            for s in 0..slots {
+                let rz_new = red[slots + s];
+                beta[s] = rz_new / rz[s];
+                rz[s] = rz_new;
+            }
+            rr_sweep = d_sweep;
+            ctl.clear_setup_rr();
+
+            // Sweep 3: the direction update p = z + βp.
+            let _ = comm.for_each_block_multi([&mut *mp], |bk, [pb]| {
+                pcg_dir_block(mz.block(bk), pb, &beta);
+                ZEROS
+            });
+
+            if iterations % cfg.check_every == 0 {
+                let rr = comm.reduce_sweep(&rr_sweep, slots as u64);
+                let out = ctl.assess(cfg, &rr, iterations, true);
+                apply_check(comm, &mut ctl, &out, &*mx, mxg, xs);
+                for &l in &out.restart {
+                    if let Some(obs) = ctl.lanes[l].obs.as_mut() {
+                        obs.restart(iterations);
+                    }
+                    ctl.record_lane_restart(&cfg.obs);
+                    copy_lanes(comm, &*mxg, mx, &[l]);
+                    let [sx, sr, sz, sp] = stage.take(comm, bs[0]);
+                    gather_lane(comm, &*mx, l, sx);
+                    comm.halo_update(sx);
+                    let s_sweep = comm.for_each_block_fused([&mut *sr], |bk, [rb]| {
+                        let mut p = ZEROS;
+                        p[0] = op.residual_block_into(
+                            bk,
+                            sx.block(bk),
+                            bs[l].block(bk),
+                            rb,
+                            &layout.masks[bk],
+                        );
+                        p
+                    });
+                    let srz_sweep =
+                        comm.for_each_block_fused([&mut *sz, &mut *sp], |bk, [zb, pb]| {
+                            pre.apply_block(bk, sr.block(bk), zb);
+                            for j in 0..pb.ny {
+                                pb.interior_row_mut(j).copy_from_slice(zb.interior_row(j));
+                            }
+                            let mut p = ZEROS;
+                            p[0] = super::masked_block_dot(sr.block(bk), zb, &layout.masks[bk]);
+                            p
+                        });
+                    rz[l] = comm.reduce_sweep(&srz_sweep, 1)[0];
+                    ctl.lanes[l].setup_rr = Some(comm.reduce_sweep(&s_sweep, 1)[0]);
+                    ctl.lanes[l].matvecs += 1;
+                    ctl.lanes[l].precond_applies += 1;
+                    scatter_lane(comm, &*sx, mx, l);
+                    scatter_lane(comm, &*sr, mr, l);
+                    scatter_lane(comm, &*sp, mp, l);
+                }
+                ctl.record_occupancy(&cfg.obs);
+            }
+        }
+
+        settle_remaining(
+            comm,
+            cfg,
+            &mut ctl,
+            iterations,
+            Some(&rr_sweep),
+            &*mx,
+            &*mxg,
+            xs,
+        );
+        ctl.into_stats(pre.name(), comm.stats().since(&start))
+    }
+}
+
+impl BatchCommSolver for PipelinedCg {
+    fn solve_batch_comm<C: Communicator>(
+        &self,
+        op: &NinePoint,
+        pre: &dyn Preconditioner,
+        comm: &C,
+        bs: &[&C::Vec],
+        xs: &mut [&mut C::Vec],
+        cfg: &SolverConfig,
+        ws: &mut BatchWorkspace<C>,
+    ) -> Vec<SolveStats> {
+        let start = comm.stats();
+        let (k, groups, slots) = batch_shape::<C>(bs, xs);
+        let layout = Arc::clone(bs[0].layout());
+        let BatchWorkspace { multis, stage } = ws;
+        let [mb, mx, mr, mu, mw, mm, mn, mzz, mq, ms, mp, mxg] = multis.take(comm, bs[0], groups);
+        let mut ctl = BatchCtl::new(cfg, self.name(), pre.name(), start, k, slots);
+
+        fill_lanes(comm, mb, bs);
+        {
+            let x0: Vec<&C::Vec> = xs.iter().map(|x| &**x).collect();
+            fill_lanes(comm, mx, &x0);
+        }
+        ctl.bnorm = rhs_norms(comm, mb, &layout, slots, k);
+        copy_lanes(comm, &*mx, mxg, &(0..slots).collect::<Vec<_>>());
+
+        let mut gamma_old = vec![1.0f64; slots];
+        let mut alpha_old = vec![1.0f64; slots];
+        let mut first = vec![true; slots];
+        let mut beta = vec![0.0f64; slots];
+        let mut alph = vec![0.0f64; slots];
+        let mut nalph = vec![0.0f64; slots];
+
+        // Batched setup: r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀
+        // (z, q, s, p start zeroed by take()).
+        comm.halo_update_multi(mx);
+        let _ = comm.for_each_block_multi([&mut *mr], |bk, [rb]| {
+            let mut p = ZEROS;
+            op.residual_block_multi(bk, mx.block(bk), mb.block(bk), rb, &mut p[..slots]);
+            ZEROS
+        });
+        let _ = comm.for_each_block_multi([&mut *mu], |bk, [ub]| {
+            pre.apply_block_multi(bk, mr.block(bk), ub);
+            ZEROS
+        });
+        comm.halo_update_multi(mu);
+        let _ = comm.for_each_block_multi([&mut *mw], |bk, [wb]| {
+            op.apply_block_multi(bk, mu.block(bk), wb);
+            ZEROS
+        });
+        ctl.charge_setup(2, 1);
+
+        let mut iterations = 0usize;
+        while iterations < cfg.max_iters && !ctl.all_retired() {
+            iterations += 1;
+            ctl.tick(iterations);
+
+            // Sweep 1: the fused reduction's three per-lane partials —
+            // γ = (r,u), δ = (w,u), ‖r‖² — in the three slot bands, plus
+            // m = M⁻¹w, all in one pass.
+            let d_sweep = comm.for_each_block_multi([&mut *mm], |bk, [mmb]| {
+                let mask = &layout.masks[bk];
+                let mut p = ZEROS;
+                masked_dot_multi(mr.block(bk), mu.block(bk), mask, &mut p[..slots]);
+                masked_dot_multi(mw.block(bk), mu.block(bk), mask, &mut p[slots..2 * slots]);
+                masked_dot_multi(
+                    mr.block(bk),
+                    mr.block(bk),
+                    mask,
+                    &mut p[2 * slots..3 * slots],
+                );
+                pre.apply_block_multi(bk, mw.block(bk), mmb);
+                p
+            });
+            // 3k scalars, still ONE allreduce per iteration.
+            let d = comm.reduce_sweep(&d_sweep, (3 * slots) as u64);
+
+            // Sweep 2: n = A m.
+            comm.halo_update_multi(mm);
+            let _ = comm.for_each_block_multi([&mut *mn], |bk, [nb]| {
+                op.apply_block_multi(bk, mm.block(bk), nb);
+                ZEROS
+            });
+
+            for s in 0..slots {
+                let gamma = d[s];
+                let delta = d[slots + s];
+                if first[s] {
+                    first[s] = false;
+                    alph[s] = gamma / delta;
+                    beta[s] = 0.0;
+                } else {
+                    let b = gamma / gamma_old[s];
+                    beta[s] = b;
+                    alph[s] = gamma / (delta - b * gamma / alpha_old[s]);
+                }
+                nalph[s] = -alph[s];
+            }
+
+            // Sweep 3: all eight pipelined recurrences fused per point.
+            let _ = comm.for_each_block_multi(
+                [
+                    &mut *mzz, &mut *mq, &mut *ms, &mut *mp, &mut *mx, &mut *mr, &mut *mu, &mut *mw,
+                ],
+                |bk, [zb, qb, sb, pb, xb, rb, ub, wb]| {
+                    pipecg_update_block(
+                        mn.block(bk),
+                        mm.block(bk),
+                        zb,
+                        qb,
+                        sb,
+                        pb,
+                        xb,
+                        rb,
+                        ub,
+                        wb,
+                        &beta,
+                        &alph,
+                        &nalph,
+                    );
+                    ZEROS
+                },
+            );
+            gamma_old[..slots].copy_from_slice(&d[..slots]);
+            alpha_old[..slots].copy_from_slice(&alph[..slots]);
+
+            // The pipelined formulation checks every iteration for free;
+            // history entries keep the check_every cadence.
+            let out = ctl.assess(
+                cfg,
+                &d[2 * slots..3 * slots],
+                iterations,
+                iterations % cfg.check_every == 0,
+            );
+            apply_check(comm, &mut ctl, &out, &*mx, mxg, xs);
+            for &l in &out.restart {
+                if let Some(obs) = ctl.lanes[l].obs.as_mut() {
+                    obs.restart(iterations);
+                }
+                ctl.record_lane_restart(&cfg.obs);
+                copy_lanes(comm, &*mxg, mx, &[l]);
+                zero_lanes(comm, mzz, &[l]);
+                zero_lanes(comm, mq, &[l]);
+                zero_lanes(comm, ms, &[l]);
+                zero_lanes(comm, mp, &[l]);
+                gamma_old[l] = 1.0;
+                alpha_old[l] = 1.0;
+                first[l] = true;
+                let [sx, sr, su, sw] = stage.take(comm, bs[0]);
+                gather_lane(comm, &*mx, l, sx);
+                comm.halo_update(sx);
+                let _ = comm.for_each_block_fused([&mut *sr], |bk, [rb]| {
+                    op.residual_block_into(
+                        bk,
+                        sx.block(bk),
+                        bs[l].block(bk),
+                        rb,
+                        &layout.masks[bk],
+                    );
+                    ZEROS
+                });
+                let _ = comm.for_each_block_fused([&mut *su], |bk, [ub]| {
+                    pre.apply_block(bk, sr.block(bk), ub);
+                    ZEROS
+                });
+                comm.halo_update(su);
+                let _ = comm.for_each_block_fused([&mut *sw], |bk, [wb]| {
+                    op.apply_block_into(bk, su.block(bk), wb, &layout.masks[bk]);
+                    ZEROS
+                });
+                ctl.lanes[l].matvecs += 2;
+                ctl.lanes[l].precond_applies += 1;
+                scatter_lane(comm, &*sx, mx, l);
+                scatter_lane(comm, &*sr, mr, l);
+                scatter_lane(comm, &*su, mu, l);
+                scatter_lane(comm, &*sw, mw, l);
+            }
+            if !out.converged.is_empty() || !out.aborted.is_empty() || !out.restart.is_empty() {
+                ctl.record_occupancy(&cfg.obs);
+            }
+        }
+
+        // PipeCG reduces every iteration, so every lane's final_rel is
+        // settled; no standing-sweep tail exists in the scalar loop either.
+        settle_remaining(
+            comm,
+            cfg,
+            &mut ctl,
+            iterations,
+            None::<&C::Sweep>,
+            &*mx,
+            &*mxg,
+            xs,
+        );
+        ctl.into_stats(pre.name(), comm.stats().since(&start))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch planner
+// ---------------------------------------------------------------------------
+
+/// Identity key deciding which solve requests may share a batch: the
+/// decomposition (layout identity) and the operator's exact coefficient
+/// bits. Solves with equal keys follow identical sweep structure, so their
+/// lanes can ride one fused pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    layout: usize,
+    op: u64,
+}
+
+/// FNV-1a over the operator's dimensions and raw coefficient bits (plus
+/// `phi`): two operators fingerprint equal iff every stencil coefficient
+/// is bitwise identical, which is exactly the batching-safety condition.
+pub fn operator_fingerprint(op: &NinePoint) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(op.phi.to_bits());
+    for (b, info) in op.layout.decomp.blocks.iter().enumerate() {
+        eat(b as u64);
+        eat(info.nx as u64);
+        eat(info.ny as u64);
+        for coeff in [&op.a0, &op.an, &op.ae, &op.ane] {
+            let tile = &coeff.blocks[b];
+            for j in 0..info.ny {
+                for &v in tile.interior_row(j) {
+                    eat(v.to_bits());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// The batch key of one solve request against `op`.
+pub fn batch_key(op: &NinePoint) -> BatchKey {
+    BatchKey {
+        layout: Arc::as_ptr(&op.layout) as usize,
+        op: operator_fingerprint(op),
+    }
+}
+
+/// One planned batch: request indices (submission order preserved) that
+/// share `key`, at most `max_batch` of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedBatch {
+    pub key: BatchKey,
+    pub indices: Vec<usize>,
+}
+
+/// Groups solve requests into batches: requests sharing a [`BatchKey`]
+/// coalesce (submission order preserved within and across groups), each
+/// group is chunked into batches of at most `max_batch` RHS. Ragged tails
+/// are fine — the engine pads them with shadow lanes.
+#[derive(Debug, Clone)]
+pub struct BatchPlanner {
+    /// Widest batch to emit; clamped to `1..=MAX_BATCH`.
+    pub max_batch: usize,
+}
+
+impl Default for BatchPlanner {
+    fn default() -> Self {
+        BatchPlanner {
+            max_batch: MAX_BATCH,
+        }
+    }
+}
+
+impl BatchPlanner {
+    pub fn new(max_batch: usize) -> Self {
+        BatchPlanner { max_batch }
+    }
+
+    /// Plan batches for the request keys, in first-seen group order.
+    pub fn plan(&self, keys: &[BatchKey]) -> Vec<PlannedBatch> {
+        let cap = self.max_batch.clamp(1, MAX_BATCH);
+        // Linear scan instead of a hash map: request counts are tiny and
+        // this keeps group order deterministic by first appearance.
+        let mut order: Vec<BatchKey> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match order.iter().position(|o| o == key) {
+                Some(g) => members[g].push(i),
+                None => {
+                    order.push(*key);
+                    members.push(vec![i]);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (key, idxs) in order.into_iter().zip(members) {
+            for chunk in idxs.chunks(cap) {
+                out.push(PlannedBatch {
+                    key,
+                    indices: chunk.to_vec(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Convenience driver for a homogeneous request set (one operator, one
+/// preconditioner): chunk the `k` systems into batches of at most
+/// `max_batch` and run each through the batched engine. Stats come back
+/// in RHS order.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_many<C: Communicator, S: BatchCommSolver>(
+    solver: &S,
+    op: &NinePoint,
+    pre: &dyn Preconditioner,
+    comm: &C,
+    bs: &[&C::Vec],
+    xs: &mut [&mut C::Vec],
+    cfg: &SolverConfig,
+    max_batch: usize,
+    ws: &mut BatchWorkspace<C>,
+) -> Vec<SolveStats> {
+    assert_eq!(bs.len(), xs.len(), "solve_many needs one x per rhs");
+    let cap = max_batch.clamp(1, MAX_BATCH);
+    let mut out = Vec::with_capacity(bs.len());
+    for (bc, xc) in bs.chunks(cap).zip(xs.chunks_mut(cap)) {
+        out.extend(solver.solve_batch_comm(op, pre, comm, bc, xc, cfg, ws));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{BlockEvp, Diagonal};
+    use crate::solvers::testutil::fixture;
+    use crate::solvers::SolverWorkspace;
+    use pop_comm::DistVec;
+    use pop_grid::Grid;
+
+    fn seeded_rhs(model: &DistVec, seed: u64) -> DistVec {
+        let mut b = model.clone();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for blk in &mut b.blocks {
+            for j in 0..blk.ny {
+                for v in blk.interior_row_mut(j) {
+                    if *v != 0.0 {
+                        *v *= 1.0 + 0.25 * next();
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// Batched ChronGear on a ragged k=5 batch is bitwise identical, per
+    /// RHS, to five independent single-RHS solves: solutions, iteration
+    /// counts, outcomes, and residual histories.
+    #[test]
+    fn batched_chrongear_matches_single_rhs_bitwise() {
+        let grid = Grid::gx1_scaled(6, 60, 48);
+        let f = fixture(&grid, 16, 13, 1800.0);
+        let pre = Diagonal::new(&f.op);
+        let solver = ChronGear;
+        let cfg = SolverConfig::with_tol(1e-11);
+        let k = 5;
+
+        let bs_own: Vec<DistVec> = (0..k).map(|l| seeded_rhs(&f.b, l as u64 + 1)).collect();
+
+        let mut singles = Vec::new();
+        let mut ws = SolverWorkspace::default();
+        for b in &bs_own {
+            let mut x = DistVec::zeros(&f.layout);
+            let st = solver.solve_comm(&f.op, &pre, &f.world, b, &mut x, &cfg, &mut ws);
+            singles.push((x, st));
+        }
+
+        let mut xs_own: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(&f.layout)).collect();
+        let bs: Vec<&DistVec> = bs_own.iter().collect();
+        let mut xs: Vec<&mut DistVec> = xs_own.iter_mut().collect();
+        let mut bws = BatchWorkspace::new();
+        let stats = solver.solve_batch_comm(&f.op, &pre, &f.world, &bs, &mut xs, &cfg, &mut bws);
+
+        for (l, (x_single, st_single)) in singles.iter().enumerate() {
+            let got = xs_own[l].to_global();
+            let want = x_single.to_global();
+            assert_eq!(got.len(), want.len());
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "lane {l} point {i}: {g:e} vs {w:e}"
+                );
+            }
+            assert_eq!(stats[l].iterations, st_single.iterations, "lane {l}");
+            assert_eq!(stats[l].outcome, st_single.outcome, "lane {l}");
+            assert_eq!(
+                stats[l].final_relative_residual.to_bits(),
+                st_single.final_relative_residual.to_bits(),
+                "lane {l}"
+            );
+            assert_eq!(
+                stats[l].residual_history, st_single.residual_history,
+                "lane {l}"
+            );
+            assert_eq!(stats[l].matvecs, st_single.matvecs, "lane {l}");
+            assert_eq!(
+                stats[l].precond_applies, st_single.precond_applies,
+                "lane {l}"
+            );
+        }
+    }
+
+    /// Batched P-CSI with the EVP preconditioner stays on the single-RHS
+    /// trajectory per lane (k=3 ragged batch exercising the lane-fused EVP
+    /// apply inside the batched loop).
+    #[test]
+    fn batched_csi_evp_matches_single_rhs_bitwise() {
+        let grid = Grid::gx1_scaled(6, 60, 48);
+        let f = fixture(&grid, 16, 13, 1800.0);
+        let pre = BlockEvp::with_defaults(&f.op);
+        let bounds = crate::lanczos::estimate_bounds_fixed_steps(&f.op, &pre, &f.world, 30, 7);
+        let solver = Pcsi::new(bounds);
+        let cfg = SolverConfig::with_tol(1e-11);
+        let k = 3;
+
+        let bs_own: Vec<DistVec> = (0..k).map(|l| seeded_rhs(&f.b, l as u64 + 11)).collect();
+
+        let mut singles = Vec::new();
+        let mut ws = SolverWorkspace::default();
+        for b in &bs_own {
+            let mut x = DistVec::zeros(&f.layout);
+            let st = solver.solve_comm(&f.op, &pre, &f.world, b, &mut x, &cfg, &mut ws);
+            singles.push((x, st));
+        }
+
+        let mut xs_own: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(&f.layout)).collect();
+        let bs: Vec<&DistVec> = bs_own.iter().collect();
+        let mut xs: Vec<&mut DistVec> = xs_own.iter_mut().collect();
+        let mut bws = BatchWorkspace::new();
+        let stats = solver.solve_batch_comm(&f.op, &pre, &f.world, &bs, &mut xs, &cfg, &mut bws);
+
+        for (l, (x_single, st_single)) in singles.iter().enumerate() {
+            let got = xs_own[l].to_global();
+            let want = x_single.to_global();
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "lane {l} point {i}: {g:e} vs {w:e}"
+                );
+            }
+            assert_eq!(stats[l].iterations, st_single.iterations, "lane {l}");
+            assert_eq!(stats[l].outcome, st_single.outcome, "lane {l}");
+        }
+    }
+
+    /// P-CSI's per-iteration allreduce count is flat in k: a batch of 16
+    /// performs exactly as many allreduces as one single-RHS solve of the
+    /// same iteration count.
+    #[test]
+    fn csi_allreduce_count_flat_in_k() {
+        let grid = Grid::gx1_scaled(6, 60, 48);
+        let f = fixture(&grid, 16, 13, 1800.0);
+        let pre = Diagonal::new(&f.op);
+        let bounds = crate::lanczos::estimate_bounds_fixed_steps(&f.op, &pre, &f.world, 30, 7);
+        let solver = Pcsi::new(bounds);
+        // Fixed iteration count: tol 0 runs to the cap on every lane.
+        let cfg = SolverConfig {
+            tol: 0.0,
+            max_iters: 40,
+            ..Default::default()
+        };
+
+        let mut ws = SolverWorkspace::default();
+        let mut x = DistVec::zeros(&f.layout);
+        let single = solver.solve_comm(&f.op, &pre, &f.world, &f.b, &mut x, &cfg, &mut ws);
+
+        let k = 16;
+        let bs_own: Vec<DistVec> = (0..k).map(|l| seeded_rhs(&f.b, l as u64 + 21)).collect();
+        let mut xs_own: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(&f.layout)).collect();
+        let bs: Vec<&DistVec> = bs_own.iter().collect();
+        let mut xs: Vec<&mut DistVec> = xs_own.iter_mut().collect();
+        let mut bws = BatchWorkspace::new();
+        let stats = solver.solve_batch_comm(&f.op, &pre, &f.world, &bs, &mut xs, &cfg, &mut bws);
+
+        assert_eq!(stats[0].iterations, single.iterations);
+        assert_eq!(
+            stats[0].comm.allreduces, single.comm.allreduces,
+            "batched allreduce count must not grow with k"
+        );
+        assert_eq!(stats[0].comm.halo_updates, single.comm.halo_updates);
+    }
+
+    #[test]
+    fn planner_groups_by_key_and_chunks() {
+        let ka = BatchKey { layout: 1, op: 10 };
+        let kb = BatchKey { layout: 1, op: 20 };
+        let keys = [ka, kb, ka, ka, kb, ka, ka, ka];
+        let plan = BatchPlanner::new(4).plan(&keys);
+        assert_eq!(
+            plan,
+            vec![
+                PlannedBatch {
+                    key: ka,
+                    indices: vec![0, 2, 3, 5]
+                },
+                PlannedBatch {
+                    key: ka,
+                    indices: vec![6, 7]
+                },
+                PlannedBatch {
+                    key: kb,
+                    indices: vec![1, 4]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_operators() {
+        let grid = Grid::gx1_scaled(6, 60, 48);
+        let f = fixture(&grid, 16, 13, 1800.0);
+        let f2 = fixture(&grid, 16, 13, 3600.0);
+        assert_eq!(operator_fingerprint(&f.op), operator_fingerprint(&f.op));
+        assert_ne!(operator_fingerprint(&f.op), operator_fingerprint(&f2.op));
+        assert_ne!(batch_key(&f.op), batch_key(&f2.op));
+    }
+
+    /// solve_many chunks a 6-wide homogeneous request set into 4 + 2 and
+    /// returns per-RHS stats in submission order.
+    #[test]
+    fn solve_many_chunks_and_orders() {
+        let grid = Grid::gx1_scaled(6, 60, 48);
+        let f = fixture(&grid, 16, 13, 1800.0);
+        let pre = Diagonal::new(&f.op);
+        let solver = ChronGear;
+        let cfg = SolverConfig::with_tol(1e-10);
+        let k = 6;
+        let bs_own: Vec<DistVec> = (0..k).map(|l| seeded_rhs(&f.b, l as u64 + 31)).collect();
+        let mut xs_own: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(&f.layout)).collect();
+        let bs: Vec<&DistVec> = bs_own.iter().collect();
+        let mut xs: Vec<&mut DistVec> = xs_own.iter_mut().collect();
+        let mut bws = BatchWorkspace::new();
+        let stats = solve_many(
+            &solver, &f.op, &pre, &f.world, &bs, &mut xs, &cfg, 4, &mut bws,
+        );
+        assert_eq!(stats.len(), k);
+        let mut ws = SolverWorkspace::default();
+        for (l, b) in bs_own.iter().enumerate() {
+            let mut x = DistVec::zeros(&f.layout);
+            let st = solver.solve_comm(&f.op, &pre, &f.world, b, &mut x, &cfg, &mut ws);
+            assert_eq!(stats[l].iterations, st.iterations, "lane {l}");
+            let got = xs_own[l].to_global();
+            let want = x.to_global();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "lane {l}");
+            }
+        }
+    }
+}

@@ -1,10 +1,15 @@
 //! The three barotropic solvers behind one interface.
 
+mod batch;
 mod chrongear;
 mod csi;
 mod pcg;
 mod pipecg;
 
+pub use batch::{
+    batch_key, operator_fingerprint, solve_many, BatchCommSolver, BatchKey, BatchPlanner,
+    BatchWorkspace, PlannedBatch, MAX_BATCH,
+};
 pub use chrongear::ChronGear;
 pub use csi::Pcsi;
 pub use pcg::ClassicPcg;

@@ -61,4 +61,4 @@ pub use fault::{FaultConfig, FaultPlan};
 pub use net::{LatencyBandwidth, NetworkModel, ZeroCost};
 pub use runtime::{sim_time, RankComm, RankReport, RankSimConfig, RankSweep, RankWorld};
 pub use trace::{chrome_trace_json, write_chrome_trace, Span, SpanKind};
-pub use vec::RankVec;
+pub use vec::{MultiRankVec, RankVec};

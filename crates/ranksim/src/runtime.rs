@@ -40,11 +40,11 @@
 use crate::fault::{shuffle, FaultPlan, SeqTracker};
 use crate::net::NetworkModel;
 use crate::trace::{Span, SpanKind};
-use crate::vec::RankVec;
+use crate::vec::{MultiRankVec, RankVec};
 use pop_comm::halo::{recv_region, CopyRegion};
 use pop_comm::{
-    masked_block_dot, BlockVec, CommVec, Communicator, DistLayout, DistVec, StatsSnapshot,
-    SweepPartials, MAX_SWEEP_PARTIALS,
+    masked_block_dot, BlockVec, CommVec, Communicator, DistLayout, DistVec, MultiBlockVec,
+    MultiCommVec, StatsSnapshot, SweepPartials, MAX_SWEEP_PARTIALS,
 };
 use pop_grid::sfc::CurveKind;
 use pop_grid::{Direction, RankAssignment};
@@ -173,9 +173,11 @@ enum Msg {
         avail_at: f64,
     },
     /// The folded result flowing down the binomial broadcast tree.
+    /// Boxed: a full `SweepPartials` inline would dominate the enum's
+    /// size and make every queued halo strip pay for it.
     Bcast {
         epoch: u64,
-        vals: SweepPartials,
+        vals: Box<SweepPartials>,
         avail_at: f64,
     },
 }
@@ -267,7 +269,7 @@ impl Mailbox {
                 vals,
                 avail_at,
             } => {
-                self.bcasts.insert(epoch, (vals, avail_at));
+                self.bcasts.insert(epoch, (*vals, avail_at));
             }
         }
     }
@@ -457,6 +459,17 @@ impl RankComm {
         );
     }
 
+    fn check_view_multi(&self, v: &MultiRankVec) {
+        assert!(
+            Arc::ptr_eq(&self.layout, MultiCommVec::layout(v)),
+            "operand uses a different layout"
+        );
+        assert!(
+            Arc::ptr_eq(&self.owned, v.owned_arc()),
+            "operand belongs to a different rank's view"
+        );
+    }
+
     /// Fold gathered rows exactly like `CommWorld::sweep_reduce`: place each
     /// block's row in its global slot, then left-fold slots `0..n_blocks`
     /// from zero. The slot array makes gather arrival order irrelevant.
@@ -555,7 +568,7 @@ impl RankComm {
                         f.duplicate,
                         Msg::Bcast {
                             epoch,
-                            vals: result,
+                            vals: Box::new(result),
                             avail_at: avail,
                         },
                     );
@@ -754,6 +767,141 @@ impl Communicator for RankComm {
             .collect();
         self.charge_compute();
         self.reduce_rows(&rows, 1)[0]
+    }
+
+    type MultiVec = MultiRankVec;
+
+    fn alloc_multi(&self, model: &RankVec, groups: usize) -> MultiRankVec {
+        self.check_view(model);
+        MultiRankVec::zeros(&self.layout, &self.owned, &self.local_of, groups)
+    }
+
+    /// The batched halo exchange: identical message structure to
+    /// [`Communicator::halo_update`] — same plan, same epochs, one
+    /// [`Msg::Halo`] per (block, direction) strip — with each payload
+    /// carrying all `k` lanes of the strip (`k×` bytes, message count
+    /// flat in `k`). A halo epoch is globally either single- or multi-RHS
+    /// (SPMD lockstep), so payload shapes never mix.
+    fn halo_update_multi(&self, v: &mut MultiRankVec) {
+        self.check_view_multi(v);
+        self.charge_stall();
+        let epoch = self.halo_epoch.get();
+        self.halo_epoch.set(epoch + 1);
+        let t0 = self.clock.get();
+        self.stats
+            .halo_updates
+            .set(self.stats.halo_updates.get() + 1);
+
+        let mut burst: Vec<(usize, u64, bool, Msg)> =
+            Vec::with_capacity(self.plan.sends[self.rank].len());
+        for &(dst_rank, e) in &self.plan.sends[self.rank] {
+            let r = e.region;
+            let mut data = Vec::new();
+            MultiCommVec::block(v, e.src_block)
+                .extract_region(r.src_i, r.src_j, r.w, r.h, &mut data);
+            let (seq, f) = self.next_message(dst_rank, true);
+            if f.poison {
+                for x in data.iter_mut() {
+                    *x = f64::NAN;
+                }
+            }
+            let avail = self.clock.get() + self.net.p2p(data.len() * 8) + f.extra_delay;
+            burst.push((
+                dst_rank,
+                seq,
+                f.duplicate,
+                Msg::Halo {
+                    epoch,
+                    dst_block: e.dst_block as u32,
+                    dir: e.dir,
+                    data,
+                    poisoned: f.poison,
+                    avail_at: avail,
+                },
+            ));
+        }
+        if let Some(shuffle_seed) = self.cfg.faults.reorder(self.rank, epoch) {
+            shuffle(&mut burst, shuffle_seed);
+        }
+        for (dst, seq, dup, msg) in burst {
+            self.post(dst, seq, dup, msg);
+        }
+
+        for blk in v.blocks.iter_mut() {
+            blk.zero_halo();
+        }
+
+        let mut msgs = 0u64;
+        let mut elems = 0u64;
+
+        let mut buf = Vec::new();
+        for e in &self.plan.locals[self.rank] {
+            let r = e.region;
+            MultiCommVec::block(v, e.src_block)
+                .extract_region(r.src_i, r.src_j, r.w, r.h, &mut buf);
+            msgs += 1;
+            elems += buf.len() as u64;
+            v.block_mut(e.dst_block)
+                .copy_region(r.dst_i, r.dst_j, &buf, r.w, r.h);
+        }
+
+        let mut arrive = self.clock.get();
+        for e in &self.plan.recvs[self.rank] {
+            let HaloArrival {
+                data,
+                avail_at,
+                poisoned,
+            } = self
+                .inbox
+                .borrow_mut()
+                .recv_halo(epoch, e.dst_block as u32, e.dir);
+            if poisoned {
+                self.stats
+                    .delivery_failures
+                    .set(self.stats.delivery_failures.get() + 1);
+            }
+            let r = e.region;
+            msgs += 1;
+            elems += data.len() as u64;
+            v.block_mut(e.dst_block)
+                .copy_region(r.dst_i, r.dst_j, &data, r.w, r.h);
+            arrive = arrive.max(avail_at);
+        }
+        self.clock.set(arrive);
+
+        self.stats
+            .halo_messages
+            .set(self.stats.halo_messages.get() + msgs);
+        self.stats
+            .halo_bytes
+            .set(self.stats.halo_bytes.get() + elems * std::mem::size_of::<f64>() as u64);
+        self.push_span(SpanKind::Halo, t0, self.clock.get());
+    }
+
+    fn for_each_block_multi<const M: usize, F>(
+        &self,
+        mut muts: [&mut MultiRankVec; M],
+        kernel: F,
+    ) -> RankSweep
+    where
+        F: Fn(usize, &mut [&mut MultiBlockVec; M]) -> SweepPartials + Sync,
+    {
+        assert!(M > 0, "fused sweep needs a mutable operand");
+        for v in &muts {
+            self.check_view_multi(v);
+        }
+        let bases: [*mut MultiBlockVec; M] = muts.each_mut().map(|v| v.blocks.as_mut_ptr());
+        let mut rows = Vec::with_capacity(self.owned.len());
+        for (li, &gb) in self.owned.iter().enumerate() {
+            // SAFETY: distinct `&mut MultiRankVec` operands are disjoint by
+            // the borrow checker, the loop is single-threaded, and each
+            // local index names a distinct tile of each operand.
+            let mut tiles: [&mut MultiBlockVec; M] =
+                std::array::from_fn(|m| unsafe { &mut *bases[m].add(li) });
+            rows.push((gb as u32, kernel(gb, &mut tiles)));
+        }
+        self.charge_compute();
+        RankSweep { rows }
     }
 }
 

@@ -8,7 +8,7 @@
 //! the rank does not own is a hard panic: under the rank runtime there is
 //! no shared memory to silently read through, exactly as on real MPI ranks.
 
-use pop_comm::{BlockVec, CommVec, DistLayout, DistVec};
+use pop_comm::{BlockVec, CommVec, DistLayout, DistVec, MultiBlockVec, MultiCommVec};
 use std::sync::Arc;
 
 /// One rank's private blocks of a distributed field.
@@ -94,6 +94,93 @@ impl RankVec {
     /// assembling a full field from per-rank results.
     pub fn into_blocks(self) -> Vec<(usize, BlockVec)> {
         self.owned.iter().copied().zip(self.blocks).collect()
+    }
+}
+
+/// One rank's private blocks of a `k`-wide multi-RHS field — the batched
+/// image of [`RankVec`]: same ownership discipline (global block ids,
+/// foreign blocks panic), [`MultiBlockVec`] tiles.
+#[derive(Debug, Clone)]
+pub struct MultiRankVec {
+    layout: Arc<DistLayout>,
+    owned: Arc<Vec<usize>>,
+    local_of: Arc<Vec<u32>>,
+    pub(crate) blocks: Vec<MultiBlockVec>,
+}
+
+impl MultiRankVec {
+    /// A zero-filled rank-private multi vector over `owned`.
+    pub(crate) fn zeros(
+        layout: &Arc<DistLayout>,
+        owned: &Arc<Vec<usize>>,
+        local_of: &Arc<Vec<u32>>,
+        groups: usize,
+    ) -> Self {
+        let blocks = owned
+            .iter()
+            .map(|&gb| {
+                let info = &layout.decomp.blocks[gb];
+                MultiBlockVec::zeros(info.nx, info.ny, layout.halo, groups)
+            })
+            .collect();
+        MultiRankVec {
+            layout: Arc::clone(layout),
+            owned: Arc::clone(owned),
+            local_of: Arc::clone(local_of),
+            blocks,
+        }
+    }
+
+    /// The global ids of the blocks this vector holds, sorted ascending.
+    pub fn owned_blocks(&self) -> &[usize] {
+        &self.owned
+    }
+
+    /// Shared ownership marker (see [`RankVec::owned_arc`]).
+    pub(crate) fn owned_arc(&self) -> &Arc<Vec<usize>> {
+        &self.owned
+    }
+
+    #[inline]
+    fn local(&self, gb: usize) -> usize {
+        let li = self.local_of[gb];
+        assert!(
+            li != u32::MAX,
+            "block {gb} is owned by another rank; rank-private vectors have no shared memory to read through"
+        );
+        li as usize
+    }
+
+    /// Mutable access to the multi-tile of global block `gb`. Panics if the
+    /// rank does not own it.
+    #[inline]
+    pub fn block_mut(&mut self, gb: usize) -> &mut MultiBlockVec {
+        let li = self.local(gb);
+        &mut self.blocks[li]
+    }
+}
+
+impl MultiCommVec for MultiRankVec {
+    #[inline]
+    fn layout(&self) -> &Arc<DistLayout> {
+        &self.layout
+    }
+
+    #[inline]
+    fn groups(&self) -> usize {
+        self.blocks.first().map_or(0, |b| b.groups())
+    }
+
+    #[inline]
+    fn block(&self, gb: usize) -> &MultiBlockVec {
+        let li = self.local(gb);
+        &self.blocks[li]
+    }
+
+    fn zero_fill(&mut self) {
+        for b in &mut self.blocks {
+            b.fill(0.0);
+        }
     }
 }
 

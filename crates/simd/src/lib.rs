@@ -222,6 +222,14 @@ pub trait LaneF64: Copy {
     /// mask: `and_bits(v, ALL_ONES) == v` (bit-exact), `and_bits(v, 0.0)
     /// == +0.0`.
     fn and_bits(self, o: Self) -> Self;
+    /// Lanewise fused multiply-add `self * a + b` with a **single**
+    /// rounding, the lane image of scalar `f64::mul_add`. This is the one
+    /// deliberate exception to the "no fusion" rule: kernels may call it
+    /// only where the scalar reference path also runs `mul_add` under the
+    /// same (mode-independent) condition — e.g. the EVP chain recurrence
+    /// gated on [`detected_fma`] — so scalar↔SIMD bitwise identity still
+    /// holds. Implementations must never substitute `mul`+`add`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
 }
 
 /// Portable `[f64; 4]` lanes: straight-line Rust the compiler is free to
@@ -288,6 +296,19 @@ impl LaneF64 for Portable4 {
             f64::from_bits(a[3].to_bits() & b[3].to_bits()),
         ])
     }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        let x = self.0;
+        let y = a.0;
+        let z = b.0;
+        Portable4([
+            x[0].mul_add(y[0], z[0]),
+            x[1].mul_add(y[1], z[1]),
+            x[2].mul_add(y[2], z[2]),
+            x[3].mul_add(y[3], z[3]),
+        ])
+    }
 }
 
 /// AVX2 lanes: one `__m256d` register. Every method is a single VEX
@@ -340,6 +361,14 @@ impl LaneF64 for Avx2 {
     #[inline(always)]
     fn and_bits(self, o: Self) -> Self {
         unsafe { Avx2(std::arch::x86_64::_mm256_and_pd(self.0, o.0)) }
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // `vfmadd213pd` requires the FMA feature; Avx2 lanes are only
+        // dispatched on CPUs that have AVX2, and every AVX2 CPU shipped
+        // also has FMA — asserted at dispatch time by `detected_fma` users.
+        unsafe { Avx2(std::arch::x86_64::_mm256_fmadd_pd(self.0, a.0, b.0)) }
     }
 }
 

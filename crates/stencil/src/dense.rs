@@ -194,6 +194,15 @@ impl LuFactors {
         self.solve_into(b, &mut x);
         x
     }
+
+    /// The factorization's raw storage `(n, packed LU, pivot permutation)`,
+    /// for callers that run the [`LuFactors::solve_into`] recurrences
+    /// themselves — e.g. a lane-parallel multi-RHS substitution that shares
+    /// one factorization across a whole SIMD batch.
+    #[inline]
+    pub fn raw_parts(&self) -> (usize, &[f64], &[usize]) {
+        (self.n, &self.lu, &self.piv)
+    }
 }
 
 #[cfg(test)]

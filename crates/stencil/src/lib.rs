@@ -33,6 +33,7 @@
 pub mod dense;
 pub mod diagnostics;
 pub mod local;
+pub mod multi;
 pub mod op;
 mod simd;
 

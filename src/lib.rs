@@ -80,8 +80,9 @@ pub mod prelude {
     pub use pop_core::lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
     pub use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
     pub use pop_core::solvers::{
-        ChronGear, ClassicPcg, LinearSolver, Pcsi, RecoveryConfig, SolveOutcome, SolveStats,
-        SolverConfig,
+        batch_key, solve_many, BatchCommSolver, BatchPlanner, BatchWorkspace, ChronGear,
+        ClassicPcg, LinearSolver, Pcsi, PipelinedCg, RecoveryConfig, SolveOutcome, SolveStats,
+        SolverConfig, MAX_BATCH,
     };
     pub use pop_grid::{Decomposition, Grid};
     pub use pop_obs::{ConvergenceTrace, ObsSink};
