@@ -37,13 +37,17 @@
 //! the inputs the paper's cost model (in `pop-perfmodel`) converts into
 //! large-core-count wall time.
 
+pub mod fingerprint;
 pub mod lanczos;
 pub mod precond;
+pub mod setup;
 pub mod solvers;
 pub mod tridiag;
 
+pub use fingerprint::Fnv1a;
 pub use lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
 pub use precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+pub use setup::{OperatorState, PrecondSpec};
 pub use solvers::{
     batch_key, operator_fingerprint, solve_many, BatchCommSolver, BatchKey, BatchPlanner,
     BatchWorkspace, ChronGear, ClassicPcg, CommSolver, LinearSolver, Pcsi, PipelinedCg,

@@ -1,0 +1,175 @@
+//! Cache-reusable per-operator setup state.
+//!
+//! Everything expensive a solver needs *before* its first iteration on an
+//! operator — the preconditioner (EVP influence matrices are O(n³) to
+//! build, dense-LU land-tile factors likewise) and, for P-CSI, the Lanczos
+//! eigenbound estimate — is bundled into one immutable, shareable
+//! [`OperatorState`]. `pop_ocean::SolverSetup` builds on it for the
+//! one-model-one-operator case; `pop-serve` keeps an LRU of them keyed by
+//! [`crate::fingerprint::operator_fingerprint`] so repeat multi-tenant
+//! traffic skips setup entirely.
+//!
+//! The build is deterministic: the preconditioner construction is pure
+//! arithmetic on the operator's coefficients and the Lanczos estimation is
+//! seeded ([`LanczosConfig::default`]), so a state built cold and a state
+//! served from cache are not merely equivalent — they are the *same values*,
+//! and every solve through either is bitwise identical. That determinism is
+//! what lets the serve layer promise cache-transparency
+//! (`tests/serve_cache_equivalence.rs`).
+
+use crate::fingerprint::operator_fingerprint;
+use crate::lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
+use crate::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+use pop_comm::CommWorld;
+use pop_stencil::NinePoint;
+use std::sync::Arc;
+
+/// Which preconditioner to construct — the data-less description that can
+/// key a cache, as opposed to the built `dyn Preconditioner` it produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrecondSpec {
+    /// POP's production default.
+    Diagonal,
+    /// The paper's block-EVP with the reduced-coupling defaults
+    /// ([`BlockEvp::with_defaults`]).
+    Evp,
+    /// Unpreconditioned (ablation).
+    Identity,
+    /// Dense block-LU ablation (tile cap 8, regularized) — same block
+    /// structure as EVP, O(n⁴) setup reference.
+    BlockLu,
+}
+
+impl PrecondSpec {
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecondSpec::Diagonal => "diag",
+            PrecondSpec::Evp => "evp",
+            PrecondSpec::Identity => "identity",
+            PrecondSpec::BlockLu => "blocklu",
+        }
+    }
+
+    /// Construct the preconditioner on `op`. Deterministic — pure
+    /// arithmetic on the operator's coefficients.
+    pub fn build(self, op: &NinePoint) -> Arc<dyn Preconditioner> {
+        match self {
+            PrecondSpec::Diagonal => Arc::new(Diagonal::new(op)),
+            PrecondSpec::Evp => Arc::new(BlockEvp::with_defaults(op)),
+            PrecondSpec::Identity => Arc::new(Identity),
+            PrecondSpec::BlockLu => Arc::new(BlockLu::new(op, 8, true)),
+        }
+    }
+}
+
+/// Immutable, shareable setup state for one (operator, preconditioner)
+/// pair: the built preconditioner plus the optional Lanczos eigenbounds
+/// P-CSI needs. `Preconditioner: Send + Sync`, so the whole state can be
+/// handed across threads and cached behind an `Arc` while solves against
+/// it are in flight — eviction from a cache can never invalidate a batch
+/// that already holds the `Arc`.
+pub struct OperatorState {
+    /// [`operator_fingerprint`] of the operator this state was built on.
+    pub fingerprint: u64,
+    /// The spec the preconditioner was built from (cache-key component).
+    pub spec: PrecondSpec,
+    pub precond: Arc<dyn Preconditioner>,
+    /// Spectral bounds of `M⁻¹A`, present iff requested at build time
+    /// (P-CSI needs them; CG-type solvers don't pay for the estimation).
+    pub bounds: Option<EigenBounds>,
+    /// Lanczos steps spent estimating `bounds` (0 when `bounds` is None).
+    pub lanczos_steps: usize,
+}
+
+impl OperatorState {
+    /// Build the full setup state on `op`: preconditioner construction
+    /// plus, when `lanczos` is given, the seeded Lanczos eigenbound
+    /// estimation (run *through the preconditioner just built*, so the
+    /// bounds match what P-CSI will iterate with).
+    pub fn build(
+        op: &NinePoint,
+        spec: PrecondSpec,
+        lanczos: Option<&LanczosConfig>,
+        world: &CommWorld,
+    ) -> Arc<OperatorState> {
+        let precond = spec.build(op);
+        let (bounds, lanczos_steps) = match lanczos {
+            Some(cfg) => {
+                let (b, steps) = estimate_bounds(op, precond.as_ref(), world, cfg);
+                (Some(b), steps)
+            }
+            None => (None, 0),
+        };
+        Arc::new(OperatorState {
+            fingerprint: operator_fingerprint(op),
+            spec,
+            precond,
+            bounds,
+            lanczos_steps,
+        })
+    }
+}
+
+impl std::fmt::Debug for OperatorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperatorState")
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint))
+            .field("spec", &self.spec)
+            .field("bounds", &self.bounds)
+            .field("lanczos_steps", &self.lanczos_steps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::testutil::fixture;
+    use pop_grid::Grid;
+
+    #[test]
+    fn build_is_deterministic_across_rebuilds() {
+        let grid = Grid::gx1_scaled(23, 40, 32);
+        let f = fixture(&grid, 10, 8, 5000.0);
+        let lz = LanczosConfig::default();
+        let a = OperatorState::build(&f.op, PrecondSpec::Evp, Some(&lz), &f.world);
+        let b = OperatorState::build(&f.op, PrecondSpec::Evp, Some(&lz), &f.world);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        let (ba, bb) = (a.bounds.unwrap(), b.bounds.unwrap());
+        assert_eq!(
+            ba.nu.to_bits(),
+            bb.nu.to_bits(),
+            "seeded Lanczos: same nu bits"
+        );
+        assert_eq!(
+            ba.mu.to_bits(),
+            bb.mu.to_bits(),
+            "seeded Lanczos: same mu bits"
+        );
+        assert_eq!(a.lanczos_steps, b.lanczos_steps);
+    }
+
+    #[test]
+    fn bounds_only_when_requested() {
+        let grid = Grid::gx1_scaled(24, 32, 24);
+        let f = fixture(&grid, 8, 6, 3000.0);
+        let s = OperatorState::build(&f.op, PrecondSpec::Diagonal, None, &f.world);
+        assert!(s.bounds.is_none());
+        assert_eq!(s.lanczos_steps, 0);
+        assert_eq!(s.precond.name(), "diagonal");
+    }
+
+    #[test]
+    fn spec_labels_unique() {
+        let all = [
+            PrecondSpec::Diagonal,
+            PrecondSpec::Evp,
+            PrecondSpec::Identity,
+            PrecondSpec::BlockLu,
+        ];
+        let mut labels: Vec<&str> = all.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

@@ -1671,35 +1671,10 @@ pub struct BatchKey {
     op: u64,
 }
 
-/// FNV-1a over the operator's dimensions and raw coefficient bits (plus
-/// `phi`): two operators fingerprint equal iff every stencil coefficient
-/// is bitwise identical, which is exactly the batching-safety condition.
-pub fn operator_fingerprint(op: &NinePoint) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    let mut eat = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    };
-    eat(op.phi.to_bits());
-    for (b, info) in op.layout.decomp.blocks.iter().enumerate() {
-        eat(b as u64);
-        eat(info.nx as u64);
-        eat(info.ny as u64);
-        for coeff in [&op.a0, &op.an, &op.ae, &op.ane] {
-            let tile = &coeff.blocks[b];
-            for j in 0..info.ny {
-                for &v in tile.interior_row(j) {
-                    eat(v.to_bits());
-                }
-            }
-        }
-    }
-    h
-}
+// The fingerprint lives in `crate::fingerprint` (shared with the serve
+// operator cache); re-exported here so `solvers::batch::operator_fingerprint`
+// keeps working.
+pub use crate::fingerprint::operator_fingerprint;
 
 /// The batch key of one solve request against `op`.
 pub fn batch_key(op: &NinePoint) -> BatchKey {
@@ -1742,10 +1717,22 @@ impl BatchPlanner {
 
     /// Plan batches for the request keys, in first-seen group order.
     pub fn plan(&self, keys: &[BatchKey]) -> Vec<PlannedBatch> {
+        self.plan_by(keys)
+            .into_iter()
+            .map(|(key, indices)| PlannedBatch { key, indices })
+            .collect()
+    }
+
+    /// Plan over an arbitrary coalescing key. `pop-serve` keys on more than
+    /// operator identity (solver kind, preconditioner spec, tolerance bits
+    /// all gate lane-sharing), so the grouping is generic: requests with
+    /// equal keys coalesce in first-seen group order, each group chunked to
+    /// at most `max_batch` indices, submission order preserved throughout.
+    pub fn plan_by<K: PartialEq + Copy>(&self, keys: &[K]) -> Vec<(K, Vec<usize>)> {
         let cap = self.max_batch.clamp(1, MAX_BATCH);
         // Linear scan instead of a hash map: request counts are tiny and
         // this keeps group order deterministic by first appearance.
-        let mut order: Vec<BatchKey> = Vec::new();
+        let mut order: Vec<K> = Vec::new();
         let mut members: Vec<Vec<usize>> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             match order.iter().position(|o| o == key) {
@@ -1759,10 +1746,7 @@ impl BatchPlanner {
         let mut out = Vec::new();
         for (key, idxs) in order.into_iter().zip(members) {
             for chunk in idxs.chunks(cap) {
-                out.push(PlannedBatch {
-                    key,
-                    indices: chunk.to_vec(),
-                });
+                out.push((key, chunk.to_vec()));
             }
         }
         out

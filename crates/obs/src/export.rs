@@ -171,6 +171,65 @@ pub fn metrics_json_array(samples: &[MetricSample]) -> String {
     format!("[{}]", parts.join(","))
 }
 
+/// The SLO view of a registry snapshot: every histogram sample rendered as
+/// one JSON object with estimated p50/p90/p99
+/// ([`crate::quantile::histogram_quantile`], linear interpolation) beside
+/// count, sum, and mean. Non-histogram samples are skipped — counters and
+/// gauges have no quantiles. Empty histograms render `null` quantiles so a
+/// pre-traffic scrape is distinguishable from a fast one.
+///
+/// Sample order follows the snapshot's deterministic sort, so the output
+/// is byte-stable for a given set of observations
+/// (`tests/golden/slo.json`).
+pub fn slo_json(samples: &[MetricSample]) -> String {
+    let mut rows = Vec::new();
+    for s in samples {
+        if let SampleValue::Histogram {
+            bounds,
+            buckets,
+            count,
+            sum,
+        } = &s.value
+        {
+            let mut o = String::new();
+            let _ = write!(
+                o,
+                "{{\"metric\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{}",
+                s.name,
+                json_labels(&s.labels),
+                count,
+                json_f64(*sum)
+            );
+            let mean = if *count > 0 {
+                json_f64(*sum / *count as f64)
+            } else {
+                "null".to_string()
+            };
+            let _ = write!(o, ",\"mean\":{mean}");
+            match crate::quantile::slo_quantiles(bounds, buckets) {
+                Some(q) => {
+                    let _ = write!(
+                        o,
+                        ",\"p50\":{},\"p90\":{},\"p99\":{}",
+                        json_f64(q.p50),
+                        json_f64(q.p90),
+                        json_f64(q.p99)
+                    );
+                }
+                None => {
+                    let _ = write!(o, ",\"p50\":null,\"p90\":null,\"p99\":null");
+                }
+            }
+            o.push('}');
+            rows.push(o);
+        }
+    }
+    let mut out = String::from("[\n");
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
 /// One convergence trace as a single-line JSON object.
 pub fn trace_json(t: &ConvergenceTrace) -> String {
     let mut o = String::new();

@@ -20,10 +20,12 @@
 //! The metric catalogue and trace schema are documented in DESIGN.md §11.
 
 pub mod export;
+pub mod quantile;
 pub mod registry;
 pub mod sink;
 pub mod trace;
 
+pub use quantile::{histogram_quantile, slo_quantiles, Quantiles};
 pub use registry::{MetricSample, Registry, SampleValue, MAX_LABELS};
 pub use sink::{ObsSink, SolveObs, RESIDUAL_BUCKETS};
 pub use trace::{ConvergenceTrace, PhaseComm};

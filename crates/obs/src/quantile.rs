@@ -1,0 +1,147 @@
+//! Quantile estimation over fixed-bucket histograms.
+//!
+//! The registry's histograms ([`crate::registry::SampleValue::Histogram`])
+//! store non-cumulative per-bucket counts against static bucket upper
+//! bounds, last bucket +Inf. That is enough to estimate any quantile with
+//! linear interpolation inside the bucket holding the target rank — the
+//! same estimator Prometheus' `histogram_quantile` uses, so the p99 the
+//! serve SLO export reports matches what a Prometheus deployment scraping
+//! the same registry would compute.
+//!
+//! Accuracy is bounded by bucket width: the estimate is exact at bucket
+//! boundaries and linearly interpolated within, so choose bucket layouts
+//! that bracket the SLO you intend to alert on. Ranks falling in the +Inf
+//! overflow bucket clamp to the highest finite bound (again matching
+//! Prometheus) — an overflowing p99 reports the top bound, signalling
+//! "at or beyond the instrumented range", never a fabricated value.
+
+/// Estimated quantile `q ∈ [0, 1]` of a fixed-bucket histogram.
+///
+/// `bounds` are the finite bucket upper bounds; `buckets` are
+/// non-cumulative counts with one extra final entry for the +Inf overflow
+/// bucket (`buckets.len() == bounds.len() + 1`), exactly the registry's
+/// snapshot layout. Returns `None` for an empty histogram.
+///
+/// Estimator (Prometheus-compatible):
+/// - target rank `r = q · count`;
+/// - the first bucket interpolates from lower bound 0 when its upper
+///   bound is positive (histograms here observe non-negative values),
+///   otherwise from the bound itself;
+/// - ranks landing in the overflow bucket return the highest finite bound.
+pub fn histogram_quantile(bounds: &[f64], buckets: &[u64], q: f64) -> Option<f64> {
+    assert_eq!(
+        buckets.len(),
+        bounds.len() + 1,
+        "buckets must include the +Inf overflow entry"
+    );
+    let count: u64 = buckets.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = q * count as f64;
+    let mut cum = 0.0;
+    for (i, &n) in buckets.iter().enumerate() {
+        let next = cum + n as f64;
+        if next >= target && n > 0 {
+            if i == bounds.len() {
+                // Overflow bucket: clamp to the highest finite bound.
+                return Some(bounds.last().copied().unwrap_or(f64::INFINITY));
+            }
+            let upper = bounds[i];
+            let lower = if i == 0 {
+                if upper > 0.0 {
+                    0.0
+                } else {
+                    upper
+                }
+            } else {
+                bounds[i - 1]
+            };
+            let frac = ((target - cum) / n as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * frac);
+        }
+        cum = next;
+    }
+    // count > 0 guarantees some bucket triggered; unreachable in practice.
+    Some(bounds.last().copied().unwrap_or(f64::INFINITY))
+}
+
+/// The three latencies an SLO statement is usually written against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// p50/p90/p99 of a histogram in one call; `None` when empty.
+pub fn slo_quantiles(bounds: &[f64], buckets: &[u64]) -> Option<Quantiles> {
+    Some(Quantiles {
+        p50: histogram_quantile(bounds, buckets, 0.50)?,
+        p90: histogram_quantile(bounds, buckets, 0.90)?,
+        p99: histogram_quantile(bounds, buckets, 0.99)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(histogram_quantile(&BOUNDS, &[0, 0, 0, 0, 0], 0.5), None);
+        assert!(slo_quantiles(&BOUNDS, &[0, 0, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn single_bucket_interpolates_from_zero() {
+        // 10 observations all in (0, 1]: p50 interpolates to the middle.
+        let q = histogram_quantile(&BOUNDS, &[10, 0, 0, 0, 0], 0.5).unwrap();
+        assert!((q - 0.5).abs() < 1e-12, "{q}");
+        let q99 = histogram_quantile(&BOUNDS, &[10, 0, 0, 0, 0], 0.99).unwrap();
+        assert!((q99 - 0.99).abs() < 1e-12, "{q99}");
+    }
+
+    #[test]
+    fn interpolates_within_interior_bucket() {
+        // 50 in (0,1], 50 in (2,4]: p50 = 1.0 exactly (boundary), p75
+        // lands halfway through the (2,4] bucket → 3.0.
+        let buckets = [50, 0, 50, 0, 0];
+        let p50 = histogram_quantile(&BOUNDS, &buckets, 0.5).unwrap();
+        assert!((p50 - 1.0).abs() < 1e-12, "{p50}");
+        let p75 = histogram_quantile(&BOUNDS, &buckets, 0.75).unwrap();
+        assert!((p75 - 3.0).abs() < 1e-12, "{p75}");
+    }
+
+    #[test]
+    fn overflow_bucket_clamps_to_top_bound() {
+        // Everything beyond the instrumented range: all quantiles report
+        // the highest finite bound, Prometheus-style.
+        let q = slo_quantiles(&BOUNDS, &[0, 0, 0, 0, 7]).unwrap();
+        assert_eq!(q.p50, 8.0);
+        assert_eq!(q.p99, 8.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let buckets = [3, 9, 14, 5, 2];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = histogram_quantile(&BOUNDS, &buckets, q).unwrap();
+            assert!(v >= last - 1e-12, "quantile not monotone at q={q}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn matches_exact_quantile_at_boundaries() {
+        // 4 observations, one per finite bucket: p100 = top bound, p25 = 1.0.
+        let buckets = [1, 1, 1, 1, 0];
+        assert_eq!(histogram_quantile(&BOUNDS, &buckets, 1.0), Some(8.0));
+        assert_eq!(histogram_quantile(&BOUNDS, &buckets, 0.25), Some(1.0));
+    }
+}

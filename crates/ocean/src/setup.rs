@@ -7,14 +7,15 @@
 //! point. Used by the ocean model, the experiment binaries and the benches.
 
 use pop_comm::{CommWorld, DistVec};
-use pop_core::lanczos::{estimate_bounds, LanczosConfig};
-use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+use pop_core::lanczos::LanczosConfig;
+use pop_core::precond::Preconditioner;
+use pop_core::setup::{OperatorState, PrecondSpec};
 use pop_core::solvers::{
     ChronGear, ClassicPcg, LinearSolver, Pcsi, PipelinedCg, SolveStats, SolverConfig,
     SolverWorkspace,
 };
 use pop_stencil::NinePoint;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The solver/preconditioner combinations of the paper's experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,20 @@ impl SolverChoice {
     pub fn is_pcsi(self) -> bool {
         matches!(self, SolverChoice::PcsiDiag | SolverChoice::PcsiEvp)
     }
+
+    /// The cacheable preconditioner spec this choice builds
+    /// ([`pop_core::setup::PrecondSpec`]).
+    pub fn precond_spec(self) -> PrecondSpec {
+        match self {
+            SolverChoice::ChronGearDiag
+            | SolverChoice::PcsiDiag
+            | SolverChoice::ClassicPcgDiag
+            | SolverChoice::PipelinedCgDiag => PrecondSpec::Diagonal,
+            SolverChoice::ChronGearEvp | SolverChoice::PcsiEvp => PrecondSpec::Evp,
+            SolverChoice::ChronGearIdentity => PrecondSpec::Identity,
+            SolverChoice::ChronGearBlockLu => PrecondSpec::BlockLu,
+        }
+    }
 }
 
 enum SolverImpl {
@@ -77,9 +92,15 @@ enum SolverImpl {
 }
 
 /// A ready-to-run solver: preconditioner built, eigenvalue bounds estimated.
+///
+/// The expensive part — preconditioner + eigenbounds — lives in a shared
+/// [`OperatorState`], so a setup can also be stood up from a cached state
+/// ([`SolverSetup::from_state`]) without paying the O(n³) construction
+/// again; the state build is deterministic, so the two paths are bitwise
+/// equivalent.
 pub struct SolverSetup {
     choice: SolverChoice,
-    pre: Box<dyn Preconditioner>,
+    state: Arc<OperatorState>,
     solver: SolverImpl,
     /// Lanczos steps spent at setup (0 for CG-type solvers).
     pub lanczos_steps: usize,
@@ -113,32 +134,41 @@ impl SolverSetup {
         world: &CommWorld,
         lanczos: &LanczosConfig,
     ) -> Self {
-        let pre: Box<dyn Preconditioner> = match choice {
-            SolverChoice::ChronGearDiag
-            | SolverChoice::PcsiDiag
-            | SolverChoice::ClassicPcgDiag
-            | SolverChoice::PipelinedCgDiag => Box::new(Diagonal::new(op)),
-            SolverChoice::ChronGearEvp | SolverChoice::PcsiEvp => {
-                Box::new(BlockEvp::with_defaults(op))
-            }
-            SolverChoice::ChronGearIdentity => Box::new(Identity),
-            SolverChoice::ChronGearBlockLu => Box::new(BlockLu::new(op, 8, true)),
-        };
-        let (solver, steps) = if choice.is_pcsi() {
-            let (bounds, steps) = estimate_bounds(op, pre.as_ref(), world, lanczos);
-            (SolverImpl::Pcsi(Pcsi::new(bounds)), steps)
+        let state = OperatorState::build(
+            op,
+            choice.precond_spec(),
+            choice.is_pcsi().then_some(lanczos),
+            world,
+        );
+        Self::from_state(choice, state)
+    }
+
+    /// Stand up a solver from already-built (possibly cached) setup state.
+    ///
+    /// Skips all O(n³) work: the preconditioner and eigenbounds are taken
+    /// from `state` as-is. This is `pop-serve`'s warm-cache path; because
+    /// [`OperatorState::build`] is deterministic, solves through a reused
+    /// state are bitwise identical to a cold setup.
+    ///
+    /// Panics if `choice` is P-CSI and `state` carries no eigenbounds.
+    pub fn from_state(choice: SolverChoice, state: Arc<OperatorState>) -> Self {
+        let solver = if choice.is_pcsi() {
+            let bounds = state
+                .bounds
+                .expect("P-CSI setup needs an OperatorState built with Lanczos bounds");
+            SolverImpl::Pcsi(Pcsi::new(bounds))
         } else if choice == SolverChoice::ClassicPcgDiag {
-            (SolverImpl::Pcg(ClassicPcg), 0)
+            SolverImpl::Pcg(ClassicPcg)
         } else if choice == SolverChoice::PipelinedCgDiag {
-            (SolverImpl::PipeCg(PipelinedCg), 0)
+            SolverImpl::PipeCg(PipelinedCg)
         } else {
-            (SolverImpl::ChronGear(ChronGear), 0)
+            SolverImpl::ChronGear(ChronGear)
         };
         SolverSetup {
             choice,
-            pre,
+            lanczos_steps: state.lanczos_steps,
             solver,
-            lanczos_steps: steps,
+            state,
             workspace: Mutex::new(SolverWorkspace::new()),
         }
     }
@@ -149,7 +179,12 @@ impl SolverSetup {
 
     /// Access the preconditioner (e.g. for kernel benches).
     pub fn preconditioner(&self) -> &dyn Preconditioner {
-        self.pre.as_ref()
+        self.state.precond.as_ref()
+    }
+
+    /// The shared setup state (hand this to a cache to reuse elsewhere).
+    pub fn state(&self) -> &Arc<OperatorState> {
+        &self.state
     }
 
     /// Solve `A x = b` (warm-started from `x`).
@@ -162,11 +197,12 @@ impl SolverSetup {
         cfg: &SolverConfig,
     ) -> SolveStats {
         let ws = &mut *self.workspace.lock().unwrap_or_else(|e| e.into_inner());
+        let pre = self.state.precond.as_ref();
         match &self.solver {
-            SolverImpl::ChronGear(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
-            SolverImpl::Pcsi(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
-            SolverImpl::Pcg(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
-            SolverImpl::PipeCg(s) => s.solve_ws(op, self.pre.as_ref(), world, b, x, cfg, ws),
+            SolverImpl::ChronGear(s) => s.solve_ws(op, pre, world, b, x, cfg, ws),
+            SolverImpl::Pcsi(s) => s.solve_ws(op, pre, world, b, x, cfg, ws),
+            SolverImpl::Pcg(s) => s.solve_ws(op, pre, world, b, x, cfg, ws),
+            SolverImpl::PipeCg(s) => s.solve_ws(op, pre, world, b, x, cfg, ws),
         }
     }
 }

@@ -1,0 +1,215 @@
+//! LRU cache of per-operator setup state.
+//!
+//! The expensive, immutable part of a solve — EVP influence matrices,
+//! dense-LU land-tile factors, Lanczos eigenbounds — is an
+//! [`OperatorState`] keyed by the operator's fingerprint plus the
+//! preconditioner spec and whether bounds were estimated. States are
+//! `Arc`-shared: eviction only drops the cache's reference, so a batch
+//! solving against an evicted state keeps it alive and is never corrupted
+//! (`tests/serve_cache_equivalence.rs` exercises exactly this).
+//!
+//! Because [`OperatorState::build`] is deterministic, a hit is not merely
+//! "close enough" — it is the same bits a cold build would produce, which
+//! is what makes the cache transparent to results.
+
+use pop_comm::CommWorld;
+use pop_core::lanczos::LanczosConfig;
+use pop_core::setup::{OperatorState, PrecondSpec};
+use pop_stencil::NinePoint;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache identity of one setup state. Fingerprint collisions are treated
+/// as identity (see `pop_core::fingerprint` for the collision semantics);
+/// `with_bounds` keeps a CG-grade state (no Lanczos run) from masquerading
+/// as a P-CSI-grade one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub fingerprint: u64,
+    pub precond: PrecondSpec,
+    pub with_bounds: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+struct Entry {
+    state: Arc<OperatorState>,
+    last_used: u64,
+}
+
+/// Least-recently-used cache of [`OperatorState`]s.
+///
+/// Owned by the scheduler thread — no interior locking; concurrency safety
+/// comes from the `Arc` payloads, not the map.
+pub struct OperatorCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl OperatorCache {
+    /// `capacity = 0` disables caching (every lookup builds cold).
+    pub fn new(capacity: usize) -> OperatorCache {
+        OperatorCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Fetch the setup state for `op`, building (and caching) it on miss.
+    /// Returns the state and whether it was a hit. The Lanczos estimation
+    /// runs only when `solver_needs_bounds` — CG-type traffic never pays
+    /// for bounds it won't use.
+    pub fn get_or_build(
+        &mut self,
+        fingerprint: u64,
+        op: &NinePoint,
+        precond: PrecondSpec,
+        solver_needs_bounds: bool,
+        lanczos: &LanczosConfig,
+        world: &CommWorld,
+    ) -> (Arc<OperatorState>, bool) {
+        self.tick += 1;
+        let key = CacheKey {
+            fingerprint,
+            precond,
+            with_bounds: solver_needs_bounds,
+        };
+        if let Some(e) = self.map.get_mut(&key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            return (Arc::clone(&e.state), true);
+        }
+        self.stats.misses += 1;
+        let state =
+            OperatorState::build(op, precond, solver_needs_bounds.then_some(lanczos), world);
+        if self.capacity > 0 {
+            if self.map.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.map.insert(
+                key,
+                Entry {
+                    state: Arc::clone(&state),
+                    last_used: self.tick,
+                },
+            );
+        }
+        (state, false)
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+        {
+            self.map.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_comm::DistLayout;
+    use pop_grid::Grid;
+
+    fn op() -> (NinePoint, CommWorld) {
+        let grid = Grid::gx1_scaled(31, 32, 24);
+        let layout = DistLayout::build(&grid, 8, 6);
+        let world = CommWorld::serial();
+        let op = NinePoint::assemble(&grid, &layout, &world, 4000.0);
+        (op, world)
+    }
+
+    #[test]
+    fn hit_returns_the_same_state() {
+        let (op, world) = op();
+        let fp = pop_core::fingerprint::operator_fingerprint(&op);
+        let lz = LanczosConfig::default();
+        let mut c = OperatorCache::new(4);
+        let (a, hit_a) = c.get_or_build(fp, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        let (b, hit_b) = c.get_or_build(fp, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the identical state");
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn bounds_grade_is_part_of_the_key() {
+        let (op, world) = op();
+        let fp = pop_core::fingerprint::operator_fingerprint(&op);
+        let lz = LanczosConfig::default();
+        let mut c = OperatorCache::new(4);
+        let (no_bounds, _) = c.get_or_build(fp, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        let (with_bounds, hit) = c.get_or_build(fp, &op, PrecondSpec::Diagonal, true, &lz, &world);
+        assert!(!hit, "a CG-grade state must not satisfy a P-CSI lookup");
+        assert!(no_bounds.bounds.is_none());
+        assert!(with_bounds.bounds.is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_keeps_arcs_alive() {
+        let (op, world) = op();
+        let lz = LanczosConfig::default();
+        let mut c = OperatorCache::new(2);
+        // Distinct fingerprints stand in for distinct operators; the
+        // builder only cares about the op it is given.
+        let (s1, _) = c.get_or_build(1, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        let (_s2, _) = c.get_or_build(2, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        // Touch 1 so 2 is the LRU, then insert 3.
+        let (_, hit) = c.get_or_build(1, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        assert!(hit);
+        let (_s3, _) = c.get_or_build(3, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        let (_, hit1) = c.get_or_build(1, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        assert!(hit1, "recently-used entry survived");
+        // s1 still usable after all the churn — eviction can't free it
+        // while we hold the Arc.
+        assert_eq!(s1.precond.name(), "diagonal");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (op, world) = op();
+        let lz = LanczosConfig::default();
+        let mut c = OperatorCache::new(0);
+        let (_, h1) = c.get_or_build(9, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        let (_, h2) = c.get_or_build(9, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        assert!(!h1 && !h2);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses, 2);
+    }
+}

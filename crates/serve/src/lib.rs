@@ -1,0 +1,48 @@
+//! `pop-serve`: a multi-tenant solve service over the barotropic solvers.
+//!
+//! The paper's P-CSI + block-EVP stack amortizes an expensive per-operator
+//! setup (O(n³) EVP influence matrices, dense-LU land-tile factors, a
+//! seeded Lanczos eigenbound estimation) over many cheap solves. This
+//! crate turns that property into a serving architecture:
+//!
+//! ```text
+//!   submit ──► admission ──► bounded queue ──► scheduler round
+//!              (full? quota?                     │ shed expired deadlines
+//!               deadline feasible?)              │ round-robin by tenant
+//!                                                ▼
+//!                                     coalesce by (operator, solver,
+//!                                       precond, tol) via BatchPlanner
+//!                                                ▼
+//!                     LRU operator-state cache ──► batched multi-RHS solve
+//!                     (fingerprint-keyed, Arc'd)          │
+//!                                                         ▼
+//!                                     per-request response channels
+//! ```
+//!
+//! **Correctness contract.** Every served result is bit-identical to a
+//! standalone solve of the same request — regardless of batching width,
+//! cache state, arrival order, or injected ranksim faults (benign plans).
+//! Three properties compose to give this: the batched engine pins each
+//! request to a lane bitwise-equal to its single-RHS trajectory (PR 6),
+//! [`pop_core::setup::OperatorState::build`] is deterministic so a cache
+//! hit returns the same bits a cold build would, and the solvers are
+//! bitwise identical across serial/threaded/ranksim backends.
+//! `tests/serve_cache_equivalence.rs` and `tests/serve_chaos.rs` enforce
+//! it end to end.
+//!
+//! **Degradation contract.** Overload shows up as structured [`Reject`]s
+//! (queue full, tenant quota, infeasible or expired deadline), never as
+//! silent queue growth; ranksim faults show up as latency and solver
+//! restarts, never as wrong results. SLO metrics (queue depth, latency
+//! histograms with p50/p90/p99 via `pop_obs::quantile`, cache hit/shed
+//! counters) export through the standard `pop-obs` registry.
+//!
+//! See DESIGN.md §13 for the full architecture discussion.
+
+pub mod cache;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheKey, CacheStats, OperatorCache};
+pub use request::{Reject, SolveRequest, SolveResponse, SolverSpec, Ticket};
+pub use service::{Backend, ServiceConfig, SolverService, LATENCY_BUCKETS, WIDTH_BUCKETS};

@@ -1,0 +1,632 @@
+//! The solve service: admission → queue → coalesce → batch → solve → stream.
+//!
+//! One scheduler thread owns the operator cache and the solve backend.
+//! Callers submit from any thread; admission control happens synchronously
+//! under the queue lock (bounded depth, per-tenant quota, deadline
+//! feasibility against an EWMA of recent service time), and admitted
+//! requests come back through a per-request channel ([`Ticket`]).
+//!
+//! Each scheduling round drains the whole queue, sheds requests whose
+//! deadlines expired while queued, orders the survivors round-robin by
+//! tenant (so one chatty tenant cannot monopolize a round), and coalesces
+//! them by (operator fingerprint, layout identity, solver, preconditioner,
+//! tolerance bits) through [`BatchPlanner`] into multi-RHS batches of at
+//! most `max_batch` lanes. Results are bit-identical to standalone solves
+//! of the same requests regardless of batching, cache state, or arrival
+//! order — the batched engine pins each request to a lane and the cached
+//! setup state is deterministic.
+
+use crate::cache::{CacheStats, OperatorCache};
+use crate::request::{Reject, SolveRequest, SolveResponse, SolverSpec, Ticket};
+use pop_comm::{CommWorld, Communicator, DistVec};
+use pop_core::fingerprint::operator_fingerprint;
+use pop_core::lanczos::LanczosConfig;
+use pop_core::setup::OperatorState;
+use pop_core::solvers::{
+    batch_key, BatchCommSolver, BatchKey, BatchPlanner, BatchWorkspace, ChronGear, ClassicPcg,
+    Pcsi, PipelinedCg, SolveStats, SolverConfig, MAX_BATCH,
+};
+use pop_obs::ObsSink;
+use pop_ranksim::{solve_on_ranks, FaultPlan, RankSimConfig, RankWorld, SolverKind, ZeroCost};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Latency histogram bounds (seconds) for the serve SLO metrics. Spaced
+/// ~3× apart from 100 µs to 30 s: smoke-grid solves land in the middle
+/// decades, and the SLO quantile estimator interpolates within a bucket.
+pub static LATENCY_BUCKETS: [f64; 12] = [
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+];
+
+/// Batch-width histogram bounds (lanes per dispatched batch).
+pub static WIDTH_BUCKETS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Where solves execute.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Shared-memory serial sweeps (deterministic, single-threaded).
+    Serial,
+    /// Shared-memory threaded sweeps (the global worker pool).
+    Threaded,
+    /// A fresh ranksim world per solve: `ranks` simulated MPI ranks with a
+    /// seeded [`FaultPlan`]. The chaos backend — faults may stretch
+    /// latency and trigger solver restarts, but results stay correct
+    /// (benign plans are bitwise conformant; hostile plans degrade to
+    /// structured non-converged outcomes, never panics or NaN).
+    /// Requests run one at a time here: multi-RHS coalescing is the
+    /// shared-memory fast path.
+    RankSim { ranks: usize, faults: FaultPlan },
+}
+
+/// Service tuning knobs. `Default` is sized for tests and smoke loads.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Bounded admission queue depth; submissions beyond it get
+    /// [`Reject::QueueFull`].
+    pub queue_capacity: usize,
+    /// Max queued + in-flight requests per tenant ([`Reject::TenantQuota`]).
+    pub tenant_quota: usize,
+    /// Widest multi-RHS batch to coalesce (clamped to `1..=MAX_BATCH`).
+    pub max_batch: usize,
+    /// Operator-state LRU entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Lanczos configuration for P-CSI setup state. Service-wide so equal
+    /// operators always produce equal (cacheable) bounds.
+    pub lanczos: LanczosConfig,
+    /// Base solver configuration; `tol` is overridden per request and the
+    /// service's [`ObsSink`] is attached.
+    pub base: SolverConfig,
+    pub backend: Backend,
+    /// Metrics sink; [`ObsSink::disabled`] costs nothing.
+    pub obs: ObsSink,
+    /// Start with the scheduler paused: submissions are admitted and
+    /// queued but nothing dispatches until [`SolverService::resume`].
+    /// Lets tests and the load generator stage a deterministic burst.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            tenant_quota: 32,
+            max_batch: MAX_BATCH,
+            cache_capacity: 8,
+            lanczos: LanczosConfig {
+                tol: 0.01,
+                max_steps: 300,
+                ..Default::default()
+            },
+            base: SolverConfig::default(),
+            backend: Backend::Serial,
+            obs: ObsSink::disabled(),
+            start_paused: false,
+        }
+    }
+}
+
+struct Pending {
+    req: SolveRequest,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<SolveResponse, Reject>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    /// Queued + in-flight requests per tenant.
+    tenant_load: HashMap<u32, usize>,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    /// EWMA of per-request service time, f64 seconds as bits. Admission
+    /// uses it to judge deadline feasibility before any queueing happens.
+    ema_service_secs: AtomicU64,
+}
+
+impl Shared {
+    fn ema(&self) -> f64 {
+        f64::from_bits(self.ema_service_secs.load(Ordering::Relaxed))
+    }
+
+    fn update_ema(&self, per_solve_secs: f64) {
+        // Single writer (the scheduler thread), so a load/store pair is fine.
+        let old = self.ema();
+        let new = if old == 0.0 {
+            per_solve_secs
+        } else {
+            0.8 * old + 0.2 * per_solve_secs
+        };
+        self.ema_service_secs
+            .store(new.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// The running service. Dropping it (or calling [`SolverService::shutdown`])
+/// drains the queue with [`Reject::ShuttingDown`] and joins the scheduler.
+pub struct SolverService {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<CacheStats>>,
+}
+
+impl SolverService {
+    pub fn start(cfg: ServiceConfig) -> SolverService {
+        let paused = cfg.start_paused;
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                tenant_load: HashMap::new(),
+                paused,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            ema_service_secs: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("pop-serve-scheduler".into())
+            .spawn(move || Scheduler::new(worker_shared).run())
+            .expect("spawn scheduler thread");
+        SolverService {
+            shared,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Admission-controlled submit. Admission is synchronous: a returned
+    /// [`Ticket`] means the request is queued (it can still be shed at
+    /// dispatch if its deadline expires while waiting).
+    pub fn submit(&self, req: SolveRequest) -> Result<Ticket, Reject> {
+        let shared = &self.shared;
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.shutdown {
+            return Err(self.shed_at_admission(Reject::ShuttingDown));
+        }
+        if st.queue.len() >= shared.cfg.queue_capacity {
+            return Err(self.shed_at_admission(Reject::QueueFull {
+                depth: st.queue.len(),
+                capacity: shared.cfg.queue_capacity,
+            }));
+        }
+        let load = st.tenant_load.get(&req.tenant).copied().unwrap_or(0);
+        if load >= shared.cfg.tenant_quota {
+            return Err(self.shed_at_admission(Reject::TenantQuota {
+                tenant: req.tenant,
+                in_flight: load,
+                quota: shared.cfg.tenant_quota,
+            }));
+        }
+        if let Some(deadline) = req.deadline {
+            let ema = shared.ema();
+            if ema > 0.0 {
+                let estimated_wait = Duration::from_secs_f64(ema * (st.queue.len() + 1) as f64);
+                if deadline < estimated_wait {
+                    return Err(self.shed_at_admission(Reject::DeadlineUnmeetable {
+                        estimated_wait,
+                        deadline,
+                    }));
+                }
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        *st.tenant_load.entry(req.tenant).or_insert(0) += 1;
+        st.queue.push_back(Pending {
+            req,
+            submitted: Instant::now(),
+            tx,
+        });
+        self.gauge_depth(st.queue.len());
+        drop(st);
+        shared.cv.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Release a paused scheduler ([`ServiceConfig::start_paused`]).
+    pub fn resume(&self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.paused = false;
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+
+    pub fn obs(&self) -> &ObsSink {
+        &self.shared.cfg.obs
+    }
+
+    /// Current EWMA of per-request service time (seconds); 0 before the
+    /// first completion.
+    pub fn ema_service_secs(&self) -> f64 {
+        self.shared.ema()
+    }
+
+    /// Drain and stop. Queued-but-undispatched requests receive
+    /// [`Reject::ShuttingDown`]. Returns cache statistics for reporting.
+    pub fn shutdown(mut self) -> CacheStats {
+        self.shutdown_inner().unwrap_or_default()
+    }
+
+    fn shutdown_inner(&mut self) -> Option<CacheStats> {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            st.paused = false;
+        }
+        self.shared.cv.notify_all();
+        self.scheduler.take().map(|h| h.join().unwrap_or_default())
+    }
+
+    fn shed_at_admission(&self, r: Reject) -> Reject {
+        if let Some(reg) = self.shared.cfg.obs.registry() {
+            reg.counter_add("pop_serve_shed_total", &[("reason", r.reason())], 1);
+            reg.counter_add("pop_serve_requests_total", &[("outcome", "shed")], 1);
+        }
+        r
+    }
+
+    fn gauge_depth(&self, depth: usize) {
+        if let Some(reg) = self.shared.cfg.obs.registry() {
+            reg.gauge_set("pop_serve_queue_depth", &[], depth as f64);
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Coalescing identity: requests may share a batch iff *all* of this
+/// matches — operator bits + layout identity ([`BatchKey`]), solver,
+/// preconditioner spec, and tolerance bits (lanes share one
+/// `SolverConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ServeKey {
+    batch: BatchKey,
+    solver: SolverSpec,
+    precond: pop_core::setup::PrecondSpec,
+    tol_bits: u64,
+}
+
+struct Scheduler {
+    shared: Arc<Shared>,
+    cache: OperatorCache,
+    planner: BatchPlanner,
+    world: Option<CommWorld>,
+    bws: BatchWorkspace<CommWorld>,
+    /// Serial world for cache builds when the backend is ranksim (bounds
+    /// and preconditioners are backend-independent by construction).
+    setup_world: CommWorld,
+}
+
+impl Scheduler {
+    fn new(shared: Arc<Shared>) -> Scheduler {
+        let world = match shared.cfg.backend {
+            Backend::Serial => Some(CommWorld::serial()),
+            Backend::Threaded => Some(CommWorld::threaded()),
+            Backend::RankSim { .. } => None,
+        };
+        let cache = OperatorCache::new(shared.cfg.cache_capacity);
+        let planner = BatchPlanner::new(shared.cfg.max_batch.clamp(1, MAX_BATCH));
+        Scheduler {
+            shared,
+            cache,
+            planner,
+            world,
+            bws: BatchWorkspace::new(),
+            setup_world: CommWorld::serial(),
+        }
+    }
+
+    fn run(mut self) -> CacheStats {
+        loop {
+            let round = {
+                let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if st.shutdown {
+                        // Drain: everything still queued is rejected.
+                        let rest: Vec<Pending> = st.queue.drain(..).collect();
+                        for p in &rest {
+                            *st.tenant_load.entry(p.req.tenant).or_insert(1) -= 1;
+                        }
+                        drop(st);
+                        for p in rest {
+                            let _ = p.tx.send(Err(Reject::ShuttingDown));
+                            self.count_shed(Reject::ShuttingDown.reason());
+                        }
+                        return self.cache.stats();
+                    }
+                    if !st.queue.is_empty() && !st.paused {
+                        break;
+                    }
+                    st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                let round: Vec<Pending> = st.queue.drain(..).collect();
+                round
+            };
+            if let Some(reg) = self.shared.cfg.obs.registry() {
+                reg.gauge_set("pop_serve_queue_depth", &[], 0.0);
+            }
+            self.dispatch_round(round);
+        }
+    }
+
+    /// Shed expired deadlines, order fairly, coalesce, solve, respond.
+    fn dispatch_round(&mut self, round: Vec<Pending>) {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(round.len());
+        for p in round {
+            match p.req.deadline {
+                Some(d) if now.duration_since(p.submitted) > d => {
+                    let waited = now.duration_since(p.submitted);
+                    self.finish_tenant(p.req.tenant);
+                    self.count_shed("deadline_expired");
+                    let _ = p.tx.send(Err(Reject::DeadlineExpired {
+                        waited,
+                        deadline: d,
+                    }));
+                }
+                _ => live.push(p),
+            }
+        }
+        let ordered = fair_order(live);
+        let keys: Vec<ServeKey> = ordered
+            .iter()
+            .map(|p| ServeKey {
+                batch: batch_key(&p.req.op),
+                solver: p.req.solver,
+                precond: p.req.precond,
+                tol_bits: p.req.tol.to_bits(),
+            })
+            .collect();
+        let plan = self.planner.plan_by(&keys);
+        // Move requests out of `ordered` into their planned groups.
+        let mut slots: Vec<Option<Pending>> = ordered.into_iter().map(Some).collect();
+        for (_key, indices) in plan {
+            let group: Vec<Pending> = indices
+                .iter()
+                .map(|&i| slots[i].take().expect("planner indices are unique"))
+                .collect();
+            self.run_batch(group);
+        }
+    }
+
+    fn run_batch(&mut self, group: Vec<Pending>) {
+        let k = group.len();
+        let spec = group[0].req.solver;
+        let precond = group[0].req.precond;
+        let op = Arc::clone(&group[0].req.op);
+        let fingerprint = operator_fingerprint(&op);
+
+        let setup_start = Instant::now();
+        let (state, cache_hit) = self.cache.get_or_build(
+            fingerprint,
+            &op,
+            precond,
+            spec.needs_bounds(),
+            &self.shared.cfg.lanczos,
+            &self.setup_world,
+        );
+        let setup_secs = setup_start.elapsed().as_secs_f64();
+        self.record_cache(cache_hit, setup_secs);
+
+        let mut cfg = self.shared.cfg.base.clone();
+        cfg.tol = group[0].req.tol;
+        cfg.obs = self.shared.cfg.obs.clone();
+
+        let solve_start = Instant::now();
+        let (xs, stats) = match &self.shared.cfg.backend {
+            Backend::RankSim { ranks, faults } => {
+                solve_group_ranksim(&group, &op, &state, spec, &cfg, *ranks, *faults)
+            }
+            _ => {
+                let world = self.world.as_ref().expect("shared-memory backend");
+                let mut xs: Vec<DistVec> = group
+                    .iter()
+                    .map(|p| {
+                        p.req
+                            .x0
+                            .clone()
+                            .unwrap_or_else(|| DistVec::zeros(&op.layout))
+                    })
+                    .collect();
+                let bs: Vec<&DistVec> = group.iter().map(|p| &p.req.b).collect();
+                let stats = {
+                    let mut xrefs: Vec<&mut DistVec> = xs.iter_mut().collect();
+                    solve_batch_with(
+                        spec,
+                        &state,
+                        &op,
+                        world,
+                        &bs,
+                        &mut xrefs,
+                        &cfg,
+                        &mut self.bws,
+                    )
+                };
+                (xs, stats)
+            }
+        };
+        let solve_secs = solve_start.elapsed().as_secs_f64();
+        self.shared.update_ema(solve_secs / k as f64);
+
+        let done = Instant::now();
+        for ((p, x), st) in group.into_iter().zip(xs).zip(stats) {
+            let queue_wait = solve_start.saturating_duration_since(p.submitted);
+            let latency = done.saturating_duration_since(p.submitted);
+            self.finish_tenant(p.req.tenant);
+            self.record_served(spec, &st, queue_wait, latency, k);
+            let _ = p.tx.send(Ok(SolveResponse {
+                x,
+                stats: st,
+                cache_hit,
+                batch_width: k,
+                queue_wait,
+                latency,
+            }));
+        }
+    }
+
+    fn finish_tenant(&self, tenant: u32) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(load) = st.tenant_load.get_mut(&tenant) {
+            *load = load.saturating_sub(1);
+        }
+    }
+
+    fn count_shed(&self, reason: &'static str) {
+        if let Some(reg) = self.shared.cfg.obs.registry() {
+            reg.counter_add("pop_serve_shed_total", &[("reason", reason)], 1);
+            reg.counter_add("pop_serve_requests_total", &[("outcome", "shed")], 1);
+        }
+    }
+
+    fn record_cache(&self, hit: bool, setup_secs: f64) {
+        if let Some(reg) = self.shared.cfg.obs.registry() {
+            if hit {
+                reg.counter_add("pop_serve_cache_hits_total", &[], 1);
+            } else {
+                reg.counter_add("pop_serve_cache_misses_total", &[], 1);
+                reg.counter_add_f64("pop_serve_setup_seconds_total", &[], setup_secs);
+            }
+        }
+    }
+
+    fn record_served(
+        &self,
+        spec: SolverSpec,
+        st: &SolveStats,
+        queue_wait: Duration,
+        latency: Duration,
+        width: usize,
+    ) {
+        if let Some(reg) = self.shared.cfg.obs.registry() {
+            let outcome = if st.converged {
+                "served"
+            } else {
+                "served_unconverged"
+            };
+            reg.counter_add("pop_serve_requests_total", &[("outcome", outcome)], 1);
+            reg.observe(
+                "pop_serve_latency_seconds",
+                &[("solver", spec.label())],
+                &LATENCY_BUCKETS,
+                latency.as_secs_f64(),
+            );
+            reg.observe(
+                "pop_serve_queue_wait_seconds",
+                &[],
+                &LATENCY_BUCKETS,
+                queue_wait.as_secs_f64(),
+            );
+            reg.observe("pop_serve_batch_width", &[], &WIDTH_BUCKETS, width as f64);
+        }
+    }
+}
+
+/// Round-robin interleave by tenant, preserving each tenant's own
+/// submission order and first-appearance tenant order. Coalescing happens
+/// *after* this, so a tenant flooding one operator still shares batches,
+/// but dispatch order (and therefore shedding pressure) rotates fairly.
+fn fair_order(live: Vec<Pending>) -> Vec<Pending> {
+    let mut lanes: Vec<(u32, VecDeque<Pending>)> = Vec::new();
+    for p in live {
+        match lanes.iter_mut().find(|(t, _)| *t == p.req.tenant) {
+            Some((_, q)) => q.push_back(p),
+            None => {
+                let mut q = VecDeque::new();
+                let tenant = p.req.tenant;
+                q.push_back(p);
+                lanes.push((tenant, q));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    while lanes.iter().any(|(_, q)| !q.is_empty()) {
+        for (_, q) in lanes.iter_mut() {
+            if let Some(p) = q.pop_front() {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Dispatch one batch to the chosen solver through the batched engine.
+/// Width-1 batches take the same code path — the engine's lane-pinning
+/// contract is what keeps every width bit-identical to standalone solves.
+#[allow(clippy::too_many_arguments)]
+fn solve_batch_with<C: Communicator>(
+    spec: SolverSpec,
+    state: &OperatorState,
+    op: &pop_stencil::NinePoint,
+    comm: &C,
+    bs: &[&C::Vec],
+    xs: &mut [&mut C::Vec],
+    cfg: &SolverConfig,
+    ws: &mut BatchWorkspace<C>,
+) -> Vec<SolveStats> {
+    let pre = state.precond.as_ref();
+    match spec {
+        SolverSpec::ClassicPcg => ClassicPcg.solve_batch_comm(op, pre, comm, bs, xs, cfg, ws),
+        SolverSpec::ChronGear => ChronGear.solve_batch_comm(op, pre, comm, bs, xs, cfg, ws),
+        SolverSpec::PipelinedCg => PipelinedCg.solve_batch_comm(op, pre, comm, bs, xs, cfg, ws),
+        SolverSpec::Pcsi => {
+            let bounds = state
+                .bounds
+                .expect("P-CSI state built without bounds — cache key bug");
+            Pcsi::new(bounds).solve_batch_comm(op, pre, comm, bs, xs, cfg, ws)
+        }
+    }
+}
+
+/// The ranksim (chaos) path: one simulated-MPI world per request, faults
+/// injected per the plan. No multi-RHS coalescing here — the rank runtime
+/// solves one system at a time; the group still shares cached setup state.
+fn solve_group_ranksim(
+    group: &[Pending],
+    op: &pop_stencil::NinePoint,
+    state: &OperatorState,
+    spec: SolverSpec,
+    cfg: &SolverConfig,
+    ranks: usize,
+    faults: FaultPlan,
+) -> (Vec<DistVec>, Vec<SolveStats>) {
+    let kind = match spec {
+        SolverSpec::ClassicPcg => SolverKind::ClassicPcg,
+        SolverSpec::ChronGear => SolverKind::ChronGear,
+        SolverSpec::PipelinedCg => SolverKind::PipelinedCg,
+        SolverSpec::Pcsi => SolverKind::Pcsi(
+            state
+                .bounds
+                .expect("P-CSI state built without bounds — cache key bug"),
+        ),
+    };
+    let mut xs = Vec::with_capacity(group.len());
+    let mut stats = Vec::with_capacity(group.len());
+    for p in group {
+        let world = RankWorld::new(
+            &op.layout,
+            ranks,
+            Arc::new(ZeroCost),
+            RankSimConfig::default().with_faults(faults),
+        );
+        let x0 = p
+            .req
+            .x0
+            .clone()
+            .unwrap_or_else(|| DistVec::zeros(&op.layout));
+        let out = solve_on_ranks(&world, op, state.precond.as_ref(), kind, &p.req.b, &x0, cfg);
+        stats.push(out.stats().clone());
+        xs.push(out.x);
+    }
+    (xs, stats)
+}

@@ -1,0 +1,255 @@
+//! Service mechanics: admission control, coalescing, fairness, shutdown.
+//!
+//! Bitwise cache/batch equivalence against standalone solves lives in the
+//! workspace-level `tests/serve_cache_equivalence.rs`; this suite covers
+//! the queueing behaviour, using `start_paused` to stage deterministic
+//! bursts (nothing dispatches until `resume`, so admission decisions don't
+//! race the scheduler).
+
+use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::setup::PrecondSpec;
+use pop_grid::Grid;
+use pop_serve::{Backend, Reject, ServiceConfig, SolveRequest, SolverService, SolverSpec, Ticket};
+use pop_stencil::NinePoint;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Problem {
+    op: Arc<NinePoint>,
+    b: DistVec,
+}
+
+fn problem(seed: u64) -> Problem {
+    let grid = Grid::gx1_scaled(seed, 32, 24);
+    let layout = DistLayout::build(&grid, 8, 6);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 3000.0 + seed as f64);
+    let mut x_true = DistVec::zeros(&layout);
+    x_true.fill_with(|i, j| ((i as f64) * 0.17).sin() + ((j as f64) * 0.11).cos());
+    world.halo_update(&mut x_true);
+    let mut b = DistVec::zeros(&layout);
+    op.apply(&world, &x_true, &mut b);
+    Problem {
+        op: Arc::new(op),
+        b,
+    }
+}
+
+fn request(p: &Problem, tenant: u32) -> SolveRequest {
+    SolveRequest::new(
+        tenant,
+        Arc::clone(&p.op),
+        SolverSpec::ChronGear,
+        PrecondSpec::Diagonal,
+        p.b.clone(),
+    )
+    .with_tol(1e-11)
+}
+
+#[test]
+fn serves_a_simple_request() {
+    let p = problem(1);
+    let svc = SolverService::start(ServiceConfig::default());
+    let resp = svc.submit(request(&p, 0)).unwrap().wait().unwrap();
+    assert!(resp.stats.converged);
+    assert!(!resp.cache_hit, "first request on an operator is a miss");
+    assert_eq!(resp.batch_width, 1);
+    assert!(svc.ema_service_secs() > 0.0);
+
+    // Same operator again: warm.
+    let resp2 = svc.submit(request(&p, 0)).unwrap().wait().unwrap();
+    assert!(resp2.cache_hit);
+    // Identical request ⇒ identical solution bits, cold or warm.
+    for (a, bl) in resp.x.blocks.iter().zip(resp2.x.blocks.iter()) {
+        for j in 0..a.ny {
+            let (ra, rb) = (a.interior_row(j), bl.interior_row(j));
+            for (va, vb) in ra.iter().zip(rb) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+    let cache = svc.shutdown();
+    assert_eq!(cache.hits, 1);
+    assert_eq!(cache.misses, 1);
+}
+
+#[test]
+fn paused_burst_coalesces_into_one_batch() {
+    let p = problem(2);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<Ticket> = (0..5)
+        .map(|i| svc.submit(request(&p, i)).unwrap())
+        .collect();
+    svc.resume();
+    for t in tickets {
+        let resp = t.wait().unwrap();
+        assert!(resp.stats.converged);
+        assert_eq!(
+            resp.batch_width, 5,
+            "a staged burst on one operator must ride one multi-RHS batch"
+        );
+    }
+}
+
+#[test]
+fn mixed_operators_split_batches() {
+    let p1 = problem(3);
+    let p2 = problem(4);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let t1 = svc.submit(request(&p1, 0)).unwrap();
+    let t2 = svc.submit(request(&p2, 0)).unwrap();
+    let t3 = svc.submit(request(&p1, 0)).unwrap();
+    svc.resume();
+    assert_eq!(t1.wait().unwrap().batch_width, 2);
+    assert_eq!(t2.wait().unwrap().batch_width, 1);
+    assert_eq!(t3.wait().unwrap().batch_width, 2);
+}
+
+#[test]
+fn tolerance_gates_coalescing() {
+    // Same operator, different tol: must not share a SolverConfig.
+    let p = problem(5);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let t1 = svc.submit(request(&p, 0).with_tol(1e-9)).unwrap();
+    let t2 = svc.submit(request(&p, 0).with_tol(1e-11)).unwrap();
+    svc.resume();
+    assert_eq!(t1.wait().unwrap().batch_width, 1);
+    assert_eq!(t2.wait().unwrap().batch_width, 1);
+}
+
+#[test]
+fn queue_full_rejects_structurally() {
+    let p = problem(6);
+    let svc = SolverService::start(ServiceConfig {
+        queue_capacity: 2,
+        tenant_quota: 32,
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let _t1 = svc.submit(request(&p, 0)).unwrap();
+    let _t2 = svc.submit(request(&p, 1)).unwrap();
+    match svc.submit(request(&p, 2)) {
+        Err(Reject::QueueFull { depth, capacity }) => {
+            assert_eq!((depth, capacity), (2, 2));
+        }
+        other => panic!("expected QueueFull, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn tenant_quota_rejects_only_the_hog() {
+    let p = problem(7);
+    let svc = SolverService::start(ServiceConfig {
+        queue_capacity: 16,
+        tenant_quota: 2,
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let _a1 = svc.submit(request(&p, 9)).unwrap();
+    let _a2 = svc.submit(request(&p, 9)).unwrap();
+    match svc.submit(request(&p, 9)) {
+        Err(Reject::TenantQuota {
+            tenant,
+            in_flight,
+            quota,
+        }) => {
+            assert_eq!((tenant, in_flight, quota), (9, 2, 2));
+        }
+        other => panic!("expected TenantQuota, got {:?}", other.map(|_| ())),
+    }
+    // Another tenant is unaffected.
+    assert!(svc.submit(request(&p, 10)).is_ok());
+}
+
+#[test]
+fn expired_deadline_is_shed_at_dispatch() {
+    let p = problem(8);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let doomed = svc
+        .submit(request(&p, 0).with_deadline(Duration::from_millis(1)))
+        .unwrap();
+    let fine = svc.submit(request(&p, 1)).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    svc.resume();
+    match doomed.wait() {
+        Err(Reject::DeadlineExpired { waited, deadline }) => {
+            assert!(waited >= deadline);
+        }
+        other => panic!("expected DeadlineExpired, got {:?}", other.map(|_| ())),
+    }
+    assert!(fine.wait().unwrap().stats.converged);
+}
+
+#[test]
+fn shutdown_drains_queue_with_rejects() {
+    let p = problem(9);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let t = svc.submit(request(&p, 0)).unwrap();
+    let _cache = svc.shutdown();
+    match t.wait() {
+        Err(Reject::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn fairness_interleaves_tenants_under_quota_pressure() {
+    // Tenant 0 floods; tenant 1 submits one request with a deadline. With
+    // round-robin ordering tenant 1's request dispatches in the first
+    // round alongside the flood, not after all of tenant 0's work.
+    let p = problem(10);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        max_batch: 4,
+        ..ServiceConfig::default()
+    });
+    let flood: Vec<Ticket> = (0..8)
+        .map(|_| svc.submit(request(&p, 0)).unwrap())
+        .collect();
+    let vip = svc.submit(request(&p, 1)).unwrap();
+    svc.resume();
+    let resp = vip.wait().unwrap();
+    assert!(resp.stats.converged);
+    assert_eq!(
+        resp.batch_width, 4,
+        "round-robin order puts the second tenant into the first batch"
+    );
+    for t in flood {
+        assert!(t.wait().unwrap().stats.converged);
+    }
+}
+
+#[test]
+fn threaded_backend_matches_serial_bitwise() {
+    let p = problem(11);
+    let serial = SolverService::start(ServiceConfig::default());
+    let threaded = SolverService::start(ServiceConfig {
+        backend: Backend::Threaded,
+        ..ServiceConfig::default()
+    });
+    let a = serial.submit(request(&p, 0)).unwrap().wait().unwrap();
+    let b = threaded.submit(request(&p, 0)).unwrap().wait().unwrap();
+    assert!(a.stats.converged && b.stats.converged);
+    for (ba, bb) in a.x.blocks.iter().zip(b.x.blocks.iter()) {
+        for j in 0..ba.ny {
+            for (va, vb) in ba.interior_row(j).iter().zip(bb.interior_row(j)) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+}

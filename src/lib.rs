@@ -71,6 +71,7 @@ pub use pop_obs as obs;
 pub use pop_ocean as ocean;
 pub use pop_perfmodel as perfmodel;
 pub use pop_ranksim as ranksim;
+pub use pop_serve as serve;
 pub use pop_stencil as stencil;
 pub use pop_verif as verif;
 

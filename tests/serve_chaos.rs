@@ -1,0 +1,235 @@
+//! Chaos under load: the service on the ranksim backend with injected
+//! network faults degrades in latency, never in correctness.
+//!
+//! Two fault classes (DESIGN.md §10), two contracts:
+//!
+//! - **Benign plans** (delay/duplication/reordering/recoverable drops)
+//!   are bitwise invisible: every served result matches the shared-memory
+//!   standalone solve of the same request exactly, even though the solves
+//!   ran on simulated ranks under fault injection.
+//! - **Hostile plans** (halo corruption, permanent loss) may cost solver
+//!   restarts and may end non-converged, but responses always arrive,
+//!   carry structured outcomes, and never contain NaN.
+//!
+//! Seeds are pinned; CI replays one via `POP_CHAOS_SEED` (the same
+//! convention as `tests/chaos_equivalence.rs`).
+
+use pop_baro::prelude::*;
+use pop_baro::serve::{Backend, ServiceConfig, SolveRequest, SolverService, SolverSpec};
+use pop_core::setup::PrecondSpec;
+use std::sync::Arc;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn noise(seed: u64, i: usize, j: usize) -> f64 {
+    let mut s = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ ((j as u64) << 32);
+    let bits = splitmix64(&mut s);
+    (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+struct Problem {
+    layout: Arc<pop_baro::comm::DistLayout>,
+    op: Arc<NinePoint>,
+}
+
+fn problem() -> Problem {
+    let grid = Grid::gx1_scaled(12, 48, 40);
+    let layout = DistLayout::build(&grid, 12, 10);
+    let world = CommWorld::serial();
+    let op = NinePoint::assemble(&grid, &layout, &world, 8000.0);
+    Problem {
+        layout,
+        op: Arc::new(op),
+    }
+}
+
+fn rhs(p: &Problem, seed: u64) -> DistVec {
+    let world = CommWorld::serial();
+    let mut field = DistVec::zeros(&p.layout);
+    field.fill_with(|i, j| noise(seed, i, j));
+    world.halo_update(&mut field);
+    let mut b = DistVec::zeros(&p.layout);
+    p.op.apply(&world, &field, &mut b);
+    b
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("POP_CHAOS_SEED") {
+        Ok(v) => vec![v.parse().expect("POP_CHAOS_SEED must be an integer")],
+        Err(_) => vec![0x5EED_BA11, 0xBE9151],
+    }
+}
+
+const TOL: f64 = 1e-10;
+
+fn base_cfg() -> SolverConfig {
+    SolverConfig {
+        tol: TOL,
+        max_iters: 8000,
+        ..SolverConfig::default()
+    }
+}
+
+fn service(faults: FaultPlan) -> SolverService {
+    SolverService::start(ServiceConfig {
+        backend: Backend::RankSim { ranks: 6, faults },
+        base: base_cfg(),
+        ..ServiceConfig::default()
+    })
+}
+
+/// The shared-memory reference the chaos-served result must match.
+fn standalone(p: &Problem, choice: SolverChoice, b: &DistVec) -> DistVec {
+    let world = CommWorld::serial();
+    let setup = SolverSetup::new(choice, &p.op, &world);
+    let mut x = DistVec::zeros(&p.layout);
+    let st = setup.solve(&p.op, &world, b, &mut x, &base_cfg());
+    assert!(st.converged, "reference solve must converge");
+    x
+}
+
+fn assert_bits_equal(a: &DistVec, b: &DistVec, what: &str) {
+    for (ba, bb) in a.blocks.iter().zip(b.blocks.iter()) {
+        for j in 0..ba.ny {
+            for (va, vb) in ba.interior_row(j).iter().zip(bb.interior_row(j)) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{what}: bits differ");
+            }
+        }
+    }
+}
+
+/// Benign chaos: served-under-faults results are bitwise identical to
+/// fault-free shared-memory solves, across solver/preconditioner mixes.
+#[test]
+fn benign_chaos_serves_bitwise_correct_results() {
+    let p = problem();
+    for seed in chaos_seeds() {
+        let svc = service(FaultPlan::seeded(seed, FaultConfig::benign()));
+        let cases = [
+            (SolverSpec::Pcsi, PrecondSpec::Evp, SolverChoice::PcsiEvp),
+            (
+                SolverSpec::ChronGear,
+                PrecondSpec::Diagonal,
+                SolverChoice::ChronGearDiag,
+            ),
+            (
+                SolverSpec::Pcsi,
+                PrecondSpec::Diagonal,
+                SolverChoice::PcsiDiag,
+            ),
+            (
+                SolverSpec::ChronGear,
+                PrecondSpec::Evp,
+                SolverChoice::ChronGearEvp,
+            ),
+        ];
+        let mut tickets = Vec::new();
+        for (i, (spec, precond, _)) in cases.iter().enumerate() {
+            let b = rhs(&p, seed ^ (i as u64 + 1));
+            tickets.push(
+                svc.submit(
+                    SolveRequest::new(i as u32, Arc::clone(&p.op), *spec, *precond, b)
+                        .with_tol(TOL),
+                )
+                .unwrap(),
+            );
+        }
+        for (i, ((_, _, choice), t)) in cases.iter().zip(tickets).enumerate() {
+            let resp = t.wait().unwrap();
+            assert!(
+                resp.stats.converged,
+                "seed {seed:#x} case {i}: benign chaos must still converge"
+            );
+            let b = rhs(&p, seed ^ (i as u64 + 1));
+            let x_ref = standalone(&p, *choice, &b);
+            assert_bits_equal(
+                &resp.x,
+                &x_ref,
+                &format!("seed {seed:#x} case {i} ({})", choice.label()),
+            );
+        }
+        let cache = svc.shutdown();
+        // 4 distinct (precond, bounds) setups: {evp,diag} × {pcsi,cg} grades.
+        assert_eq!(cache.misses, 4, "seed {seed:#x}: distinct setup states");
+    }
+}
+
+/// Warm-cache chaos: repeat traffic on the ranksim backend hits the cache
+/// and still matches the reference bitwise.
+#[test]
+fn benign_chaos_warm_cache_stays_correct() {
+    let p = problem();
+    let seed = chaos_seeds()[0];
+    let svc = service(FaultPlan::seeded(seed, FaultConfig::benign()));
+    let b = rhs(&p, seed ^ 0xF00D);
+    let x_ref = standalone(&p, SolverChoice::PcsiEvp, &b);
+    let req = || {
+        SolveRequest::new(
+            0,
+            Arc::clone(&p.op),
+            SolverSpec::Pcsi,
+            PrecondSpec::Evp,
+            b.clone(),
+        )
+        .with_tol(TOL)
+    };
+    let cold = svc.submit(req()).unwrap().wait().unwrap();
+    let warm = svc.submit(req()).unwrap().wait().unwrap();
+    assert!(!cold.cache_hit && warm.cache_hit);
+    assert_bits_equal(&cold.x, &x_ref, "cold chaos serve");
+    assert_bits_equal(&warm.x, &x_ref, "warm chaos serve");
+}
+
+/// Hostile chaos: corruption and permanent loss may break convergence but
+/// never the service — responses arrive, outcomes are structured, and no
+/// NaN ever reaches a tenant.
+#[test]
+fn hostile_chaos_degrades_gracefully() {
+    let p = problem();
+    for seed in chaos_seeds() {
+        let svc = service(FaultPlan::seeded(seed, FaultConfig::hostile()));
+        let mut tickets = Vec::new();
+        for i in 0..3u64 {
+            let b = rhs(&p, seed ^ (0xD00 + i));
+            tickets.push(
+                svc.submit(
+                    SolveRequest::new(
+                        i as u32,
+                        Arc::clone(&p.op),
+                        SolverSpec::ChronGear,
+                        PrecondSpec::Diagonal,
+                        b,
+                    )
+                    .with_tol(TOL),
+                )
+                .unwrap(),
+            );
+        }
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t
+                .wait()
+                .unwrap_or_else(|r| panic!("seed {seed:#x} req {i}: hostile chaos shed: {r}"));
+            // Outcome may be any structured value; the solution must be finite.
+            for blk in &resp.x.blocks {
+                for j in 0..blk.ny {
+                    for v in blk.interior_row(j) {
+                        assert!(
+                            v.is_finite(),
+                            "seed {seed:#x} req {i}: non-finite value served"
+                        );
+                    }
+                }
+            }
+            assert!(
+                resp.stats.final_relative_residual.is_finite() || !resp.stats.converged,
+                "seed {seed:#x} req {i}: unstructured outcome"
+            );
+        }
+    }
+}
