@@ -1,45 +1,59 @@
 //! Rank-count scaling of the barotropic solvers on the message-passing
-//! runtime — the paper's Fig. 7/8 story, *executed*.
+//! runtime — the paper's Fig. 7/8 story, *executed*, pushed to 16384 ranks.
 //!
-//! Sweeps 4 → 256 simulated MPI ranks over a gx1v6-like 1° grid for
-//! {ChronGear, P-CSI} × {diagonal, block-EVP}, running every solve through
-//! `pop-ranksim`: each rank is an OS thread with private blocks, halos move
-//! as point-to-point messages, and reductions climb a binomial tree whose
-//! hops are charged at Yellowstone's calibrated `α_reduce`. The per-rank
-//! simulated clocks then decompose into compute / halo / allreduce time on
-//! the critical rank:
+//! Sweeps 4 → 16384 simulated MPI ranks over a gx1v6-like 1° grid for
+//! {ChronGear, P-CSI} × {diagonal, block-EVP} × every collective algorithm
+//! ([`ReduceAlgo`]: binomial, recursive doubling, Rabenseifner, node-aware
+//! hierarchical) × {eager, split-phase overlap} halo exchange. Every solve
+//! runs through `pop-ranksim` on a node-aware Yellowstone network model
+//! (16 ranks per node, cheap intra-node links, calibrated inter-node
+//! fabric); the per-rank simulated clocks then decompose into compute /
+//! halo / allreduce time on the critical rank:
 //!
-//! - **ChronGear** pays one tree allreduce per iteration, so its reduction
-//!   share grows as `log₂ p` while compute shrinks as `1/p` — the scaling
-//!   wall of paper Fig. 2/7.
+//! - **ChronGear** pays one allreduce per iteration, so its reduction share
+//!   grows with the exchange schedule's depth while compute shrinks as
+//!   `1/p` — the scaling wall of paper Fig. 2/7.
 //! - **P-CSI** reduces only at the periodic convergence check, so its
-//!   allreduce count is independent of rank count and its reduction time
-//!   stays a sliver of ChronGear's — Fig. 7/8's crossover.
+//!   allreduce count is independent of rank count — Fig. 7/8's crossover.
+//! - **Hierarchical** folds on-node first and crosses the fabric only
+//!   `log₂(p/m)` times, so it strictly beats the flat binomial tree at
+//!   extreme scale (asserted at every p ≥ 4096).
+//! - **Split-phase overlap** hides interior-stencil compute under halo
+//!   flight, so P-CSI's per-iteration time strictly drops at every
+//!   p ≥ 1024 (asserted).
 //!
-//! Writes `BENCH_ranksim.json` (with provenance) plus a Chrome trace of one
-//! mid-size configuration. `--quick` runs a 4-point sweep on a smaller grid
-//! for CI smoke.
+//! Every configuration is also checked *bitwise* against a shared-memory
+//! baseline solve — the exchange schedule and the overlap choreography are
+//! timing models, never allowed to move the numbers.
+//!
+//! Writes `BENCH_ranksim.json` (with provenance, node topology, and
+//! per-row collective wire counters) plus a Chrome trace of one mid-size
+//! configuration. `--quick`/`--smoke` runs a 4 → 1024 sweep on a smaller
+//! grid for CI.
 
 use pop_bench::args::BenchArgs;
 use pop_bench::provenance::Provenance;
 use pop_comm::{CommWorld, DistLayout, DistVec};
 use pop_core::lanczos::{estimate_bounds, LanczosConfig};
 use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
-use pop_core::solvers::SolverConfig;
+use pop_core::solvers::{SolverConfig, SolverWorkspace};
 use pop_grid::Grid;
 use pop_obs::ObsSink;
-use pop_perfmodel::machine::MachineModel;
+use pop_perfmodel::machine::{MachineModel, NodeTopology};
 use pop_ranksim::{
-    solve_on_ranks, write_chrome_trace, LatencyBandwidth, NetworkModel, RankSimConfig, RankWorld,
-    SolverKind, SpanKind,
+    solve_on_ranks, write_chrome_trace, HierarchicalNet, NetworkModel, RankSimConfig, RankWorld,
+    ReduceAlgo, SolverKind, SpanKind,
 };
 use pop_stencil::NinePoint;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 struct Row {
     solver: &'static str,
     precond: &'static str,
+    algo: &'static str,
+    overlap: bool,
     ranks: usize,
     iterations: usize,
     max_blocks_per_rank: usize,
@@ -48,7 +62,21 @@ struct Row {
     halo_s: f64,
     allreduce_s: f64,
     allreduces_per_rank: u64,
+    /// Collective messages across all ranks (Σ `allreduce_steps`).
+    allreduce_steps_total: u64,
+    /// Modelled collective payload bytes across all ranks.
+    allreduce_wire_bytes_total: u64,
     halo_bytes_total: u64,
+}
+
+impl Row {
+    fn mode(&self) -> &'static str {
+        if self.overlap {
+            "overlap"
+        } else {
+            "eager"
+        }
+    }
 }
 
 fn json_f(v: f64) -> String {
@@ -59,43 +87,70 @@ fn json_f(v: f64) -> String {
     }
 }
 
-/// The acceptance facts of the sweep (paper Fig. 7/8), checked over the
-/// collected rows: ChronGear's reduction time must grow with rank count
-/// while P-CSI's allreduce count stays fixed and its reduce time stays a
-/// small fraction of ChronGear's. Returns `Err` with a diagnostic instead
-/// of panicking — an empty or partial sweep (empty rank list, a solver
-/// erroring out of the sweep) is reported gracefully and the binary exits
-/// non-zero.
-fn check_crossover(rows: &[Row], preconds: &[&str]) -> Result<Vec<String>, String> {
+/// The distinct `(precond, algo, overlap)` series present in the sweep, in
+/// first-appearance order.
+fn series_keys(rows: &[Row]) -> Vec<(&'static str, &'static str, bool)> {
+    let mut keys = Vec::new();
+    for r in rows {
+        let k = (r.precond, r.algo, r.overlap);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+/// The acceptance facts of the sweep (paper Fig. 7/8), checked per
+/// `(precond, algorithm, overlap)` series: ChronGear's reduction time must
+/// grow with rank count while P-CSI's allreduce count stays fixed and its
+/// reduce time stays a small fraction of ChronGear's — whatever exchange
+/// schedule carries the collectives. Returns `Err` with a structured
+/// diagnostic instead of panicking — an empty or partial sweep (empty rank
+/// list, a solver erroring out) is reported gracefully and the binary
+/// exits non-zero.
+fn check_crossover(rows: &[Row]) -> Result<Vec<String>, String> {
+    let keys = series_keys(rows);
+    if keys.is_empty() {
+        return Err("no rows collected — empty rank sweep or solver failure".to_string());
+    }
     let mut summaries = Vec::new();
-    for &pname in preconds {
+    for (pname, algo, overlap) in keys {
+        let mode = if overlap { "overlap" } else { "eager" };
+        let label = format!("{pname}/{algo}/{mode}");
         let series = |solver: &str| -> Vec<&Row> {
             rows.iter()
-                .filter(|r| r.solver == solver && r.precond == pname)
+                .filter(|r| {
+                    r.solver == solver
+                        && r.precond == pname
+                        && r.algo == algo
+                        && r.overlap == overlap
+                })
                 .collect()
         };
         let cg = series("chrongear");
         let csi = series("pcsi");
         let (Some(cg_lo), Some(cg_hi)) = (cg.first(), cg.last()) else {
             return Err(format!(
-                "{pname}: no ChronGear rows collected — empty rank sweep or solver failure"
+                "[{label}] no ChronGear rows collected — empty rank sweep or solver failure"
             ));
         };
         let (Some(csi_lo), Some(csi_hi)) = (csi.first(), csi.last()) else {
             return Err(format!(
-                "{pname}: no P-CSI rows collected — empty rank sweep or solver failure"
+                "[{label}] no P-CSI rows collected — empty rank sweep or solver failure"
             ));
         };
         if cg_hi.allreduce_s <= cg_lo.allreduce_s * 1.5 {
             return Err(format!(
-                "{pname}: ChronGear reduction time must grow with ranks \
+                "[{label}] ChronGear reduction time must grow with ranks \
                  ({:.3e}s at p={} vs {:.3e}s at p={})",
                 cg_lo.allreduce_s, cg_lo.ranks, cg_hi.allreduce_s, cg_hi.ranks
             ));
         }
         if csi_hi.allreduce_s >= cg_hi.allreduce_s / 4.0 {
             return Err(format!(
-                "{pname}: P-CSI must avoid most of ChronGear's reduction cost at scale"
+                "[{label}] P-CSI must avoid most of ChronGear's reduction cost at scale \
+                 ({:.3e}s vs {:.3e}s at p={})",
+                csi_hi.allreduce_s, cg_hi.allreduce_s, cg_hi.ranks
             ));
         }
         if !csi
@@ -103,17 +158,17 @@ fn check_crossover(rows: &[Row], preconds: &[&str]) -> Result<Vec<String>, Strin
             .all(|r| r.allreduces_per_rank == csi_lo.allreduces_per_rank)
         {
             return Err(format!(
-                "{pname}: P-CSI's allreduce count must not depend on rank count"
+                "[{label}] P-CSI's allreduce count must not depend on rank count"
             ));
         }
         if csi_lo.allreduces_per_rank * 5 > cg_lo.allreduces_per_rank {
             return Err(format!(
-                "{pname}: P-CSI must issue far fewer allreduces than ChronGear ({} vs {})",
+                "[{label}] P-CSI must issue far fewer allreduces than ChronGear ({} vs {})",
                 csi_lo.allreduces_per_rank, cg_lo.allreduces_per_rank
             ));
         }
         summaries.push(format!(
-            "[{pname}] reduce time p={}→{}: chrongear {:.3}ms→{:.3}ms, pcsi {:.3}ms→{:.3}ms",
+            "[{label}] reduce time p={}→{}: chrongear {:.3}ms→{:.3}ms, pcsi {:.3}ms→{:.3}ms",
             cg_lo.ranks,
             cg_hi.ranks,
             cg_lo.allreduce_s * 1e3,
@@ -125,25 +180,130 @@ fn check_crossover(rows: &[Row], preconds: &[&str]) -> Result<Vec<String>, Strin
     Ok(summaries)
 }
 
+/// Extreme-scale acceptance: wherever the sweep reaches p ≥ 4096, the
+/// hierarchical schedule's reduction time must *strictly* beat the flat
+/// binomial tree's for the reduction-bound solver (ChronGear), on every
+/// precond/overlap series that ran both algorithms.
+fn check_hierarchy_wins(rows: &[Row]) -> Result<Vec<String>, String> {
+    let mut summaries = Vec::new();
+    let mut compared = false;
+    for r in rows {
+        if r.solver != "chrongear" || r.algo != "hierarchical" || r.ranks < 4096 {
+            continue;
+        }
+        let Some(bin) = rows.iter().find(|b| {
+            b.solver == r.solver
+                && b.precond == r.precond
+                && b.overlap == r.overlap
+                && b.ranks == r.ranks
+                && b.algo == "binomial"
+        }) else {
+            continue;
+        };
+        compared = true;
+        if r.allreduce_s >= bin.allreduce_s {
+            return Err(format!(
+                "[{}/{}] hierarchical must strictly beat binomial at p={}: \
+                 {:.3e}s vs {:.3e}s reduce time",
+                r.precond,
+                r.mode(),
+                r.ranks,
+                r.allreduce_s,
+                bin.allreduce_s
+            ));
+        }
+        summaries.push(format!(
+            "[{}/{}] p={}: hierarchical reduce {:.3}ms vs binomial {:.3}ms ({:.2}x)",
+            r.precond,
+            r.mode(),
+            r.ranks,
+            r.allreduce_s * 1e3,
+            bin.allreduce_s * 1e3,
+            bin.allreduce_s / r.allreduce_s
+        ));
+    }
+    let max_p = rows.iter().map(|r| r.ranks).max().unwrap_or(0);
+    if max_p >= 4096 && !compared {
+        return Err(format!(
+            "sweep reaches p={max_p} but no hierarchical-vs-binomial ChronGear pair was \
+             collected at p >= 4096"
+        ));
+    }
+    Ok(summaries)
+}
+
+/// Overlap acceptance: wherever the sweep reaches p ≥ 1024, split-phase
+/// halo/compute overlap must *strictly* reduce P-CSI's simulated solve
+/// time (same precond, same algorithm, same rank count).
+fn check_overlap_wins(rows: &[Row]) -> Result<Vec<String>, String> {
+    let mut summaries = Vec::new();
+    let mut compared = false;
+    for r in rows {
+        if r.solver != "pcsi" || !r.overlap || r.ranks < 1024 {
+            continue;
+        }
+        let Some(eager) = rows.iter().find(|e| {
+            e.solver == r.solver
+                && e.precond == r.precond
+                && e.algo == r.algo
+                && e.ranks == r.ranks
+                && !e.overlap
+        }) else {
+            continue;
+        };
+        compared = true;
+        if r.sim_time_s >= eager.sim_time_s {
+            return Err(format!(
+                "[{}/{}] split-phase overlap must reduce P-CSI time at p={}: \
+                 {:.3e}s overlap vs {:.3e}s eager",
+                r.precond, r.algo, r.ranks, r.sim_time_s, eager.sim_time_s
+            ));
+        }
+        summaries.push(format!(
+            "[{}/{}] p={}: pcsi {:.3}ms eager → {:.3}ms overlapped (-{:.1}%)",
+            r.precond,
+            r.algo,
+            r.ranks,
+            eager.sim_time_s * 1e3,
+            r.sim_time_s * 1e3,
+            (1.0 - r.sim_time_s / eager.sim_time_s) * 100.0
+        ));
+    }
+    let max_p = rows.iter().map(|r| r.ranks).max().unwrap_or(0);
+    if max_p >= 1024 && !compared {
+        return Err(format!(
+            "sweep reaches p={max_p} but no overlap-vs-eager P-CSI pair was collected \
+             at p >= 1024"
+        ));
+    }
+    Ok(summaries)
+}
+
 /// Exit with a diagnostic instead of a panic backtrace.
 fn fail(msg: &str) -> ! {
     eprintln!("scaling_ranksim: error: {msg}");
     std::process::exit(1);
 }
 
+/// The collective schedules under test. The diagonal preconditioner runs
+/// the full algorithm × overlap matrix; block-EVP rides with the binomial
+/// baseline in both halo modes (the precond changes the numerics, not the
+/// exchange pattern — one precond carrying the full matrix is enough).
+const ALGOS: [ReduceAlgo; 4] = [
+    ReduceAlgo::Binomial,
+    ReduceAlgo::RecursiveDoubling,
+    ReduceAlgo::Rabenseifner,
+    ReduceAlgo::Hierarchical,
+];
+
 fn main() {
     let quick = BenchArgs::parse().quick;
     let (nx, ny, bx, by, iters, rank_counts): (_, _, _, _, _, &[usize]) = if quick {
-        (
-            160usize,
-            120usize,
-            16usize,
-            12usize,
-            20usize,
-            &[4, 8, 16, 32],
-        )
+        (320usize, 240usize, 8usize, 6usize, 20usize, &[
+            4, 16, 64, 256, 1024,
+        ])
     } else {
-        (320, 240, 10, 8, 50, &[4, 8, 16, 32, 64, 128, 256])
+        (1152, 864, 6, 6, 20, &[4, 16, 64, 256, 1024, 4096, 16384])
     };
 
     let Some(&max_ranks) = rank_counts.last() else {
@@ -190,8 +350,10 @@ fn main() {
     };
 
     let machine = MachineModel::yellowstone();
-    let net = Arc::new(LatencyBandwidth::from_machine(&machine));
-    let sim_cfg = RankSimConfig {
+    let topo = NodeTopology::yellowstone();
+    let hnet = HierarchicalNet::from_machine(&machine, &topo);
+    let net: Arc<dyn NetworkModel> = Arc::new(hnet);
+    let base_sim_cfg = RankSimConfig {
         record_trace: true,
         ..RankSimConfig::modeled(&machine)
     };
@@ -202,92 +364,200 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut traced = false;
+    // Per-(solver, precond) shared-memory baseline: residual bits + the
+    // assembled solution, the reference every ranksim combination must
+    // reproduce exactly.
+    let mut baselines: HashMap<(&'static str, &'static str), (u64, Vec<f64>)> = HashMap::new();
+
     for (pname, pre) in preconds {
         let (bounds, _) = estimate_bounds(&op, pre, &serial, &lanczos);
         let solvers: [(&'static str, SolverKind); 2] = [
             ("chrongear", SolverKind::ChronGear),
             ("pcsi", SolverKind::Pcsi(bounds)),
         ];
+        // The exchange-schedule matrix this precond carries (see ALGOS).
+        let algos: &[ReduceAlgo] = if pname == "diag" {
+            &ALGOS
+        } else {
+            &ALGOS[..1]
+        };
         for (sname, kind) in solvers {
-            for &p in rank_counts {
-                let world = RankWorld::new(&layout, p, net.clone(), sim_cfg);
-                let out = solve_on_ranks(&world, &op, pre, kind, &rhs, &x0, &cfg);
-                let st = out.stats();
-                assert_eq!(st.iterations, iters, "{sname}+{pname} p={p} ran short");
-                assert!(st.final_relative_residual.is_finite());
+            let mut x_shared = DistVec::zeros(&layout);
+            let mut ws = SolverWorkspace::new();
+            let st_shared = kind.solve(&op, pre, &serial, &rhs, &mut x_shared, &cfg, &mut ws);
+            baselines.insert(
+                (sname, pname),
+                (
+                    st_shared.final_relative_residual.to_bits(),
+                    x_shared.to_global(),
+                ),
+            );
+            for &algo in algos {
+                for overlap in [false, true] {
+                    for &p in rank_counts {
+                        let sim_cfg = base_sim_cfg.with_reduce_algo(algo).with_overlap(overlap);
+                        let world = RankWorld::new(&layout, p, net.clone(), sim_cfg);
+                        let out = solve_on_ranks(&world, &op, pre, kind, &rhs, &x0, &cfg);
+                        let st = out.stats();
+                        let label = format!(
+                            "{sname}+{pname} algo={} {} p={p}",
+                            algo.name(),
+                            if overlap { "overlap" } else { "eager" }
+                        );
+                        if st.iterations != iters {
+                            fail(&format!("{label}: ran short ({} iters)", st.iterations));
+                        }
 
-                // Decompose the critical (slowest) rank's timeline.
-                let crit = out
-                    .per_rank
-                    .iter()
-                    .max_by(|a, b| a.clock.total_cmp(&b.clock))
-                    .expect("ranks");
-                let by_kind = |k: SpanKind| -> f64 {
-                    crit.spans
-                        .iter()
-                        .filter(|s| s.kind == k)
-                        .map(|s| s.t1 - s.t0)
-                        .sum()
-                };
-                let halo_bytes_total: u64 = out.per_rank.iter().map(|r| r.stats.halo_bytes).sum();
+                        // Bitwise against shared memory: the schedule and
+                        // the overlap choreography are timing models only.
+                        let (ref_bits, ref_x) = &baselines[&(sname, pname)];
+                        if st.final_relative_residual.to_bits() != *ref_bits {
+                            fail(&format!(
+                                "{label}: residual diverged bitwise from shared memory \
+                                 ({:e} vs {:e})",
+                                st.final_relative_residual,
+                                f64::from_bits(*ref_bits)
+                            ));
+                        }
+                        let gx = out.x.to_global();
+                        if let Some(k) = (0..gx.len())
+                            .find(|&k| gx[k].to_bits() != ref_x[k].to_bits())
+                        {
+                            fail(&format!(
+                                "{label}: solution diverged bitwise from shared memory at \
+                                 point {k}: {:e} vs {:e}",
+                                gx[k], ref_x[k]
+                            ));
+                        }
 
-                // Dump one mid-size ChronGear timeline as a Chrome trace:
-                // the per-iteration allreduce bars are the figure.
-                if !traced && sname == "chrongear" && pname == "diag" && p >= 16 {
-                    let path = std::path::Path::new("BENCH_ranksim_trace.json");
-                    write_chrome_trace(&out.per_rank, path).expect("write trace");
-                    println!("[wrote {} (p={p} chrongear+diag timeline)]", path.display());
-                    traced = true;
+                        // Decompose the critical (slowest) rank's timeline.
+                        let crit = out
+                            .per_rank
+                            .iter()
+                            .max_by(|a, b| a.clock.total_cmp(&b.clock))
+                            .expect("ranks");
+                        let by_kind = |k: SpanKind| -> f64 {
+                            crit.spans
+                                .iter()
+                                .filter(|s| s.kind == k)
+                                .map(|s| s.t1 - s.t0)
+                                .sum()
+                        };
+                        let halo_bytes_total: u64 =
+                            out.per_rank.iter().map(|r| r.stats.halo_bytes).sum();
+                        let steps_total: u64 =
+                            out.per_rank.iter().map(|r| r.stats.allreduce_steps).sum();
+                        let wire_total: u64 = out
+                            .per_rank
+                            .iter()
+                            .map(|r| r.stats.allreduce_bytes_on_wire)
+                            .sum();
+
+                        // Dump one mid-size ChronGear timeline as a Chrome
+                        // trace: the per-iteration allreduce bars are the
+                        // figure.
+                        if !traced && sname == "chrongear" && pname == "diag" && p >= 16 {
+                            let path = std::path::Path::new("BENCH_ranksim_trace.json");
+                            write_chrome_trace(&out.per_rank, path).expect("write trace");
+                            println!(
+                                "[wrote {} (p={p} chrongear+diag timeline)]",
+                                path.display()
+                            );
+                            traced = true;
+                        }
+
+                        // Progress heartbeat on stderr — full sweeps run
+                        // for many minutes and stdout is the final table.
+                        eprintln!(
+                            "[{label}] sim {:.4}s ({} of {} rank counts)",
+                            out.sim_time,
+                            rank_counts.iter().position(|&q| q == p).map_or(0, |i| i + 1),
+                            rank_counts.len()
+                        );
+
+                        rows.push(Row {
+                            solver: sname,
+                            precond: pname,
+                            algo: algo.name(),
+                            overlap,
+                            ranks: p,
+                            iterations: st.iterations,
+                            max_blocks_per_rank: world.assignment().max_blocks_per_rank(),
+                            sim_time_s: out.sim_time,
+                            compute_s: by_kind(SpanKind::Compute),
+                            halo_s: by_kind(SpanKind::Halo),
+                            allreduce_s: by_kind(SpanKind::Allreduce),
+                            allreduces_per_rank: crit.stats.allreduces,
+                            allreduce_steps_total: steps_total,
+                            allreduce_wire_bytes_total: wire_total,
+                            halo_bytes_total,
+                        });
+                    }
                 }
-
-                rows.push(Row {
-                    solver: sname,
-                    precond: pname,
-                    ranks: p,
-                    iterations: st.iterations,
-                    max_blocks_per_rank: world.assignment().max_blocks_per_rank(),
-                    sim_time_s: out.sim_time,
-                    compute_s: by_kind(SpanKind::Compute),
-                    halo_s: by_kind(SpanKind::Halo),
-                    allreduce_s: by_kind(SpanKind::Allreduce),
-                    allreduces_per_rank: crit.stats.allreduces,
-                    halo_bytes_total,
-                });
             }
         }
     }
 
     println!(
-        "\n== simulated {}-iteration solves, {nx}x{ny} gx1-like grid, {} blocks, {} machine ==",
+        "\n== simulated {}-iteration solves, {nx}x{ny} gx1-like grid, {} blocks, {} machine, \
+         {} ranks/node ==",
         iters,
         layout.n_blocks(),
-        machine.name
+        machine.name,
+        topo.ranks_per_node
     );
     println!(
-        "{:>10} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "solver", "precond", "ranks", "sim ms", "compute ms", "halo ms", "reduce ms", "reduces"
+        "{:>10} {:>7} {:>18} {:>8} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "solver",
+        "precond",
+        "algo",
+        "halo",
+        "ranks",
+        "sim ms",
+        "compute ms",
+        "halo ms",
+        "reduce ms",
+        "reduces",
+        "steps"
     );
     for r in &rows {
         println!(
-            "{:>10} {:>7} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>9}",
+            "{:>10} {:>7} {:>18} {:>8} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>8} {:>10}",
             r.solver,
             r.precond,
+            r.algo,
+            r.mode(),
             r.ranks,
             r.sim_time_s * 1e3,
             r.compute_s * 1e3,
             r.halo_s * 1e3,
             r.allreduce_s * 1e3,
-            r.allreduces_per_rank
+            r.allreduces_per_rank,
+            r.allreduce_steps_total
         );
     }
 
     // The acceptance facts, checked so a regression fails loudly (but
-    // gracefully): the executed reduction cost grows with rank count under
-    // ChronGear (one tree per iteration, each log₂ p deep), while P-CSI's
-    // allreduce count stays fixed — its only reductions are the periodic
-    // convergence checks, so its reduce time stays a small fraction of
-    // ChronGear's no matter how many ranks the tree spans.
-    match check_crossover(&rows, &["diag", "evp"]) {
+    // gracefully): the paper's crossover on every series, the hierarchical
+    // schedule's win over the flat tree at extreme scale, and the overlap
+    // win for the halo-bound solver.
+    match check_crossover(&rows) {
+        Ok(summaries) => {
+            for s in summaries {
+                println!("{s}");
+            }
+        }
+        Err(msg) => fail(&msg),
+    }
+    match check_hierarchy_wins(&rows) {
+        Ok(summaries) => {
+            for s in summaries {
+                println!("{s}");
+            }
+        }
+        Err(msg) => fail(&msg),
+    }
+    match check_overlap_wins(&rows) {
         Ok(summaries) => {
             for s in summaries {
                 println!("{s}");
@@ -296,7 +566,7 @@ fn main() {
         Err(msg) => fail(&msg),
     }
 
-    let prov = Provenance::collect().with_fault_plan(sim_cfg.faults.describe());
+    let prov = Provenance::collect().with_fault_plan(base_sim_cfg.faults.describe());
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"bench\": \"scaling_ranksim\",");
@@ -310,31 +580,44 @@ fn main() {
     let _ = writeln!(j, "  \"machine\": \"{}\",", machine.name);
     let _ = writeln!(
         j,
-        "  \"network\": {{\"model\": \"{}\", \"alpha\": {:e}, \"beta_per_byte\": {:e}, \"alpha_reduce\": {:e}}},",
+        "  \"network\": {{\"model\": \"{}\", \"ranks_per_node\": {}, \
+         \"intra\": {{\"alpha\": {:e}, \"beta_per_byte\": {:e}, \"alpha_reduce\": {:e}}}, \
+         \"inter\": {{\"alpha\": {:e}, \"beta_per_byte\": {:e}, \"alpha_reduce\": {:e}}}}},",
         net.name(),
-        net.alpha,
-        net.beta_per_byte,
-        net.alpha_reduce
+        hnet.ranks_per_node,
+        hnet.intra.alpha,
+        hnet.intra.beta_per_byte,
+        hnet.intra.alpha_reduce,
+        hnet.inter.alpha,
+        hnet.inter.beta_per_byte,
+        hnet.inter.alpha_reduce
     );
+    let algo_names: Vec<String> = ALGOS.iter().map(|a| format!("\"{}\"", a.name())).collect();
+    let _ = writeln!(j, "  \"reduce_algos\": [{}],", algo_names.join(", "));
+    let _ = writeln!(j, "  \"overlap_modes\": [\"eager\", \"overlap\"],");
     let _ = writeln!(
         j,
         "  \"compute_per_point\": {:e},",
-        sim_cfg.compute_per_point
+        base_sim_cfg.compute_per_point
     );
     let _ = writeln!(j, "  \"iterations_per_solve\": {iters},");
     // Every solve in the sweep fed the same live obs sink; its counters
-    // (per-solver/per-phase comm totals, residual histogram, simulated-time
-    // spans) ride along in the provenance blob.
+    // (per-solver/per-phase comm totals, per-algorithm collective wire
+    // counters, simulated-time spans) ride along in the provenance blob.
     let _ = writeln!(j, "  \"metrics\": {},", obs.metrics_json());
     j.push_str("  \"results\": [\n");
     for (k, r) in rows.iter().enumerate() {
         let _ = write!(
             j,
-            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"ranks\": {}, \"iterations\": {}, \
+            "    {{\"solver\": \"{}\", \"precond\": \"{}\", \"reduce_algo\": \"{}\", \
+             \"overlap\": {}, \"ranks\": {}, \"iterations\": {}, \
              \"max_blocks_per_rank\": {}, \"sim_time_s\": {}, \"compute_s\": {}, \"halo_s\": {}, \
-             \"allreduce_s\": {}, \"allreduces_per_rank\": {}, \"halo_bytes_total\": {}}}",
+             \"allreduce_s\": {}, \"allreduces_per_rank\": {}, \"allreduce_steps_total\": {}, \
+             \"allreduce_wire_bytes_total\": {}, \"halo_bytes_total\": {}}}",
             r.solver,
             r.precond,
+            r.algo,
+            r.overlap,
             r.ranks,
             r.iterations,
             r.max_blocks_per_rank,
@@ -343,6 +626,8 @@ fn main() {
             json_f(r.halo_s),
             json_f(r.allreduce_s),
             r.allreduces_per_rank,
+            r.allreduce_steps_total,
+            r.allreduce_wire_bytes_total,
             r.halo_bytes_total
         );
         j.push_str(if k + 1 < rows.len() { ",\n" } else { "\n" });
@@ -358,20 +643,37 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn row(solver: &'static str, ranks: usize, allreduce_s: f64, reduces: u64) -> Row {
+    #[allow(clippy::too_many_arguments)]
+    fn row_full(
+        solver: &'static str,
+        algo: &'static str,
+        overlap: bool,
+        ranks: usize,
+        sim_time_s: f64,
+        allreduce_s: f64,
+        reduces: u64,
+    ) -> Row {
         Row {
             solver,
             precond: "diag",
+            algo,
+            overlap,
             ranks,
-            iterations: 50,
+            iterations: 20,
             max_blocks_per_rank: 4,
-            sim_time_s: 1.0,
+            sim_time_s,
             compute_s: 0.5,
             halo_s: 0.1,
             allreduce_s,
             allreduces_per_rank: reduces,
+            allreduce_steps_total: 64,
+            allreduce_wire_bytes_total: 4096,
             halo_bytes_total: 1024,
         }
+    }
+
+    fn row(solver: &'static str, ranks: usize, allreduce_s: f64, reduces: u64) -> Row {
+        row_full(solver, "binomial", false, ranks, 1.0, allreduce_s, reduces)
     }
 
     /// Regression: an empty sweep used to hit `.first().unwrap()` and panic
@@ -379,39 +681,104 @@ mod tests {
     /// `main` can exit non-zero with a real message.
     #[test]
     fn empty_sweep_is_an_error_not_a_panic() {
-        let err = check_crossover(&[], &["diag", "evp"]).unwrap_err();
-        assert!(err.contains("no ChronGear rows"), "got: {err}");
-        // Rows for one precond only: the other must still be reported, not
-        // unwrapped past.
-        let rows = vec![row("chrongear", 4, 1e-3, 101), row("pcsi", 4, 1e-5, 6)];
-        let err = check_crossover(&rows, &["evp"]).unwrap_err();
-        assert!(err.contains("evp"), "got: {err}");
+        let err = check_crossover(&[]).unwrap_err();
+        assert!(err.contains("no rows collected"), "got: {err}");
+        // A series with only one solver must be reported, not unwrapped
+        // past.
+        let rows = vec![row("chrongear", 4, 1e-3, 101)];
+        let err = check_crossover(&rows).unwrap_err();
+        assert!(err.contains("no P-CSI rows"), "got: {err}");
     }
 
     #[test]
-    fn crossover_facts_accepted_on_paper_shaped_data() {
+    fn crossover_facts_accepted_per_series() {
+        // Two series (binomial eager, hierarchical eager): each must be
+        // checked independently and produce its own summary line.
         let rows = vec![
             row("chrongear", 4, 1.0e-3, 101),
             row("chrongear", 256, 8.0e-3, 101),
             row("pcsi", 4, 1.0e-5, 6),
             row("pcsi", 256, 1.2e-5, 6),
+            row_full("chrongear", "hierarchical", false, 4, 1.0, 1.0e-3, 101),
+            row_full("chrongear", "hierarchical", false, 256, 1.0, 4.0e-3, 101),
+            row_full("pcsi", "hierarchical", false, 4, 1.0, 1.0e-5, 6),
+            row_full("pcsi", "hierarchical", false, 256, 1.0, 1.1e-5, 6),
         ];
-        let lines = check_crossover(&rows, &["diag"]).expect("healthy sweep");
-        assert_eq!(lines.len(), 1);
-        assert!(lines[0].contains("chrongear"));
+        let lines = check_crossover(&rows).expect("healthy sweep");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("diag/binomial/eager"));
+        assert!(lines[1].contains("diag/hierarchical/eager"));
     }
 
     #[test]
     fn flat_chrongear_reduce_time_is_flagged() {
         // ChronGear's reduce time *not* growing with ranks contradicts the
-        // log2(p) tree model — the check must say so.
+        // tree model — the check must name the offending series.
         let rows = vec![
             row("chrongear", 4, 1.0e-3, 101),
             row("chrongear", 256, 1.0e-3, 101),
             row("pcsi", 4, 1.0e-5, 6),
             row("pcsi", 256, 1.0e-5, 6),
         ];
-        let err = check_crossover(&rows, &["diag"]).unwrap_err();
+        let err = check_crossover(&rows).unwrap_err();
         assert!(err.contains("grow with ranks"), "got: {err}");
+        assert!(err.contains("diag/binomial/eager"), "got: {err}");
+    }
+
+    #[test]
+    fn hierarchy_must_win_at_extreme_scale() {
+        let healthy = vec![
+            row_full("chrongear", "binomial", false, 4096, 1.0, 8.0e-3, 101),
+            row_full("chrongear", "hierarchical", false, 4096, 1.0, 3.0e-3, 101),
+        ];
+        let lines = check_hierarchy_wins(&healthy).expect("hierarchy wins");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("p=4096"));
+
+        // A loss (or tie) at p >= 4096 is an error naming the scale.
+        let tied = vec![
+            row_full("chrongear", "binomial", false, 4096, 1.0, 3.0e-3, 101),
+            row_full("chrongear", "hierarchical", false, 4096, 1.0, 3.0e-3, 101),
+        ];
+        let err = check_hierarchy_wins(&tied).unwrap_err();
+        assert!(err.contains("strictly beat binomial"), "got: {err}");
+
+        // Reaching extreme scale without the comparison pair is itself an
+        // error — the acceptance fact must not silently vanish.
+        let missing = vec![row_full("chrongear", "binomial", false, 4096, 1.0, 8.0e-3, 101)];
+        let err = check_hierarchy_wins(&missing).unwrap_err();
+        assert!(err.contains("no hierarchical-vs-binomial"), "got: {err}");
+
+        // A small sweep has nothing to prove.
+        let small = vec![row_full("chrongear", "binomial", false, 256, 1.0, 1.0e-3, 101)];
+        assert!(check_hierarchy_wins(&small).expect("small sweep ok").is_empty());
+    }
+
+    #[test]
+    fn overlap_must_win_at_scale() {
+        let healthy = vec![
+            row_full("pcsi", "binomial", false, 1024, 2.0e-3, 1.0e-5, 6),
+            row_full("pcsi", "binomial", true, 1024, 1.5e-3, 1.0e-5, 6),
+        ];
+        let lines = check_overlap_wins(&healthy).expect("overlap wins");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("p=1024"));
+
+        let tied = vec![
+            row_full("pcsi", "binomial", false, 1024, 2.0e-3, 1.0e-5, 6),
+            row_full("pcsi", "binomial", true, 1024, 2.0e-3, 1.0e-5, 6),
+        ];
+        let err = check_overlap_wins(&tied).unwrap_err();
+        assert!(err.contains("must reduce P-CSI time"), "got: {err}");
+
+        let missing = vec![row_full("pcsi", "binomial", false, 1024, 2.0e-3, 1.0e-5, 6)];
+        let err = check_overlap_wins(&missing).unwrap_err();
+        assert!(err.contains("no overlap-vs-eager"), "got: {err}");
+
+        let small = vec![
+            row_full("pcsi", "binomial", false, 256, 2.0e-3, 1.0e-5, 6),
+            row_full("pcsi", "binomial", true, 256, 1.5e-3, 1.0e-5, 6),
+        ];
+        assert!(check_overlap_wins(&small).expect("small sweep ok").is_empty());
     }
 }

@@ -121,6 +121,33 @@ pub trait Communicator {
     where
         F: Fn(usize, &mut [&mut BlockVec; M]) -> SweepPartials + Sync;
 
+    /// A halo update immediately followed by a fused sweep that reads the
+    /// freshly exchanged vector — the shape every solver iteration has
+    /// (exchange `x`, then sweep a residual/stencil that reads `x.block(gb)`
+    /// across block edges).
+    ///
+    /// Semantically identical to `halo_update(hv)` followed by
+    /// `for_each_block_fused(muts, …)` with `hv` captured read-only — and
+    /// that is exactly this default implementation. The seam exists so a
+    /// communicator that models communication time can run the exchange
+    /// *split-phase*: post the strips, charge the interior stencil points
+    /// while they fly, and wait only before the halo-reading edge points.
+    /// Implementations must keep the numeric sweep order canonical so
+    /// results stay bit-identical to the default.
+    fn halo_sweep_fused<const M: usize, F>(
+        &self,
+        hv: &mut Self::Vec,
+        muts: [&mut Self::Vec; M],
+        kernel: F,
+    ) -> Self::Sweep
+    where
+        F: Fn(usize, &Self::Vec, &mut [&mut BlockVec; M]) -> SweepPartials + Sync,
+    {
+        self.halo_update(hv);
+        let hv = &*hv;
+        self.for_each_block_fused(muts, move |gb, tiles| kernel(gb, hv, tiles))
+    }
+
     /// THE global reduction: combine `sweep`'s per-block partials over all
     /// blocks of the *global* layout, in global block order, and return the
     /// sums on every rank. Records one allreduce of `scalars` values (and

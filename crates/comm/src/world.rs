@@ -62,6 +62,14 @@ pub struct CommStats {
     pub halo_bytes: AtomicU64,
     pub allreduces: AtomicU64,
     pub allreduce_scalars: AtomicU64,
+    /// Collective messages put on the wire by reduction trees. Zero on the
+    /// shared-memory backends (no wire); the rank runtime counts each hop
+    /// of whatever `ReduceAlgo` schedule it executes.
+    pub allreduce_steps: AtomicU64,
+    /// Modelled payload bytes of those collective messages — what makes
+    /// Rabenseifner's halving schedule observable against full-payload
+    /// exchanges.
+    pub allreduce_bytes_on_wire: AtomicU64,
     pub barriers: AtomicU64,
     /// Messages retransmitted after a (simulated) drop. Always zero on the
     /// shared-memory backends; the ranksim fault layer feeds it.
@@ -81,6 +89,10 @@ pub struct StatsSnapshot {
     pub halo_bytes: u64,
     pub allreduces: u64,
     pub allreduce_scalars: u64,
+    /// Collective messages reduction trees put on the wire (ranksim only).
+    pub allreduce_steps: u64,
+    /// Modelled payload bytes of those messages (ranksim only).
+    pub allreduce_bytes_on_wire: u64,
     pub barriers: u64,
     /// Messages retransmitted after a simulated drop (ranksim fault layer).
     pub retries: u64,
@@ -104,6 +116,10 @@ impl StatsSnapshot {
             allreduce_scalars: self
                 .allreduce_scalars
                 .saturating_sub(earlier.allreduce_scalars),
+            allreduce_steps: self.allreduce_steps.saturating_sub(earlier.allreduce_steps),
+            allreduce_bytes_on_wire: self
+                .allreduce_bytes_on_wire
+                .saturating_sub(earlier.allreduce_bytes_on_wire),
             barriers: self.barriers.saturating_sub(earlier.barriers),
             retries: self.retries.saturating_sub(earlier.retries),
             duplicates: self.duplicates.saturating_sub(earlier.duplicates),
@@ -160,6 +176,8 @@ impl CommWorld {
             halo_bytes: self.stats.halo_bytes.load(Ordering::Relaxed),
             allreduces: self.stats.allreduces.load(Ordering::Relaxed),
             allreduce_scalars: self.stats.allreduce_scalars.load(Ordering::Relaxed),
+            allreduce_steps: self.stats.allreduce_steps.load(Ordering::Relaxed),
+            allreduce_bytes_on_wire: self.stats.allreduce_bytes_on_wire.load(Ordering::Relaxed),
             barriers: self.stats.barriers.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
             duplicates: self.stats.duplicates.load(Ordering::Relaxed),
@@ -174,6 +192,8 @@ impl CommWorld {
         self.stats.halo_bytes.store(0, Ordering::Relaxed);
         self.stats.allreduces.store(0, Ordering::Relaxed);
         self.stats.allreduce_scalars.store(0, Ordering::Relaxed);
+        self.stats.allreduce_steps.store(0, Ordering::Relaxed);
+        self.stats.allreduce_bytes_on_wire.store(0, Ordering::Relaxed);
         self.stats.barriers.store(0, Ordering::Relaxed);
         self.stats.retries.store(0, Ordering::Relaxed);
         self.stats.duplicates.store(0, Ordering::Relaxed);

@@ -159,10 +159,10 @@ impl CommSolver for ChronGear {
             // r₀ = b − A x₀ ; s₀ = 0 ; p₀ = 0 ; ρ₀ = 1 ; σ₀ = 0.
             s.zero_fill();
             p.zero_fill();
-            comm.halo_update(x);
-            let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut rr_sweep = comm.halo_sweep_fused(x, [&mut *r], |bk, xv, [rb]| {
                 let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+                pt[0] =
+                    op.residual_block_into(bk, xv.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 pt
             });
             let mut rho_old = 1.0f64;
@@ -181,16 +181,17 @@ impl CommSolver for ChronGear {
                 });
                 precond_applies += 1;
 
-                // Steps 5–6: the single halo exchange of the iteration, then one
-                // sweep computing z = B r' AND both inner-product partials
-                // ρ̃ = rᵀr', δ̃ = (Br')ᵀr' while the block is cache-hot.
-                comm.halo_update(z);
-                let d_sweep = comm.for_each_block_fused([&mut *az], |bk, [azb]| {
+                // Steps 5–6: the single halo exchange of the iteration,
+                // fused with the sweep computing z = B r' AND both
+                // inner-product partials ρ̃ = rᵀr', δ̃ = (Br')ᵀr' while the
+                // block is cache-hot (split-phase runtimes overlap the
+                // strips with the interior stencil points).
+                let d_sweep = comm.halo_sweep_fused(z, [&mut *az], |bk, zv, [azb]| {
                     let mask = &layout.masks[bk];
-                    op.apply_block_into(bk, z.block(bk), azb, mask);
+                    op.apply_block_into(bk, zv.block(bk), azb, mask);
                     let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                    pt[0] = masked_block_dot(r.block(bk), z.block(bk), mask);
-                    pt[1] = masked_block_dot(azb, z.block(bk), mask);
+                    pt[0] = masked_block_dot(r.block(bk), zv.block(bk), mask);
+                    pt[1] = masked_block_dot(azb, zv.block(bk), mask);
                     pt
                 });
                 matvecs += 1;

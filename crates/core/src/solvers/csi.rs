@@ -186,10 +186,10 @@ impl CommSolver for Pcsi {
         'recurrence: loop {
             let mut omega = 2.0 / gamma; // ω₀
 
-            // r₀ = b − A x₀.
-            comm.halo_update(x);
-            comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-                op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+            // r₀ = b − A x₀ (halo exchange fused with the residual sweep so
+            // a split-phase communicator can hide the strip flight time).
+            comm.halo_sweep_fused(x, [&mut *r], |bk, xv, [rb]| {
+                op.residual_block_into(bk, xv.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
 
@@ -211,10 +211,9 @@ impl CommSolver for Pcsi {
             });
 
             // r₁ = b − A x₁, with ‖r‖² riding along as a per-block partial.
-            comm.halo_update(x);
-            let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut rr_sweep = comm.halo_sweep_fused(x, [&mut *r], |bk, xv, [rb]| {
                 let mut p = [0.0; MAX_SWEEP_PARTIALS];
-                p[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+                p[0] = op.residual_block_into(bk, xv.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 p
             });
             matvecs += 2;
@@ -247,13 +246,13 @@ impl CommSolver for Pcsi {
                 });
                 precond_applies += 1;
 
-                // Steps 9–10: one halo update, then the residual sweep; the
+                // Steps 9–10: one halo update fused with the residual
+                // sweep (interior points can overlap the strip flight); the
                 // squared norm is accumulated per block for free.
-                comm.halo_update(x);
-                rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+                rr_sweep = comm.halo_sweep_fused(x, [&mut *r], |bk, xv, [rb]| {
                     let mut p = [0.0; MAX_SWEEP_PARTIALS];
                     p[0] =
-                        op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+                        op.residual_block_into(bk, xv.block(bk), b.block(bk), rb, &layout.masks[bk]);
                     p
                 });
                 matvecs += 1;

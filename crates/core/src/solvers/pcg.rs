@@ -140,11 +140,11 @@ impl CommSolver for ClassicPcg {
             Vec::with_capacity(cfg.max_iters / cfg.check_every.max(1) + 2);
 
         'recurrence: loop {
-            comm.halo_update(x);
             // ‖r₀‖² rides in lane 0, where the periodic check expects it.
-            let mut rr_sweep = comm.for_each_block_fused([&mut *r], |bk, [rb]| {
+            let mut rr_sweep = comm.halo_sweep_fused(x, [&mut *r], |bk, xv, [rb]| {
                 let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                pt[0] = op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+                pt[0] =
+                    op.residual_block_into(bk, xv.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 pt
             });
             // z₀ = M⁻¹ r₀ and p₀ = z₀ in one sweep, with the setup rᵀz partial.
@@ -165,13 +165,14 @@ impl CommSolver for ClassicPcg {
             while iterations < cfg.max_iters {
                 iterations += 1;
 
-                // Sweep 1: Ap and its pᵀAp partial together.
-                comm.halo_update(p);
-                let pap_sweep = comm.for_each_block_fused([&mut *ap], |bk, [apb]| {
+                // Sweep 1: the iteration's halo exchange fused with Ap and
+                // its pᵀAp partial (split-phase runtimes overlap the
+                // strips with the interior stencil points).
+                let pap_sweep = comm.halo_sweep_fused(p, [&mut *ap], |bk, pv, [apb]| {
                     let mask = &layout.masks[bk];
-                    op.apply_block_into(bk, p.block(bk), apb, mask);
+                    op.apply_block_into(bk, pv.block(bk), apb, mask);
                     let mut pt = [0.0; MAX_SWEEP_PARTIALS];
-                    pt[0] = masked_block_dot(p.block(bk), apb, mask);
+                    pt[0] = masked_block_dot(pv.block(bk), apb, mask);
                     pt
                 });
                 matvecs += 1;

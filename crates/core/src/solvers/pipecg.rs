@@ -185,19 +185,18 @@ impl CommSolver for PipelinedCg {
             s.zero_fill();
             p.zero_fill();
 
-            // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀.
-            comm.halo_update(x);
-            comm.for_each_block_fused([&mut *r], |bk, [rb]| {
-                op.residual_block_into(bk, x.block(bk), b.block(bk), rb, &layout.masks[bk]);
+            // r₀ = b − A x₀ ; u₀ = M⁻¹ r₀ ; w₀ = A u₀ — each halo exchange
+            // fused with the sweep that reads it.
+            comm.halo_sweep_fused(x, [&mut *r], |bk, xv, [rb]| {
+                op.residual_block_into(bk, xv.block(bk), b.block(bk), rb, &layout.masks[bk]);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
             comm.for_each_block_fused([&mut *u], |bk, [ub]| {
                 pre.apply_block(bk, r.block(bk), ub);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
-            comm.halo_update(u);
-            comm.for_each_block_fused([&mut *w], |bk, [wb]| {
-                op.apply_block_into(bk, u.block(bk), wb, &layout.masks[bk]);
+            comm.halo_sweep_fused(u, [&mut *w], |bk, uv, [wb]| {
+                op.apply_block_into(bk, uv.block(bk), wb, &layout.masks[bk]);
                 [0.0; MAX_SWEEP_PARTIALS]
             });
 
@@ -251,10 +250,11 @@ impl CommSolver for PipelinedCg {
                 let (gamma, delta, rr) = (d[0], d[1], d[2]);
                 precond_applies += 1;
 
-                // Sweep 2: n = A m.
-                comm.halo_update(m);
-                comm.for_each_block_fused([&mut *n], |bk, [nb]| {
-                    op.apply_block_into(bk, m.block(bk), nb, &layout.masks[bk]);
+                // Sweep 2: n = A m, its halo exchange fused so a
+                // split-phase runtime overlaps the strips with the
+                // interior stencil points.
+                comm.halo_sweep_fused(m, [&mut *n], |bk, mv, [nb]| {
+                    op.apply_block_into(bk, mv.block(bk), nb, &layout.masks[bk]);
                     [0.0; MAX_SWEEP_PARTIALS]
                 });
                 matvecs += 1;

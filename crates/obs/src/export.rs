@@ -268,7 +268,8 @@ pub fn trace_json(t: &ConvergenceTrace) -> String {
         .map(|p| {
             format!(
                 "{{\"name\":\"{}\",\"seconds\":{},\"halo_updates\":{},\"halo_messages\":{},\
-                 \"halo_bytes\":{},\"allreduces\":{},\"allreduce_scalars\":{},\"barriers\":{},\
+                 \"halo_bytes\":{},\"allreduces\":{},\"allreduce_scalars\":{},\
+                 \"allreduce_steps\":{},\"allreduce_bytes_on_wire\":{},\"barriers\":{},\
                  \"retries\":{},\"duplicates\":{},\"delivery_failures\":{}}}",
                 p.name,
                 json_f64(p.seconds),
@@ -277,6 +278,8 @@ pub fn trace_json(t: &ConvergenceTrace) -> String {
                 p.comm.halo_bytes,
                 p.comm.allreduces,
                 p.comm.allreduce_scalars,
+                p.comm.allreduce_steps,
+                p.comm.allreduce_bytes_on_wire,
                 p.comm.barriers,
                 p.comm.retries,
                 p.comm.duplicates,

@@ -155,6 +155,8 @@ impl SolveObsInner {
             acc.halo_bytes += delta.halo_bytes;
             acc.allreduces += delta.allreduces;
             acc.allreduce_scalars += delta.allreduce_scalars;
+            acc.allreduce_steps += delta.allreduce_steps;
+            acc.allreduce_bytes_on_wire += delta.allreduce_bytes_on_wire;
             acc.barriers += delta.barriers;
             acc.retries += delta.retries;
             acc.duplicates += delta.duplicates;

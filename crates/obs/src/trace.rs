@@ -54,6 +54,8 @@ impl ConvergenceTrace {
             t.halo_bytes += p.comm.halo_bytes;
             t.allreduces += p.comm.allreduces;
             t.allreduce_scalars += p.comm.allreduce_scalars;
+            t.allreduce_steps += p.comm.allreduce_steps;
+            t.allreduce_bytes_on_wire += p.comm.allreduce_bytes_on_wire;
             t.barriers += p.comm.barriers;
             t.retries += p.comm.retries;
             t.duplicates += p.comm.duplicates;

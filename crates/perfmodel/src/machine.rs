@@ -63,6 +63,61 @@ pub struct MachineModel {
     pub noise: NoiseModel,
 }
 
+/// Node-level shape of a machine: how many MPI ranks share one node, and
+/// what intra-node communication costs relative to the inter-node fabric.
+///
+/// The flat `MachineModel` latencies (`alpha`, `alpha_reduce`, `beta`)
+/// describe the *inter-node* fabric — that is what the paper calibrates
+/// against whole-machine runs. Ranks on the same node talk through shared
+/// memory instead: orders of magnitude lower latency, higher bandwidth.
+/// Hierarchical collectives exploit exactly this asymmetry (fold within a
+/// node first, then exchange only between node leaders), which is what the
+/// MIC cluster-tuning literature prescribes for elliptic kernels at scale.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeTopology {
+    /// MPI ranks packed per node (cores per node in the paper's runs).
+    pub ranks_per_node: usize,
+    /// Intra-node point-to-point latency (s) — a shared-memory copy
+    /// handoff, not a NIC traversal.
+    pub alpha_intra: f64,
+    /// Intra-node transfer time per 8-byte element (s) — memory bus.
+    pub beta_intra: f64,
+    /// Intra-node per-stage latency of a reduction tree (s).
+    pub alpha_reduce_intra: f64,
+}
+
+impl NodeTopology {
+    /// Yellowstone nodes: 2× 8-core Sandy Bridge = 16 ranks sharing one
+    /// node's memory bus.
+    pub fn yellowstone() -> Self {
+        NodeTopology {
+            ranks_per_node: 16,
+            alpha_intra: 4.0e-7,
+            beta_intra: 6.0e-10,
+            alpha_reduce_intra: 3.0e-7,
+        }
+    }
+
+    /// Edison nodes: 2× 12-core Ivy Bridge = 24 ranks per node.
+    pub fn edison() -> Self {
+        NodeTopology {
+            ranks_per_node: 24,
+            alpha_intra: 4.5e-7,
+            beta_intra: 7.0e-10,
+            alpha_reduce_intra: 3.5e-7,
+        }
+    }
+
+    /// The topology matching a calibrated machine by name, when one exists.
+    pub fn for_machine(m: &MachineModel) -> Option<Self> {
+        match m.name {
+            "yellowstone" => Some(Self::yellowstone()),
+            "edison" => Some(Self::edison()),
+            _ => None,
+        }
+    }
+}
+
 impl MachineModel {
     /// NCAR Yellowstone: 2.6 GHz Sandy Bridge, FDR InfiniBand fat tree
     /// (13.6 GBps), dedicated to Earth-system workloads — quiet network.
@@ -117,6 +172,21 @@ mod tests {
         assert!((0.6..1.8).contains(&mean), "mean {mean}");
         let distinct = samples.windows(2).any(|w| w[0] != w[1]);
         assert!(distinct);
+    }
+
+    #[test]
+    fn node_topologies_are_sane_and_intra_is_cheaper() {
+        for (m, t) in [
+            (MachineModel::yellowstone(), NodeTopology::yellowstone()),
+            (MachineModel::edison(), NodeTopology::edison()),
+        ] {
+            assert!(t.ranks_per_node > 1, "{}", m.name);
+            assert!(t.alpha_intra < m.alpha / 10.0, "{}", m.name);
+            assert!(t.beta_intra < m.beta, "{}", m.name);
+            assert!(t.alpha_reduce_intra < m.alpha_reduce / 10.0, "{}", m.name);
+            let found = NodeTopology::for_machine(&m).expect("calibrated topology");
+            assert_eq!(found.ranks_per_node, t.ranks_per_node);
+        }
     }
 
     #[test]

@@ -146,6 +146,21 @@ pub fn solve_on_ranks(
             reg.counter_add_f64("pop_sim_phase_seconds_total", &[("kind", name)], secs);
         }
         reg.gauge_set("pop_sim_time_seconds", &[], t);
+        // The collective schedule's wire footprint, labelled by the
+        // configured algorithm ("auto" stays "auto" — the per-collective
+        // resolution is provenance of the run config, not the metric).
+        let algo = world.sim_config().reduce_algo.name();
+        let steps: u64 = per_rank.iter().map(|r| r.stats.allreduce_steps).sum();
+        let wire_bytes: u64 = per_rank
+            .iter()
+            .map(|r| r.stats.allreduce_bytes_on_wire)
+            .sum();
+        reg.counter_add("pop_comm_allreduce_steps_total", &[("algo", algo)], steps);
+        reg.counter_add(
+            "pop_comm_allreduce_wire_bytes_total",
+            &[("algo", algo)],
+            wire_bytes,
+        );
     }
     RankSolveOutcome {
         x,

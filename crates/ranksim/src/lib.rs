@@ -18,8 +18,12 @@
 //!
 //! - [`RankWorld`] / [`RankComm`] — the runtime ([`runtime`]).
 //! - [`RankVec`] — a rank's private blocks ([`vec`]).
-//! - [`NetworkModel`] ([`ZeroCost`], [`LatencyBandwidth`]) — what a message
-//!   costs in simulated seconds ([`net`]).
+//! - [`NetworkModel`] ([`ZeroCost`], [`LatencyBandwidth`],
+//!   [`HierarchicalNet`]) — what a message costs in simulated seconds,
+//!   optionally node-aware ([`net`]).
+//! - [`ReduceAlgo`] — which allreduce schedule collectives execute
+//!   (binomial, recursive doubling, Rabenseifner, hierarchical, or auto
+//!   selection), all bit-identical by construction ([`collective`]).
 //! - [`FaultPlan`] / [`FaultConfig`] — seeded, deterministic network fault
 //!   injection: delay, duplication, reordering, drop-with-retry, poisoned
 //!   strips, whole-rank stalls ([`fault`]).
@@ -49,6 +53,7 @@
 //! assert!(reports.windows(2).all(|w| w[0].result == w[1].result));
 //! ```
 
+pub mod collective;
 pub mod driver;
 pub mod fault;
 pub mod net;
@@ -56,9 +61,10 @@ pub mod runtime;
 pub mod trace;
 pub mod vec;
 
+pub use collective::ReduceAlgo;
 pub use driver::{solve_on_ranks, RankSolveOutcome, SolverKind};
 pub use fault::{FaultConfig, FaultPlan};
-pub use net::{LatencyBandwidth, NetworkModel, ZeroCost};
-pub use runtime::{sim_time, RankComm, RankReport, RankSimConfig, RankSweep, RankWorld};
+pub use net::{HierarchicalNet, LatencyBandwidth, NetworkModel, ZeroCost};
+pub use runtime::{sim_time, RankComm, RankExecutor, RankReport, RankSimConfig, RankSweep, RankWorld};
 pub use trace::{chrome_trace_json, write_chrome_trace, Span, SpanKind};
 pub use vec::{MultiRankVec, RankVec};

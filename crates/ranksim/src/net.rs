@@ -15,11 +15,11 @@
 //!   while P-CSI's loop body pays nothing — the paper's Fig. 7/8 crossover,
 //!   executed rather than predicted.
 
-use pop_perfmodel::machine::MachineModel;
+use pop_perfmodel::machine::{MachineModel, NodeTopology};
 
 /// Seconds charged to the simulated clock for each message the runtime
-/// moves. Implementations must be cheap and pure: the same `(bytes)` always
-/// costs the same, so simulated time is reproducible.
+/// moves. Implementations must be cheap and pure: the same `(src, dst,
+/// bytes)` always costs the same, so simulated time is reproducible.
 pub trait NetworkModel: Send + Sync + std::fmt::Debug {
     /// Short name for provenance in benchmark output.
     fn name(&self) -> &'static str;
@@ -29,6 +29,26 @@ pub trait NetworkModel: Send + Sync + std::fmt::Debug {
 
     /// Wire time of one hop of a tree collective carrying `bytes`.
     fn collective_hop(&self, bytes: usize) -> f64;
+
+    /// Topology-aware point-to-point cost. Flat models ignore the
+    /// endpoints; a node-aware model charges the cheap intra-node path when
+    /// `src` and `dst` share a node.
+    fn p2p_between(&self, _src: usize, _dst: usize, bytes: usize) -> f64 {
+        self.p2p(bytes)
+    }
+
+    /// Topology-aware collective-stage cost between two specific ranks.
+    fn hop_between(&self, _src: usize, _dst: usize, bytes: usize) -> f64 {
+        self.collective_hop(bytes)
+    }
+
+    /// Ranks sharing one node (1 = flat network, no node structure). The
+    /// hierarchical allreduce consults this to shape its intra/inter-node
+    /// phases; `ReduceAlgo::Auto` consults it to decide whether hierarchy
+    /// can pay at all.
+    fn ranks_per_node(&self) -> usize {
+        1
+    }
 }
 
 /// Free network: the protocol runs, the clock stands still.
@@ -89,6 +109,81 @@ impl NetworkModel for LatencyBandwidth {
     }
 }
 
+/// A node-aware two-level network: ranks `[k·m, (k+1)·m)` share node `k`
+/// (`m` = ranks per node), messages between them ride the cheap `intra`
+/// parameters, everything else pays the `inter` fabric. This is the model
+/// the hierarchical allreduce is designed against: an intra-node hop costs
+/// a shared-memory handoff, an inter-node hop a NIC traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchicalNet {
+    /// Ranks packed per node (contiguous rank blocks, as `mpirun` places
+    /// them by default).
+    pub ranks_per_node: usize,
+    /// Cost parameters of the intra-node (shared-memory) path.
+    pub intra: LatencyBandwidth,
+    /// Cost parameters of the inter-node fabric.
+    pub inter: LatencyBandwidth,
+}
+
+impl HierarchicalNet {
+    /// Build from a calibrated machine and its node topology: the machine's
+    /// flat parameters become the inter-node fabric, the topology's intra
+    /// parameters the on-node path.
+    pub fn from_machine(m: &MachineModel, topo: &NodeTopology) -> Self {
+        assert!(topo.ranks_per_node >= 1, "a node holds at least one rank");
+        HierarchicalNet {
+            ranks_per_node: topo.ranks_per_node,
+            intra: LatencyBandwidth {
+                alpha: topo.alpha_intra,
+                beta_per_byte: topo.beta_intra / 8.0,
+                alpha_reduce: topo.alpha_reduce_intra,
+            },
+            inter: LatencyBandwidth::from_machine(m),
+        }
+    }
+
+    /// Do two ranks share a node?
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        a / self.ranks_per_node == b / self.ranks_per_node
+    }
+}
+
+impl NetworkModel for HierarchicalNet {
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+
+    /// Endpoint-free cost: conservatively the inter-node fabric (callers
+    /// that know the endpoints use [`NetworkModel::p2p_between`]).
+    fn p2p(&self, bytes: usize) -> f64 {
+        self.inter.p2p(bytes)
+    }
+
+    fn collective_hop(&self, bytes: usize) -> f64 {
+        self.inter.collective_hop(bytes)
+    }
+
+    fn p2p_between(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        if self.same_node(src, dst) {
+            self.intra.p2p(bytes)
+        } else {
+            self.inter.p2p(bytes)
+        }
+    }
+
+    fn hop_between(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        if self.same_node(src, dst) {
+            self.intra.collective_hop(bytes)
+        } else {
+            self.inter.collective_hop(bytes)
+        }
+    }
+
+    fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +203,37 @@ mod tests {
         // 8 bytes = one f64 element at the machine's per-element beta.
         assert!((net.p2p(8) - (m.alpha + m.beta)).abs() < 1e-18);
         assert!(net.p2p(1024) > net.p2p(8));
+    }
+
+    #[test]
+    fn flat_models_report_no_node_structure() {
+        let m = MachineModel::yellowstone();
+        let net = LatencyBandwidth::from_machine(&m);
+        assert_eq!(net.ranks_per_node(), 1);
+        assert_eq!(ZeroCost.ranks_per_node(), 1);
+        // The *_between defaults ignore endpoints.
+        assert_eq!(net.p2p_between(0, 99, 64), net.p2p(64));
+        assert_eq!(net.hop_between(3, 4, 8), net.collective_hop(8));
+    }
+
+    #[test]
+    fn hierarchical_net_splits_intra_and_inter() {
+        let m = MachineModel::yellowstone();
+        let topo = NodeTopology::yellowstone();
+        let net = HierarchicalNet::from_machine(&m, &topo);
+        assert_eq!(net.ranks_per_node(), topo.ranks_per_node);
+        // Ranks 0 and 1 share node 0; ranks 0 and 16 do not (m = 16).
+        assert!(net.same_node(0, topo.ranks_per_node - 1));
+        assert!(!net.same_node(0, topo.ranks_per_node));
+        let on = net.p2p_between(0, 1, 256);
+        let off = net.p2p_between(0, topo.ranks_per_node, 256);
+        assert!(
+            on < off / 10.0,
+            "intra-node {on} must be far cheaper than inter-node {off}"
+        );
+        assert!(net.hop_between(0, 1, 8) < net.hop_between(0, topo.ranks_per_node, 8) / 10.0);
+        // Endpoint-free queries are conservative: the inter fabric.
+        assert_eq!(net.p2p(64), net.inter.p2p(64));
+        assert_eq!(net.collective_hop(8), net.inter.collective_hop(8));
     }
 }
