@@ -12,14 +12,17 @@
 use pop_bench::args::BenchArgs;
 use pop_bench::provenance::Provenance;
 use pop_comm::{CommWorld, DistLayout, DistVec};
+use pop_core::fingerprint::operator_fingerprint;
 use pop_core::lanczos::{estimate_bounds, LanczosConfig};
-use pop_core::precond::{BlockEvp, Diagonal, Preconditioner};
+use pop_core::precond::{BlockEvp, BlockMg, Diagonal, Preconditioner};
+use pop_core::selector::{PrecondSelector, Selection, SelectorConfig};
+use pop_core::setup::PrecondSpec;
 use pop_core::solvers::{
     BatchCommSolver, BatchWorkspace, ChronGear, LinearSolver, Pcsi, SolveStats, SolverConfig,
     SolverWorkspace,
 };
 use pop_grid::Grid;
-use pop_obs::ObsSink;
+use pop_obs::{ObsSink, SolveHistory};
 use pop_stencil::NinePoint;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -177,7 +180,13 @@ fn main() {
 
     let diag = Diagonal::new(&op);
     let evp = BlockEvp::with_defaults(&op);
-    let preconds: [(&'static str, &dyn Preconditioner); 2] = [("diag", &diag), ("evp", &evp)];
+    let mg = BlockMg::with_defaults(&op);
+    // MG hierarchy geometry (per-level extents and active points) goes into
+    // the obs registry, so the BENCH artifact records what the V-cycle
+    // actually coarsened to on this grid.
+    obs.record_mg_levels(&mg.level_geometry());
+    let preconds: [(&'static str, &dyn Preconditioner); 3] =
+        [("diag", &diag), ("evp", &evp), ("mg", &mg)];
     let threaded = CommWorld::threaded();
     let backends: [(&'static str, &CommWorld); 2] = [("serial", &serial), ("threaded", &threaded)];
 
@@ -402,6 +411,122 @@ fn main() {
         }
     }
 
+    // ---- iterations-to-convergence per preconditioner -----------------------
+    //
+    // The timing loops above hold the iteration count fixed to isolate
+    // per-iteration cost; this section measures the other factor — how many
+    // P-CSI iterations each preconditioner actually needs on the bench
+    // operator — and feeds the measurements into a SolveHistory so the
+    // auto-selector below can rank candidates from real data.
+    struct IterRow {
+        precond: &'static str,
+        iterations: usize,
+        sqrt_condition: f64,
+        lanczos_steps: usize,
+    }
+    // check_every = 1: exact counts, not rounded up to the check cadence.
+    let conv_cfg = SolverConfig {
+        tol: 1e-10,
+        max_iters: 50_000,
+        check_every: 1,
+        obs: obs.clone(),
+        ..SolverConfig::default()
+    };
+    let history = SolveHistory::new();
+    let bench_fp = operator_fingerprint(&op);
+    let mut iter_rows: Vec<IterRow> = Vec::new();
+    for (pname, pre) in preconds {
+        let (bounds, steps) = estimate_bounds(&op, pre, &serial, &lanczos);
+        let solver = Pcsi::new(bounds);
+        let mut ws = SolverWorkspace::new();
+        let mut x = DistVec::zeros(&layout);
+        let st = solver.solve_ws(&op, pre, &serial, &rhs, &mut x, &conv_cfg, &mut ws);
+        assert!(st.converged, "pcsi+{pname} did not converge: {st:?}");
+        history.record(bench_fp, pname, st.iterations);
+        iter_rows.push(IterRow {
+            precond: pname,
+            iterations: st.iterations,
+            sqrt_condition: bounds.condition().sqrt(),
+            lanczos_steps: steps,
+        });
+    }
+    let iters_of = |name: &str| {
+        iter_rows
+            .iter()
+            .find(|r| r.precond == name)
+            .map(|r| r.iterations)
+            .expect("row exists")
+    };
+    let (diag_iters, mg_iters) = (iters_of("diag"), iters_of("mg"));
+    assert!(
+        mg_iters < diag_iters,
+        "MG-preconditioned P-CSI must need strictly fewer iterations than \
+         diagonal on the bench operator (mg {mg_iters} vs diag {diag_iters})"
+    );
+
+    // ---- auto-tuned preconditioner selection --------------------------------
+    //
+    // Four operators exercise both selector signals (DESIGN.md §15.3): the
+    // bench operator with its measured history (history mode); a stiff
+    // single-block basin where φ = 1/(gτ²) fades, the Laplacian dominates,
+    // and the MG hierarchy spans the whole domain (condition mode must pick
+    // MG — √κ ≈ 2 against EVP's ≈ 700); the same stiffness on a multi-block
+    // topography layout, where the block-Dirichlet truncation caps what any
+    // block-local preconditioner can do and EVP's cheapness wins; and a
+    // short-timestep φ-dominated operator (condition mode must keep a cheap
+    // preconditioner).
+    struct SelectorRow {
+        operator: &'static str,
+        tau: f64,
+        selection: Selection,
+    }
+    let selector = PrecondSelector::new(SelectorConfig {
+        candidates: vec![PrecondSpec::Diagonal, PrecondSpec::Evp, PrecondSpec::Mg],
+        lanczos,
+    });
+    let mut selector_rows: Vec<SelectorRow> = Vec::new();
+    selector_rows.push(SelectorRow {
+        operator: "bench",
+        tau: 345.6,
+        selection: selector.select(&op, &serial, Some(&history)),
+    });
+    assert!(
+        selector_rows[0].selection.used_history,
+        "bench-operator selection must use the recorded history"
+    );
+    let basin = Grid::idealized_basin(120, 96, 4000.0, 100_000.0);
+    let basin_layout = DistLayout::build(&basin, 120, 96);
+    let coarse_layout = DistLayout::build(&g, 90, 60);
+    for (name, tau, grid, lay) in [
+        ("stiff_basin", 345_600.0, &basin, &basin_layout),
+        ("stiff_topography", 34_560.0, &g, &coarse_layout),
+        ("short_timestep", 30.0, &g, &layout),
+    ] {
+        let sel_op = NinePoint::assemble(grid, lay, &serial, tau);
+        selector_rows.push(SelectorRow {
+            operator: name,
+            tau,
+            selection: selector.select(&sel_op, &serial, None),
+        });
+    }
+    let winner_of = |name: &str| {
+        selector_rows
+            .iter()
+            .find(|r| r.operator == name)
+            .map(|r| r.selection.spec)
+            .expect("row exists")
+    };
+    assert_eq!(
+        winner_of("stiff_basin"),
+        PrecondSpec::Mg,
+        "the stiff whole-domain basin operator must go to multigrid"
+    );
+    assert_ne!(
+        winner_of("short_timestep"),
+        PrecondSpec::Mg,
+        "the φ-dominated operator should keep a cheap preconditioner"
+    );
+
     println!(
         "\n== per-iteration times, {nx}x{ny} grid, {} blocks, {iters} iters ==",
         layout.n_blocks()
@@ -446,6 +571,44 @@ fn main() {
         println!(
             "{:>10} {:>7} {:>9}  rhs_batch={:>2}: {:.2}x",
             s.solver, s.precond, s.backend, s.rhs_batch, s.per_solve_ratio_vs_single
+        );
+    }
+
+    println!("\n== P-CSI iterations to tol = 1e-10 by preconditioner ==");
+    println!(
+        "{:>7} {:>11} {:>9} {:>14}",
+        "precond", "iterations", "sqrt(κ)", "lanczos steps"
+    );
+    for r in &iter_rows {
+        println!(
+            "{:>7} {:>11} {:>9.2} {:>14}",
+            r.precond, r.iterations, r.sqrt_condition, r.lanczos_steps
+        );
+    }
+
+    println!("\n== auto-tuned preconditioner selection ==");
+    for r in &selector_rows {
+        let sel = &r.selection;
+        let mode = if sel.used_history {
+            "history"
+        } else {
+            "condition"
+        };
+        let scores: Vec<String> = sel
+            .scores
+            .iter()
+            .map(|s| match s.cost {
+                Some(c) => format!("{}={c:.1}", s.spec.label()),
+                None => format!("{}=n/a", s.spec.label()),
+            })
+            .collect();
+        println!(
+            "{:>15} (tau={:>7.1}): {} [{} mode; {}]",
+            r.operator,
+            r.tau,
+            sel.spec.label(),
+            mode,
+            scores.join(", ")
         );
     }
 
@@ -539,6 +702,55 @@ fn main() {
             json_f(s.per_solve_ratio_vs_single)
         );
         j.push_str(if k + 1 < batch_scaling.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"preconditioner_iterations\": [\n");
+    for (k, r) in iter_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"solver\": \"pcsi\", \"precond\": \"{}\", \"iterations\": {}, \
+             \"sqrt_condition\": {}, \"lanczos_steps\": {}}}",
+            r.precond,
+            r.iterations,
+            json_f(r.sqrt_condition),
+            r.lanczos_steps
+        );
+        j.push_str(if k + 1 < iter_rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"selector\": [\n");
+    for (k, r) in selector_rows.iter().enumerate() {
+        let sel = &r.selection;
+        let scores: Vec<String> = sel
+            .scores
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"precond\": \"{}\", \"mean_iterations\": {}, \
+                     \"sqrt_condition\": {}, \"cost\": {}}}",
+                    s.spec.label(),
+                    s.mean_iterations.map_or("null".into(), json_f),
+                    s.sqrt_condition.map_or("null".into(), json_f),
+                    s.cost.map_or("null".into(), json_f)
+                )
+            })
+            .collect();
+        let _ = write!(
+            j,
+            "    {{\"operator\": \"{}\", \"tau\": {}, \"fingerprint\": \"{:016x}\", \
+             \"used_history\": {}, \"selected\": \"{}\", \"scores\": [{}]}}",
+            r.operator,
+            json_f(r.tau),
+            sel.fingerprint,
+            sel.used_history,
+            sel.spec.label(),
+            scores.join(", ")
+        );
+        j.push_str(if k + 1 < selector_rows.len() {
             ",\n"
         } else {
             "\n"

@@ -31,9 +31,11 @@ pub mod halo;
 pub mod layout;
 pub mod multivec;
 pub mod pool;
+pub mod transfer;
 pub mod world;
 
 pub use blockvec::{masked_block_dot, masked_block_max_abs, BlockVec};
+pub use transfer::{coarse_extent, parents, prolong_add_masked, restrict_masked};
 pub use communicator::{CommVec, Communicator};
 pub use distvec::DistVec;
 pub use layout::DistLayout;

@@ -40,13 +40,17 @@
 pub mod fingerprint;
 pub mod lanczos;
 pub mod precond;
+pub mod selector;
 pub mod setup;
 pub mod solvers;
 pub mod tridiag;
 
 pub use fingerprint::Fnv1a;
 pub use lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
-pub use precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+pub use precond::{BlockEvp, BlockLu, BlockMg, Diagonal, Identity, MgConfig, Preconditioner};
+pub use selector::{
+    nominal_flops_per_point, CandidateScore, PrecondSelector, Selection, SelectorConfig,
+};
 pub use setup::{OperatorState, PrecondSpec};
 pub use solvers::{
     batch_key, operator_fingerprint, solve_many, BatchCommSolver, BatchKey, BatchPlanner,

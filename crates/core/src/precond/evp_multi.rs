@@ -700,7 +700,7 @@ mod tests {
                     for mode in modes() {
                         let mut zm = MultiBlockVec::zeros(nx, ny, 2, groups);
                         let rs = rm.stride() * LANES;
-                        let gs = rm.offset(1, 0, 0).wrapping_sub(rm.offset(0, 0, 0));
+                        let gs = rm.rows() * rm.stride() * LANES;
                         let off = rm.offset(0, 0, 0);
                         let mut scratch = super::MultiEvpScratch::default();
                         let (rraw, zraw) = (rm.raw(), zm.raw_mut());

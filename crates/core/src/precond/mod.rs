@@ -10,12 +10,14 @@ mod diagonal;
 mod evp;
 mod evp_multi;
 mod evp_simd;
+mod mg;
 mod regularize;
 mod tiling;
 
 pub use blocklu::BlockLu;
 pub use diagonal::{Diagonal, Identity};
 pub use evp::{BlockEvp, EvpScratch, EvpSubBlock};
+pub use mg::{BlockMg, MgConfig};
 pub use regularize::regularize;
 pub use tiling::{tile_block, Tile};
 
@@ -129,6 +131,7 @@ mod batched_tests {
             Box::new(BlockEvp::with_defaults(&op)),
             Box::new(BlockEvp::new(&op, 8, false)),
             Box::new(BlockLu::new(&op, 8, true)),
+            Box::new(BlockMg::with_defaults(&op)),
         ];
         let groups = 2;
         for pre in &pres {

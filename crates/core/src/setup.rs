@@ -19,7 +19,7 @@
 
 use crate::fingerprint::operator_fingerprint;
 use crate::lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
-use crate::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+use crate::precond::{BlockEvp, BlockLu, BlockMg, Diagonal, Identity, Preconditioner};
 use pop_comm::CommWorld;
 use pop_stencil::NinePoint;
 use std::sync::Arc;
@@ -38,6 +38,9 @@ pub enum PrecondSpec {
     /// Dense block-LU ablation (tile cap 8, regularized) — same block
     /// structure as EVP, O(n⁴) setup reference.
     BlockLu,
+    /// Geometric multigrid V-cycle with default tuning
+    /// ([`BlockMg::with_defaults`], DESIGN.md §15).
+    Mg,
 }
 
 impl PrecondSpec {
@@ -47,6 +50,7 @@ impl PrecondSpec {
             PrecondSpec::Evp => "evp",
             PrecondSpec::Identity => "identity",
             PrecondSpec::BlockLu => "blocklu",
+            PrecondSpec::Mg => "mg",
         }
     }
 
@@ -58,6 +62,7 @@ impl PrecondSpec {
             PrecondSpec::Evp => Arc::new(BlockEvp::with_defaults(op)),
             PrecondSpec::Identity => Arc::new(Identity),
             PrecondSpec::BlockLu => Arc::new(BlockLu::new(op, 8, true)),
+            PrecondSpec::Mg => Arc::new(BlockMg::with_defaults(op)),
         }
     }
 }
@@ -166,6 +171,7 @@ mod tests {
             PrecondSpec::Evp,
             PrecondSpec::Identity,
             PrecondSpec::BlockLu,
+            PrecondSpec::Mg,
         ];
         let mut labels: Vec<&str> = all.iter().map(|s| s.label()).collect();
         labels.sort_unstable();

@@ -37,6 +37,11 @@ pub enum SolverChoice {
     ChronGearIdentity,
     /// ChronGear with dense block-LU (ablation: same M as EVP).
     ChronGearBlockLu,
+    /// The headline solver with the geometric-multigrid V-cycle
+    /// preconditioner (DESIGN.md §15).
+    PcsiMg,
+    /// ChronGear with the multigrid V-cycle preconditioner.
+    ChronGearMg,
 }
 
 impl SolverChoice {
@@ -58,6 +63,8 @@ impl SolverChoice {
             SolverChoice::PipelinedCgDiag => "pipecg+diag",
             SolverChoice::ChronGearIdentity => "chrongear+identity",
             SolverChoice::ChronGearBlockLu => "chrongear+blocklu",
+            SolverChoice::PcsiMg => "pcsi+mg",
+            SolverChoice::ChronGearMg => "chrongear+mg",
         }
     }
 
@@ -66,7 +73,10 @@ impl SolverChoice {
     }
 
     pub fn is_pcsi(self) -> bool {
-        matches!(self, SolverChoice::PcsiDiag | SolverChoice::PcsiEvp)
+        matches!(
+            self,
+            SolverChoice::PcsiDiag | SolverChoice::PcsiEvp | SolverChoice::PcsiMg
+        )
     }
 
     /// The cacheable preconditioner spec this choice builds
@@ -80,6 +90,7 @@ impl SolverChoice {
             SolverChoice::ChronGearEvp | SolverChoice::PcsiEvp => PrecondSpec::Evp,
             SolverChoice::ChronGearIdentity => PrecondSpec::Identity,
             SolverChoice::ChronGearBlockLu => PrecondSpec::BlockLu,
+            SolverChoice::PcsiMg | SolverChoice::ChronGearMg => PrecondSpec::Mg,
         }
     }
 }
@@ -240,6 +251,8 @@ mod tests {
             SolverChoice::PipelinedCgDiag,
             SolverChoice::ChronGearIdentity,
             SolverChoice::ChronGearBlockLu,
+            SolverChoice::PcsiMg,
+            SolverChoice::ChronGearMg,
         ] {
             let setup = SolverSetup::new(choice, &op, &world);
             let mut x = DistVec::zeros(&layout);
@@ -271,6 +284,8 @@ mod tests {
             SolverChoice::PipelinedCgDiag,
             SolverChoice::ChronGearIdentity,
             SolverChoice::ChronGearBlockLu,
+            SolverChoice::PcsiMg,
+            SolverChoice::ChronGearMg,
         ];
         let mut labels: Vec<&str> = all.iter().map(|c| c.label()).collect();
         labels.sort_unstable();

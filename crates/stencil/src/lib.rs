@@ -32,6 +32,7 @@
 
 pub mod dense;
 pub mod diagnostics;
+pub mod level;
 pub mod local;
 pub mod multi;
 pub mod op;
@@ -39,5 +40,6 @@ mod simd;
 
 pub use dense::DenseMatrix;
 pub use diagnostics::OperatorDiagnostics;
+pub use level::MgLevel;
 pub use local::LocalStencil;
 pub use op::NinePoint;

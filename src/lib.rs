@@ -79,14 +79,18 @@ pub use pop_verif as verif;
 pub mod prelude {
     pub use pop_comm::{CommWorld, DistLayout, DistVec, ExecPolicy};
     pub use pop_core::lanczos::{estimate_bounds, EigenBounds, LanczosConfig};
-    pub use pop_core::precond::{BlockEvp, BlockLu, Diagonal, Identity, Preconditioner};
+    pub use pop_core::precond::{
+        BlockEvp, BlockLu, BlockMg, Diagonal, Identity, MgConfig, Preconditioner,
+    };
+    pub use pop_core::selector::{PrecondSelector, Selection, SelectorConfig};
+    pub use pop_core::setup::{OperatorState, PrecondSpec};
     pub use pop_core::solvers::{
         batch_key, solve_many, BatchCommSolver, BatchPlanner, BatchWorkspace, ChronGear,
         ClassicPcg, LinearSolver, Pcsi, PipelinedCg, RecoveryConfig, SolveOutcome, SolveStats,
         SolverConfig, MAX_BATCH,
     };
     pub use pop_grid::{Decomposition, Grid};
-    pub use pop_obs::{ConvergenceTrace, ObsSink};
+    pub use pop_obs::{ConvergenceTrace, ObsSink, SolveHistory};
     pub use pop_ocean::{BarotropicMode, MiniPop, MiniPopConfig, SolverChoice, SolverSetup};
     pub use pop_perfmodel::{MachineModel, PopConfig, PopModel};
     pub use pop_ranksim::{

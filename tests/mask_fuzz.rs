@@ -14,10 +14,13 @@
 //! reductions over near-empty blocks all get exercised in one sweep.
 
 use pop_baro::prelude::*;
-use pop_core::solvers::{SolveStats, SolverWorkspace};
 use pop_grid::{Bathymetry, GridKind, Metrics};
 use pop_rng::SmallRng;
+use pop_simd::SimdMode;
 use std::sync::Arc;
+
+mod common;
+use common::{run_ranks, run_world, ModeGuard, Problem};
 
 const NX: usize = 64;
 const NY: usize = 40;
@@ -105,65 +108,6 @@ fn rhs_for(layout: &Arc<DistLayout>, op: &NinePoint, seed: u64) -> DistVec {
     rhs
 }
 
-fn cfg() -> SolverConfig {
-    SolverConfig {
-        tol: 1e-10,
-        max_iters: 5000,
-        check_every: 10,
-        ..SolverConfig::default()
-    }
-}
-
-#[derive(PartialEq, Debug)]
-struct Observables {
-    iterations: usize,
-    outcome: SolveOutcome,
-    final_residual_bits: u64,
-    history_bits: Vec<(usize, u64)>,
-    x_bits: Vec<u64>,
-}
-
-fn observe(st: &SolveStats, x: &DistVec) -> Observables {
-    Observables {
-        iterations: st.iterations,
-        outcome: st.outcome,
-        final_residual_bits: st.final_relative_residual.to_bits(),
-        history_bits: st
-            .residual_history
-            .iter()
-            .map(|&(k, r)| (k, r.to_bits()))
-            .collect(),
-        x_bits: x.to_global().iter().map(|v| v.to_bits()).collect(),
-    }
-}
-
-fn run_world(
-    world: &CommWorld,
-    layout: &Arc<DistLayout>,
-    op: &NinePoint,
-    pre: &dyn Preconditioner,
-    kind: SolverKind,
-    rhs: &DistVec,
-) -> Observables {
-    let mut x = DistVec::zeros(layout);
-    let mut ws = SolverWorkspace::new();
-    let st = kind.solve(op, pre, world, rhs, &mut x, &cfg(), &mut ws);
-    observe(&st, &x)
-}
-
-fn run_ranks(
-    layout: &Arc<DistLayout>,
-    op: &NinePoint,
-    pre: &dyn Preconditioner,
-    kind: SolverKind,
-    rhs: &DistVec,
-) -> Observables {
-    let world = RankWorld::new(layout, 4, Arc::new(ZeroCost), RankSimConfig::default());
-    let x0 = DistVec::zeros(layout);
-    let out = solve_on_ranks(&world, op, pre, kind, rhs, &x0, &cfg());
-    observe(out.stats(), &out.x)
-}
-
 /// The fuzz sweep: for each seed, build the pathological mask, check the
 /// engineered degeneracies actually exist, then demand convergence and
 /// bitwise backend agreement for every solver.
@@ -188,6 +132,7 @@ fn pathological_masks_solve_identically_on_all_backends() {
         let pre = Diagonal::new(&op);
         let rhs = rhs_for(&layout, &op, seed);
         let (bounds, _) = estimate_bounds(&op, &pre, &serial, &LanczosConfig::default());
+        let p = Problem { layout, op, rhs };
         for kind in [
             SolverKind::ClassicPcg,
             SolverKind::ChronGear,
@@ -195,15 +140,15 @@ fn pathological_masks_solve_identically_on_all_backends() {
             SolverKind::Pcsi(bounds),
         ] {
             let name = format!("{} fuzz-seed={seed}", kind.name());
-            let base = run_world(&serial, &layout, &op, &pre, kind, &rhs);
+            let base = run_world(&serial, &p, &pre, kind);
             assert_eq!(
                 base.outcome,
                 SolveOutcome::Converged,
                 "{name}: serial solve failed on fuzzed mask"
             );
-            let t = run_world(&threaded, &layout, &op, &pre, kind, &rhs);
+            let t = run_world(&threaded, &p, &pre, kind);
             assert!(t == base, "{name}: threaded backend diverged from serial");
-            let r = run_ranks(&layout, &op, &pre, kind, &rhs);
+            let r = run_ranks(&p, &pre, kind, 4);
             assert!(r == base, "{name}: ranksim backend diverged from serial");
         }
     }
@@ -255,12 +200,89 @@ fn degenerate_masks_yield_valid_eigenbounds() {
 
     // The salvaged bounds must be consumable end-to-end.
     let rhs = rhs_for(&layout, &op, 3);
-    let got = run_world(&world, &layout, &op, &pre, SolverKind::Pcsi(bounds), &rhs);
+    let p = Problem { layout, op, rhs };
+    let got = run_world(&world, &p, &pre, SolverKind::Pcsi(bounds));
     assert!(
         f64::from_bits(got.final_residual_bits).is_finite(),
         "P-CSI produced a non-finite residual on the degenerate mask"
     );
     for bits in &got.x_bits {
         assert!(f64::from_bits(*bits).is_finite());
+    }
+}
+
+/// The MG tentpole's pathological coarsening cases, all present in every
+/// fuzzed mask: an all-land block whose hierarchy must come out empty, a
+/// one-cell-wide channel that the masked coarse grids thin out or lose
+/// entirely, and isolated ocean cells whose coarse interpolation supports
+/// collapse onto a single fine point (the singular-Galerkin corner the
+/// coarsest-level LU shift retry covers). The V-cycle must stay finite,
+/// keep land at exactly zero, and reproduce its own bits across repeat
+/// applications and forced-scalar dispatch.
+#[test]
+fn mg_vcycle_is_finite_and_bitwise_stable_on_pathological_masks() {
+    let _guard = ModeGuard;
+    for seed in [11u64, 29, 47] {
+        let grid = fuzzed_grid(seed);
+        let layout = DistLayout::build(&grid, BX, BY);
+        let serial = CommWorld::serial();
+        let op = NinePoint::assemble(&grid, &layout, &serial, 9000.0);
+        let mg = BlockMg::with_defaults(&op);
+        let rhs = rhs_for(&layout, &op, seed);
+        let apply = |world: &CommWorld| {
+            let mut z = DistVec::zeros(&layout);
+            mg.apply(world, &rhs, &mut z);
+            z.to_global()
+        };
+        let base = apply(&serial);
+        for j in 0..NY {
+            for i in 0..NX {
+                let v = base[j * NX + i];
+                assert!(v.is_finite(), "seed {seed}: non-finite V-cycle at ({i},{j})");
+                if !grid.is_ocean(i, j) {
+                    assert_eq!(v, 0.0, "seed {seed}: land leaked at ({i},{j})");
+                }
+            }
+        }
+        let again = apply(&serial);
+        let threaded = apply(&CommWorld::threaded());
+        pop_simd::force_mode(Some(SimdMode::Scalar));
+        let scalar = apply(&serial);
+        pop_simd::force_mode(None);
+        for (k, v) in base.iter().enumerate() {
+            assert_eq!(v.to_bits(), again[k].to_bits(), "seed {seed}: repeat at {k}");
+            assert_eq!(v.to_bits(), threaded[k].to_bits(), "seed {seed}: threaded at {k}");
+            assert_eq!(v.to_bits(), scalar[k].to_bits(), "seed {seed}: scalar at {k}");
+        }
+    }
+}
+
+/// End-to-end on the same masks: MG-preconditioned solves converge and are
+/// bitwise identical on the serial, threaded, and ranksim backends.
+#[test]
+fn mg_preconditioned_solves_identically_on_pathological_masks() {
+    for seed in [11u64, 29] {
+        let grid = fuzzed_grid(seed);
+        let layout = DistLayout::build(&grid, BX, BY);
+        let serial = CommWorld::serial();
+        let threaded = CommWorld::threaded();
+        let op = NinePoint::assemble(&grid, &layout, &serial, 9000.0);
+        let mg = BlockMg::with_defaults(&op);
+        let rhs = rhs_for(&layout, &op, seed);
+        let (bounds, _) = estimate_bounds(&op, &mg, &serial, &LanczosConfig::default());
+        let p = Problem { layout, op, rhs };
+        for kind in [SolverKind::ChronGear, SolverKind::Pcsi(bounds)] {
+            let name = format!("{}+mg fuzz-seed={seed}", kind.name());
+            let base = run_world(&serial, &p, &mg, kind);
+            assert_eq!(
+                base.outcome,
+                SolveOutcome::Converged,
+                "{name}: serial solve failed on fuzzed mask"
+            );
+            let t = run_world(&threaded, &p, &mg, kind);
+            assert!(t == base, "{name}: threaded backend diverged from serial");
+            let r = run_ranks(&p, &mg, kind, 4);
+            assert!(r == base, "{name}: ranksim backend diverged from serial");
+        }
     }
 }

@@ -18,45 +18,8 @@ use pop_baro::ranksim::{solve_on_ranks, RankSimConfig, RankWorld, SolverKind, Ze
 use pop_core::solvers::SolverWorkspace;
 use std::sync::Arc;
 
-/// SplitMix64: a tiny, stable PRNG so the "random" fields are reproducible
-/// from the seed alone.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-/// A uniform value in [-1, 1) derived from (seed, i, j) — order-independent,
-/// so `fill_with` traversal order never matters.
-fn noise(seed: u64, i: usize, j: usize) -> f64 {
-    let mut s = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ ((j as u64) << 32);
-    let bits = splitmix64(&mut s);
-    (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
-}
-
-struct Problem {
-    layout: std::sync::Arc<pop_baro::comm::DistLayout>,
-    op: NinePoint,
-    rhs: DistVec,
-}
-
-/// A masked multi-block problem with a pseudo-random right-hand side built
-/// in the operator's range (apply A to a random field), so every solver
-/// converges from zero in a few hundred iterations.
-fn problem(seed: u64) -> Problem {
-    let grid = Grid::gx01_scaled(11, 90, 60);
-    let layout = DistLayout::build(&grid, 18, 20);
-    let world = CommWorld::serial();
-    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
-    let mut field = DistVec::zeros(&layout);
-    field.fill_with(|i, j| noise(seed, i, j));
-    world.halo_update(&mut field);
-    let mut rhs = DistVec::zeros(&layout);
-    op.apply(&world, &field, &mut rhs);
-    Problem { layout, op, rhs }
-}
+mod common;
+use common::{problem, Problem};
 
 fn seeds() -> Vec<u64> {
     match std::env::var("POP_EQV_SEED") {

@@ -19,48 +19,11 @@ use pop_baro::ranksim::{HierarchicalNet, NetworkModel, ReduceAlgo};
 use pop_core::solvers::SolverWorkspace;
 use std::sync::Arc;
 
-/// SplitMix64, as in `ranksim_equivalence.rs`: reproducible pseudo-random
-/// fields from the seed alone.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-fn noise(seed: u64, i: usize, j: usize) -> f64 {
-    let mut s = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ ((j as u64) << 32);
-    let bits = splitmix64(&mut s);
-    (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
-}
-
-struct Problem {
-    layout: std::sync::Arc<pop_baro::comm::DistLayout>,
-    op: NinePoint,
-    rhs: DistVec,
-}
+mod common;
+use common::{solver_cfg, Problem};
 
 fn problem() -> Problem {
-    let grid = Grid::gx01_scaled(11, 90, 60);
-    let layout = DistLayout::build(&grid, 18, 20);
-    let world = CommWorld::serial();
-    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
-    let mut field = DistVec::zeros(&layout);
-    field.fill_with(|i, j| noise(2015, i, j));
-    world.halo_update(&mut field);
-    let mut rhs = DistVec::zeros(&layout);
-    op.apply(&world, &field, &mut rhs);
-    Problem { layout, op, rhs }
-}
-
-fn solver_cfg() -> SolverConfig {
-    SolverConfig {
-        tol: 1e-10,
-        max_iters: 5000,
-        check_every: 10,
-        ..SolverConfig::default()
-    }
+    common::problem(2015)
 }
 
 fn prev_pow2(n: u64) -> u64 {
@@ -116,6 +79,7 @@ fn shared_solve(p: &Problem, pre: &dyn Preconditioner, kind: SolverKind) -> (Sol
 
 /// One ranksim solve checked bitwise against the shared reference, with the
 /// collective message count pinned to the schedule's closed form.
+#[allow(clippy::too_many_arguments)]
 fn check_ranksim(
     name: &str,
     p: &Problem,

@@ -144,18 +144,21 @@ fn assert_stats_equal(a: &SolveStats, b: &SolveStats, what: &str) {
     );
 }
 
-const ALL: [(SolverSpec, PrecondSpec); 8] = [
+const ALL: [(SolverSpec, PrecondSpec); 10] = [
     (SolverSpec::ChronGear, PrecondSpec::Diagonal),
     (SolverSpec::ChronGear, PrecondSpec::Evp),
+    (SolverSpec::ChronGear, PrecondSpec::Mg),
     (SolverSpec::Pcsi, PrecondSpec::Diagonal),
     (SolverSpec::Pcsi, PrecondSpec::Evp),
+    (SolverSpec::Pcsi, PrecondSpec::Mg),
     (SolverSpec::ClassicPcg, PrecondSpec::Diagonal),
     (SolverSpec::ClassicPcg, PrecondSpec::Evp),
     (SolverSpec::PipelinedCg, PrecondSpec::Diagonal),
     (SolverSpec::PipelinedCg, PrecondSpec::Evp),
 ];
 
-/// For all four solvers × {diag, EVP}: a cold-cache serve, a warm-cache
+/// For all four solvers × {diag, EVP} (+ MG on the production pair): a
+/// cold-cache serve, a warm-cache
 /// serve, and the standalone solve all produce identical bits and stats.
 #[test]
 fn warm_cache_solves_bitwise_identical_to_cold_setup() {

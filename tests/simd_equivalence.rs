@@ -14,158 +14,12 @@
 //! grid, so the guarantee cannot lean on smooth data.
 
 use pop_baro::prelude::*;
-use pop_baro::ranksim::{solve_on_ranks, RankSimConfig, RankWorld, SolverKind, ZeroCost};
 use pop_core::precond::{EvpScratch, EvpSubBlock};
-use pop_core::solvers::{SolveStats, SolverWorkspace};
 use pop_simd::SimdMode;
 use pop_stencil::LocalStencil;
-use std::sync::Arc;
 
-/// SplitMix64: a tiny, stable PRNG so the "random" fields are reproducible
-/// from the seed alone.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-/// A uniform value in [-1, 1) derived from (seed, i, j) — order-independent,
-/// so `fill_with` traversal order never matters.
-fn noise(seed: u64, i: usize, j: usize) -> f64 {
-    let mut s = seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ ((j as u64) << 32);
-    let bits = splitmix64(&mut s);
-    (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
-}
-
-struct Problem {
-    layout: std::sync::Arc<pop_baro::comm::DistLayout>,
-    op: NinePoint,
-    rhs: DistVec,
-}
-
-/// A masked multi-block problem with a pseudo-random right-hand side built
-/// in the operator's range. The 18×20 blocks are deliberately not a lane
-/// multiple in x, so every kernel row has a scalar tail.
-fn problem(seed: u64) -> Problem {
-    let grid = Grid::gx01_scaled(11, 90, 60);
-    let layout = DistLayout::build(&grid, 18, 20);
-    let world = CommWorld::serial();
-    let op = NinePoint::assemble(&grid, &layout, &world, 9000.0);
-    let mut field = DistVec::zeros(&layout);
-    field.fill_with(|i, j| noise(seed, i, j));
-    world.halo_update(&mut field);
-    let mut rhs = DistVec::zeros(&layout);
-    op.apply(&world, &field, &mut rhs);
-    Problem { layout, op, rhs }
-}
-
-/// The lane modes to test against the scalar baseline on this machine.
-fn lane_modes() -> Vec<SimdMode> {
-    let mut m = vec![SimdMode::Portable];
-    if pop_simd::detected_avx2() {
-        m.push(SimdMode::Avx2);
-    }
-    m
-}
-
-/// Everything a solve produces that callers can observe, as raw bits.
-#[derive(PartialEq)]
-struct Outcome {
-    iterations: usize,
-    converged: bool,
-    final_residual_bits: u64,
-    history_bits: Vec<(usize, u64)>,
-    x_bits: Vec<u64>,
-}
-
-fn outcome(st: &SolveStats, x: &DistVec) -> Outcome {
-    Outcome {
-        iterations: st.iterations,
-        converged: st.converged,
-        final_residual_bits: st.final_relative_residual.to_bits(),
-        history_bits: st
-            .residual_history
-            .iter()
-            .map(|&(k, r)| (k, r.to_bits()))
-            .collect(),
-        x_bits: x.to_global().iter().map(|v| v.to_bits()).collect(),
-    }
-}
-
-fn run_shared(
-    p: &Problem,
-    pre: &dyn Preconditioner,
-    kind: SolverKind,
-    world: &CommWorld,
-) -> Outcome {
-    let cfg = SolverConfig {
-        tol: 1e-10,
-        max_iters: 5000,
-        check_every: 10,
-        ..SolverConfig::default()
-    };
-    let mut x = DistVec::zeros(&p.layout);
-    let mut ws = SolverWorkspace::new();
-    let st = kind.solve(&p.op, pre, world, &p.rhs, &mut x, &cfg, &mut ws);
-    outcome(&st, &x)
-}
-
-fn run_ranksim(p: &Problem, pre: &dyn Preconditioner, kind: SolverKind, ranks: usize) -> Outcome {
-    let cfg = SolverConfig {
-        tol: 1e-10,
-        max_iters: 5000,
-        check_every: 10,
-        ..SolverConfig::default()
-    };
-    let world = RankWorld::new(
-        &p.layout,
-        ranks,
-        Arc::new(ZeroCost),
-        RankSimConfig::default(),
-    );
-    let x0 = DistVec::zeros(&p.layout);
-    let out = solve_on_ranks(&world, &p.op, pre, kind, &p.rhs, &x0, &cfg);
-    outcome(out.stats(), &out.x)
-}
-
-fn assert_same(name: &str, base: &Outcome, got: &Outcome) {
-    assert_eq!(
-        got.iterations, base.iterations,
-        "{name}: iteration counts differ"
-    );
-    assert_eq!(got.converged, base.converged, "{name}: convergence differs");
-    assert_eq!(
-        got.final_residual_bits,
-        base.final_residual_bits,
-        "{name}: final residuals differ ({:e} vs {:e})",
-        f64::from_bits(got.final_residual_bits),
-        f64::from_bits(base.final_residual_bits)
-    );
-    assert_eq!(
-        got.history_bits, base.history_bits,
-        "{name}: residual histories differ"
-    );
-    for (k, (a, b)) in got.x_bits.iter().zip(&base.x_bits).enumerate() {
-        assert_eq!(
-            a,
-            b,
-            "{name}: solution differs at point {k}: {:e} vs {:e}",
-            f64::from_bits(*a),
-            f64::from_bits(*b)
-        );
-    }
-}
-
-/// Restores the startup dispatch decision even if an assertion panics, so a
-/// failure here can't poison other tests in this binary.
-struct ModeGuard;
-impl Drop for ModeGuard {
-    fn drop(&mut self) {
-        pop_simd::force_mode(None);
-    }
-}
+mod common;
+use common::{assert_same, lane_modes, problem, run_ranks, run_world, ModeGuard};
 
 /// The tentpole guarantee: four solvers × {diag, EVP} × three execution
 /// backends (serial, thread pool, ranksim message passing), forced-scalar vs
@@ -196,11 +50,12 @@ fn dispatch_modes_are_bitwise_equivalent_end_to_end() {
         ];
         for kind in kinds {
             pop_simd::force_mode(Some(SimdMode::Scalar));
-            let base_serial = run_shared(&p, pre, kind, &CommWorld::serial());
-            let base_threaded = run_shared(&p, pre, kind, &CommWorld::threaded());
-            let base_rank = run_ranksim(&p, pre, kind, 3);
-            assert!(
-                base_serial.converged,
+            let base_serial = run_world(&CommWorld::serial(), &p, pre, kind);
+            let base_threaded = run_world(&CommWorld::threaded(), &p, pre, kind);
+            let base_rank = run_ranks(&p, pre, kind, 3);
+            assert_eq!(
+                base_serial.outcome,
+                SolveOutcome::Converged,
                 "{}+{pname}: scalar baseline did not converge",
                 kind.name()
             );
@@ -211,14 +66,14 @@ fn dispatch_modes_are_bitwise_equivalent_end_to_end() {
                 assert_same(
                     &tag("serial"),
                     &base_serial,
-                    &run_shared(&p, pre, kind, &CommWorld::serial()),
+                    &run_world(&CommWorld::serial(), &p, pre, kind),
                 );
                 assert_same(
                     &tag("threaded"),
                     &base_threaded,
-                    &run_shared(&p, pre, kind, &CommWorld::threaded()),
+                    &run_world(&CommWorld::threaded(), &p, pre, kind),
                 );
-                assert_same(&tag("ranksim"), &base_rank, &run_ranksim(&p, pre, kind, 3));
+                assert_same(&tag("ranksim"), &base_rank, &run_ranks(&p, pre, kind, 3));
             }
             pop_simd::force_mode(None);
         }
