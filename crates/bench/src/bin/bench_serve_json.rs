@@ -12,6 +12,12 @@
 //! - **overload**: open-loop arrivals at ~2× the measured service rate
 //!   into a small queue with deadlines — structured sheds while the
 //!   accepted-request p99 stays bounded.
+//! - **workers**: the same warm multi-operator mix staged as a burst
+//!   through dispatch pools of 1, 2, and 4 workers — independent batch
+//!   groups solve concurrently, and on a ≥4-core host the 4-worker
+//!   throughput must reach ≥1.8× the single worker's at no worse p99
+//!   (the assert is recorded but not enforced on smaller hosts, where
+//!   the pool cannot physically scale).
 //!
 //! Every served result from every phase is verified bit-identical to a
 //! standalone solve of the same request before the artifact is written;
@@ -349,8 +355,11 @@ fn main() {
     let base = solver_cfg();
 
     // --- Phase 1: cold cache. Every request pays EVP + Lanczos setup. ---
+    // Phases 1-4 pin `workers: 1` so their numbers stay comparable across
+    // runs and hosts; the workers phase below owns the pool-scaling axis.
     let svc = SolverService::start(ServiceConfig {
         cache_capacity: 1,
+        workers: 1,
         lanczos: lanczos(),
         base: base.clone(),
         obs: obs.clone(),
@@ -376,6 +385,7 @@ fn main() {
     // --- Phase 2: warm cache. Same stream, cache holds every operator. ---
     let svc = SolverService::start(ServiceConfig {
         cache_capacity: n_ops,
+        workers: 1,
         lanczos: lanczos(),
         base: base.clone(),
         obs: obs.clone(),
@@ -408,6 +418,7 @@ fn main() {
     // --- Phase 3: staged burst — multi-RHS coalescing in one round. ---
     let svc = SolverService::start(ServiceConfig {
         start_paused: true,
+        workers: 1,
         lanczos: lanczos(),
         base: base.clone(),
         obs: obs.clone(),
@@ -437,6 +448,7 @@ fn main() {
         tenant_quota: 64,
         max_batch: 1,
         cache_capacity: 2,
+        workers: 1,
         lanczos: lanczos(),
         base: base.clone(),
         obs: obs.clone(),
@@ -491,6 +503,77 @@ fn main() {
         p99_bound_secs * 1e3
     );
 
+    // --- Phase 5: dispatch-pool scaling on the warm multi-operator mix. ---
+    // Every operator's requests split into max_batch-2 groups, so the
+    // queue holds many independent (operator, solver, precond, tol)
+    // groups and the worker pool has real parallelism to find. The burst
+    // is staged paused so arrival timing is out of the measurement.
+    let sweep_per_op = 8;
+    let sweep_counts = [1usize, 2, 4];
+    let mut sweep_results: Vec<(usize, usize, f64, Vec<f64>)> = Vec::new();
+    for &workers in &sweep_counts {
+        let svc = SolverService::start(ServiceConfig {
+            workers,
+            max_batch: 2,
+            cache_capacity: n_ops,
+            tenant_quota: 256,
+            queue_capacity: n_ops * sweep_per_op + 8,
+            lanczos: lanczos(),
+            base: base.clone(),
+            obs: obs.clone(),
+            ..ServiceConfig::default()
+        });
+        // Untimed warm-up: build every operator's state once.
+        for o in 0..n_ops {
+            let seed = 0x0003_CA1E_0000 + o as u64;
+            let resp = svc.submit(request(&ops, o, seed)).unwrap().wait().unwrap();
+            referee.verify(&ops, o, seed, "workers-warmup", &resp);
+        }
+        let sweep_pairs: Vec<(usize, u64)> = (0..sweep_per_op)
+            .flat_map(|r| (0..n_ops).map(move |o| (o, 0x0003_CA1E_1000 + (o as u64) * 64 + r as u64)))
+            .collect();
+        let reqs: Vec<SolveRequest> = sweep_pairs
+            .iter()
+            .map(|&(o, s)| request(&ops, o, s))
+            .collect();
+        // Burst everything in while dispatch chews: measure makespan.
+        let t0 = Instant::now();
+        let tickets: Vec<_> = reqs
+            .into_iter()
+            .map(|r| svc.submit(r).expect("sweep queue sized for the burst"))
+            .collect();
+        let responses: Vec<SolveResponse> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let lat: Vec<f64> = responses.iter().map(|r| r.latency.as_secs_f64()).collect();
+        for (&(o, s), resp) in sweep_pairs.iter().zip(&responses) {
+            assert!(resp.cache_hit, "sweep traffic must run warm");
+            referee.verify(&ops, o, s, "workers", resp);
+        }
+        assert_eq!(svc.worker_count(), workers);
+        drop(svc);
+        eprintln!(
+            "  workers={workers}: {:.2} solves/s, p99 {:.1} ms",
+            sweep_pairs.len() as f64 / elapsed,
+            percentile(&lat, 0.99) * 1e3
+        );
+        sweep_results.push((workers, sweep_pairs.len(), elapsed, lat));
+    }
+    let sweep_rate = |i: usize| sweep_results[i].1 as f64 / sweep_results[i].2;
+    let workers_speedup = sweep_rate(2) / sweep_rate(0);
+    let p99_w1 = percentile(&sweep_results[0].3, 0.99);
+    let p99_w4 = percentile(&sweep_results[2].3, 0.99);
+    // A staged burst drains faster with more workers, so p99 latency must
+    // not regress; 10% slack absorbs scheduler jitter on loaded runners.
+    let workers_p99_ok = p99_w4 <= p99_w1 * 1.10;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The ≥1.8× gate only means something where 4 workers can actually
+    // run in parallel; on smaller hosts the axis is recorded, not
+    // enforced (CI runs on ≥4 vCPUs and enforces).
+    let workers_enforced = host_cores >= 4;
+
     // --- Acceptance + artifact. ---
     let ratio = warm.solves_per_sec() / cold.solves_per_sec();
     let warm_p99 = percentile(&warm.latencies, 0.99);
@@ -524,7 +607,7 @@ fn main() {
          \"shed_reasons\": {{\"queue_full\": {}, \"tenant_quota\": {}, \
          \"deadline_unmeetable\": {}, \"deadline_expired\": {}, \"other\": {}}}, \
          \"service_secs_est\": {}, \"deadline_ms\": {}, \"accepted_p99_ms\": {}, \
-         \"p99_bound_ms\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}}}",
+         \"p99_bound_ms\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}}},",
         sheds.total(),
         sheds.queue_full,
         sheds.tenant_quota,
@@ -538,6 +621,24 @@ fn main() {
         overload_cache.hits,
         overload_cache.misses,
         overload_cache.evictions,
+    );
+    let sweep_rows: Vec<String> = sweep_results
+        .iter()
+        .map(|(w, n, secs, lat)| {
+            format!(
+                "{{\"workers\": {w}, \"requests\": {n}, \"elapsed_secs\": {secs}, \
+                 \"solves_per_sec\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}",
+                *n as f64 / secs,
+                percentile(lat, 0.50) * 1e3,
+                percentile(lat, 0.99) * 1e3,
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        j,
+        "    \"workers\": {{\"host_cores\": {host_cores}, \"max_batch\": 2, \
+         \"sweep\": [{}]}}",
+        sweep_rows.join(", ")
     );
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"acceptance\": {{");
@@ -554,6 +655,17 @@ fn main() {
         "    \"accepted_p99_bounded\": {},",
         accepted_p99 <= p99_bound_secs
     );
+    let _ = writeln!(j, "    \"workers_speedup_4x\": {workers_speedup},");
+    let _ = writeln!(
+        j,
+        "    \"workers_scaling_ge_1p8\": {},",
+        workers_speedup >= 1.8
+    );
+    let _ = writeln!(j, "    \"workers_p99_no_worse\": {workers_p99_ok},");
+    let _ = writeln!(
+        j,
+        "    \"workers_scaling_enforced\": {workers_enforced},"
+    );
     let _ = writeln!(j, "    \"bitwise_all_match\": {bitwise_ok},");
     let _ = writeln!(j, "    \"verified_requests\": {}", referee.verified);
     let _ = writeln!(j, "  }},");
@@ -566,11 +678,26 @@ fn main() {
         "  warm/cold throughput ratio {ratio:.2} (>=3 expected), {} results verified bitwise",
         referee.verified
     );
+    eprintln!(
+        "  workers speedup 4x/1x: {workers_speedup:.2} (>=1.8 {}), p99 no worse: {workers_p99_ok}",
+        if workers_enforced {
+            "enforced"
+        } else {
+            "recorded only — host has <4 cores"
+        }
+    );
     if !bitwise_ok {
         eprintln!("BITWISE MISMATCH — served results diverged from standalone solves:");
         for m in &referee.mismatches {
             eprintln!("  {m}");
         }
+        std::process::exit(1);
+    }
+    if workers_enforced && (workers_speedup < 1.8 || !workers_p99_ok) {
+        eprintln!(
+            "WORKER SCALING FAILURE — 4-worker warm throughput {workers_speedup:.2}x \
+             (need >=1.8x) or p99 regressed (no_worse = {workers_p99_ok})"
+        );
         std::process::exit(1);
     }
     println!("BENCH_serve.json written");

@@ -17,7 +17,7 @@ use pop_core::lanczos::LanczosConfig;
 use pop_core::setup::{OperatorState, PrecondSpec};
 use pop_stencil::NinePoint;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache identity of one setup state. Fingerprint collisions are treated
 /// as identity (see `pop_core::fingerprint` for the collision semantics);
@@ -35,6 +35,11 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Lookups that neither hit the LRU nor built: they arrived while
+    /// another worker was building the same state and waited for it
+    /// (single-flight, [`SharedOperatorCache`]). Counted inside `hits`
+    /// as well — a coalesced lookup did not pay for a build.
+    pub coalesced_builds: u64,
 }
 
 struct Entry {
@@ -76,6 +81,39 @@ impl OperatorCache {
         self.stats
     }
 
+    /// LRU lookup: bumps recency and the hit counter on success. The
+    /// miss counter is charged by [`OperatorCache::insert_built`] so a
+    /// (lookup, build, insert) sequence counts one miss.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<OperatorState>> {
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            return Some(Arc::clone(&e.state));
+        }
+        None
+    }
+
+    /// Record a freshly built state after a miss ([`OperatorCache::lookup`]
+    /// returned `None`), evicting the LRU entry if at capacity. With
+    /// `capacity = 0` the state is not retained — the miss is still
+    /// counted.
+    pub fn insert_built(&mut self, key: CacheKey, state: &Arc<OperatorState>) {
+        self.stats.misses += 1;
+        if self.capacity > 0 {
+            if self.map.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.map.insert(
+                key,
+                Entry {
+                    state: Arc::clone(state),
+                    last_used: self.tick,
+                },
+            );
+        }
+    }
+
     /// Fetch the setup state for `op`, building (and caching) it on miss.
     /// Returns the state and whether it was a hit. The Lanczos estimation
     /// runs only when `solver_needs_bounds` — CG-type traffic never pays
@@ -89,32 +127,17 @@ impl OperatorCache {
         lanczos: &LanczosConfig,
         world: &CommWorld,
     ) -> (Arc<OperatorState>, bool) {
-        self.tick += 1;
         let key = CacheKey {
             fingerprint,
             precond,
             with_bounds: solver_needs_bounds,
         };
-        if let Some(e) = self.map.get_mut(&key) {
-            e.last_used = self.tick;
-            self.stats.hits += 1;
-            return (Arc::clone(&e.state), true);
+        if let Some(state) = self.lookup(&key) {
+            return (state, true);
         }
-        self.stats.misses += 1;
         let state =
             OperatorState::build(op, precond, solver_needs_bounds.then_some(lanczos), world);
-        if self.capacity > 0 {
-            if self.map.len() >= self.capacity {
-                self.evict_lru();
-            }
-            self.map.insert(
-                key,
-                Entry {
-                    state: Arc::clone(&state),
-                    last_used: self.tick,
-                },
-            );
-        }
+        self.insert_built(key, &state);
         (state, false)
     }
 
@@ -127,6 +150,148 @@ impl OperatorCache {
         {
             self.map.remove(&key);
             self.stats.evictions += 1;
+        }
+    }
+}
+
+/// One in-flight build: waiters block on the condvar until the builder
+/// publishes the finished state.
+struct Flight {
+    done: Mutex<Option<Arc<OperatorState>>>,
+    cv: Condvar,
+}
+
+/// Thread-safe wrapper around [`OperatorCache`] for the dispatch worker
+/// pool, with **single-flight** miss handling: when several workers miss
+/// on the same [`CacheKey`] concurrently, exactly one builds the
+/// `OperatorState` and the rest wait for that build instead of
+/// duplicating the (expensive, deterministic) work. Waiters count as
+/// hits plus [`CacheStats::coalesced_builds`].
+///
+/// The LRU lock is never held across a build — only across map lookups
+/// and inserts — so a slow Lanczos/EVP setup on one operator cannot
+/// stall workers serving other operators.
+pub struct SharedOperatorCache {
+    inner: Mutex<OperatorCache>,
+    /// Builds in flight, keyed by cache identity. Entries are inserted
+    /// by the worker that claims the build and removed when it
+    /// publishes; the map lock is disjoint from the LRU lock.
+    building: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+impl SharedOperatorCache {
+    /// `capacity = 0` disables LRU retention (misses still single-flight).
+    pub fn new(capacity: usize) -> SharedOperatorCache {
+        SharedOperatorCache {
+            inner: Mutex::new(OperatorCache::new(capacity)),
+            building: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concurrent [`OperatorCache::get_or_build`]: LRU hit, wait on an
+    /// in-flight build of the same key, or claim the build. Returns the
+    /// state and whether it was served without building (LRU hit or
+    /// coalesced onto another worker's build).
+    pub fn get_or_build(
+        &self,
+        fingerprint: u64,
+        op: &NinePoint,
+        precond: PrecondSpec,
+        solver_needs_bounds: bool,
+        lanczos: &LanczosConfig,
+        world: &CommWorld,
+    ) -> (Arc<OperatorState>, bool) {
+        let key = CacheKey {
+            fingerprint,
+            precond,
+            with_bounds: solver_needs_bounds,
+        };
+        if let Some(state) = self
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .lookup(&key)
+        {
+            return (state, true);
+        }
+        let flight = {
+            let mut b = self.building.lock().unwrap_or_else(|e| e.into_inner());
+            match b.get(&key) {
+                Some(f) => Some(Arc::clone(f)),
+                None => {
+                    b.insert(
+                        key,
+                        Arc::new(Flight {
+                            done: Mutex::new(None),
+                            cv: Condvar::new(),
+                        }),
+                    );
+                    None
+                }
+            }
+        };
+        match flight {
+            Some(f) => {
+                // Another worker owns the build; wait for it to publish,
+                // then report a coalesced hit.
+                let mut done = f.done.lock().unwrap_or_else(|e| e.into_inner());
+                while done.is_none() {
+                    done = f.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+                }
+                let state = Arc::clone(done.as_ref().expect("flight published"));
+                let mut c = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                c.stats.hits += 1;
+                c.stats.coalesced_builds += 1;
+                (state, true)
+            }
+            None => {
+                // We claimed the build. Between our LRU miss and the
+                // claim, the previous builder may have published and
+                // retired its flight — re-check the LRU before paying
+                // for a build.
+                if let Some(state) = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .lookup(&key)
+                {
+                    self.retire_flight(&key, &state);
+                    return (state, true);
+                }
+                let state =
+                    OperatorState::build(op, precond, solver_needs_bounds.then_some(lanczos), world);
+                self.inner
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert_built(key, &state);
+                self.retire_flight(&key, &state);
+                (state, false)
+            }
+        }
+    }
+
+    /// Publish the built state to waiters and drop the flight entry.
+    fn retire_flight(&self, key: &CacheKey, state: &Arc<OperatorState>) {
+        let flight = self
+            .building
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+        if let Some(f) = flight {
+            *f.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(state));
+            f.cv.notify_all();
         }
     }
 }
@@ -161,7 +326,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                ..CacheStats::default()
             }
         );
     }
@@ -211,5 +376,52 @@ mod tests {
         assert!(!h1 && !h2);
         assert!(c.is_empty());
         assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn shared_cache_single_flights_concurrent_misses() {
+        let (op, world) = op();
+        let fp = pop_core::fingerprint::operator_fingerprint(&op);
+        let lz = LanczosConfig::default();
+        let cache = SharedOperatorCache::new(4);
+        let n = 8;
+        let states: Vec<Arc<OperatorState>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    s.spawn(|| {
+                        let world = CommWorld::serial();
+                        cache
+                            .get_or_build(fp, &op, PrecondSpec::Evp, true, &lz, &world)
+                            .0
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let _ = world;
+        // All callers share one state: exactly one build happened.
+        for s in &states[1..] {
+            assert!(Arc::ptr_eq(&states[0], s), "workers built duplicate states");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "single-flight must build exactly once");
+        assert_eq!(stats.hits, (n - 1) as u64);
+        // Every hit either waited on the in-flight build or arrived after
+        // it was published into the LRU.
+        assert!(stats.coalesced_builds <= stats.hits);
+    }
+
+    #[test]
+    fn shared_cache_matches_unshared_semantics_sequentially() {
+        let (op, world) = op();
+        let fp = pop_core::fingerprint::operator_fingerprint(&op);
+        let lz = LanczosConfig::default();
+        let shared = SharedOperatorCache::new(2);
+        let (a, h1) = shared.get_or_build(fp, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        let (b, h2) = shared.get_or_build(fp, &op, PrecondSpec::Diagonal, false, &lz, &world);
+        assert!(!h1 && h2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared.stats().coalesced_builds, 0);
     }
 }

@@ -6,29 +6,37 @@
 //! crate turns that property into a serving architecture:
 //!
 //! ```text
-//!   submit ──► admission ──► bounded queue ──► scheduler round
-//!              (full? quota?                     │ shed expired deadlines
-//!               deadline feasible?)              │ round-robin by tenant
+//!   submit ──► admission ──► bounded queue ──► dispatch worker pool (×N)
+//!              (full? quota?                     │ each worker, under the
+//!               deadline feasible                │ queue lock: shed expired,
+//!               at pool parallelism?)            │ pick priority lane,
+//!                                                │ round-robin by tenant
 //!                                                ▼
-//!                                     coalesce by (operator, solver,
-//!                                       precond, tol) via BatchPlanner
+//!                                     take ONE coalesced group per
+//!                                     (operator, solver, precond, tol)
+//!                                     via BatchPlanner, release the lock
 //!                                                ▼
-//!                     LRU operator-state cache ──► batched multi-RHS solve
-//!                     (fingerprint-keyed, Arc'd)          │
+//!                  shared LRU operator-state cache ──► batched multi-RHS
+//!                  (fingerprint-keyed, Arc'd,            solve, per-worker
+//!                   single-flight builds)                workspace
+//!                                                         │
 //!                                                         ▼
 //!                                     per-request response channels
 //! ```
 //!
 //! **Correctness contract.** Every served result is bit-identical to a
 //! standalone solve of the same request — regardless of batching width,
-//! cache state, arrival order, or injected ranksim faults (benign plans).
-//! Three properties compose to give this: the batched engine pins each
-//! request to a lane bitwise-equal to its single-RHS trajectory (PR 6),
+//! cache state, arrival order, **worker count**, or injected ranksim
+//! faults (benign plans). Three properties compose to give this: the
+//! batched engine pins each request to a lane bitwise-equal to its
+//! single-RHS trajectory (PR 6),
 //! [`pop_core::setup::OperatorState::build`] is deterministic so a cache
-//! hit returns the same bits a cold build would, and the solvers are
-//! bitwise identical across serial/threaded/ranksim backends.
+//! hit (or a single-flighted concurrent build) returns the same bits a
+//! cold build would, and the solvers are bitwise identical across
+//! serial/threaded/ranksim backends. Workers never share solve state —
+//! each has its own workspace and communicator world.
 //! `tests/serve_cache_equivalence.rs` and `tests/serve_chaos.rs` enforce
-//! it end to end.
+//! it end to end across `workers ∈ {1, 2, 4}`.
 //!
 //! **Degradation contract.** Overload shows up as structured [`Reject`]s
 //! (queue full, tenant quota, infeasible or expired deadline), never as
@@ -41,8 +49,12 @@
 
 pub mod cache;
 pub mod request;
+pub mod sched;
 pub mod service;
 
-pub use cache::{CacheKey, CacheStats, OperatorCache};
-pub use request::{Reject, SolveRequest, SolveResponse, SolverSpec, Ticket};
-pub use service::{Backend, ServiceConfig, SolverService, LATENCY_BUCKETS, WIDTH_BUCKETS};
+pub use cache::{CacheKey, CacheStats, OperatorCache, SharedOperatorCache};
+pub use request::{Priority, Reject, SolveRequest, SolveResponse, SolverSpec, Ticket};
+pub use sched::{fair_order, LaneState, QueueItem, INTERACTIVE_STREAK_LIMIT};
+pub use service::{
+    Backend, ServiceConfig, SolverService, LATENCY_BUCKETS, MAX_WORKERS, WIDTH_BUCKETS,
+};

@@ -35,6 +35,33 @@ impl SolverSpec {
     }
 }
 
+/// Tenant SLO class. The dispatcher keeps two priority lanes: the
+/// `Interactive` lane dispatches first, while a starvation bound
+/// guarantees `Batch` work still progresses — and, symmetrically, that an
+/// interactive request never waits behind more than one batch group (see
+/// `sched::LaneState`). Each class can carry its own default deadline
+/// ([`crate::ServiceConfig::interactive_deadline`] /
+/// [`crate::ServiceConfig::batch_deadline`]), applied at admission when a
+/// request doesn't set one explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic: dispatched ahead of `Batch` work.
+    Interactive,
+    /// Throughput traffic: yields to `Interactive`, protected from
+    /// starvation by the lane rotation bound.
+    Batch,
+}
+
+impl Priority {
+    /// Stable label used on per-class SLO metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
 /// One tenant's solve request.
 ///
 /// The operator rides behind an `Arc` so many queued requests against the
@@ -57,8 +84,12 @@ pub struct SolveRequest {
     pub tol: f64,
     /// Relative deadline from submission. Expired requests are shed at
     /// dispatch time with a structured reject; a request already solving
-    /// when its deadline passes is completed, not interrupted.
+    /// when its deadline passes is completed, not interrupted. When unset,
+    /// the service applies the per-class default for `priority`.
     pub deadline: Option<Duration>,
+    /// SLO class: which dispatch lane the request rides
+    /// ([`Priority::Interactive`] by default).
+    pub priority: Priority,
 }
 
 impl SolveRequest {
@@ -78,6 +109,7 @@ impl SolveRequest {
             x0: None,
             tol: 1e-13,
             deadline: None,
+            priority: Priority::Interactive,
         }
     }
 
@@ -93,6 +125,11 @@ impl SolveRequest {
 
     pub fn with_x0(mut self, x0: DistVec) -> Self {
         self.x0 = Some(x0);
+        self
+    }
+
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -241,5 +278,28 @@ mod tests {
         assert_eq!(SolverSpec::Pcsi.label(), "pcsi");
         assert!(SolverSpec::Pcsi.needs_bounds());
         assert!(!SolverSpec::ChronGear.needs_bounds());
+    }
+
+    #[test]
+    fn priority_labels_are_stable_and_default_is_interactive() {
+        assert_eq!(Priority::Interactive.label(), "interactive");
+        assert_eq!(Priority::Batch.label(), "batch");
+        let grid = pop_grid::Grid::gx1_scaled(1, 16, 12);
+        let layout = pop_comm::DistLayout::build(&grid, 4, 4);
+        let world = pop_comm::CommWorld::serial();
+        let op = NinePoint::assemble(&grid, &layout, &world, 1000.0);
+        let b = DistVec::zeros(&layout);
+        let req = SolveRequest::new(
+            0,
+            Arc::new(op),
+            SolverSpec::ChronGear,
+            PrecondSpec::Diagonal,
+            b,
+        );
+        assert_eq!(req.priority, Priority::Interactive);
+        assert_eq!(
+            req.with_priority(Priority::Batch).priority,
+            Priority::Batch
+        );
     }
 }

@@ -1,23 +1,30 @@
-//! The solve service: admission → queue → coalesce → batch → solve → stream.
+//! The solve service: admission → queue → dispatch → batch → solve → stream.
 //!
-//! One scheduler thread owns the operator cache and the solve backend.
-//! Callers submit from any thread; admission control happens synchronously
-//! under the queue lock (bounded depth, per-tenant quota, deadline
-//! feasibility against an EWMA of recent service time), and admitted
-//! requests come back through a per-request channel ([`Ticket`]).
+//! A pool of scheduler workers shares one dispatch queue. Callers submit
+//! from any thread; admission control happens synchronously under the
+//! queue lock (bounded depth, per-tenant quota, deadline feasibility
+//! against an EWMA of recent service time scaled by the pool's effective
+//! dispatch parallelism), and admitted requests come back through a
+//! per-request channel ([`Ticket`]).
 //!
-//! Each scheduling round drains the whole queue, sheds requests whose
-//! deadlines expired while queued, orders the survivors round-robin by
-//! tenant (so one chatty tenant cannot monopolize a round), and coalesces
-//! them by (operator fingerprint, layout identity, solver, preconditioner,
-//! tolerance bits) through [`BatchPlanner`] into multi-RHS batches of at
-//! most `max_batch` lanes. Results are bit-identical to standalone solves
-//! of the same requests regardless of batching, cache state, or arrival
-//! order — the batched engine pins each request to a lane and the cached
-//! setup state is deterministic.
+//! **Dispatch.** Each worker pulls *one coalesced batch group* at a time:
+//! under the queue lock it sheds requests whose deadlines expired while
+//! queued, orders survivors per priority lane round-robin by tenant
+//! (`sched::fair_order`), picks the lane (`sched::LaneState` — Interactive
+//! first, batch promoted within a starvation bound), and takes the first
+//! [`BatchPlanner`] group of at most `max_batch` requests sharing an
+//! (operator fingerprint, layout identity, solver, preconditioner,
+//! tolerance bits) key. The lock is released before the solve, so
+//! independent groups solve concurrently across workers. Results are
+//! bit-identical to standalone solves of the same requests regardless of
+//! batching, cache state, worker count, or arrival order — the batched
+//! engine pins each request to a lane, the cached setup state is
+//! deterministic (and single-flighted, so concurrent misses share one
+//! build), and each worker solves in its own workspace.
 
-use crate::cache::{CacheStats, OperatorCache};
-use crate::request::{Reject, SolveRequest, SolveResponse, SolverSpec, Ticket};
+use crate::cache::{CacheStats, SharedOperatorCache};
+use crate::request::{Priority, Reject, SolveRequest, SolveResponse, SolverSpec, Ticket};
+use crate::sched::{self, LaneState, QueueItem};
 use pop_comm::{CommWorld, Communicator, DistVec};
 use pop_core::fingerprint::operator_fingerprint;
 use pop_core::lanczos::LanczosConfig;
@@ -44,10 +51,16 @@ pub static LATENCY_BUCKETS: [f64; 12] = [
 /// Batch-width histogram bounds (lanes per dispatched batch).
 pub static WIDTH_BUCKETS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
+/// Cap on auto-sized worker pools: dispatch rounds are short and the
+/// solves are memory-bandwidth-hungry, so past a handful of workers the
+/// marginal thread only adds queue-lock contention.
+pub const MAX_WORKERS: usize = 8;
+
 /// Where solves execute.
 #[derive(Debug, Clone)]
 pub enum Backend {
-    /// Shared-memory serial sweeps (deterministic, single-threaded).
+    /// Shared-memory serial sweeps (deterministic, single-threaded per
+    /// worker — the worker pool itself provides the parallelism).
     Serial,
     /// Shared-memory threaded sweeps (the global worker pool).
     Threaded,
@@ -71,6 +84,16 @@ pub struct ServiceConfig {
     pub tenant_quota: usize,
     /// Widest multi-RHS batch to coalesce (clamped to `1..=MAX_BATCH`).
     pub max_batch: usize,
+    /// Scheduler worker threads pulling batch groups from the dispatch
+    /// queue. `0` (the default) auto-sizes: `POP_SERVE_WORKERS` if set,
+    /// else the host's available parallelism, clamped to
+    /// `1..=`[`MAX_WORKERS`].
+    pub workers: usize,
+    /// Default deadline applied at admission to `Interactive` requests
+    /// that don't set one explicitly. `None` (default) = no deadline.
+    pub interactive_deadline: Option<Duration>,
+    /// Default deadline for `Batch` requests without an explicit one.
+    pub batch_deadline: Option<Duration>,
     /// Operator-state LRU entries; 0 disables caching.
     pub cache_capacity: usize,
     /// Lanczos configuration for P-CSI setup state. Service-wide so equal
@@ -82,7 +105,7 @@ pub struct ServiceConfig {
     pub backend: Backend,
     /// Metrics sink; [`ObsSink::disabled`] costs nothing.
     pub obs: ObsSink,
-    /// Start with the scheduler paused: submissions are admitted and
+    /// Start with the dispatch paused: submissions are admitted and
     /// queued but nothing dispatches until [`SolverService::resume`].
     /// Lets tests and the load generator stage a deterministic burst.
     pub start_paused: bool,
@@ -94,6 +117,9 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             tenant_quota: 32,
             max_batch: MAX_BATCH,
+            workers: 0,
+            interactive_deadline: None,
+            batch_deadline: None,
             cache_capacity: 8,
             lanczos: LanczosConfig {
                 tol: 0.01,
@@ -108,27 +134,95 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// The worker count this config resolves to (see
+    /// [`ServiceConfig::workers`]).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers.clamp(1, MAX_WORKERS);
+        }
+        if let Ok(v) = std::env::var("POP_SERVE_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, MAX_WORKERS);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, MAX_WORKERS)
+    }
+
+    fn class_deadline(&self, priority: Priority) -> Option<Duration> {
+        match priority {
+            Priority::Interactive => self.interactive_deadline,
+            Priority::Batch => self.batch_deadline,
+        }
+    }
+}
+
 struct Pending {
     req: SolveRequest,
     submitted: Instant,
+    /// Effective deadline: the request's own, or its class default.
+    deadline: Option<Duration>,
     tx: mpsc::Sender<Result<SolveResponse, Reject>>,
 }
 
 struct QueueState {
     queue: VecDeque<Pending>,
-    /// Queued + in-flight requests per tenant.
+    /// Queued + in-flight requests per tenant. Entries are removed when
+    /// they reach zero ([`release_tenant`]) so the map stays bounded by
+    /// *live* tenants, not every tenant ever seen.
     tenant_load: HashMap<u32, usize>,
+    lanes: LaneState,
     paused: bool,
     shutdown: bool,
 }
 
+/// Decrement a tenant's queued+in-flight count, dropping the entry at
+/// zero so a long-lived service doesn't accumulate one map slot per
+/// tenant it has ever served.
+fn release_tenant(tenant_load: &mut HashMap<u32, usize>, tenant: u32) {
+    if let Some(load) = tenant_load.get_mut(&tenant) {
+        *load = load.saturating_sub(1);
+        if *load == 0 {
+            tenant_load.remove(&tenant);
+        }
+    }
+}
+
+/// Lock-free EWMA update (α = 0.2, first sample seeds the average).
+/// Workers race here, so this must be a CAS loop: a load/store pair would
+/// silently drop whichever concurrent writer lost the race.
+fn ewma_update(cell: &AtomicU64, sample: f64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+        let old = f64::from_bits(bits);
+        let new = if old == 0.0 {
+            sample
+        } else {
+            0.8 * old + 0.2 * sample
+        };
+        Some(new.to_bits())
+    });
+}
+
 struct Shared {
     cfg: ServiceConfig,
+    /// Resolved worker-pool size (≥ 1); admission scales its queue-wait
+    /// estimate by this.
+    workers: usize,
     state: Mutex<QueueState>,
     cv: Condvar,
+    /// Operator-state cache, shared across workers with single-flight
+    /// builds.
+    cache: SharedOperatorCache,
     /// EWMA of per-request service time, f64 seconds as bits. Admission
     /// uses it to judge deadline feasibility before any queueing happens.
     ema_service_secs: AtomicU64,
+    /// EWMA of dispatched batch width (lanes per group), f64 as bits.
+    /// Together with the worker count it gives the effective dispatch
+    /// parallelism the admission estimate divides by.
+    ema_batch_width: AtomicU64,
 }
 
 impl Shared {
@@ -136,49 +230,115 @@ impl Shared {
         f64::from_bits(self.ema_service_secs.load(Ordering::Relaxed))
     }
 
-    fn update_ema(&self, per_solve_secs: f64) {
-        // Single writer (the scheduler thread), so a load/store pair is fine.
-        let old = self.ema();
-        let new = if old == 0.0 {
-            per_solve_secs
-        } else {
-            0.8 * old + 0.2 * per_solve_secs
-        };
-        self.ema_service_secs
-            .store(new.to_bits(), Ordering::Relaxed);
+    fn width_ema(&self) -> f64 {
+        f64::from_bits(self.ema_batch_width.load(Ordering::Relaxed))
+    }
+
+    /// Requests retired per service-time unit once the pool and
+    /// coalescing are accounted for: workers × recent mean batch width,
+    /// floored at 1 so a cold estimator never inflates feasibility.
+    fn effective_parallelism(&self) -> f64 {
+        (self.workers as f64 * self.width_ema().max(1.0)).max(1.0)
+    }
+
+    /// Refresh the queue-depth gauge from the authoritative queue length.
+    /// Must be called with the queue lock held — that is the whole fix:
+    /// gauge writes outside the lock raced each other and could leave a
+    /// permanently stale nonzero depth after the queue drained.
+    fn gauge_depth(&self, st: &QueueState) {
+        if let Some(reg) = self.cfg.obs.registry() {
+            reg.gauge_set("pop_serve_queue_depth", &[], st.queue.len() as f64);
+        }
+    }
+
+    fn count_shed(&self, reason: &'static str) {
+        if let Some(reg) = self.cfg.obs.registry() {
+            reg.counter_add("pop_serve_shed_total", &[("reason", reason)], 1);
+            reg.counter_add("pop_serve_requests_total", &[("outcome", "shed")], 1);
+        }
+    }
+
+    fn record_cache(&self, hit: bool, setup_secs: f64) {
+        if let Some(reg) = self.cfg.obs.registry() {
+            if hit {
+                reg.counter_add("pop_serve_cache_hits_total", &[], 1);
+            } else {
+                reg.counter_add("pop_serve_cache_misses_total", &[], 1);
+                reg.counter_add_f64("pop_serve_setup_seconds_total", &[], setup_secs);
+            }
+        }
+    }
+
+    fn record_served(
+        &self,
+        spec: SolverSpec,
+        priority: Priority,
+        st: &SolveStats,
+        queue_wait: Duration,
+        latency: Duration,
+        width: usize,
+    ) {
+        if let Some(reg) = self.cfg.obs.registry() {
+            let outcome = if st.converged {
+                "served"
+            } else {
+                "served_unconverged"
+            };
+            reg.counter_add("pop_serve_requests_total", &[("outcome", outcome)], 1);
+            reg.observe(
+                "pop_serve_latency_seconds",
+                &[("solver", spec.label()), ("class", priority.label())],
+                &LATENCY_BUCKETS,
+                latency.as_secs_f64(),
+            );
+            reg.observe(
+                "pop_serve_queue_wait_seconds",
+                &[("class", priority.label())],
+                &LATENCY_BUCKETS,
+                queue_wait.as_secs_f64(),
+            );
+            reg.observe("pop_serve_batch_width", &[], &WIDTH_BUCKETS, width as f64);
+        }
     }
 }
 
 /// The running service. Dropping it (or calling [`SolverService::shutdown`])
-/// drains the queue with [`Reject::ShuttingDown`] and joins the scheduler.
+/// drains the queue with [`Reject::ShuttingDown`] and joins the workers.
 pub struct SolverService {
     shared: Arc<Shared>,
-    scheduler: Option<JoinHandle<CacheStats>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl SolverService {
     pub fn start(cfg: ServiceConfig) -> SolverService {
         let paused = cfg.start_paused;
+        let n_workers = cfg.resolved_workers();
+        let cache = SharedOperatorCache::new(cfg.cache_capacity);
         let shared = Arc::new(Shared {
             cfg,
+            workers: n_workers,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 tenant_load: HashMap::new(),
+                lanes: LaneState::new(),
                 paused,
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            cache,
             ema_service_secs: AtomicU64::new(0),
+            ema_batch_width: AtomicU64::new(0),
         });
-        let worker_shared = Arc::clone(&shared);
-        let scheduler = std::thread::Builder::new()
-            .name("pop-serve-scheduler".into())
-            .spawn(move || Scheduler::new(worker_shared).run())
-            .expect("spawn scheduler thread");
-        SolverService {
-            shared,
-            scheduler: Some(scheduler),
-        }
+        let workers = (0..n_workers)
+            .map(|i| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pop-serve-worker-{i}"))
+                    .spawn(move || Worker::new(worker_shared).run())
+                    .expect("spawn dispatch worker thread")
+            })
+            .collect();
+        SolverService { shared, workers }
     }
 
     /// Admission-controlled submit. Admission is synchronous: a returned
@@ -204,10 +364,18 @@ impl SolverService {
                 quota: shared.cfg.tenant_quota,
             }));
         }
-        if let Some(deadline) = req.deadline {
+        let deadline = req.deadline.or(shared.cfg.class_deadline(req.priority));
+        if let Some(deadline) = deadline {
             let ema = shared.ema();
             if ema > 0.0 {
-                let estimated_wait = Duration::from_secs_f64(ema * (st.queue.len() + 1) as f64);
+                // Wait estimate for the request at the back of the queue:
+                // total outstanding work divided by the pool's effective
+                // dispatch parallelism (workers × mean batch width). A
+                // single serial scheduler would serve the queue one
+                // request at a time; this pool does not.
+                let estimated_wait = Duration::from_secs_f64(
+                    ema * (st.queue.len() + 1) as f64 / shared.effective_parallelism(),
+                );
                 if deadline < estimated_wait {
                     return Err(self.shed_at_admission(Reject::DeadlineUnmeetable {
                         estimated_wait,
@@ -221,15 +389,16 @@ impl SolverService {
         st.queue.push_back(Pending {
             req,
             submitted: Instant::now(),
+            deadline,
             tx,
         });
-        self.gauge_depth(st.queue.len());
+        shared.gauge_depth(&st);
         drop(st);
         shared.cv.notify_all();
         Ok(Ticket { rx })
     }
 
-    /// Release a paused scheduler ([`ServiceConfig::start_paused`]).
+    /// Release a paused dispatch ([`ServiceConfig::start_paused`]).
     pub fn resume(&self) {
         let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         st.paused = false;
@@ -241,40 +410,78 @@ impl SolverService {
         &self.shared.cfg.obs
     }
 
+    /// Resolved size of the dispatch worker pool.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
     /// Current EWMA of per-request service time (seconds); 0 before the
     /// first completion.
     pub fn ema_service_secs(&self) -> f64 {
         self.shared.ema()
     }
 
+    /// Number of tenants with queued or in-flight work right now.
+    /// Accounting introspection: drops back to 0 when the service idles
+    /// (entries are removed at zero, not leaked).
+    pub fn tenant_load_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .tenant_load
+            .len()
+    }
+
+    /// Warm-start the admission estimator with known history (e.g. when
+    /// restarting a service over the same operator population): seeds the
+    /// per-request service-time EWMA and the mean-batch-width EWMA as if
+    /// one sample of each had been observed.
+    pub fn prime_service_estimate(&self, per_solve_secs: f64, mean_batch_width: f64) {
+        self.shared
+            .ema_service_secs
+            .store(per_solve_secs.max(0.0).to_bits(), Ordering::Relaxed);
+        self.shared
+            .ema_batch_width
+            .store(mean_batch_width.max(1.0).to_bits(), Ordering::Relaxed);
+    }
+
     /// Drain and stop. Queued-but-undispatched requests receive
     /// [`Reject::ShuttingDown`]. Returns cache statistics for reporting.
     pub fn shutdown(mut self) -> CacheStats {
-        self.shutdown_inner().unwrap_or_default()
+        self.shutdown_inner();
+        self.shared.cache.stats()
     }
 
-    fn shutdown_inner(&mut self) -> Option<CacheStats> {
+    /// Drain and stop, returning how many tenant-load entries survived
+    /// the drain. Zero unless accounting leaks — the shutdown path
+    /// releases queued tenants through the same remove-at-zero helper as
+    /// the served path.
+    pub fn tenant_load_len_after_shutdown(mut self) -> usize {
+        self.shutdown_inner();
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .tenant_load
+            .len()
+    }
+
+    fn shutdown_inner(&mut self) {
         {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             st.shutdown = true;
             st.paused = false;
         }
         self.shared.cv.notify_all();
-        self.scheduler.take().map(|h| h.join().unwrap_or_default())
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
     }
 
     fn shed_at_admission(&self, r: Reject) -> Reject {
-        if let Some(reg) = self.shared.cfg.obs.registry() {
-            reg.counter_add("pop_serve_shed_total", &[("reason", r.reason())], 1);
-            reg.counter_add("pop_serve_requests_total", &[("outcome", "shed")], 1);
-        }
+        self.shared.count_shed(r.reason());
         r
-    }
-
-    fn gauge_depth(&self, depth: usize) {
-        if let Some(reg) = self.shared.cfg.obs.registry() {
-            reg.gauge_set("pop_serve_queue_depth", &[], depth as f64);
-        }
     }
 }
 
@@ -287,7 +494,8 @@ impl Drop for SolverService {
 /// Coalescing identity: requests may share a batch iff *all* of this
 /// matches — operator bits + layout identity ([`BatchKey`]), solver,
 /// preconditioner spec, and tolerance bits (lanes share one
-/// `SolverConfig`).
+/// `SolverConfig`). Priority is not part of the key because each dispatch
+/// group is drawn from a single lane.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct ServeKey {
     batch: BatchKey,
@@ -296,9 +504,22 @@ struct ServeKey {
     tol_bits: u64,
 }
 
-struct Scheduler {
+fn serve_key(req: &SolveRequest) -> ServeKey {
+    ServeKey {
+        batch: batch_key(&req.op),
+        solver: req.solver,
+        precond: req.precond,
+        tol_bits: req.tol.to_bits(),
+    }
+}
+
+/// One dispatch worker: pulls a batch group under the queue lock, solves
+/// it in its own context, responds, repeats. The dispatcher logic
+/// (shedding, lane pick, fair order, planning) lives in
+/// [`Worker::take_next_group`] and runs entirely under the lock; the
+/// solve never does.
+struct Worker {
     shared: Arc<Shared>,
-    cache: OperatorCache,
     planner: BatchPlanner,
     world: Option<CommWorld>,
     bws: BatchWorkspace<CommWorld>,
@@ -307,18 +528,16 @@ struct Scheduler {
     setup_world: CommWorld,
 }
 
-impl Scheduler {
-    fn new(shared: Arc<Shared>) -> Scheduler {
+impl Worker {
+    fn new(shared: Arc<Shared>) -> Worker {
         let world = match shared.cfg.backend {
             Backend::Serial => Some(CommWorld::serial()),
             Backend::Threaded => Some(CommWorld::threaded()),
             Backend::RankSim { .. } => None,
         };
-        let cache = OperatorCache::new(shared.cfg.cache_capacity);
         let planner = BatchPlanner::new(shared.cfg.max_batch.clamp(1, MAX_BATCH));
-        Scheduler {
+        Worker {
             shared,
-            cache,
             planner,
             world,
             bws: BatchWorkspace::new(),
@@ -326,88 +545,126 @@ impl Scheduler {
         }
     }
 
-    fn run(mut self) -> CacheStats {
+    fn run(mut self) {
         loop {
-            let round = {
+            let group = {
                 let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if st.shutdown {
-                        // Drain: everything still queued is rejected.
-                        let rest: Vec<Pending> = st.queue.drain(..).collect();
-                        for p in &rest {
-                            *st.tenant_load.entry(p.req.tenant).or_insert(1) -= 1;
-                        }
-                        drop(st);
-                        for p in rest {
-                            let _ = p.tx.send(Err(Reject::ShuttingDown));
-                            self.count_shed(Reject::ShuttingDown.reason());
-                        }
-                        return self.cache.stats();
+                        self.drain(&mut st);
+                        return;
                     }
-                    if !st.queue.is_empty() && !st.paused {
-                        break;
+                    if !st.paused {
+                        if let Some(group) = self.take_next_group(&mut st) {
+                            break group;
+                        }
                     }
                     st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
-                let round: Vec<Pending> = st.queue.drain(..).collect();
-                round
             };
-            if let Some(reg) = self.shared.cfg.obs.registry() {
-                reg.gauge_set("pop_serve_queue_depth", &[], 0.0);
-            }
-            self.dispatch_round(round);
+            self.run_batch(group);
         }
     }
 
-    /// Shed expired deadlines, order fairly, coalesce, solve, respond.
-    fn dispatch_round(&mut self, round: Vec<Pending>) {
+    /// Shutdown drain: everything still queued is rejected. Idempotent —
+    /// whichever worker observes the flag first empties the queue, the
+    /// rest find it empty.
+    fn drain(&self, st: &mut QueueState) {
+        let rest: Vec<Pending> = st.queue.drain(..).collect();
+        for p in &rest {
+            release_tenant(&mut st.tenant_load, p.req.tenant);
+        }
+        self.shared.gauge_depth(st);
+        for p in rest {
+            let _ = p.tx.send(Err(Reject::ShuttingDown));
+            self.shared.count_shed(Reject::ShuttingDown.reason());
+        }
+    }
+
+    /// The dispatcher: shed expired deadlines, pick a lane, order it
+    /// fairly, and take the first planned batch group off the queue.
+    /// Runs under the queue lock (`st` is the locked state); returns
+    /// `None` when the queue has nothing dispatchable.
+    fn take_next_group(&self, st: &mut QueueState) -> Option<Vec<Pending>> {
+        // Shed in place so tenant accounting and the depth gauge update
+        // under the same lock as the queue they describe.
         let now = Instant::now();
-        let mut live = Vec::with_capacity(round.len());
-        for p in round {
-            match p.req.deadline {
-                Some(d) if now.duration_since(p.submitted) > d => {
-                    let waited = now.duration_since(p.submitted);
-                    self.finish_tenant(p.req.tenant);
-                    self.count_shed("deadline_expired");
-                    let _ = p.tx.send(Err(Reject::DeadlineExpired {
-                        waited,
-                        deadline: d,
-                    }));
-                }
-                _ => live.push(p),
+        let mut shed: Vec<Pending> = Vec::new();
+        let mut i = 0;
+        while i < st.queue.len() {
+            let expired = match st.queue[i].deadline {
+                Some(d) => now.duration_since(st.queue[i].submitted) > d,
+                None => false,
+            };
+            if expired {
+                let p = st.queue.remove(i).expect("index in bounds");
+                release_tenant(&mut st.tenant_load, p.req.tenant);
+                shed.push(p);
+            } else {
+                i += 1;
             }
         }
-        let ordered = fair_order(live);
-        let keys: Vec<ServeKey> = ordered
+
+        let items: Vec<QueueItem> = st
+            .queue
             .iter()
-            .map(|p| ServeKey {
-                batch: batch_key(&p.req.op),
-                solver: p.req.solver,
-                precond: p.req.precond,
-                tol_bits: p.req.tol.to_bits(),
+            .map(|p| QueueItem {
+                tenant: p.req.tenant,
+                priority: p.req.priority,
             })
             .collect();
-        let plan = self.planner.plan_by(&keys);
-        // Move requests out of `ordered` into their planned groups.
-        let mut slots: Vec<Option<Pending>> = ordered.into_iter().map(Some).collect();
-        for (_key, indices) in plan {
-            let group: Vec<Pending> = indices
+        let interactive = sched::fair_order(&items, Priority::Interactive);
+        let batch = sched::fair_order(&items, Priority::Batch);
+        let lane = st.lanes.pick(!interactive.is_empty(), !batch.is_empty());
+        let group = lane.map(|lane| {
+            let order = match lane {
+                Priority::Interactive => interactive,
+                Priority::Batch => batch,
+            };
+            let keys: Vec<ServeKey> = order
                 .iter()
-                .map(|&i| slots[i].take().expect("planner indices are unique"))
+                .map(|&qi| serve_key(&st.queue[qi].req))
                 .collect();
-            self.run_batch(group);
+            let (_key, members) = self
+                .planner
+                .plan_by(&keys)
+                .into_iter()
+                .next()
+                .expect("non-empty lane plans at least one group");
+            let queue_idx: Vec<usize> = members.into_iter().map(|m| order[m]).collect();
+            // Remove highest-index-first so earlier indices stay valid,
+            // then restore the planned (fair) order.
+            let mut desc = queue_idx.clone();
+            desc.sort_unstable_by(|a, b| b.cmp(a));
+            let mut taken: HashMap<usize, Pending> = desc
+                .into_iter()
+                .map(|qi| (qi, st.queue.remove(qi).expect("index in bounds")))
+                .collect();
+            queue_idx
+                .into_iter()
+                .map(|qi| taken.remove(&qi).expect("taken once"))
+                .collect::<Vec<Pending>>()
+        });
+        self.shared.gauge_depth(st);
+        for p in shed {
+            self.shared.count_shed("deadline_expired");
+            let waited = now.duration_since(p.submitted);
+            let deadline = p.deadline.expect("only deadlined requests expire");
+            let _ = p.tx.send(Err(Reject::DeadlineExpired { waited, deadline }));
         }
+        group
     }
 
     fn run_batch(&mut self, group: Vec<Pending>) {
         let k = group.len();
         let spec = group[0].req.solver;
         let precond = group[0].req.precond;
+        let priority = group[0].req.priority;
         let op = Arc::clone(&group[0].req.op);
         let fingerprint = operator_fingerprint(&op);
 
         let setup_start = Instant::now();
-        let (state, cache_hit) = self.cache.get_or_build(
+        let (state, cache_hit) = self.shared.cache.get_or_build(
             fingerprint,
             &op,
             precond,
@@ -416,7 +673,7 @@ impl Scheduler {
             &self.setup_world,
         );
         let setup_secs = setup_start.elapsed().as_secs_f64();
-        self.record_cache(cache_hit, setup_secs);
+        self.shared.record_cache(cache_hit, setup_secs);
 
         let mut cfg = self.shared.cfg.base.clone();
         cfg.tol = group[0].req.tol;
@@ -456,14 +713,16 @@ impl Scheduler {
             }
         };
         let solve_secs = solve_start.elapsed().as_secs_f64();
-        self.shared.update_ema(solve_secs / k as f64);
+        ewma_update(&self.shared.ema_service_secs, solve_secs / k as f64);
+        ewma_update(&self.shared.ema_batch_width, k as f64);
 
         let done = Instant::now();
         for ((p, x), st) in group.into_iter().zip(xs).zip(stats) {
             let queue_wait = solve_start.saturating_duration_since(p.submitted);
             let latency = done.saturating_duration_since(p.submitted);
             self.finish_tenant(p.req.tenant);
-            self.record_served(spec, &st, queue_wait, latency, k);
+            self.shared
+                .record_served(spec, priority, &st, queue_wait, latency, k);
             let _ = p.tx.send(Ok(SolveResponse {
                 x,
                 stats: st,
@@ -477,87 +736,8 @@ impl Scheduler {
 
     fn finish_tenant(&self, tenant: u32) {
         let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(load) = st.tenant_load.get_mut(&tenant) {
-            *load = load.saturating_sub(1);
-        }
+        release_tenant(&mut st.tenant_load, tenant);
     }
-
-    fn count_shed(&self, reason: &'static str) {
-        if let Some(reg) = self.shared.cfg.obs.registry() {
-            reg.counter_add("pop_serve_shed_total", &[("reason", reason)], 1);
-            reg.counter_add("pop_serve_requests_total", &[("outcome", "shed")], 1);
-        }
-    }
-
-    fn record_cache(&self, hit: bool, setup_secs: f64) {
-        if let Some(reg) = self.shared.cfg.obs.registry() {
-            if hit {
-                reg.counter_add("pop_serve_cache_hits_total", &[], 1);
-            } else {
-                reg.counter_add("pop_serve_cache_misses_total", &[], 1);
-                reg.counter_add_f64("pop_serve_setup_seconds_total", &[], setup_secs);
-            }
-        }
-    }
-
-    fn record_served(
-        &self,
-        spec: SolverSpec,
-        st: &SolveStats,
-        queue_wait: Duration,
-        latency: Duration,
-        width: usize,
-    ) {
-        if let Some(reg) = self.shared.cfg.obs.registry() {
-            let outcome = if st.converged {
-                "served"
-            } else {
-                "served_unconverged"
-            };
-            reg.counter_add("pop_serve_requests_total", &[("outcome", outcome)], 1);
-            reg.observe(
-                "pop_serve_latency_seconds",
-                &[("solver", spec.label())],
-                &LATENCY_BUCKETS,
-                latency.as_secs_f64(),
-            );
-            reg.observe(
-                "pop_serve_queue_wait_seconds",
-                &[],
-                &LATENCY_BUCKETS,
-                queue_wait.as_secs_f64(),
-            );
-            reg.observe("pop_serve_batch_width", &[], &WIDTH_BUCKETS, width as f64);
-        }
-    }
-}
-
-/// Round-robin interleave by tenant, preserving each tenant's own
-/// submission order and first-appearance tenant order. Coalescing happens
-/// *after* this, so a tenant flooding one operator still shares batches,
-/// but dispatch order (and therefore shedding pressure) rotates fairly.
-fn fair_order(live: Vec<Pending>) -> Vec<Pending> {
-    let mut lanes: Vec<(u32, VecDeque<Pending>)> = Vec::new();
-    for p in live {
-        match lanes.iter_mut().find(|(t, _)| *t == p.req.tenant) {
-            Some((_, q)) => q.push_back(p),
-            None => {
-                let mut q = VecDeque::new();
-                let tenant = p.req.tenant;
-                q.push_back(p);
-                lanes.push((tenant, q));
-            }
-        }
-    }
-    let mut out = Vec::new();
-    while lanes.iter().any(|(_, q)| !q.is_empty()) {
-        for (_, q) in lanes.iter_mut() {
-            if let Some(p) = q.pop_front() {
-                out.push(p);
-            }
-        }
-    }
-    out
 }
 
 /// Dispatch one batch to the chosen solver through the batched engine.
@@ -629,4 +809,65 @@ fn solve_group_ranksim(
         xs.push(out.x);
     }
     (xs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_tenant_removes_entries_at_zero() {
+        let mut load = HashMap::new();
+        load.insert(7u32, 2usize);
+        load.insert(9u32, 1usize);
+        release_tenant(&mut load, 7);
+        assert_eq!(load.get(&7), Some(&1));
+        release_tenant(&mut load, 7);
+        assert!(!load.contains_key(&7), "entry must be removed at zero");
+        release_tenant(&mut load, 9);
+        assert!(load.is_empty());
+        // Releasing an absent tenant is a no-op, never an underflow or a
+        // resurrected entry.
+        release_tenant(&mut load, 42);
+        assert!(load.is_empty());
+    }
+
+    #[test]
+    fn ewma_first_sample_seeds_then_blends_exactly() {
+        let cell = AtomicU64::new(0);
+        ewma_update(&cell, 2.0);
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 2.0);
+        ewma_update(&cell, 4.0);
+        let expect = 0.8 * 2.0 + 0.2 * 4.0;
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), expect);
+    }
+
+    #[test]
+    fn ewma_cas_lands_in_the_convex_hull_under_contention() {
+        // Many threads hammer samples drawn from [1.0, 2.0]. Every CAS
+        // application of x -> 0.8x + 0.2s with s in [lo, hi] maps the
+        // hull into itself once seeded, so the final value must be inside
+        // it — and the fetch_update loop guarantees every sample is
+        // applied to a current value, not a stale one.
+        let cell = AtomicU64::new(0);
+        let threads = 8;
+        let per_thread = 500;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let cell = &cell;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Deterministic samples in [1, 2].
+                        let u = ((t * per_thread + i) as f64 * 0.377).fract();
+                        ewma_update(cell, 1.0 + u);
+                    }
+                });
+            }
+        });
+        let v = f64::from_bits(cell.load(Ordering::Relaxed));
+        assert!(
+            (1.0..=2.0).contains(&v),
+            "EWMA {v} escaped the sample hull [1, 2]"
+        );
+    }
 }

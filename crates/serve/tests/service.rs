@@ -9,7 +9,10 @@
 use pop_comm::{CommWorld, DistLayout, DistVec};
 use pop_core::setup::PrecondSpec;
 use pop_grid::Grid;
-use pop_serve::{Backend, Reject, ServiceConfig, SolveRequest, SolverService, SolverSpec, Ticket};
+use pop_obs::{ObsSink, SampleValue};
+use pop_serve::{
+    Backend, Priority, Reject, ServiceConfig, SolveRequest, SolverService, SolverSpec, Ticket,
+};
 use pop_stencil::NinePoint;
 use std::sync::Arc;
 use std::time::Duration;
@@ -231,6 +234,226 @@ fn fairness_interleaves_tenants_under_quota_pressure() {
     );
     for t in flood {
         assert!(t.wait().unwrap().stats.converged);
+    }
+}
+
+#[test]
+fn tenant_load_map_empties_after_all_tickets_resolve() {
+    // Regression: `finish_tenant` used to saturating-sub to 0 without
+    // removing the entry, leaking one map slot per tenant ever served.
+    let p = problem(20);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|tenant| svc.submit(request(&p, tenant)).unwrap())
+        .collect();
+    assert_eq!(svc.tenant_load_len(), 6);
+    svc.resume();
+    for t in tickets {
+        assert!(t.wait().unwrap().stats.converged);
+    }
+    assert_eq!(
+        svc.tenant_load_len(),
+        0,
+        "tenant_load must not retain zero-load entries"
+    );
+}
+
+#[test]
+fn tenant_load_map_empties_after_shutdown_drain() {
+    // The shutdown drain path shares the same remove-at-zero release as
+    // the served path (it used to do `entry(..).or_insert(1) -= 1`).
+    let p = problem(21);
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<Ticket> = (0..4)
+        .map(|tenant| svc.submit(request(&p, tenant)).unwrap())
+        .collect();
+    assert_eq!(svc.tenant_load_len(), 4);
+    let tenants_left = svc.tenant_load_len_after_shutdown();
+    assert_eq!(tenants_left, 0, "drain must release every queued tenant");
+    for t in tickets {
+        assert!(matches!(t.wait(), Err(Reject::ShuttingDown)));
+    }
+}
+
+/// Read the current `pop_serve_queue_depth` gauge from a sink.
+fn queue_depth(obs: &ObsSink) -> Option<f64> {
+    obs.metrics().into_iter().find_map(|s| {
+        if s.name != "pop_serve_queue_depth" {
+            return None;
+        }
+        match s.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    })
+}
+
+#[test]
+fn queue_depth_gauge_tracks_authoritative_length() {
+    // Regression: the gauge was written outside the queue lock in the
+    // dispatch path, so submit/dispatch interleavings could leave a
+    // permanently stale nonzero depth after the queue drained.
+    let p = problem(22);
+    let obs = ObsSink::enabled();
+    let svc = SolverService::start(ServiceConfig {
+        start_paused: true,
+        obs: obs.clone(),
+        ..ServiceConfig::default()
+    });
+    let tickets: Vec<Ticket> = (0..3)
+        .map(|i| svc.submit(request(&p, i)).unwrap())
+        .collect();
+    assert_eq!(queue_depth(&obs), Some(3.0));
+    svc.resume();
+    for t in tickets {
+        assert!(t.wait().unwrap().stats.converged);
+    }
+    // Every response is out, so the queue has drained; the gauge must
+    // agree with the authoritative length it was set from.
+    assert_eq!(queue_depth(&obs), Some(0.0));
+}
+
+#[test]
+fn feasible_deadline_under_parallelism_is_admitted() {
+    // Regression: admission estimated queue wait as `ema * (depth + 1)` —
+    // one worker, no coalescing — over-rejecting the moment a pool
+    // exists. The estimate now divides by workers × mean batch width.
+    let per_solve = 0.010;
+    let deadline = Duration::from_millis(30);
+
+    // Stage identical queues (5 deep, paused) on both services; the 6th
+    // submission carries the deadline: 6 × 10ms = 60ms of work.
+    let mk = |workers: usize, seed: u64| {
+        let p = problem(seed);
+        let svc = SolverService::start(ServiceConfig {
+            workers,
+            start_paused: true,
+            ..ServiceConfig::default()
+        });
+        svc.prime_service_estimate(per_solve, 1.0);
+        for i in 0..5 {
+            svc.submit(request(&p, i)).unwrap();
+        }
+        (svc, p)
+    };
+
+    // Serial service: estimated wait 60ms > 30ms deadline ⇒ shed.
+    let (serial, p1) = mk(1, 23);
+    match serial.submit(request(&p1, 9).with_deadline(deadline)) {
+        Err(Reject::DeadlineUnmeetable { estimated_wait, .. }) => {
+            assert!(estimated_wait > deadline);
+        }
+        other => panic!("expected DeadlineUnmeetable, got {:?}", other.map(|_| ())),
+    }
+
+    // Four workers: estimated wait 15ms < 30ms ⇒ admitted.
+    let (pooled, p2) = mk(4, 24);
+    assert_eq!(pooled.worker_count(), 4);
+    assert!(
+        pooled
+            .submit(request(&p2, 9).with_deadline(deadline))
+            .is_ok(),
+        "a deadline feasible under pool parallelism must not be shed at admission"
+    );
+}
+
+#[test]
+fn interactive_lane_dispatches_ahead_of_batch() {
+    // Batch work submitted FIRST, on its own operator; interactive work
+    // submitted after. With one worker, lane priority (not FIFO) decides
+    // dispatch order, so the interactive request waits less than the
+    // batch request that got in line before it.
+    let pb = problem(25);
+    let pi = problem(26);
+    let obs = ObsSink::enabled();
+    let svc = SolverService::start(ServiceConfig {
+        workers: 1,
+        start_paused: true,
+        obs: obs.clone(),
+        ..ServiceConfig::default()
+    });
+    let batch = svc
+        .submit(request(&pb, 0).with_priority(Priority::Batch))
+        .unwrap();
+    let interactive = svc.submit(request(&pi, 1)).unwrap();
+    svc.resume();
+    let ri = interactive.wait().unwrap();
+    let rb = batch.wait().unwrap();
+    assert!(ri.stats.converged && rb.stats.converged);
+    assert!(
+        rb.queue_wait > ri.queue_wait,
+        "batch ({:?}) must wait through the interactive dispatch ({:?})",
+        rb.queue_wait,
+        ri.queue_wait
+    );
+    // SLO metrics are per-class: both lanes exported their own wait rows.
+    let classes: Vec<_> = obs
+        .metrics()
+        .into_iter()
+        .filter(|s| s.name == "pop_serve_queue_wait_seconds")
+        .map(|s| s.labels.clone())
+        .collect();
+    assert!(classes.contains(&vec![("class", "interactive")]));
+    assert!(classes.contains(&vec![("class", "batch")]));
+}
+
+#[test]
+fn per_class_default_deadline_applies_at_admission() {
+    // No explicit deadline on the request: the batch class default kicks
+    // in, and expires while the service is paused; the interactive
+    // request (class default None) is unaffected.
+    let p = problem(27);
+    let svc = SolverService::start(ServiceConfig {
+        batch_deadline: Some(Duration::from_millis(1)),
+        start_paused: true,
+        ..ServiceConfig::default()
+    });
+    let doomed = svc
+        .submit(request(&p, 0).with_priority(Priority::Batch))
+        .unwrap();
+    let fine = svc.submit(request(&p, 1)).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    svc.resume();
+    assert!(matches!(doomed.wait(), Err(Reject::DeadlineExpired { .. })));
+    assert!(fine.wait().unwrap().stats.converged);
+}
+
+#[test]
+fn worker_pool_responses_match_single_worker_bitwise() {
+    // The same staged burst through 1 and 4 workers: identical bits.
+    let probs: Vec<Problem> = (30..33).map(problem).collect();
+    let run = |workers: usize| {
+        let svc = SolverService::start(ServiceConfig {
+            workers,
+            start_paused: true,
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| svc.submit(request(&probs[i % 3], i as u32)).unwrap())
+            .collect();
+        svc.resume();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap())
+            .collect::<Vec<_>>()
+    };
+    let one = run(1);
+    let four = run(4);
+    for (a, b) in one.iter().zip(&four) {
+        assert!(a.stats.converged && b.stats.converged);
+        for (ba, bb) in a.x.blocks.iter().zip(b.x.blocks.iter()) {
+            for j in 0..ba.ny {
+                for (va, vb) in ba.interior_row(j).iter().zip(bb.interior_row(j)) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+        }
     }
 }
 

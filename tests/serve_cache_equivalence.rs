@@ -3,12 +3,17 @@
 //! never corrupts an in-flight batch.
 //!
 //! The serve layer's correctness contract (DESIGN.md §13) is that the
-//! operator-state cache and the coalescing stage are *invisible* in the
-//! results: a request's solution must carry the same bits whether its
-//! setup state was built cold, fetched warm, or evicted mid-flight, and
-//! whether it rode a width-1 or width-k batch. The standalone reference
+//! operator-state cache, the coalescing stage, and the dispatch worker
+//! pool are *invisible* in the results: a request's solution must carry
+//! the same bits whether its setup state was built cold, fetched warm, or
+//! evicted mid-flight, whether it rode a width-1 or width-k batch, and
+//! whether one worker or four dispatched it. The standalone reference
 //! here is a direct `solve_batch_comm` call on a freshly built
 //! `OperatorState` — no service, no cache, no queue.
+//!
+//! Tests that leave `ServiceConfig::workers` at 0 inherit the pool size
+//! from `POP_SERVE_WORKERS` (CI runs the suite at 1 and 4); the explicit
+//! sweep test pins `workers ∈ {1, 2, 4}` regardless of environment.
 
 use pop_baro::prelude::*;
 use pop_baro::serve::{ServiceConfig, SolveRequest, SolverService, SolverSpec, Ticket};
@@ -312,6 +317,58 @@ fn arrival_order_does_not_change_results() {
     let shuffled = serve_in_order(&[2, 0, 3, 1]);
     for (i, (a, b)) in forward.iter().zip(&shuffled).enumerate() {
         assert_bits_equal(a, b, &format!("request {i} under different arrival orders"));
+    }
+}
+
+/// Worker count is invisible: the same staged multi-operator,
+/// multi-class burst served by 1, 2, and 4 dispatch workers yields the
+/// same per-request bits — which also all match the standalone solves.
+/// Parallel dispatch may change batch compositions and completion order;
+/// it must never change a single result bit.
+#[test]
+fn worker_counts_are_bitwise_invisible() {
+    use pop_baro::serve::Priority;
+    let probs = [problem(47, 5500.0), problem(48, 8000.0)];
+    let spec = SolverSpec::Pcsi;
+    let precond = PrecondSpec::Evp;
+    let bs: Vec<(usize, DistVec)> = (0..6).map(|i| (i % 2, rhs(&probs[i % 2], 0xD0 + i as u64))).collect();
+    let refs: Vec<DistVec> = bs
+        .iter()
+        .map(|(pi, b)| standalone(&probs[*pi], spec, precond, b).0)
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let svc = SolverService::start(ServiceConfig {
+            workers,
+            ..service_cfg()
+        });
+        let tickets: Vec<Ticket> = bs
+            .iter()
+            .enumerate()
+            .map(|(i, (pi, b))| {
+                let class = if i % 3 == 0 {
+                    Priority::Batch
+                } else {
+                    Priority::Interactive
+                };
+                svc.submit(
+                    SolveRequest::new(i as u32, Arc::clone(&probs[*pi].op), spec, precond, b.clone())
+                        .with_tol(TOL)
+                        .with_priority(class),
+                )
+                .unwrap()
+            })
+            .collect();
+        svc.resume();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().unwrap();
+            assert!(resp.stats.converged);
+            assert_bits_equal(
+                &resp.x,
+                &refs[i],
+                &format!("request {i} at {workers} workers vs standalone"),
+            );
+        }
     }
 }
 

@@ -12,7 +12,11 @@
 //!   carry structured outcomes, and never contain NaN.
 //!
 //! Seeds are pinned; CI replays one via `POP_CHAOS_SEED` (the same
-//! convention as `tests/chaos_equivalence.rs`).
+//! convention as `tests/chaos_equivalence.rs`). Tests that leave
+//! `ServiceConfig::workers` at 0 inherit the dispatch-pool size from
+//! `POP_SERVE_WORKERS` (CI runs the suite at 1 and 4); the explicit sweep
+//! test pins `workers ∈ {1, 2, 4}` regardless of environment — fault
+//! injection must stay bitwise invisible at every pool size.
 
 use pop_baro::prelude::*;
 use pop_baro::serve::{Backend, ServiceConfig, SolveRequest, SolverService, SolverSpec};
@@ -77,9 +81,14 @@ fn base_cfg() -> SolverConfig {
 }
 
 fn service(faults: FaultPlan) -> SolverService {
+    service_with_workers(faults, 0)
+}
+
+fn service_with_workers(faults: FaultPlan, workers: usize) -> SolverService {
     SolverService::start(ServiceConfig {
         backend: Backend::RankSim { ranks: 6, faults },
         base: base_cfg(),
+        workers,
         ..ServiceConfig::default()
     })
 }
@@ -184,6 +193,50 @@ fn benign_chaos_warm_cache_stays_correct() {
     assert!(!cold.cache_hit && warm.cache_hit);
     assert_bits_equal(&cold.x, &x_ref, "cold chaos serve");
     assert_bits_equal(&warm.x, &x_ref, "warm chaos serve");
+}
+
+/// Worker sweep: benign chaos results are bitwise identical to the
+/// fault-free shared-memory reference at every dispatch-pool size. Each
+/// ranksim solve runs on its own fresh fault-injected world, so parallel
+/// dispatch must not perturb a single bit.
+#[test]
+fn benign_chaos_is_bitwise_invisible_across_worker_counts() {
+    let p = problem();
+    let seed = chaos_seeds()[0];
+    let bs: Vec<DistVec> = (0..4).map(|i| rhs(&p, seed ^ (0xAB0 + i))).collect();
+    let refs: Vec<DistVec> = bs
+        .iter()
+        .map(|b| standalone(&p, SolverChoice::PcsiEvp, b))
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let svc = service_with_workers(FaultPlan::seeded(seed, FaultConfig::benign()), workers);
+        let tickets: Vec<_> = bs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                svc.submit(
+                    SolveRequest::new(
+                        i as u32,
+                        Arc::clone(&p.op),
+                        SolverSpec::Pcsi,
+                        PrecondSpec::Evp,
+                        b.clone(),
+                    )
+                    .with_tol(TOL),
+                )
+                .unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().unwrap();
+            assert!(resp.stats.converged);
+            assert_bits_equal(
+                &resp.x,
+                &refs[i],
+                &format!("seed {seed:#x} req {i} at {workers} workers"),
+            );
+        }
+    }
 }
 
 /// Hostile chaos: corruption and permanent loss may break convergence but
